@@ -1,0 +1,180 @@
+(* amac_sim: run any bundled consensus algorithm on any topology under any
+   scheduler, and report the verified outcome.
+
+   Examples:
+     dune exec bin/amac_sim.exe -- run --algo wpaxos --topo grid:6x6 \
+       --sched random --fack 5 --seed 3 --inputs alternating
+     dune exec bin/amac_sim.exe -- run --algo two-phase --topo clique:8 \
+       --sched max-delay --fack 10 --trace
+     dune exec bin/amac_sim.exe -- lowerbounds *)
+
+open Cmdliner
+
+let parse_topology spec rng =
+  match String.split_on_char ':' spec with
+  | [ "clique"; n ] -> Amac.Topology.clique (int_of_string n)
+  | [ "line"; n ] -> Amac.Topology.line (int_of_string n)
+  | [ "ring"; n ] -> Amac.Topology.ring (int_of_string n)
+  | [ "star"; n ] -> Amac.Topology.star (int_of_string n)
+  | [ "tree"; n ] -> Amac.Topology.binary_tree (int_of_string n)
+  | [ "grid"; dims ] | [ "torus"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ w; h ] ->
+          let width = int_of_string w and height = int_of_string h in
+          if String.length spec >= 5 && String.sub spec 0 5 = "torus" then
+            Amac.Topology.torus ~width ~height
+          else Amac.Topology.grid ~width ~height
+      | _ -> failwith "grid/torus spec: grid:WxH")
+  | [ "star-of-lines"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ arms; len ] ->
+          Amac.Topology.star_of_lines ~arms:(int_of_string arms)
+            ~arm_len:(int_of_string len)
+      | _ -> failwith "star-of-lines spec: star-of-lines:ARMSxLEN")
+  | [ "random"; n ] ->
+      Amac.Topology.random_connected rng ~n:(int_of_string n)
+        ~extra_edges:(int_of_string n / 3)
+  | _ ->
+      failwith
+        "unknown topology; try clique:N line:N ring:N star:N tree:N grid:WxH \
+         torus:WxH star-of-lines:AxL random:N"
+
+let parse_scheduler spec ~fack rng =
+  match spec with
+  | "synchronous" | "sync" -> Amac.Scheduler.synchronous
+  | "fixed" -> Amac.Scheduler.fixed ~delay:fack
+  | "max-delay" -> Amac.Scheduler.max_delay ~fack
+  | "random" -> Amac.Scheduler.random rng ~fack
+  | "jittered" -> Amac.Scheduler.jittered rng ~fack ~spread:(max 0 ((fack / 2) - 1))
+  | "bursty" -> Amac.Scheduler.bursty ~fack ~fast_len:(max 1 fack) ~slow_len:(max 1 fack)
+  | _ ->
+      failwith
+        "unknown scheduler; try synchronous fixed max-delay random jittered \
+         bursty"
+
+let parse_inputs spec ~n rng =
+  match spec with
+  | "alternating" -> Consensus.Runner.inputs_alternating ~n
+  | "zeros" -> Consensus.Runner.inputs_all ~n 0
+  | "ones" -> Consensus.Runner.inputs_all ~n 1
+  | "halves" -> Consensus.Runner.inputs_halves ~n
+  | "random" -> Consensus.Runner.inputs_random rng ~n
+  | bits when String.length bits = n ->
+      Array.init n (fun i ->
+          match bits.[i] with
+          | '0' -> 0
+          | '1' -> 1
+          | _ -> failwith "inputs bit-string must be 0s and 1s")
+  | _ -> failwith "inputs: alternating|zeros|ones|halves|random|<bitstring>"
+
+(* Existentially package algorithms of different state/message types. *)
+type packed = Packed : ('s, 'm) Amac.Algorithm.t * ('m -> string) -> packed
+
+let parse_algorithm = function
+  | "two-phase" -> Packed (Consensus.Two_phase.algorithm, Consensus.Two_phase.pp_msg)
+  | "two-phase-literal" ->
+      Packed (Consensus.Two_phase.literal, Consensus.Two_phase.pp_msg)
+  | "wpaxos" -> Packed (Consensus.Wpaxos.make (), Consensus.Wpaxos.pp_msg)
+  | "wpaxos-noagg" ->
+      Packed (Consensus.Wpaxos.make ~aggregate:false (), Consensus.Wpaxos.pp_msg)
+  | "flood-gather" ->
+      Packed (Consensus.Flood_gather.make (), Consensus.Flood_gather.pp_msg)
+  | "flood-paxos" ->
+      Packed (Consensus.Flood_paxos.make (), Consensus.Flood_paxos.pp_msg)
+  | "round-flood" ->
+      Packed (Consensus.Round_flood.make ~target:`Knows_n, Consensus.Round_flood.pp_msg)
+  | "ben-or" ->
+      Packed (Consensus.Ben_or.make ~seed:97 (), Consensus.Ben_or.pp_msg)
+  | _ ->
+      failwith
+        "unknown algorithm; try two-phase two-phase-literal wpaxos \
+         wpaxos-noagg flood-gather flood-paxos round-flood ben-or"
+
+let run_cmd algo topo sched fack seed inputs_spec trace max_time =
+  let rng = Amac.Rng.create seed in
+  let topology = parse_topology topo (Amac.Rng.split rng) in
+  let n = Amac.Topology.size topology in
+  let scheduler = parse_scheduler sched ~fack (Amac.Rng.split rng) in
+  let inputs = parse_inputs inputs_spec ~n (Amac.Rng.split rng) in
+  let (Packed (algorithm, pp_msg)) = parse_algorithm algo in
+  Printf.printf "algorithm=%s topology=%s (%s) scheduler=%s inputs=%s\n"
+    algorithm.Amac.Algorithm.name topo
+    (Format.asprintf "%a" Amac.Topology.pp topology)
+    scheduler.Amac.Scheduler.name inputs_spec;
+  let result =
+    Consensus.Runner.run algorithm ~topology ~scheduler ~inputs
+      ~record_trace:trace ~pp_msg ~max_time
+  in
+  if trace then
+    Printf.printf "--- trace ---\n%s--- end trace ---\n"
+      (Format.asprintf "%a" Amac.Trace.pp result.outcome.trace);
+  Printf.printf "%s\n" (Format.asprintf "%a" Consensus.Checker.pp result.report);
+  Printf.printf
+    "latency=%s broadcasts=%d deliveries=%d discarded=%d max_ids/msg=%d \
+     events=%d\n"
+    (match result.decision_time with
+    | Some t -> string_of_int t
+    | None -> "-")
+    result.outcome.broadcasts result.outcome.deliveries
+    result.outcome.discarded result.outcome.max_ids_per_message
+    result.outcome.events_processed;
+  if Consensus.Checker.ok result.report then 0 else 1
+
+let lowerbounds_cmd () =
+  let f = Lowerbound.Indist.fig1_demo ~diameter:10 ~n:30 in
+  Printf.printf "Thm 3.3 (Fig 1): victim ok on B=%b; violation on A=%b\n"
+    f.b_ok f.violated;
+  let k = Lowerbound.Indist.kd_demo ~diameter:8 in
+  Printf.printf "Thm 3.9 (K_D): victim ok on line=%b; violation on K_D=%b\n"
+    k.line_ok k.violated;
+  let a =
+    Lowerbound.Partition.analyze (Consensus.Wpaxos.make ()) ~diameter:10
+      ~fack:4
+  in
+  Printf.printf
+    "Thm 3.10: lower bound %d, earliest cross-influence %d, wPAXOS decided \
+     at %d\n"
+    a.lower_bound a.endpoint_cross_influence a.last_decision;
+  0
+
+let algo_arg =
+  Arg.(value & opt string "wpaxos" & info [ "algo"; "a" ] ~doc:"Algorithm")
+
+let topo_arg =
+  Arg.(value & opt string "grid:4x4" & info [ "topo"; "t" ] ~doc:"Topology")
+
+let sched_arg =
+  Arg.(value & opt string "random" & info [ "sched"; "s" ] ~doc:"Scheduler")
+
+let fack_arg = Arg.(value & opt int 5 & info [ "fack"; "f" ] ~doc:"F_ack bound")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed")
+
+let inputs_arg =
+  Arg.(
+    value & opt string "alternating"
+    & info [ "inputs"; "i" ] ~doc:"Input vector spec")
+
+let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print full trace")
+
+let max_time_arg =
+  Arg.(value & opt int 1_000_000 & info [ "max-time" ] ~doc:"Time cap")
+
+let run_term =
+  Term.(
+    const run_cmd $ algo_arg $ topo_arg $ sched_arg $ fack_arg $ seed_arg
+    $ inputs_arg $ trace_arg $ max_time_arg)
+
+let cmds =
+  Cmd.group
+    (Cmd.info "amac_sim" ~doc:"Abstract MAC layer consensus simulator")
+    [
+      Cmd.v
+        (Cmd.info "run" ~doc:"Run one algorithm on one topology and verify")
+        run_term;
+      Cmd.v
+        (Cmd.info "lowerbounds" ~doc:"Run the three lower-bound demos")
+        Term.(const lowerbounds_cmd $ const ());
+    ]
+
+let () = exit (Cmd.eval' cmds)

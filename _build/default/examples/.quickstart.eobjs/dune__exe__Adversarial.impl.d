@@ -1,0 +1,1 @@
+examples/adversarial.ml: Amac Consensus Format List Lowerbound Printf String

@@ -1,0 +1,1 @@
+examples/custom_algorithm.ml: Amac Consensus Format List Lowerbound Option Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Amac Array Consensus Format Printf String

@@ -1,0 +1,1 @@
+examples/sensor_field.ml: Amac Array Consensus List Printf String

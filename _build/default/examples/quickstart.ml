@@ -1,0 +1,58 @@
+(* Quickstart: two-phase consensus (Algorithm 1 of the paper) on a 5-node
+   single hop network, with an annotated trace.
+
+     dune exec examples/quickstart.exe
+
+   Five radios in range of each other must agree on a binary value. Each
+   only knows its own id and input — not how many others there are. The
+   MAC layer below them delivers broadcasts in adversarial order, bounded
+   only by an (unknown) F_ack. *)
+
+let () =
+  let n = 5 in
+  let topology = Amac.Topology.clique n in
+  (* A randomized scheduler standing in for a busy CSMA channel: every
+     broadcast completes within F_ack = 6 ticks, deliveries in any order. *)
+  let scheduler = Amac.Scheduler.random (Amac.Rng.create 2024) ~fack:6 in
+  let inputs = [| 0; 1; 1; 0; 1 |] in
+
+  Printf.printf "Topology: %d-clique (single hop). Inputs: %s\n" n
+    (String.concat " "
+       (Array.to_list (Array.map string_of_int inputs)));
+  Printf.printf "Scheduler: %s (F_ack unknown to the nodes)\n\n"
+    scheduler.name;
+
+  let result =
+    Consensus.Runner.run Consensus.Two_phase.algorithm ~topology ~scheduler
+      ~inputs ~give_n:false (* two-phase does not need to know n! *)
+      ~record_trace:true ~pp_msg:Consensus.Two_phase.pp_msg
+  in
+
+  Printf.printf "--- trace ---\n%s--- end trace ---\n\n"
+    (Format.asprintf "%a" Amac.Trace.pp result.outcome.trace);
+
+  Printf.printf
+    "Timeline (B broadcast, r receive, a ack, D decide, ~ discarded):\n%s\n"
+    (Amac.Trace.timeline ~n result.outcome.trace);
+
+  Array.iteri
+    (fun node decision ->
+      match decision with
+      | Some (value, time) ->
+          Printf.printf "node %d decided %d at t=%d\n" node value time
+      | None -> Printf.printf "node %d never decided\n" node)
+    result.outcome.decisions;
+
+  Printf.printf "\nChecker: %s\n"
+    (Format.asprintf "%a" Consensus.Checker.pp result.report);
+  Printf.printf
+    "Broadcasts: %d, deliveries: %d, max ids per message: %d\n"
+    result.outcome.broadcasts result.outcome.deliveries
+    result.outcome.max_ids_per_message;
+  match result.decision_time with
+  | Some t ->
+      Printf.printf
+        "Consensus latency: %d ticks — at most 3 x F_ack = 18, regardless \
+         of n (Thm 4.1).\n"
+        t
+  | None -> ()

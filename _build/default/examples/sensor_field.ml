@@ -1,0 +1,93 @@
+(* A multihop deployment scenario: a 10x10 grid of battery-powered sensors
+   must agree whether to raise a field-wide alarm (binary consensus), using
+   wPAXOS (Sec 4.2 of the paper) over the abstract MAC layer.
+
+     dune exec examples/sensor_field.exe
+
+   The radios only reach their grid neighbors (multihop, D = 18); a handful
+   of sensors detected the event (input 1), the rest did not (input 0).
+   wPAXOS elects a leader, grows a shortest-path tree around it, aggregates
+   acceptor responses up the tree, and decides in O(D * F_ack) — here we
+   also run the naive flood-gather baseline to show what the tree buys. *)
+
+let () =
+  let width = 10 and height = 10 in
+  let topology = Amac.Topology.grid ~width ~height in
+  let n = Amac.Topology.size topology in
+  let diameter = Amac.Topology.diameter topology in
+  let fack = 4 in
+  let rng = Amac.Rng.create 7 in
+  let scheduler = Amac.Scheduler.random rng ~fack in
+
+  (* Sensors 13, 47, 71 detected the event. *)
+  let inputs = Array.make n 0 in
+  List.iter (fun s -> inputs.(s) <- 1) [ 13; 47; 71 ];
+
+  Printf.printf "Sensor field: %dx%d grid, n=%d, D=%d, F_ack=%d\n" width
+    height n diameter fack;
+  Printf.printf "Detections at sensors 13, 47, 71.\n\n";
+
+  let show name (result : Consensus.Runner.result) =
+    Printf.printf "%-22s decided {%s} at t=%s | %6d broadcasts, %d ids/msg max\n"
+      name
+      (String.concat ","
+         (List.map string_of_int result.report.decided_values))
+      (match result.decision_time with
+      | Some t -> string_of_int t
+      | None -> "never")
+      result.outcome.broadcasts result.outcome.max_ids_per_message;
+    if not (Consensus.Checker.ok result.report) then
+      Printf.printf "  PROBLEMS: %s\n"
+        (String.concat "; " result.report.problems)
+  in
+
+  show "wPAXOS"
+    (Consensus.Runner.run (Consensus.Wpaxos.make ()) ~topology ~scheduler
+       ~inputs ~max_time:200_000);
+
+  (* Same field, same inputs, naive baseline: every sensor floods all 100
+     (id, value) pairs, two per message. *)
+  show "flood-gather"
+    (Consensus.Runner.run
+       (Consensus.Flood_gather.make ())
+       ~topology
+       ~scheduler:(Amac.Scheduler.random (Amac.Rng.create 7) ~fack)
+       ~inputs ~max_time:200_000);
+
+  (* A straggler in the middle of the field: PAXOS only needs a majority of
+     acceptors, so one slow sensor does not slow the decision much. *)
+  let slow = Amac.Scheduler.slow_node ~fack:60 ~node:55 in
+  show "wPAXOS + straggler"
+    (Consensus.Runner.run (Consensus.Wpaxos.make ()) ~topology ~scheduler:slow
+       ~inputs ~max_time:200_000);
+
+  Printf.printf
+    "\nOn a well-connected grid both approaches are fine (flooding has many\n\
+     parallel paths). The paper's separation appears when the field drains\n\
+     through a relay hub — same sensors, hub-and-spokes wiring:\n\n";
+
+  (* Hub topology: every arm of sensors reaches the rest through one relay.
+     Fixed D, so wPAXOS's O(D * F_ack) is flat, while flood-gather must push
+     all n pairs through the hub two at a time: Theta(n * F_ack). *)
+  List.iter
+    (fun arms ->
+      let topology = Amac.Topology.star_of_lines ~arms ~arm_len:4 in
+      let n = Amac.Topology.size topology in
+      let inputs = Array.make n 0 in
+      inputs.(1) <- 1;
+      let run algo =
+        Consensus.Runner.run algo ~topology
+          ~scheduler:(Amac.Scheduler.fixed ~delay:fack)
+          ~inputs ~max_time:500_000
+      in
+      let wp = run (Consensus.Wpaxos.make ()) in
+      let fg = run (Consensus.Flood_gather.make ()) in
+      Printf.printf
+        "  hub, %3d sensors (D=8): wPAXOS t=%-4s flood-gather t=%-4s\n" n
+        (match wp.decision_time with Some t -> string_of_int t | None -> "-")
+        (match fg.decision_time with Some t -> string_of_int t | None -> "-"))
+    [ 4; 16; 48 ];
+  Printf.printf
+    "\nwPAXOS stays near D * F_ack = %d as the field grows; the flooding\n\
+     baseline scales with n — Sec 4.2's motivation (see bench E3).\n"
+    (8 * fack)

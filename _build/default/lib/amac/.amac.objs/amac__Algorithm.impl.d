@@ -1,0 +1,1 @@
+lib/amac/algorithm.ml: List Node_id

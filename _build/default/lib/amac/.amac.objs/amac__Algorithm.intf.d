@@ -1,0 +1,1 @@
+lib/amac/algorithm.mli: Node_id

@@ -1,0 +1,1 @@
+lib/amac/causal.mli: Bitset

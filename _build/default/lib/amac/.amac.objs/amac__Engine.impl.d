@@ -1,0 +1,1 @@
+lib/amac/engine.ml: Algorithm Array Bitset Causal Int List Node_id Pqueue Printf Scheduler Topology Trace

@@ -1,0 +1,1 @@
+lib/amac/engine.mli: Algorithm Causal Node_id Scheduler Topology Trace

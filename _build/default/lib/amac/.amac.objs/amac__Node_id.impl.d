@@ -1,0 +1,1 @@
+lib/amac/node_id.ml: Array Format Int Rng

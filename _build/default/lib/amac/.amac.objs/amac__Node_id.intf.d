@@ -1,0 +1,1 @@
+lib/amac/node_id.mli: Format Rng

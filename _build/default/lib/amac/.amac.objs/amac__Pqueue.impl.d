@@ -1,0 +1,1 @@
+lib/amac/pqueue.ml: Array

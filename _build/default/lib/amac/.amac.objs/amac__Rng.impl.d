@@ -1,0 +1,1 @@
+lib/amac/rng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/amac/scheduler.ml: List Printf Rng

@@ -1,0 +1,1 @@
+lib/amac/scheduler.mli: Rng

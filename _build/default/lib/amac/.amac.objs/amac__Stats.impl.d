@@ -1,0 +1,1 @@
+lib/amac/stats.ml: Buffer Float List Printf String

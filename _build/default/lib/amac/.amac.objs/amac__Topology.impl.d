@@ -1,0 +1,1 @@
+lib/amac/topology.ml: Array Format Hashtbl Int List Printf Queue Rng

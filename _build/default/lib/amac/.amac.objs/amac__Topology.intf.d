@@ -1,0 +1,1 @@
+lib/amac/topology.mli: Format Rng

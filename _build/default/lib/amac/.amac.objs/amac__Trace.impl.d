@@ -1,0 +1,1 @@
+lib/amac/trace.ml: Array Buffer Format Hashtbl Int List Printf String

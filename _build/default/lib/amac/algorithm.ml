@@ -1,0 +1,23 @@
+type ctx = {
+  id : Node_id.t;
+  n : int option;
+  diameter : int option;
+  degree : int;
+  input : int;
+}
+
+type 'm action = Broadcast of 'm | Decide of int
+
+type ('s, 'm) t = {
+  name : string;
+  init : ctx -> 's * 'm action list;
+  on_receive : ctx -> 's -> 'm -> 'm action list;
+  on_ack : ctx -> 's -> 'm action list;
+  msg_ids : 'm -> int;
+}
+
+let decides actions =
+  List.filter_map (function Decide v -> Some v | Broadcast _ -> None) actions
+
+let broadcasts actions =
+  List.filter_map (function Broadcast m -> Some m | Decide _ -> None) actions

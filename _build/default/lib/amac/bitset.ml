@@ -1,0 +1,86 @@
+type t = { bits : Bytes.t; universe : int }
+
+let create universe =
+  if universe < 0 then invalid_arg "Bitset.create: negative universe";
+  { bits = Bytes.make ((universe + 7) / 8) '\000'; universe }
+
+let capacity t = t.universe
+
+let check t i =
+  if i < 0 || i >= t.universe then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let byte = i lsr 3 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let byte = i lsr 3 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) land lnot (1 lsl (i land 7)) land 0xff))
+
+let union_into ~src ~dst =
+  if src.universe <> dst.universe then
+    invalid_arg "Bitset.union_into: universe mismatch";
+  for byte = 0 to Bytes.length src.bits - 1 do
+    Bytes.set dst.bits byte
+      (Char.chr
+         (Char.code (Bytes.get dst.bits byte)
+         lor Char.code (Bytes.get src.bits byte)))
+  done
+
+let copy t = { bits = Bytes.copy t.bits; universe = t.universe }
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let cardinal t =
+  let count = ref 0 in
+  Bytes.iter (fun c -> count := !count + popcount_byte c) t.bits;
+  !count
+
+let singleton universe i =
+  let t = create universe in
+  add t i;
+  t
+
+let is_empty t =
+  let rec scan byte =
+    byte >= Bytes.length t.bits
+    || (Bytes.get t.bits byte = '\000' && scan (byte + 1))
+  in
+  scan 0
+
+let equal a b = a.universe = b.universe && Bytes.equal a.bits b.bits
+
+let subset a b =
+  if a.universe <> b.universe then invalid_arg "Bitset.subset: universe mismatch";
+  let rec scan byte =
+    byte >= Bytes.length a.bits
+    || (let xa = Char.code (Bytes.get a.bits byte) in
+        let xb = Char.code (Bytes.get b.bits byte) in
+        xa land xb = xa && scan (byte + 1))
+  in
+  scan 0
+
+let iter f t =
+  for i = 0 to t.universe - 1 do
+    if mem t i then f i
+  done
+
+let elements t =
+  let acc = ref [] in
+  for i = t.universe - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc

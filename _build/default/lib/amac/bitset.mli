@@ -1,0 +1,51 @@
+(** Fixed-capacity sets of small integers, packed into [Bytes].
+
+    The engine's causal-influence tracker ({!Causal}) keeps one bitset per
+    node per in-flight message; on large simulations these dominate memory,
+    hence the packed representation. *)
+
+type t
+
+(** [create n] is the empty set over universe [\[0, n)]. *)
+val create : int -> t
+
+(** [capacity t] is the universe size given at creation. *)
+val capacity : t -> int
+
+(** [mem t i] tests membership. @raise Invalid_argument if [i] is outside the
+    universe. *)
+val mem : t -> int -> bool
+
+(** [add t i] adds [i] in place. *)
+val add : t -> int -> unit
+
+(** [remove t i] removes [i] in place. *)
+val remove : t -> int -> unit
+
+(** [union_into ~src ~dst] adds every element of [src] to [dst]. The two sets
+    must share a universe size. *)
+val union_into : src:t -> dst:t -> unit
+
+(** [copy t] is an independent copy. *)
+val copy : t -> t
+
+(** [cardinal t] is the number of elements. *)
+val cardinal : t -> int
+
+(** [singleton n i] is [{i}] over universe [n]. *)
+val singleton : int -> int -> t
+
+(** [is_empty t] is [cardinal t = 0] (but faster). *)
+val is_empty : t -> bool
+
+(** [equal a b] is set equality (universes must match). *)
+val equal : t -> t -> bool
+
+(** [subset a b] is true iff every element of [a] is in [b]. *)
+val subset : t -> t -> bool
+
+(** [iter f t] applies [f] to each element in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [elements t] is the sorted element list. *)
+val elements : t -> int list

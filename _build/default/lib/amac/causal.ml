@@ -1,0 +1,30 @@
+type t = {
+  n : int;
+  influence : Bitset.t array;
+  first : int array array;  (* first.(node).(origin) = time, or max_int *)
+}
+
+let create ~n =
+  let first = Array.init n (fun _ -> Array.make n max_int) in
+  for i = 0 to n - 1 do
+    first.(i).(i) <- 0
+  done;
+  { n; influence = Array.init n (fun i -> Bitset.singleton n i); first }
+
+let snapshot t node = Bitset.copy t.influence.(node)
+
+let absorb t ~node ~time incoming =
+  let first = t.first.(node) in
+  let note origin = if first.(origin) = max_int then first.(origin) <- time in
+  Bitset.iter note incoming;
+  Bitset.union_into ~src:incoming ~dst:t.influence.(node)
+
+let influence t node = t.influence.(node)
+
+let first_influence t ~node ~origin =
+  let v = t.first.(node).(origin) in
+  if v = max_int then None else Some v
+
+let earliest_full_influence t ~node =
+  let worst = Array.fold_left max 0 t.first.(node) in
+  if worst = max_int then None else Some worst

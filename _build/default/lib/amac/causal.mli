@@ -1,0 +1,39 @@
+(** Causal-influence tracking.
+
+    For the Thm 3.10 experiment we need, for every node [u] and origin [o],
+    the earliest time at which {e any} information originating at [o] can
+    have reached [u] — i.e. the first event at [u] causally preceded by
+    [o]'s initial state. The engine threads an influence set through every
+    broadcast: a message carries (a snapshot of) its sender's current
+    influence set, and delivery unions it into the receiver's.
+
+    A node cannot have decided consistently with validity before its
+    influence set contains an origin holding each represented input value —
+    this turns the paper's indistinguishability partition argument into a
+    measurable quantity. *)
+
+type t
+
+(** [create ~n] starts every node influenced only by itself (at time 0). *)
+val create : n:int -> t
+
+(** [snapshot t node] is a copy of [node]'s current influence set, to be
+    attached to an outgoing broadcast. *)
+val snapshot : t -> int -> Bitset.t
+
+(** [absorb t ~node ~time incoming] merges a delivered message's influence
+    set into [node]'s, recording first-influence times for any new
+    origins. *)
+val absorb : t -> node:int -> time:int -> Bitset.t -> unit
+
+(** [influence t node] is [node]'s current influence set (not a copy). *)
+val influence : t -> int -> Bitset.t
+
+(** [first_influence t ~node ~origin] is the earliest time at which [origin]
+    entered [node]'s influence set, or [None] if it never did.
+    [first_influence t ~node:i ~origin:i = Some 0]. *)
+val first_influence : t -> node:int -> origin:int -> int option
+
+(** [earliest_full_influence t ~node] is the earliest time by which [node]
+    was influenced by {e every} origin, or [None] if it never was. *)
+val earliest_full_influence : t -> node:int -> int option

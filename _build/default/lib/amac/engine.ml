@@ -1,0 +1,289 @@
+type outcome = {
+  decisions : (int * int) option array;
+  extra_decides : (int * int * int) list;
+  crashed : bool array;
+  broadcasts : int;
+  deliveries : int;
+  discarded : int;
+  dropped : int;
+  max_ids_per_message : int;
+  unreliable_deliveries : int;
+  end_time : int;
+  events_processed : int;
+  hit_max_time : bool;
+  causal : Causal.t option;
+  trace : Trace.entry list;
+}
+
+let all_decided outcome =
+  let ok = ref true in
+  Array.iteri
+    (fun i decision ->
+      if (not outcome.crashed.(i)) && decision = None then ok := false)
+    outcome.decisions;
+  !ok
+
+let decision_times outcome =
+  let acc = ref [] in
+  Array.iteri
+    (fun i decision ->
+      match decision with
+      | Some (_, time) when not outcome.crashed.(i) -> acc := time :: !acc
+      | Some _ | None -> ())
+    outcome.decisions;
+  List.rev !acc
+
+let latest_decision outcome =
+  match decision_times outcome with
+  | [] -> None
+  | times -> Some (List.fold_left max 0 times)
+
+(* Event kinds, in processing-priority order at equal times: a crash takes
+   effect before deliveries at the same tick (so "delivery at the crash
+   instant" is lost, making crash-mid-broadcast expressible), and all
+   deliveries of a tick land before any ack of that tick (the model requires
+   every neighbor to receive before the sender's ack). *)
+type 'm event =
+  | Crash of { node : int }
+  | Receive of { node : int; sender : int; msg : 'm; influence : Bitset.t option }
+  | Ack of { node : int }
+
+let kind_priority = function Crash _ -> 0 | Receive _ -> 1 | Ack _ -> 2
+
+(* Event-queue keys encode (time, kind priority); Pqueue breaks remaining
+   ties by insertion order, making runs bit-for-bit deterministic. *)
+let key_of ~time event = (time * 4) + kind_priority event
+
+let time_of_key key = key / 4
+
+let run ?identities ?(give_n = true) ?(give_diameter = false) ?(crashes = [])
+    ?(max_time = 1_000_000) ?(stop_when_all_decided = true)
+    ?(track_causal = false) ?(record_trace = false) ?pp_msg ?unreliable
+    (algorithm : ('s, 'm) Algorithm.t) ~topology ~scheduler ~inputs =
+  let n = Topology.size topology in
+  if Array.length inputs <> n then
+    invalid_arg "Engine.run: inputs length mismatches topology size";
+  (match unreliable with
+  | None -> ()
+  | Some extra ->
+      if Topology.size extra <> n then
+        invalid_arg "Engine.run: unreliable graph size mismatches topology";
+      List.iter
+        (fun (u, v) ->
+          if Topology.has_edge topology u v then
+            invalid_arg
+              (Printf.sprintf
+                 "Engine.run: edge (%d,%d) is both reliable and unreliable" u
+                 v))
+        (Topology.edges extra));
+  let identities =
+    match identities with
+    | Some ids ->
+        if Array.length ids <> n then
+          invalid_arg "Engine.run: identities length mismatches topology size";
+        ids
+    | None -> Node_id.identity_assignment ~n ~kind:`Dense
+  in
+  let render_msg =
+    match pp_msg with Some f -> f | None -> fun _ -> "<msg>"
+  in
+  let ctxs =
+    Array.init n (fun i ->
+        {
+          Algorithm.id = identities.(i);
+          n = (if give_n then Some n else None);
+          diameter =
+            (if give_diameter then Some (Topology.diameter topology) else None);
+          degree = Topology.degree topology i;
+          input = inputs.(i);
+        })
+  in
+  let causal = if track_causal then Some (Causal.create ~n) else None in
+  let queue : 'm event Pqueue.t = Pqueue.create () in
+  let crashed = Array.make n false in
+  let crash_time = Array.make n max_int in
+  let busy = Array.make n false in
+  let decisions = Array.make n None in
+  let extra_decides = ref [] in
+  let broadcasts = ref 0 in
+  let deliveries = ref 0 in
+  let discarded = ref 0 in
+  let dropped = ref 0 in
+  let max_ids = ref 0 in
+  let events_processed = ref 0 in
+  let unreliable_deliveries_planned = ref 0 in
+  let end_time = ref 0 in
+  let hit_max_time = ref false in
+  let trace = ref [] in
+  let log entry = if record_trace then trace := entry :: !trace in
+  let live_undecided = ref n in
+
+  List.iter
+    (fun (node, time) ->
+      if node < 0 || node >= n then invalid_arg "Engine.run: crash node range";
+      if time < 0 then invalid_arg "Engine.run: negative crash time";
+      Pqueue.add queue ~key:(key_of ~time (Crash { node })) (Crash { node }))
+    crashes;
+
+  let do_broadcast ~now sender msg =
+    if busy.(sender) then begin
+      incr discarded;
+      log (Trace.Discarded { time = now; node = sender; msg = render_msg msg })
+    end
+    else begin
+      busy.(sender) <- true;
+      incr broadcasts;
+      let ids = algorithm.msg_ids msg in
+      if ids > !max_ids then max_ids := ids;
+      log
+        (Trace.Broadcast_start
+           { time = now; node = sender; ids; msg = render_msg msg });
+      let neighbors = Topology.neighbors topology sender in
+      let plan =
+        scheduler.Scheduler.plan ~now ~sender ~neighbors
+      in
+      (* Assert the scheduler respects the MAC layer contract. *)
+      if plan.Scheduler.ack_at > now + scheduler.Scheduler.fack then
+        invalid_arg
+          (Printf.sprintf
+             "Engine.run: scheduler %s acked at %d for broadcast at %d \
+              (F_ack=%d)"
+             scheduler.Scheduler.name plan.Scheduler.ack_at now
+             scheduler.Scheduler.fack);
+      if plan.Scheduler.ack_at <= now then
+        invalid_arg "Engine.run: ack must be strictly after the broadcast";
+      let planned = List.map fst plan.Scheduler.receives in
+      if List.sort Int.compare planned <> neighbors then
+        invalid_arg
+          "Engine.run: scheduler must deliver to exactly the neighbor set";
+      let influence =
+        match causal with
+        | Some c -> Some (Causal.snapshot c sender)
+        | None -> None
+      in
+      let deliver (receiver, time) =
+        if time <= now || time > plan.Scheduler.ack_at then
+          invalid_arg
+            (Printf.sprintf
+               "Engine.run: delivery time %d outside (broadcast %d, ack %d]"
+               time now plan.Scheduler.ack_at);
+        let event = Receive { node = receiver; sender; msg; influence } in
+        Pqueue.add queue ~key:(key_of ~time event) event
+      in
+      List.iter deliver plan.Scheduler.receives;
+      (* Unreliable edges: the scheduler may additionally deliver to any
+         subset of the sender's unreliable neighbors, at any time within
+         the broadcast window. These deliveries never gate the ack. *)
+      (match (unreliable, scheduler.Scheduler.unreliable_plan) with
+      | Some extra, Some unreliable_plan ->
+          let candidates = Topology.neighbors extra sender in
+          if candidates <> [] then begin
+            let chosen =
+              unreliable_plan ~now ~sender ~candidates
+                ~ack_at:plan.Scheduler.ack_at
+            in
+            List.iter
+              (fun (receiver, time) ->
+                if not (List.mem receiver candidates) then
+                  invalid_arg
+                    "Engine.run: unreliable delivery to a non-candidate";
+                deliver (receiver, time);
+                incr unreliable_deliveries_planned)
+              chosen
+          end
+      | None, _ | _, None -> ());
+      let ack = Ack { node = sender } in
+      Pqueue.add queue ~key:(key_of ~time:plan.Scheduler.ack_at ack) ack
+    end
+  in
+
+  let handle_decide ~now node value =
+    match decisions.(node) with
+    | None ->
+        decisions.(node) <- Some (value, now);
+        decr live_undecided;
+        log (Trace.Decided { time = now; node; value })
+    | Some (prior, _) ->
+        if prior <> value then
+          extra_decides := (node, value, now) :: !extra_decides
+  in
+
+  let rec apply_actions ~now node actions =
+    match actions with
+    | [] -> ()
+    | Algorithm.Decide value :: rest ->
+        handle_decide ~now node value;
+        apply_actions ~now node rest
+    | Algorithm.Broadcast msg :: rest ->
+        do_broadcast ~now node msg;
+        apply_actions ~now node rest
+  in
+
+  (* Initialise every node at time 0, in index order. *)
+  let states =
+    Array.init n (fun i ->
+        let state, actions = algorithm.init ctxs.(i) in
+        apply_actions ~now:0 i actions;
+        state)
+  in
+
+  let stop = ref false in
+  while (not !stop) && not (Pqueue.is_empty queue) do
+    let key, event = Pqueue.pop queue in
+    let now = time_of_key key in
+    if now > max_time then begin
+      hit_max_time := true;
+      stop := true
+    end
+    else begin
+      incr events_processed;
+      end_time := now;
+      (match event with
+      | Crash { node } ->
+          if not crashed.(node) then begin
+            crashed.(node) <- true;
+            crash_time.(node) <- now;
+            if decisions.(node) = None then decr live_undecided;
+            log (Trace.Crashed { time = now; node })
+          end
+      | Receive { node; sender; msg; influence } ->
+          if crashed.(node) then incr dropped
+          else if crash_time.(sender) <= now then
+            (* The sender crashed mid-broadcast before this delivery. *)
+            incr dropped
+          else begin
+            incr deliveries;
+            (match (causal, influence) with
+            | Some c, Some inf -> Causal.absorb c ~node ~time:now inf
+            | Some _, None | None, _ -> ());
+            log (Trace.Delivered { time = now; node; msg = render_msg msg });
+            let actions = algorithm.on_receive ctxs.(node) states.(node) msg in
+            apply_actions ~now node actions
+          end
+      | Ack { node } ->
+          if not crashed.(node) then begin
+            busy.(node) <- false;
+            log (Trace.Acked { time = now; node });
+            let actions = algorithm.on_ack ctxs.(node) states.(node) in
+            apply_actions ~now node actions
+          end);
+      if stop_when_all_decided && !live_undecided = 0 then stop := true
+    end
+  done;
+
+  {
+    decisions;
+    extra_decides = List.rev !extra_decides;
+    crashed;
+    broadcasts = !broadcasts;
+    deliveries = !deliveries;
+    discarded = !discarded;
+    dropped = !dropped;
+    max_ids_per_message = !max_ids;
+    unreliable_deliveries = !unreliable_deliveries_planned;
+    end_time = !end_time;
+    events_processed = !events_processed;
+    hit_max_time = !hit_max_time;
+    causal;
+    trace = List.rev !trace;
+  }

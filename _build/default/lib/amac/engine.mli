@@ -1,0 +1,101 @@
+(** The discrete-event simulation kernel implementing the abstract MAC layer
+    contract of Sec 2.
+
+    Semantics enforced by the engine, per the model definition:
+
+    - {b Acknowledged local broadcast.} A broadcast by [u] at time [t] is
+      delivered to {e every} non-crashed neighbor of [u] at
+      scheduler-chosen times, and [u] receives an ack at a scheduler-chosen
+      time no earlier than any delivery and no later than [t + F_ack]. The
+      engine asserts this contract against the scheduler on every broadcast.
+    - {b Busy senders discard.} A [Broadcast] action issued while an ack is
+      pending is discarded (and counted) — message queueing belongs to the
+      algorithm, as in wPAXOS's broadcast service.
+    - {b Crashes} happen at adversary-chosen times and may fall mid-broadcast:
+      deliveries from the crashed node scheduled at or after the crash time
+      are cancelled, so some neighbors receive the in-flight message and
+      others do not (Sec 2's non-atomicity). Crashed nodes take no further
+      steps and receive nothing.
+    - {b Zero-time local computation}: handlers run at the event's timestamp;
+      all elapsed time comes from the scheduler.
+    - Simultaneous events are processed deterministically: crashes, then
+      deliveries, then acks; FIFO within a class.
+
+    The engine never interprets messages; it moves them. Consensus-specific
+    checking lives in [Consensus.Checker]. *)
+
+type outcome = {
+  decisions : (int * int) option array;
+      (** per node, first [(value, time)] decided, if any *)
+  extra_decides : (int * int * int) list;
+      (** (node, value, time) for decide actions after a node's first with a
+          {e different} value — irrevocability violations, should be [] *)
+  crashed : bool array;
+  broadcasts : int;  (** broadcasts accepted by the MAC layer *)
+  deliveries : int;  (** message deliveries performed *)
+  discarded : int;  (** broadcasts attempted while busy *)
+  dropped : int;  (** deliveries cancelled by crashes *)
+  max_ids_per_message : int;
+  unreliable_deliveries : int;
+      (** deliveries the scheduler granted on unreliable edges *)
+  end_time : int;  (** time of the last processed event *)
+  events_processed : int;
+  hit_max_time : bool;  (** true when stopped by the [max_time] guard *)
+  causal : Causal.t option;
+  trace : Trace.entry list;  (** empty unless [record_trace] *)
+}
+
+(** [all_decided outcome] is true iff every non-crashed node decided. *)
+val all_decided : outcome -> bool
+
+(** [decision_times outcome] is each non-crashed node's decision time (nodes
+    that never decided are omitted). *)
+val decision_times : outcome -> int list
+
+(** [latest_decision outcome] is the maximum decision time, or [None] when no
+    node decided. *)
+val latest_decision : outcome -> int option
+
+(** [run algorithm ~topology ~scheduler ~inputs ...] executes the algorithm
+    on every node until all non-crashed nodes have decided and the event
+    queue drains, or until [max_time].
+
+    @param identities per-node identities; default dense unique ids [0..n-1].
+    @param inputs initial consensus values, one per node.
+    @param give_n whether [ctx.n] is provided to nodes (default [true];
+      Thm 3.9's victims run with [false]).
+    @param give_diameter whether [ctx.diameter] is provided (default
+      [false]).
+    @param crashes adversarial crash schedule as [(node, time)] pairs.
+    @param max_time stop popping events after this time (default
+      [1_000_000]).
+    @param stop_when_all_decided stop early once every live node decided
+      (default [true]; set [false] to let protocols drain, e.g. to observe
+      post-decision message complexity).
+    @param track_causal enable {!Causal} influence tracking.
+    @param record_trace keep a {!Trace}; [pp_msg] renders payloads.
+    @param unreliable a second graph of {e unreliable} edges (disjoint from
+      the reliable topology): the scheduler's [unreliable_plan] may deliver a
+      broadcast to any subset of the sender's unreliable neighbors within
+      the broadcast window, and the ack never waits for them — the dual-graph
+      variant of the abstract MAC layer the paper's Sec 2 sets aside and
+      Sec 5 poses as an open question.
+    @raise Invalid_argument if [inputs] length mismatches the topology, if an
+      unreliable edge duplicates a reliable one, or if the scheduler violates
+      its contract. *)
+val run :
+  ?identities:Node_id.t array ->
+  ?give_n:bool ->
+  ?give_diameter:bool ->
+  ?crashes:(int * int) list ->
+  ?max_time:int ->
+  ?stop_when_all_decided:bool ->
+  ?track_causal:bool ->
+  ?record_trace:bool ->
+  ?pp_msg:('m -> string) ->
+  ?unreliable:Topology.t ->
+  ('s, 'm) Algorithm.t ->
+  topology:Topology.t ->
+  scheduler:Scheduler.t ->
+  inputs:int array ->
+  outcome

@@ -1,0 +1,31 @@
+type t = Id of int | Anonymous
+
+let compare a b =
+  match (a, b) with
+  | Anonymous, Anonymous -> 0
+  | Anonymous, Id _ -> -1
+  | Id _, Anonymous -> 1
+  | Id x, Id y -> Int.compare x y
+
+let equal a b = compare a b = 0
+
+let pp fmt = function
+  | Id i -> Format.fprintf fmt "#%d" i
+  | Anonymous -> Format.pp_print_string fmt "anon"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let unique_exn = function
+  | Id i -> i
+  | Anonymous ->
+      invalid_arg "Node_id.unique_exn: anonymous node has no unique id"
+
+let identity_assignment ~n ~kind =
+  match kind with
+  | `Anonymous -> Array.make n Anonymous
+  | `Dense -> Array.init n (fun i -> Id i)
+  | `Offset k -> Array.init n (fun i -> Id (k + i))
+  | `Shuffled rng ->
+      let ids = Array.init n (fun i -> i) in
+      Rng.shuffle rng ids;
+      Array.map (fun i -> Id i) ids

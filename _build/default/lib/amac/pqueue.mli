@@ -1,0 +1,35 @@
+(** Binary min-heap priority queue keyed by integer priorities.
+
+    Used by {!Engine} as its event queue. Entries with equal keys are returned
+    in insertion order (the heap stores a monotonically increasing sequence
+    number alongside each key), which makes simulation runs fully
+    deterministic. *)
+
+type 'a t
+
+(** [create ()] is a fresh empty queue. *)
+val create : unit -> 'a t
+
+(** [length q] is the number of queued entries. *)
+val length : 'a t -> int
+
+(** [is_empty q] is [length q = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [add q ~key v] enqueues [v] with priority [key]. *)
+val add : 'a t -> key:int -> 'a -> unit
+
+(** [pop q] removes and returns the minimum-key entry, ties broken by
+    insertion order. @raise Not_found if the queue is empty. *)
+val pop : 'a t -> int * 'a
+
+(** [peek q] is the minimum-key entry without removing it.
+    @raise Not_found if the queue is empty. *)
+val peek : 'a t -> int * 'a
+
+(** [clear q] removes every entry. *)
+val clear : 'a t -> unit
+
+(** [to_list q] is every queued (key, value) pair in unspecified order;
+    intended for tests and debugging. *)
+val to_list : 'a t -> (int * 'a) list

@@ -1,0 +1,48 @@
+(* Splitmix64 (Steele, Lea, Flood 2014): a tiny, high-quality, splittable
+   generator. Exact 64-bit wraparound arithmetic via Int64. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible because
+     bounds in this code base are tiny relative to 2^62. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  raw mod bound
+
+let int_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let float t bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (raw /. 9007199254740992.0 (* 2^53 *))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | list -> List.nth list (int t (List.length list))

@@ -1,0 +1,40 @@
+(** Deterministic, splittable pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the simulator (random schedulers, random
+    topologies, workload generators) draws from an explicit [Rng.t] so that
+    each experiment is replayable from a single integer seed. [split] derives
+    an independent stream, which lets parallel sweeps share one master seed
+    without correlating their draws. *)
+
+type t
+
+(** [create seed] is a generator seeded with [seed]. *)
+val create : int -> t
+
+(** [split t] derives a new generator whose stream is independent of
+    subsequent draws from [t]. *)
+val split : t -> t
+
+(** [int t bound] is a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_range t ~lo ~hi] is a uniform integer in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument if [hi < lo]. *)
+val int_range : t -> lo:int -> hi:int -> int
+
+(** [bool t] is a uniform boolean. *)
+val bool : t -> bool
+
+(** [float t bound] is a uniform float in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [bits64 t] is the next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [shuffle t arr] permutes [arr] in place, uniformly (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [pick t list] is a uniformly chosen element of [list].
+    @raise Invalid_argument on the empty list. *)
+val pick : t -> 'a list -> 'a

@@ -1,0 +1,134 @@
+type plan = { receives : (int * int) list; ack_at : int }
+
+type t = {
+  name : string;
+  fack : int;
+  plan : now:int -> sender:int -> neighbors:int list -> plan;
+  unreliable_plan :
+    (now:int -> sender:int -> candidates:int list -> ack_at:int ->
+     (int * int) list)
+    option;
+}
+
+let make ~name ~fack plan =
+  if fack < 1 then invalid_arg "Scheduler.make: fack must be >= 1";
+  { name; fack; plan; unreliable_plan = None }
+
+let with_unreliable t ~plan = { t with unreliable_plan = Some plan }
+
+let bernoulli_unreliable rng ~p t =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg "Scheduler.bernoulli_unreliable: p must be in [0, 1]";
+  let plan ~now ~sender:_ ~candidates ~ack_at =
+    List.filter_map
+      (fun candidate ->
+        if Rng.float rng 1.0 < p then
+          Some (candidate, Rng.int_range rng ~lo:(now + 1) ~hi:(max (now + 1) ack_at))
+        else None)
+      candidates
+  in
+  {
+    t with
+    name = Printf.sprintf "%s+flaky(%.2f)" t.name p;
+    unreliable_plan = Some plan;
+  }
+
+let uniform_delay ~delay ~now ~neighbors =
+  {
+    receives = List.map (fun v -> (v, now + delay)) neighbors;
+    ack_at = now + delay;
+  }
+
+let synchronous =
+  make ~name:"synchronous" ~fack:1 (fun ~now ~sender:_ ~neighbors ->
+      uniform_delay ~delay:1 ~now ~neighbors)
+
+let fixed ~delay =
+  make
+    ~name:(Printf.sprintf "fixed(%d)" delay)
+    ~fack:delay
+    (fun ~now ~sender:_ ~neighbors -> uniform_delay ~delay ~now ~neighbors)
+
+let max_delay ~fack =
+  make
+    ~name:(Printf.sprintf "max-delay(%d)" fack)
+    ~fack
+    (fun ~now ~sender:_ ~neighbors -> uniform_delay ~delay:fack ~now ~neighbors)
+
+let random rng ~fack =
+  make
+    ~name:(Printf.sprintf "random(%d)" fack)
+    ~fack
+    (fun ~now ~sender:_ ~neighbors ->
+      let ack_delay = Rng.int_range rng ~lo:1 ~hi:fack in
+      let receives =
+        List.map
+          (fun v -> (v, now + Rng.int_range rng ~lo:1 ~hi:ack_delay))
+          neighbors
+      in
+      { receives; ack_at = now + ack_delay })
+
+let jittered rng ~fack ~spread =
+  if spread < 0 || spread >= fack then
+    invalid_arg "Scheduler.jittered: need 0 <= spread < fack";
+  let center = max 1 (fack / 2) in
+  make
+    ~name:(Printf.sprintf "jittered(%d+-%d)" center spread)
+    ~fack
+    (fun ~now ~sender:_ ~neighbors ->
+      let draw () =
+        let d = center + Rng.int_range rng ~lo:(-spread) ~hi:spread in
+        min fack (max 1 d)
+      in
+      let receives = List.map (fun v -> (v, now + draw ())) neighbors in
+      let latest =
+        List.fold_left (fun acc (_, t) -> max acc t) (now + 1) receives
+      in
+      { receives; ack_at = latest })
+
+let per_edge ~name ~fack ~delay =
+  make ~name ~fack (fun ~now ~sender ~neighbors ->
+      let clamp d = min fack (max 1 d) in
+      let receives =
+        List.map
+          (fun receiver -> (receiver, now + clamp (delay ~sender ~receiver)))
+          neighbors
+      in
+      let latest =
+        List.fold_left (fun acc (_, t) -> max acc t) (now + 1) receives
+      in
+      { receives; ack_at = latest })
+
+let delayed_cut ~base_fack ~until ~cut =
+  let fack = max base_fack (until + 1) in
+  make
+    ~name:(Printf.sprintf "delayed-cut(until=%d)" until)
+    ~fack
+    (fun ~now ~sender ~neighbors ->
+      let time_for receiver =
+        if cut ~sender ~receiver then max (now + 1) until else now + 1
+      in
+      let receives = List.map (fun v -> (v, time_for v)) neighbors in
+      let latest =
+        List.fold_left (fun acc (_, t) -> max acc t) (now + 1) receives
+      in
+      { receives; ack_at = latest })
+
+let bursty ~fack ~fast_len ~slow_len =
+  if fast_len < 1 || slow_len < 1 then
+    invalid_arg "Scheduler.bursty: epochs must be >= 1 tick";
+  let period = fast_len + slow_len in
+  make
+    ~name:(Printf.sprintf "bursty(%d fast/%d slow,fack=%d)" fast_len slow_len fack)
+    ~fack
+    (fun ~now ~sender:_ ~neighbors ->
+      let delay = if now mod period < fast_len then 1 else fack in
+      uniform_delay ~delay ~now ~neighbors)
+
+let slow_node ~fack ~node =
+  make
+    ~name:(Printf.sprintf "slow-node(%d,fack=%d)" node fack)
+    ~fack
+    (fun ~now ~sender ~neighbors ->
+      let delay = if sender = node then fack else 1 in
+      uniform_delay ~delay ~now ~neighbors)

@@ -1,0 +1,39 @@
+(** Small statistics and table-formatting helpers for the bench harness. *)
+
+(** [mean xs] — arithmetic mean. @raise Invalid_argument on []. *)
+val mean : float list -> float
+
+(** [minimum xs] / [maximum xs]. @raise Invalid_argument on []. *)
+val minimum : float list -> float
+
+val maximum : float list -> float
+
+(** [percentile p xs] with [p] in [\[0, 100\]] (nearest-rank).
+    @raise Invalid_argument on [] or out-of-range [p]. *)
+val percentile : float -> float list -> float
+
+val median : float list -> float
+
+(** [stddev xs] — population standard deviation. *)
+val stddev : float list -> float
+
+(** Aligned plain-text tables, used by [bench/main.exe] to print the
+    experiment tables recorded in EXPERIMENTS.md. *)
+module Table : sig
+  type t
+
+  (** [create ~title ~columns] starts a table. *)
+  val create : title:string -> columns:string list -> t
+
+  (** [add_row t cells] appends a row; cell count must match the header. *)
+  val add_row : t -> string list -> unit
+
+  (** [add_note t note] appends a free-text footnote line. *)
+  val add_note : t -> string -> unit
+
+  (** [render t] is the formatted table (title, ruled header, rows, notes). *)
+  val render : t -> string
+
+  (** [print t] writes [render t] to stdout. *)
+  val print : t -> unit
+end

@@ -1,0 +1,106 @@
+type entry =
+  | Broadcast_start of { time : int; node : int; ids : int; msg : string }
+  | Delivered of { time : int; node : int; msg : string }
+  | Acked of { time : int; node : int }
+  | Decided of { time : int; node : int; value : int }
+  | Discarded of { time : int; node : int; msg : string }
+  | Crashed of { time : int; node : int }
+
+let time_of = function
+  | Broadcast_start { time; _ }
+  | Delivered { time; _ }
+  | Acked { time; _ }
+  | Decided { time; _ }
+  | Discarded { time; _ }
+  | Crashed { time; _ } ->
+      time
+
+let node_of = function
+  | Broadcast_start { node; _ }
+  | Delivered { node; _ }
+  | Acked { node; _ }
+  | Decided { node; _ }
+  | Discarded { node; _ }
+  | Crashed { node; _ } ->
+      node
+
+let pp_entry fmt = function
+  | Broadcast_start { time; node; ids; msg } ->
+      Format.fprintf fmt "[t=%4d] node %d broadcast (%d ids): %s" time node ids
+        msg
+  | Delivered { time; node; msg } ->
+      Format.fprintf fmt "[t=%4d] node %d received: %s" time node msg
+  | Acked { time; node } ->
+      Format.fprintf fmt "[t=%4d] node %d acked" time node
+  | Decided { time; node; value } ->
+      Format.fprintf fmt "[t=%4d] node %d DECIDED %d" time node value
+  | Discarded { time; node; msg } ->
+      Format.fprintf fmt "[t=%4d] node %d discarded (busy): %s" time node msg
+  | Crashed { time; node } ->
+      Format.fprintf fmt "[t=%4d] node %d CRASHED" time node
+
+let pp fmt entries =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) entries
+
+let decisions entries =
+  List.filter_map
+    (function
+      | Decided { time; node; value } -> Some (node, value, time)
+      | Broadcast_start _ | Delivered _ | Acked _ | Discarded _ | Crashed _ ->
+          None)
+    entries
+
+let for_node entries node = List.filter (fun e -> node_of e = node) entries
+
+(* Cell precedence for the timeline: higher wins when events collide. *)
+let cell_rank = function
+  | 'D' | 'X' -> 5
+  | 'B' -> 4
+  | '~' -> 3
+  | 'r' -> 2
+  | 'a' -> 1
+  | _ -> 0
+
+let cell_of = function
+  | Broadcast_start _ -> 'B'
+  | Delivered _ -> 'r'
+  | Acked _ -> 'a'
+  | Decided _ -> 'D'
+  | Discarded _ -> '~'
+  | Crashed _ -> 'X'
+
+let timeline ~n entries =
+  let by_time = Hashtbl.create 64 in
+  List.iter
+    (fun entry ->
+      let time = time_of entry and node = node_of entry in
+      let row =
+        match Hashtbl.find_opt by_time time with
+        | Some row -> row
+        | None ->
+            let row = Array.make n '.' in
+            Hashtbl.replace by_time time row;
+            row
+      in
+      let cell = cell_of entry in
+      if node >= 0 && node < n && cell_rank cell > cell_rank row.(node) then
+        row.(node) <- cell)
+    entries;
+  let times =
+    Hashtbl.fold (fun time _ acc -> time :: acc) by_time []
+    |> List.sort Int.compare
+  in
+  let buf = Buffer.create 256 in
+  let header =
+    String.concat ""
+      (List.init n (fun i -> string_of_int (i mod 10)))
+  in
+  Buffer.add_string buf ("   t  " ^ header ^ "\n");
+  List.iter
+    (fun time ->
+      let row = Hashtbl.find by_time time in
+      Buffer.add_string buf
+        (Printf.sprintf "%4d  %s\n" time
+           (String.init n (fun i -> row.(i)))))
+    times;
+  Buffer.contents buf

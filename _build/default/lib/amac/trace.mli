@@ -1,0 +1,42 @@
+(** Structured execution logs.
+
+    When recording is enabled, the engine emits one entry per simulation
+    event. Message payloads are rendered to strings at emission time (via the
+    caller-supplied printer) so the trace type stays monomorphic. *)
+
+type entry =
+  | Broadcast_start of { time : int; node : int; ids : int; msg : string }
+      (** a broadcast was handed to the MAC layer ([ids] = unique ids it
+          carries) *)
+  | Delivered of { time : int; node : int; msg : string }
+      (** a message was delivered at [node] *)
+  | Acked of { time : int; node : int }
+      (** [node]'s in-flight broadcast completed *)
+  | Decided of { time : int; node : int; value : int }
+  | Discarded of { time : int; node : int; msg : string }
+      (** [node] attempted to broadcast while one was already in flight *)
+  | Crashed of { time : int; node : int }
+
+val time_of : entry -> int
+
+val node_of : entry -> int
+
+val pp_entry : Format.formatter -> entry -> unit
+
+(** [pp fmt entries] prints one entry per line, in order. *)
+val pp : Format.formatter -> entry list -> unit
+
+(** [decisions entries] is the [(node, value, time)] list of decide events,
+    in trace order. *)
+val decisions : entry list -> (int * int * int) list
+
+(** [for_node entries node] filters the trace to one node's events. *)
+val for_node : entry list -> int -> entry list
+
+(** [timeline ~n entries] renders an ASCII time/node grid: one row per tick
+    with an event, one column per node. Cell codes: [B] broadcast start,
+    [r] message received, [a] ack, [D] decided, [X] crashed, [~] broadcast
+    discarded (busy). When several events hit the same node at the same
+    tick, decisions and crashes win, then broadcasts, then receives, then
+    acks. Intended for small runs (the examples); n is the node count. *)
+val timeline : n:int -> entry list -> string

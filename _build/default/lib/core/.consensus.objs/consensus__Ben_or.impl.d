@@ -1,0 +1,1 @@
+lib/core/ben_or.ml: Amac Hashtbl List Printf

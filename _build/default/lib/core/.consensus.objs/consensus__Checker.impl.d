@@ -1,0 +1,1 @@
+lib/core/checker.ml: Amac Array Format Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/flood_gather.ml: Amac Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/flood_paxos.ml: Amac Hashtbl Int List Paxos_types Printf String

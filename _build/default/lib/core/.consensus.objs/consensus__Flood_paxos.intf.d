@@ -1,0 +1,1 @@
+lib/core/flood_paxos.mli: Amac

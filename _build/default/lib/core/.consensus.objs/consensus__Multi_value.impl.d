@@ -1,0 +1,1 @@
+lib/core/multi_value.ml: Amac Array List Printf

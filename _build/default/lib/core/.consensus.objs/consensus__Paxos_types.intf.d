@@ -1,0 +1,1 @@
+lib/core/paxos_types.mli:

@@ -1,0 +1,1 @@
+lib/core/round_flood.mli: Amac

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Amac Array Checker Format Printf String

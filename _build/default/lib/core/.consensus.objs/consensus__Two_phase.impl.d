@@ -1,0 +1,1 @@
+lib/core/two_phase.ml: Amac Int List Printf

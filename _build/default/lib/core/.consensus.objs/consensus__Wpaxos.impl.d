@@ -1,0 +1,1 @@
+lib/core/wpaxos.ml: Amac Hashtbl Int List Option Paxos_types Printf String

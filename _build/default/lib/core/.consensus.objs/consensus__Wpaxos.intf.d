@@ -1,0 +1,1 @@
+lib/core/wpaxos.mli: Amac Paxos_types

@@ -1,0 +1,177 @@
+type vote =
+  | Report of { round : int; value : int }
+  | Proposal of { round : int; value : int option }  (* None = "?" *)
+  | Decided of int
+
+type msg = { sender : int; vote : vote }
+
+type phase = Reporting | Proposing
+
+type state = {
+  me : int;
+  n : int;
+  f : int;  (* crash budget: any minority *)
+  coins : Amac.Rng.t;
+  mutable round : int;
+  mutable phase : phase;
+  mutable value : int;
+  (* votes.(0) = reports, votes.(1) = proposals; per (round, sender). *)
+  reports : (int * int, int) Hashtbl.t;  (* (round, sender) -> value *)
+  proposals : (int * int, int option) Hashtbl.t;
+  mutable outbox : vote list;
+  mutable sending : bool;
+  mutable decision : int option;
+  mutable announced : bool;
+  mutable echoed_decide : bool;
+}
+
+let pp_vote = function
+  | Report { round; value } -> Printf.sprintf "report(r%d,v=%d)" round value
+  | Proposal { round; value = Some v } -> Printf.sprintf "propose(r%d,v=%d)" round v
+  | Proposal { round; value = None } -> Printf.sprintf "propose(r%d,?)" round
+  | Decided v -> Printf.sprintf "decided(%d)" v
+
+let pp_msg m = Printf.sprintf "%d:%s" m.sender (pp_vote m.vote)
+
+let send st vote = st.outbox <- st.outbox @ [ vote ]
+
+let maybe_broadcast st =
+  match st.outbox with
+  | vote :: rest when not st.sending ->
+      st.outbox <- rest;
+      st.sending <- true;
+      [ Amac.Algorithm.Broadcast { sender = st.me; vote } ]
+  | _ -> []
+
+let decide st value =
+  if st.decision = None then begin
+    st.decision <- Some value;
+    (* Echo once so nodes stuck waiting for n - f votes can finish. *)
+    if not st.echoed_decide then begin
+      st.echoed_decide <- true;
+      send st (Decided value)
+    end
+  end
+
+let quorum st = st.n - st.f  (* > n/2 since f < n/2 *)
+
+let round_votes tbl round =
+  Hashtbl.fold
+    (fun (r, _) value acc -> if r = round then value :: acc else acc)
+    tbl []
+
+let start_round st =
+  st.phase <- Reporting;
+  Hashtbl.replace st.reports (st.round, st.me) st.value;
+  send st (Report { round = st.round; value = st.value })
+
+(* Check whether the current wait is satisfied; loops because stored
+   future-round votes can satisfy several transitions at once. *)
+let rec advance st =
+  if st.decision = None then
+    match st.phase with
+    | Reporting ->
+        let votes = round_votes st.reports st.round in
+        if List.length votes >= quorum st then begin
+          let count v = List.length (List.filter (fun x -> x = v) votes) in
+          let proposal =
+            if 2 * count 0 > st.n then Some 0
+            else if 2 * count 1 > st.n then Some 1
+            else None
+          in
+          st.phase <- Proposing;
+          Hashtbl.replace st.proposals (st.round, st.me) proposal;
+          send st (Proposal { round = st.round; value = proposal });
+          advance st
+        end
+    | Proposing ->
+        let votes = round_votes st.proposals st.round in
+        if List.length votes >= quorum st then begin
+          let count v =
+            List.length (List.filter (fun x -> x = Some v) votes)
+          in
+          let c0 = count 0 and c1 = count 1 in
+          if c0 >= st.f + 1 then decide st 0
+          else if c1 >= st.f + 1 then decide st 1
+          else begin
+            if c0 > 0 then st.value <- 0
+            else if c1 > 0 then st.value <- 1
+            else st.value <- (if Amac.Rng.bool st.coins then 1 else 0);
+            st.round <- st.round + 1;
+            start_round st;
+            advance st
+          end
+        end
+
+let init ~seed (ctx : Amac.Algorithm.ctx) =
+  let n =
+    match ctx.n with
+    | Some n -> n
+    | None -> invalid_arg "Ben_or: requires knowledge of n"
+  in
+  let me = Amac.Node_id.unique_exn ctx.id in
+  let st =
+    {
+      me;
+      n;
+      f = (if n <= 2 then 0 else (n - 1) / 2);
+      coins = Amac.Rng.create (Hashtbl.hash (seed, me));
+      round = 0;
+      phase = Reporting;
+      value = ctx.input;
+      reports = Hashtbl.create 64;
+      proposals = Hashtbl.create 64;
+      outbox = [];
+      sending = false;
+      decision = None;
+      announced = false;
+      echoed_decide = false;
+    }
+  in
+  start_round st;
+  advance st;
+  let announce =
+    match st.decision with
+    | Some v ->
+        st.announced <- true;
+        [ Amac.Algorithm.Decide v ]
+    | None -> []
+  in
+  (st, announce @ maybe_broadcast st)
+
+let finish st =
+  let announce =
+    match st.decision with
+    | Some v when not st.announced ->
+        st.announced <- true;
+        [ Amac.Algorithm.Decide v ]
+    | Some _ | None -> []
+  in
+  announce @ maybe_broadcast st
+
+let on_receive _ctx st { sender; vote } =
+  (match vote with
+  | Report { round; value } ->
+      if not (Hashtbl.mem st.reports (round, sender)) then
+        Hashtbl.replace st.reports (round, sender) value
+  | Proposal { round; value } ->
+      if not (Hashtbl.mem st.proposals (round, sender)) then
+        Hashtbl.replace st.proposals (round, sender) value
+  | Decided v -> decide st v);
+  advance st;
+  finish st
+
+let on_ack _ctx st =
+  st.sending <- false;
+  finish st
+
+let msg_ids _ = 1
+
+let make ~seed () =
+  {
+    Amac.Algorithm.name = Printf.sprintf "ben-or(seed=%d)" seed;
+    init = init ~seed;
+    on_receive;
+    on_ack;
+    msg_ids;
+  }

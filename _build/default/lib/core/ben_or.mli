@@ -1,0 +1,42 @@
+(** Randomized binary consensus in the abstract MAC layer model — the
+    paper's third future-work direction (Sec 5): "consider randomized
+    algorithms, which might ... circumvent our crash failure ... lower
+    bounds".
+
+    This is Ben-Or's classic two-vote-per-round protocol transplanted onto
+    acknowledged local broadcast, for {e single hop} networks with knowledge
+    of n, tolerating up to [f = ceil(n/2) - 1] crash failures (i.e. any
+    minority). Per round [r]:
+
+    + {b report}: broadcast [(r, value)]; wait for [n - f] round-[r]
+      reports (own included). If more than [n/2] carry the same [v],
+      propose [v]; otherwise propose [?].
+    + {b propose}: broadcast the proposal; wait for [n - f] round-[r]
+      proposals. If [f + 1] or more propose the same [v]: {e decide} [v].
+      If at least one proposes [v]: adopt [v]. Otherwise adopt a coin flip.
+
+    Waiting for only [n - f] messages is what makes it crash-tolerant — it
+    never blocks on a dead node, which is exactly where deterministic
+    two-phase consensus dies (Thm 3.2 / experiment E7). Agreement and
+    validity are deterministic; termination holds with probability 1 and in
+    expected O(1) rounds for constant f (exponential in n in the worst
+    case, as for classic Ben-Or).
+
+    Coins are drawn from a per-node deterministic stream seeded by
+    [(seed, node id)], so runs stay replayable. Our schedulers fix the whole
+    schedule up front, i.e. the adversary is {e oblivious} to coin flips —
+    the setting where Ben-Or's expected round count is meaningful.
+
+    Nodes that decide keep echoing a [Decided] message so that laggards
+    (who can no longer assemble [n - f] votes once others stop) still
+    terminate. *)
+
+type msg
+
+type state
+
+(** [make ~seed ()] — [seed] drives every node's coin stream.
+    @raise Invalid_argument at init if [ctx.n] is absent. *)
+val make : seed:int -> unit -> (state, msg) Amac.Algorithm.t
+
+val pp_msg : msg -> string

@@ -1,0 +1,87 @@
+type report = {
+  agreement : bool;
+  validity : bool;
+  termination : bool;
+  irrevocability : bool;
+  decided_values : int list;
+  problems : string list;
+}
+
+let check ~inputs (outcome : Amac.Engine.outcome) =
+  let n = Array.length outcome.decisions in
+  if Array.length inputs <> n then
+    invalid_arg "Checker.check: inputs length mismatches outcome";
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let decided_values =
+    Array.to_list outcome.decisions
+    |> List.filter_map (Option.map fst)
+    |> List.sort_uniq Int.compare
+  in
+  let agreement =
+    match decided_values with
+    | [] | [ _ ] -> true
+    | values ->
+        problem "agreement violated: decided values {%s}"
+          (String.concat "," (List.map string_of_int values));
+        false
+  in
+  let input_values =
+    Array.to_list inputs |> List.sort_uniq Int.compare
+  in
+  let validity =
+    let invalid = List.filter (fun v -> not (List.mem v input_values)) decided_values in
+    match invalid with
+    | [] -> true
+    | values ->
+        problem "validity violated: decided {%s} not among inputs {%s}"
+          (String.concat "," (List.map string_of_int values))
+          (String.concat "," (List.map string_of_int input_values));
+        false
+  in
+  let termination =
+    let missing = ref [] in
+    Array.iteri
+      (fun i decision ->
+        if (not outcome.crashed.(i)) && decision = None then
+          missing := i :: !missing)
+      outcome.decisions;
+    match !missing with
+    | [] -> true
+    | nodes ->
+        problem "termination violated: nodes {%s} never decided"
+          (String.concat "," (List.rev_map string_of_int nodes));
+        false
+  in
+  let irrevocability =
+    match outcome.extra_decides with
+    | [] -> true
+    | extras ->
+        List.iter
+          (fun (node, value, time) ->
+            problem "irrevocability violated: node %d re-decided %d at t=%d"
+              node value time)
+          extras;
+        false
+  in
+  {
+    agreement;
+    validity;
+    termination;
+    irrevocability;
+    decided_values;
+    problems = List.rev !problems;
+  }
+
+let ok r = r.agreement && r.validity && r.termination && r.irrevocability
+
+let safe r = r.agreement && r.validity && r.irrevocability
+
+let pp fmt r =
+  if ok r then
+    Format.fprintf fmt "consensus ok (decided {%s})"
+      (String.concat "," (List.map string_of_int r.decided_values))
+  else
+    Format.fprintf fmt "consensus violated:@;%a"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_string)
+      r.problems

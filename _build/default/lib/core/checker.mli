@@ -1,0 +1,29 @@
+(** Verification of the consensus properties over an engine outcome.
+
+    Checks the three properties of Sec 2 — agreement, validity,
+    termination — plus irrevocability of the decide action. Used by every
+    test and by the impossibility demonstrations, where a {e failing} report
+    is the expected artifact (the whole point of E5/E6 is exhibiting an
+    agreement violation). *)
+
+type report = {
+  agreement : bool;  (** no two nodes decided different values *)
+  validity : bool;  (** every decided value was some node's input *)
+  termination : bool;  (** every non-crashed node decided *)
+  irrevocability : bool;  (** no node decided twice with different values *)
+  decided_values : int list;  (** distinct decided values, sorted *)
+  problems : string list;  (** human-readable explanations, empty when ok *)
+}
+
+(** [check ~inputs outcome] — [inputs] must be the array the run started
+    with. *)
+val check : inputs:int array -> Amac.Engine.outcome -> report
+
+(** [ok report] — all four properties hold. *)
+val ok : report -> bool
+
+(** [safe report] — agreement, validity and irrevocability hold (termination
+    not required); the right notion when a run was cut off by [max_time]. *)
+val safe : report -> bool
+
+val pp : Format.formatter -> report -> unit

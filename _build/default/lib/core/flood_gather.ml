@@ -1,0 +1,88 @@
+type msg = (int * int) list  (* (id, value) pairs, at most pairs_per_msg *)
+
+type state = {
+  n : int;
+  pairs_per_msg : int;
+  known : (int, int) Hashtbl.t;  (* id -> value *)
+  mutable queue : (int * int) list;  (* pairs still to forward *)
+  mutable sending : bool;
+  mutable decided : bool;
+}
+
+let pp_msg pairs =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (id, v) -> Printf.sprintf "%d:%d" id v) pairs)
+  ^ "}"
+
+let take k list =
+  let rec go k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (k - 1) (x :: acc) rest
+  in
+  go k [] list
+
+let maybe_send st =
+  if st.sending || st.queue = [] then []
+  else begin
+    let batch, rest = take st.pairs_per_msg st.queue in
+    st.queue <- rest;
+    st.sending <- true;
+    [ Amac.Algorithm.Broadcast batch ]
+  end
+
+let maybe_decide st =
+  if (not st.decided) && Hashtbl.length st.known = st.n then begin
+    st.decided <- true;
+    let value =
+      Hashtbl.fold (fun _ v acc -> min v acc) st.known max_int
+    in
+    [ Amac.Algorithm.Decide value ]
+  end
+  else []
+
+let init ~pairs_per_msg (ctx : Amac.Algorithm.ctx) =
+  let n =
+    match ctx.n with
+    | Some n -> n
+    | None -> invalid_arg "Flood_gather: requires knowledge of n"
+  in
+  let me = Amac.Node_id.unique_exn ctx.id in
+  let st =
+    {
+      n;
+      pairs_per_msg;
+      known = Hashtbl.create (2 * n);
+      queue = [ (me, ctx.input) ];
+      sending = false;
+      decided = false;
+    }
+  in
+  Hashtbl.replace st.known me ctx.input;
+  (st, maybe_decide st @ maybe_send st)
+
+let on_receive _ctx st pairs =
+  let absorb (id, value) =
+    if not (Hashtbl.mem st.known id) then begin
+      Hashtbl.replace st.known id value;
+      st.queue <- st.queue @ [ (id, value) ]
+    end
+  in
+  List.iter absorb pairs;
+  maybe_decide st @ maybe_send st
+
+let on_ack _ctx st =
+  st.sending <- false;
+  maybe_send st
+
+let make ?(pairs_per_msg = 2) () =
+  if pairs_per_msg < 1 then
+    invalid_arg "Flood_gather.make: pairs_per_msg must be >= 1";
+  {
+    Amac.Algorithm.name = Printf.sprintf "flood-gather(%d)" pairs_per_msg;
+    init = init ~pairs_per_msg;
+    on_receive;
+    on_ack;
+    msg_ids = List.length;
+  }

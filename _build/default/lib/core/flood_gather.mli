@@ -1,0 +1,21 @@
+(** The "simple flooding" baseline the paper argues against (Sec 1, 4.2).
+
+    With unique ids, knowledge of n and no crash failures, consensus is
+    information-theoretically easy: flood every (id, value) pair, wait until
+    all n are known, decide the minimum value. The catch is the model's
+    bounded message size — each broadcast carries at most [pairs_per_msg]
+    pairs — so a bottleneck node with Ω(n) pairs to forward needs Ω(n)
+    sequential broadcasts: Θ(n · F_ack) on stars and similar topologies.
+    This is the O(n · F_ack) strawman whose cost wPAXOS's aggregation trees
+    eliminate (experiment E3). *)
+
+type msg
+
+type state
+
+(** [make ~pairs_per_msg ()] — default [pairs_per_msg] is 2, honouring the
+    O(1)-unique-ids-per-message restriction.
+    @raise Invalid_argument if [pairs_per_msg < 1]. *)
+val make : ?pairs_per_msg:int -> unit -> (state, msg) Amac.Algorithm.t
+
+val pp_msg : msg -> string

@@ -1,0 +1,84 @@
+(** Types shared by the PAXOS logic and the wPAXOS support services
+    (Sec 4.2).
+
+    A proposal number is a (tag, proposer id) pair compared
+    lexicographically; tags stay polynomial in n (Lemma 4.4). Acceptor
+    responses are the unit the tree-aggregation machinery of Sec 4.2.1
+    manipulates: responses of the same kind to the same proposition,
+    traveling to the same parent, merge into one response carrying a count —
+    plus the largest embedded prior proposal / committed number, which is all
+    PAXOS's phase-2 value choice needs (footnote 6 of the paper). *)
+
+(** Proposal numbers, ordered by tag then proposer id. *)
+type pno = { tag : int; proposer : int }
+
+val compare_pno : pno -> pno -> int
+
+val pno_lt : pno -> pno -> bool
+
+val pno_le : pno -> pno -> bool
+
+val pp_pno : pno -> string
+
+(** A previously accepted proposal, as reported in promises. *)
+type prior = { pno : pno; value : int }
+
+(** [max_prior a b] keeps the higher-numbered of two optional priors. *)
+val max_prior : prior option -> prior option -> prior option
+
+(** [max_committed a b] keeps the larger of two optional proposal numbers
+    (used to aggregate the committed numbers piggybacked on rejections). *)
+val max_committed : pno option -> pno option -> pno option
+
+(** Proposer-originated messages, disseminated by flooding. *)
+type proposer_msg =
+  | Prepare of pno
+  | Propose of { pno : pno; value : int }
+
+val pno_of_proposer_msg : proposer_msg -> pno
+
+(** Which proposition a response refers to. *)
+type round = Prepare_round | Propose_round
+
+(** Rounds of the same proposal number are ordered Prepare < Propose. *)
+val compare_proposition : pno * round -> pno * round -> int
+
+(** An (possibly aggregated) acceptor response traveling up the tree toward
+    the proposer. [dest] is the id of the next hop (the responder's parent in
+    the tree rooted at the proposer); every other receiver ignores it.
+    [count] is how many acceptors this response stands for. *)
+type response = {
+  dest : int;
+  target : int;  (** id of the proposer this responds to *)
+  pno : pno;
+  round : round;
+  positive : bool;
+  count : int;
+  best_prior : prior option;
+      (** among positive prepare responses: highest prior accepted *)
+  committed : pno option;
+      (** among negative responses: largest number already committed *)
+}
+
+(** [mergeable a b] — same destination, proposition and polarity. *)
+val mergeable : response -> response -> bool
+
+(** [merge a b] combines two mergeable responses: counts add, priors and
+    committed numbers take the maximum.
+    @raise Invalid_argument if [not (mergeable a b)]. *)
+val merge : response -> response -> response
+
+(** [aggregate responses] merges every mergeable pair in the list — the
+    invariant maintained by an acceptor's outgoing queue. The total count per
+    proposition is preserved (this is the conservation property behind
+    Lemma 4.2). *)
+val aggregate : response list -> response list
+
+val pp_proposer_msg : proposer_msg -> string
+
+val pp_response : response -> string
+
+(** Ids carried by each payload, for the O(1)-ids-per-message accounting. *)
+val proposer_msg_ids : proposer_msg -> int
+
+val response_ids : response -> int

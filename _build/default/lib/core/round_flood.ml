@@ -1,0 +1,66 @@
+type msg = int  (* the smallest value seen so far; carries no ids *)
+
+type state = {
+  target : int;
+  mutable current_min : int;
+  mutable rounds_done : int;
+  mutable decided : bool;
+}
+
+let pp_msg = string_of_int
+
+let resolve_target ~target (ctx : Amac.Algorithm.ctx) =
+  match target with
+  | `Fixed rounds -> rounds
+  | `Knows_n -> (
+      match ctx.n with
+      | Some n -> n
+      | None -> invalid_arg "Round_flood: `Knows_n requires knowledge of n")
+  | `Knows_diameter -> (
+      match ctx.diameter with
+      | Some d -> d + 1
+      | None ->
+          invalid_arg "Round_flood: `Knows_diameter requires knowledge of D")
+
+let init ~target (ctx : Amac.Algorithm.ctx) =
+  let rounds = resolve_target ~target ctx in
+  if rounds < 1 then invalid_arg "Round_flood: target must be >= 1 round";
+  let st =
+    {
+      target = rounds;
+      current_min = ctx.input;
+      rounds_done = 0;
+      decided = false;
+    }
+  in
+  (st, [ Amac.Algorithm.Broadcast st.current_min ])
+
+let on_receive _ctx st value =
+  st.current_min <- min st.current_min value;
+  []
+
+let on_ack _ctx st =
+  if st.decided then []
+  else begin
+    st.rounds_done <- st.rounds_done + 1;
+    if st.rounds_done >= st.target then begin
+      st.decided <- true;
+      [ Amac.Algorithm.Decide st.current_min ]
+    end
+    else [ Amac.Algorithm.Broadcast st.current_min ]
+  end
+
+let make ~target =
+  let name =
+    match target with
+    | `Knows_n -> "round-flood(n)"
+    | `Knows_diameter -> "round-flood(D+1)"
+    | `Fixed r -> Printf.sprintf "round-flood(%d)" r
+  in
+  {
+    Amac.Algorithm.name;
+    init = init ~target;
+    on_receive;
+    on_ack;
+    msg_ids = (fun _ -> 0);
+  }

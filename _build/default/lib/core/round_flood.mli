@@ -1,0 +1,38 @@
+(** Round-counting min-flooding — the "victim" algorithm for the network-
+    knowledge lower bounds (Secs 3.2 and 3.3).
+
+    Each node repeatedly broadcasts the smallest value it has seen, counting
+    its own acks as rounds; after a target number of rounds it decides that
+    minimum. The target is computed from the node's a-priori knowledge only
+    (e.g. [n], or [D + 1]).
+
+    Under the {e synchronous} scheduler of Sec 3.2, acks mark global
+    lock-step rounds, values propagate one hop per round, and the algorithm
+    solves consensus in any connected network whenever the target is at least
+    the diameter — fully anonymously (messages carry no ids: 0 ids per
+    message). That is precisely the premise of the indistinguishability
+    proofs: Thm 3.3 pits the [`Knows_n] variant against the Fig 1 networks
+    (same n, same D, split scheduler → agreement violation despite the
+    algorithm being correct on network B), and Thm 3.9 pits the
+    [`Knows_diameter] variant against K_D with the semi-synchronous scheduler
+    (Fig 2). Under adversarial schedulers ack counting means nothing — which
+    is the lesson. *)
+
+type msg
+
+type state
+
+(** How many rounds to run before deciding:
+    - [`Knows_n]: n rounds (n ≥ D in connected graphs) — the anonymous,
+      knows-n-and-D victim of Thm 3.3;
+    - [`Knows_diameter]: D + 1 rounds — the has-ids, knows-D, no-n victim of
+      Thm 3.9;
+    - [`Fixed r]: exactly [r] rounds.
+
+    @raise Invalid_argument at [init] time if the required knowledge is not
+    granted to the node. *)
+val make :
+  target:[ `Knows_n | `Knows_diameter | `Fixed of int ] ->
+  (state, msg) Amac.Algorithm.t
+
+val pp_msg : msg -> string

@@ -1,0 +1,44 @@
+type result = {
+  outcome : Amac.Engine.outcome;
+  report : Checker.report;
+  decision_time : int option;
+}
+
+let run ?identities ?give_n ?give_diameter ?crashes ?max_time ?track_causal
+    ?record_trace ?pp_msg ?unreliable algorithm ~topology ~scheduler ~inputs =
+  let outcome =
+    Amac.Engine.run ?identities ?give_n ?give_diameter ?crashes ?max_time
+      ?track_causal ?record_trace ?pp_msg ?unreliable algorithm ~topology
+      ~scheduler ~inputs
+  in
+  {
+    outcome;
+    report = Checker.check ~inputs outcome;
+    decision_time = Amac.Engine.latest_decision outcome;
+  }
+
+let run_exn ?identities ?give_n ?give_diameter ?crashes ?max_time ?track_causal
+    ?record_trace ?pp_msg ?unreliable algorithm ~topology ~scheduler ~inputs =
+  let result =
+    run ?identities ?give_n ?give_diameter ?crashes ?max_time ?track_causal
+      ?record_trace ?pp_msg ?unreliable algorithm ~topology ~scheduler ~inputs
+  in
+  if not (Checker.ok result.report) then
+    failwith
+      (Printf.sprintf "%s on %s under %s: %s" algorithm.Amac.Algorithm.name
+         (Format.asprintf "%a" Amac.Topology.pp topology)
+         scheduler.Amac.Scheduler.name
+         (String.concat "; " result.report.Checker.problems));
+  result
+
+let inputs_all ~n v = Array.make n v
+
+let inputs_alternating ~n = Array.init n (fun i -> i mod 2)
+
+let inputs_one_dissent ~n ~dissenter ~value =
+  Array.init n (fun i -> if i = dissenter then value else 1 - value)
+
+let inputs_random rng ~n =
+  Array.init n (fun _ -> if Amac.Rng.bool rng then 1 else 0)
+
+let inputs_halves ~n = Array.init n (fun i -> if i < n / 2 then 0 else 1)

@@ -1,0 +1,67 @@
+(** One-call experiment driver: run an algorithm and verify the outcome.
+
+    Bundles {!Amac.Engine.run} with {!Checker.check} and the workload
+    generators used across tests, examples and the bench harness. *)
+
+type result = {
+  outcome : Amac.Engine.outcome;
+  report : Checker.report;
+  decision_time : int option;
+      (** time of the last decision, i.e. the run's consensus latency *)
+}
+
+(** [run algorithm ~topology ~scheduler ~inputs ...] — parameters as in
+    {!Amac.Engine.run}. *)
+val run :
+  ?identities:Amac.Node_id.t array ->
+  ?give_n:bool ->
+  ?give_diameter:bool ->
+  ?crashes:(int * int) list ->
+  ?max_time:int ->
+  ?track_causal:bool ->
+  ?record_trace:bool ->
+  ?pp_msg:('m -> string) ->
+  ?unreliable:Amac.Topology.t ->
+  ('s, 'm) Amac.Algorithm.t ->
+  topology:Amac.Topology.t ->
+  scheduler:Amac.Scheduler.t ->
+  inputs:int array ->
+  result
+
+(** [run_exn] is [run] but raises [Failure] with the checker's explanation if
+    any consensus property fails — convenient in tests of correct
+    algorithms. *)
+val run_exn :
+  ?identities:Amac.Node_id.t array ->
+  ?give_n:bool ->
+  ?give_diameter:bool ->
+  ?crashes:(int * int) list ->
+  ?max_time:int ->
+  ?track_causal:bool ->
+  ?record_trace:bool ->
+  ?pp_msg:('m -> string) ->
+  ?unreliable:Amac.Topology.t ->
+  ('s, 'm) Amac.Algorithm.t ->
+  topology:Amac.Topology.t ->
+  scheduler:Amac.Scheduler.t ->
+  inputs:int array ->
+  result
+
+(** {1 Workload (input-vector) generators} *)
+
+(** [inputs_all ~n v] — every node starts with [v]. *)
+val inputs_all : n:int -> int -> int array
+
+(** [inputs_alternating ~n] — 0,1,0,1,... *)
+val inputs_alternating : n:int -> int array
+
+(** [inputs_one_dissent ~n ~dissenter ~value] — everyone holds [1 - value]
+    except [dissenter]. *)
+val inputs_one_dissent : n:int -> dissenter:int -> value:int -> int array
+
+(** [inputs_random rng ~n] — independent fair coin flips. *)
+val inputs_random : Amac.Rng.t -> n:int -> int array
+
+(** [inputs_halves ~n] — first half 0, second half 1 (the partition-argument
+    workload). *)
+val inputs_halves : n:int -> int array

@@ -1,0 +1,131 @@
+type status = Bivalent | Decided_value of int
+
+type msg =
+  | Phase1 of { id : int; value : int }
+  | Phase2 of { id : int; status : status }
+
+type phase =
+  | In_phase1  (* own phase-1 broadcast in flight *)
+  | In_phase2  (* own phase-2 broadcast in flight *)
+  | Awaiting_witnesses
+  | Finished
+
+type state = {
+  mutable phase : phase;
+  mutable r1 : msg list;  (* everything received before the phase-1 ack *)
+  mutable r2 : msg list;  (* phase-2 receipts after that, plus own *)
+  mutable status : status;
+  mutable witnesses : int list;  (* W: every id heard from, fixed at phase-2 ack *)
+}
+
+let pp_status = function
+  | Bivalent -> "bivalent"
+  | Decided_value v -> Printf.sprintf "decided(%d)" v
+
+let pp_msg = function
+  | Phase1 { id; value } -> Printf.sprintf "phase1{id=%d;v=%d}" id value
+  | Phase2 { id; status } ->
+      Printf.sprintf "phase2{id=%d;%s}" id (pp_status status)
+
+let msg_ids = function Phase1 _ | Phase2 _ -> 1
+
+let my_id (ctx : Amac.Algorithm.ctx) = Amac.Node_id.unique_exn ctx.id
+
+let init (ctx : Amac.Algorithm.ctx) =
+  let mine = Phase1 { id = my_id ctx; value = ctx.input } in
+  let state =
+    {
+      phase = In_phase1;
+      r1 = [ mine ];
+      r2 = [];
+      status = Bivalent;
+      witnesses = [];
+    }
+  in
+  (state, [ Amac.Algorithm.Broadcast mine ])
+
+let msg_id = function Phase1 { id; _ } | Phase2 { id; _ } -> id
+
+let received state = state.r1 @ state.r2
+
+(* W covered: every witness has a phase-2 message somewhere in R1 ∪ R2. *)
+let witnesses_covered state =
+  let has_phase2 id =
+    List.exists
+      (function Phase2 { id = i; _ } -> i = id | Phase1 _ -> false)
+      (received state)
+  in
+  List.for_all has_phase2 state.witnesses
+
+(* The final decision rule. [scope] is the erratum switch: the corrected
+   algorithm searches R1 ∪ R2 for a decided status; the literal paper text
+   searches only R2. In either scope at most one decided value can exist
+   (Thm 4.1's argument), so "any decided value, else default 1" is
+   well-defined. *)
+let decision ~scope state =
+  let pool = match scope with `R1_and_r2 -> received state | `R2 -> state.r2 in
+  let rec find = function
+    | [] -> 1
+    | Phase2 { status = Decided_value v; _ } :: _ -> v
+    | (Phase2 { status = Bivalent; _ } | Phase1 _) :: rest -> find rest
+  in
+  find pool
+
+let maybe_finish ~scope state =
+  if state.phase = Awaiting_witnesses && witnesses_covered state then begin
+    state.phase <- Finished;
+    [ Amac.Algorithm.Decide (decision ~scope state) ]
+  end
+  else []
+
+let on_receive ~scope _ctx state msg =
+  match state.phase with
+  | In_phase1 ->
+      state.r1 <- msg :: state.r1;
+      []
+  | In_phase2 ->
+      state.r2 <- msg :: state.r2;
+      []
+  | Awaiting_witnesses -> (
+      (* Line 21 of Algorithm 1: only phase-2 messages are still collected. *)
+      match msg with
+      | Phase2 _ ->
+          state.r2 <- msg :: state.r2;
+          maybe_finish ~scope state
+      | Phase1 _ -> [])
+  | Finished -> []
+
+let compute_status (ctx : Amac.Algorithm.ctx) state =
+  let contrary = function
+    | Phase1 { value; _ } -> value <> ctx.input
+    | Phase2 { status = Bivalent; _ } -> true
+    | Phase2 { status = Decided_value _; _ } -> false
+  in
+  if List.exists contrary state.r1 then Bivalent else Decided_value ctx.input
+
+let on_ack ~scope (ctx : Amac.Algorithm.ctx) state =
+  match state.phase with
+  | In_phase1 ->
+      state.status <- compute_status ctx state;
+      state.phase <- In_phase2;
+      let mine = Phase2 { id = my_id ctx; status = state.status } in
+      state.r2 <- [ mine ];
+      [ Amac.Algorithm.Broadcast mine ]
+  | In_phase2 ->
+      state.phase <- Awaiting_witnesses;
+      state.witnesses <- List.sort_uniq Int.compare (List.map msg_id (received state));
+      maybe_finish ~scope state
+  | Awaiting_witnesses | Finished -> []
+
+let make ~scope ~name =
+  {
+    Amac.Algorithm.name;
+    init;
+    on_receive = on_receive ~scope;
+    on_ack = on_ack ~scope;
+    msg_ids;
+  }
+
+let algorithm = make ~scope:`R1_and_r2 ~name:"two-phase"
+
+let literal = make ~scope:`R2 ~name:"two-phase-literal"

@@ -1,0 +1,50 @@
+(** Two-phase consensus for single hop networks (Sec 4.1, Algorithm 1).
+
+    Solves binary consensus in a clique in O(F_ack) time — concretely, a node
+    decides after exactly two of its own broadcasts complete plus however
+    long it must wait for its witnesses' phase-2 messages, all of which are
+    in flight by then, so every node decides within 3·F_ack (and within
+    2·F_ack under schedulers that ack with the last delivery). Requires
+    unique ids but {e no knowledge of n} and no knowledge of the participant
+    set — impossible in the ack-free asynchronous broadcast model
+    (Abboud et al.), which is the separation the paper highlights.
+
+    How it works: each node broadcasts its value (phase 1); when that
+    broadcast completes it knows whether it has seen evidence of the other
+    value, fixing its {e status} — [decided v] (it saw only [v]) or
+    [bivalent]. It then broadcasts its status (phase 2) and waits until it
+    has a phase-2 message from every {e witness} — every node it has heard
+    from at all. A bivalent node defers to any [decided] status it sees; with
+    none in sight it decides the default 1. The witness wait is what makes a
+    [decided(0)] node and a bivalent node impossible to separate: one of them
+    always hears the other in time (Thm 4.1).
+
+    {b Erratum.} Algorithm 1 as printed decides by checking for a
+    [decided(0)] status in R2 only (line 23) — the messages received {e
+    after} phase 1 completed. But a fast node's phase-2 [decided(0)] message
+    can be delivered to a slow node {e before that node's phase-1 broadcast
+    completes}, landing in R1: the printed rule then misses it, the slow node
+    decides the default 1, and agreement is violated. The proof of Thm 4.1
+    ("It will therefore see that u has a status of decided(0)") plainly
+    intends the check to range over everything received, i.e. R1 ∪ R2.
+    [algorithm] implements the corrected rule; [literal] implements the
+    printed rule so the violating schedule can be demonstrated (see
+    [test_two_phase.ml] and experiment E1). *)
+
+type status = Bivalent | Decided_value of int
+
+type msg =
+  | Phase1 of { id : int; value : int }
+  | Phase2 of { id : int; status : status }
+
+type state
+
+(** The corrected algorithm (decision check over R1 ∪ R2). *)
+val algorithm : (state, msg) Amac.Algorithm.t
+
+(** The algorithm exactly as printed in the paper (decision check over R2
+    only) — exhibits an agreement violation under the schedule described
+    above; kept for the erratum demonstration. *)
+val literal : (state, msg) Amac.Algorithm.t
+
+val pp_msg : msg -> string

@@ -1,0 +1,635 @@
+open Paxos_types
+
+type component =
+  | Leader of int
+  | Change of { counter : int; origin : int }
+  | Search of { root : int; hops : int; sender : int }
+  | Proposal of proposer_msg
+  | Response of response
+  | Decision of int
+
+type msg = component list
+
+module Instrument = struct
+  (* Conservation accounting for Lemma 4.2: [generated] counts affirmative
+     responses produced by acceptors, [counted] counts what proposers
+     accumulate. The lemma says counted <= generated, per proposition. *)
+  type key = { k_pno : pno; k_round : round }
+
+  type t = {
+    generated_tbl : (key, int) Hashtbl.t;
+    counted_tbl : (key, int) Hashtbl.t;
+  }
+
+  let create () =
+    { generated_tbl = Hashtbl.create 64; counted_tbl = Hashtbl.create 64 }
+
+  let bump tbl key amount =
+    let current = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (current + amount)
+
+  let note_generated t ~pno ~round =
+    bump t.generated_tbl { k_pno = pno; k_round = round } 1
+
+  let note_counted t ~pno ~round ~count =
+    bump t.counted_tbl { k_pno = pno; k_round = round } count
+
+  let violations t =
+    Hashtbl.fold
+      (fun key counted acc ->
+        let generated =
+          Option.value ~default:0 (Hashtbl.find_opt t.generated_tbl key)
+        in
+        if counted > generated then
+          (key.k_pno, key.k_round, generated, counted) :: acc
+        else acc)
+      t.counted_tbl []
+
+  let total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+  let generated t = total t.generated_tbl
+
+  let counted t = total t.counted_tbl
+
+  let max_tag t =
+    Hashtbl.fold
+      (fun key _ acc -> max acc key.k_pno.tag)
+      t.generated_tbl 0
+end
+
+type config = {
+  leader_priority : bool;
+  aggregate : bool;
+  quorum : int option;  (* override of the majority threshold (footnote 1) *)
+  instrument : Instrument.t option;
+}
+
+type proposer_phase =
+  | Idle
+  | Preparing of {
+      pno : pno;
+      mutable yes : int;
+      mutable no : int;
+      mutable best_prior : prior option;
+    }
+  | Proposing of {
+      pno : pno;
+      value : int;
+      mutable yes : int;
+      mutable no : int;
+    }
+
+(* An acceptor response waiting in the outgoing queue. The destination
+   (parent in the tree rooted at [q_target]) is resolved when the response is
+   dequeued for sending, so routing always uses the freshest parent pointer;
+   an entry whose target has no known parent yet simply stays queued. *)
+type pending_response = {
+  q_target : int;
+  q_pno : pno;
+  q_round : round;
+  q_positive : bool;
+  mutable q_count : int;
+  mutable q_prior : prior option;
+  mutable q_committed : pno option;
+}
+
+type state = {
+  me : int;
+  n : int;
+  input : int;
+  cfg : config;
+  (* leader election service (Alg 2) *)
+  mutable omega : int;
+  mutable leader_q : int option;
+  (* change service (Alg 3) *)
+  mutable lamport : int;
+  mutable last_change : int * int;  (* (counter, origin); (-1,-1) = -inf *)
+  mutable change_q : (int * int) option;
+  (* tree building service (Alg 4) *)
+  dist : (int, int) Hashtbl.t;
+  parent : (int, int) Hashtbl.t;
+  mutable tree_q : (int * int) list;  (* (root, hops to advertise) *)
+  (* proposer *)
+  mutable max_tag : int;
+  mutable phase : proposer_phase;
+  mutable attempts_left : int;
+  mutable proposal_q : proposer_msg option;
+  mutable best_proposal_seen : (pno * round) option;
+  (* acceptor *)
+  mutable promised : pno option;
+  mutable accepted : prior option;
+  mutable responded : (pno * round) option;
+  mutable response_q : pending_response list;
+  (* decision *)
+  mutable decision : int option;
+  mutable announced : bool;
+  mutable decide_q : int option;
+  (* transport *)
+  mutable sending : bool;
+}
+
+let majority st =
+  match st.cfg.quorum with Some q -> q | None -> (st.n / 2) + 1
+
+(* Once this many acceptors rejected, yes can no longer reach a majority.
+   (The paper says "a majority of the acceptors rejecting"; with even n a
+   proposition can split n/2–n/2 and reach neither majority, so we fail at
+   the exact can't-win point instead.) *)
+let fail_threshold st = st.n - majority st + 1
+
+let stamp_compare (ca, oa) (cb, ob) =
+  match Int.compare ca cb with 0 -> Int.compare oa ob | c -> c
+
+(* ------------------------------------------------------------------ *)
+(* Broadcast service (Alg 5): pack one message per non-empty queue.    *)
+(* ------------------------------------------------------------------ *)
+
+let dequeue_tree st =
+  match st.tree_q with
+  | [] -> None
+  | entries ->
+      let chosen =
+        if st.cfg.leader_priority then
+          match List.find_opt (fun (root, _) -> root = st.omega) entries with
+          | Some entry -> entry
+          | None -> List.hd entries
+        else List.hd entries
+      in
+      st.tree_q <- List.filter (fun e -> e <> chosen) st.tree_q;
+      let root, hops = chosen in
+      Some (Search { root; hops; sender = st.me })
+
+(* Take the first response whose destination is routable; unroutable entries
+   stay queued until a search message establishes the parent pointer. *)
+let dequeue_response st =
+  let rec pick acc = function
+    | [] -> None
+    | entry :: rest -> (
+        match Hashtbl.find_opt st.parent entry.q_target with
+        | Some parent_id ->
+            st.response_q <- List.rev_append acc rest;
+            Some
+              (Response
+                 {
+                   dest = parent_id;
+                   target = entry.q_target;
+                   pno = entry.q_pno;
+                   round = entry.q_round;
+                   positive = entry.q_positive;
+                   count = entry.q_count;
+                   best_prior = entry.q_prior;
+                   committed = entry.q_committed;
+                 })
+        | None -> pick (entry :: acc) rest)
+  in
+  pick [] st.response_q
+
+let compose st =
+  let components = ref [] in
+  (match st.decide_q with
+  | Some v ->
+      st.decide_q <- None;
+      components := Decision v :: !components
+  | None -> ());
+  (match dequeue_response st with
+  | Some c -> components := c :: !components
+  | None -> ());
+  (match st.proposal_q with
+  | Some p ->
+      st.proposal_q <- None;
+      components := Proposal p :: !components
+  | None -> ());
+  (match dequeue_tree st with
+  | Some c -> components := c :: !components
+  | None -> ());
+  (match st.change_q with
+  | Some (counter, origin) ->
+      st.change_q <- None;
+      components := Change { counter; origin } :: !components
+  | None -> ());
+  (match st.leader_q with
+  | Some id ->
+      st.leader_q <- None;
+      components := Leader id :: !components
+  | None -> ());
+  !components
+
+let maybe_send st =
+  if st.sending then []
+  else
+    match compose st with
+    | [] -> []
+    | components ->
+        st.sending <- true;
+        [ Amac.Algorithm.Broadcast components ]
+
+(* Wrap up a handler: emit a pending decide announcement, then try to send. *)
+let finish st =
+  let announce =
+    match st.decision with
+    | Some v when not st.announced ->
+        st.announced <- true;
+        [ Amac.Algorithm.Decide v ]
+    | Some _ | None -> []
+  in
+  announce @ maybe_send st
+
+(* ------------------------------------------------------------------ *)
+(* PAXOS proposer and acceptor                                          *)
+(* ------------------------------------------------------------------ *)
+
+let decide st value =
+  if st.decision = None then begin
+    st.decision <- Some value;
+    st.decide_q <- Some value;
+    st.phase <- Idle
+  end
+
+(* Queue invariant (Sec 4.2.1): responses only for the current leader's
+   largest proposal number. *)
+let prune_response_q st =
+  st.response_q <-
+    List.filter (fun entry -> entry.q_target = st.omega) st.response_q;
+  let largest =
+    List.fold_left
+      (fun acc entry ->
+        match acc with
+        | None -> Some entry.q_pno
+        | Some best -> if pno_lt best entry.q_pno then Some entry.q_pno else acc)
+      None st.response_q
+  in
+  match largest with
+  | None -> ()
+  | Some best ->
+      st.response_q <-
+        List.filter (fun entry -> compare_pno entry.q_pno best = 0) st.response_q
+
+let enqueue_response st ~target ~pno ~round ~positive ~count ~prior ~committed =
+  let entry =
+    {
+      q_target = target;
+      q_pno = pno;
+      q_round = round;
+      q_positive = positive;
+      q_count = count;
+      q_prior = prior;
+      q_committed = committed;
+    }
+  in
+  let mergeable existing =
+    existing.q_target = entry.q_target
+    && compare_pno existing.q_pno entry.q_pno = 0
+    && existing.q_round = entry.q_round
+    && existing.q_positive = entry.q_positive
+  in
+  (if st.cfg.aggregate then
+     match List.find_opt mergeable st.response_q with
+     | Some existing ->
+         existing.q_count <- existing.q_count + entry.q_count;
+         existing.q_prior <- max_prior existing.q_prior entry.q_prior;
+         existing.q_committed <- max_committed existing.q_committed entry.q_committed
+     | None -> st.response_q <- st.response_q @ [ entry ]
+   else st.response_q <- st.response_q @ [ entry ]);
+  prune_response_q st
+
+let note_counted st ~pno ~round ~count =
+  match st.cfg.instrument with
+  | Some instrument when count > 0 ->
+      Instrument.note_counted instrument ~pno ~round ~count
+  | Some _ | None -> ()
+
+let rec generate_proposal st =
+  if st.decision = None && st.omega = st.me then begin
+    st.max_tag <- st.max_tag + 1;
+    let pno = { tag = st.max_tag; proposer = st.me } in
+    st.phase <- Preparing { pno; yes = 0; no = 0; best_prior = None };
+    let message = Prepare pno in
+    st.proposal_q <- Some message;
+    st.best_proposal_seen <- Some (pno, Prepare_round);
+    self_respond st message
+  end
+
+(* The change service's UpdateQ (Alg 3): enqueue the stamp and, at the
+   leader, generate a fresh proposal. *)
+and change_updateq st stamp =
+  st.change_q <- Some stamp;
+  if st.omega = st.me && st.decision = None then begin
+    st.attempts_left <- 1;
+    generate_proposal st
+  end
+
+(* ONCHANGE (Alg 3): omega or a dist entry was updated locally. *)
+and local_change st =
+  st.lamport <- st.lamport + 1;
+  let stamp = (st.lamport, st.me) in
+  st.last_change <- stamp;
+  change_updateq st stamp
+
+(* A proposition failed with a majority of rejections. The paper allows one
+   immediate retry per change notification; past that we raise a fresh local
+   change (documented deviation — see the .mli), which floods and resets the
+   budget. Each retry sets the tag above every committed number learned, so
+   the retry chain terminates. *)
+and proposition_failed st =
+  if st.omega = st.me && st.decision = None then begin
+    if st.attempts_left > 0 then begin
+      st.attempts_left <- st.attempts_left - 1;
+      generate_proposal st
+    end
+    else local_change st
+  end
+  else st.phase <- Idle
+
+and start_propose st ~pno ~best_prior =
+  let value =
+    match best_prior with Some prior -> prior.value | None -> st.input
+  in
+  st.phase <- Proposing { pno; value; yes = 0; no = 0 };
+  let message = Propose { pno; value } in
+  st.proposal_q <- Some message;
+  st.best_proposal_seen <- Some (pno, Propose_round);
+  self_respond st message
+
+(* Proposer-side counting of (aggregated) responses addressed to us. *)
+and count_response st (r : response) =
+  match st.phase with
+  | Preparing p when compare_pno p.pno r.pno = 0 && r.round = Prepare_round ->
+      if r.positive then begin
+        note_counted st ~pno:r.pno ~round:r.round ~count:r.count;
+        p.yes <- p.yes + r.count;
+        p.best_prior <- max_prior p.best_prior r.best_prior;
+        if p.yes >= majority st then
+          start_propose st ~pno:p.pno ~best_prior:p.best_prior
+      end
+      else begin
+        p.no <- p.no + r.count;
+        (match r.committed with
+        | Some committed -> st.max_tag <- max st.max_tag committed.tag
+        | None -> ());
+        if p.no >= fail_threshold st then proposition_failed st
+      end
+  | Proposing p when compare_pno p.pno r.pno = 0 && r.round = Propose_round ->
+      if r.positive then begin
+        note_counted st ~pno:r.pno ~round:r.round ~count:r.count;
+        p.yes <- p.yes + r.count;
+        if p.yes >= majority st then decide st p.value
+      end
+      else begin
+        p.no <- p.no + r.count;
+        (match r.committed with
+        | Some committed -> st.max_tag <- max st.max_tag committed.tag
+        | None -> ());
+        if p.no >= fail_threshold st then proposition_failed st
+      end
+  | Idle | Preparing _ | Proposing _ -> ()
+
+(* Acceptor logic. Returns the response this acceptor generates, already
+   noted in the instrumentation. *)
+and acceptor_respond st (message : proposer_msg) =
+  let pno = pno_of_proposer_msg message in
+  let ok =
+    match st.promised with None -> true | Some p -> pno_le p pno
+  in
+  let round, positive, prior, committed =
+    match message with
+    | Prepare _ ->
+        if ok then begin
+          st.promised <- Some pno;
+          (Prepare_round, true, st.accepted, None)
+        end
+        else (Prepare_round, false, None, st.promised)
+    | Propose { value; _ } ->
+        if ok then begin
+          st.promised <- Some pno;
+          st.accepted <- Some { pno; value };
+          (Propose_round, true, None, None)
+        end
+        else (Propose_round, false, None, st.promised)
+  in
+  st.responded <- Some (pno, round);
+  (match st.cfg.instrument with
+  | Some instrument when positive ->
+      Instrument.note_generated instrument ~pno ~round
+  | Some _ | None -> ());
+  (round, positive, prior, committed)
+
+(* The proposer's own acceptor answers directly, skipping the queue. *)
+and self_respond st (message : proposer_msg) =
+  let pno = pno_of_proposer_msg message in
+  let round, positive, prior, committed = acceptor_respond st message in
+  count_response st
+    {
+      dest = st.me;
+      target = st.me;
+      pno;
+      round;
+      positive;
+      count = 1;
+      best_prior = prior;
+      committed;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Component handlers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let on_leader st id =
+  if id > st.omega then begin
+    st.omega <- id;
+    st.leader_q <- Some id;
+    (* ONLEADERCHANGE: the proposer stands down and both PAXOS queues keep
+       only current-leader content. *)
+    st.phase <- Idle;
+    (match st.proposal_q with
+    | Some p when (pno_of_proposer_msg p).proposer <> st.omega ->
+        st.proposal_q <- None
+    | Some _ | None -> ());
+    prune_response_q st;
+    (* Omega was updated: a change event (Alg 3). *)
+    local_change st
+  end
+
+let on_change st ~counter ~origin =
+  st.lamport <- max st.lamport counter;
+  let stamp = (counter, origin) in
+  if stamp_compare stamp st.last_change > 0 then begin
+    st.last_change <- stamp;
+    change_updateq st stamp
+  end
+
+let on_search st ~root ~hops ~sender =
+  let current =
+    Option.value ~default:max_int (Hashtbl.find_opt st.dist root)
+  in
+  if hops < current then begin
+    Hashtbl.replace st.dist root hops;
+    Hashtbl.replace st.parent root sender;
+    (* UpdateQ (Alg 4): FIFO, one queued search per root, smallest hop
+       count; the leader's entry is pulled to the front at dequeue time. *)
+    st.tree_q <-
+      List.filter (fun (r, _) -> r <> root) st.tree_q @ [ (root, hops + 1) ];
+    (* A change event (Alg 3) — but only for the distance to the CURRENT
+       leader. This is the reading Lemma 4.5's GST argument needs: changes
+       stop once the leader election and the leader's tree stabilize
+       (O(D*F_ack)), even though background trees for other roots keep
+       refining for Theta(n*F_ack). Firing on every root's dist update
+       would keep regenerating proposals over that whole window and inflate
+       decision latency from O(D*F_ack) to Theta(n*F_ack). *)
+    if root = st.omega then local_change st
+  end
+
+let proposition_gt a b =
+  match b with None -> true | Some b -> compare_proposition a b > 0
+
+let on_proposal st (message : proposer_msg) =
+  let pno = pno_of_proposer_msg message in
+  st.max_tag <- max st.max_tag pno.tag;
+  if pno.proposer = st.omega && pno.proposer <> st.me then begin
+    let round =
+      match message with Prepare _ -> Prepare_round | Propose _ -> Propose_round
+    in
+    (* Flooding with the proposer-queue invariant: forward the first copy of
+       each proposition, keeping only the largest from the current leader. *)
+    if proposition_gt (pno, round) st.best_proposal_seen then begin
+      st.best_proposal_seen <- Some (pno, round);
+      st.proposal_q <- Some message
+    end;
+    (* Acceptor: respond once per proposition, routed up the leader's tree. *)
+    if proposition_gt (pno, round) st.responded then begin
+      let round, positive, prior, committed = acceptor_respond st message in
+      enqueue_response st ~target:pno.proposer ~pno ~round ~positive ~count:1
+        ~prior ~committed
+    end
+  end
+
+let on_response st (r : response) =
+  if r.dest = st.me then
+    if r.target = st.me then count_response st r
+    else if r.target = st.omega then
+      (* Relay hop: re-enqueue toward our own parent, aggregating. *)
+      enqueue_response st ~target:r.target ~pno:r.pno ~round:r.round
+        ~positive:r.positive ~count:r.count ~prior:r.best_prior
+        ~committed:r.committed
+
+let on_decision st value =
+  if st.decision = None then begin
+    st.decision <- Some value;
+    st.decide_q <- Some value;
+    st.phase <- Idle
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm wiring                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let init cfg (ctx : Amac.Algorithm.ctx) =
+  let n =
+    match ctx.n with
+    | Some n -> n
+    | None -> invalid_arg "Wpaxos: requires knowledge of n (see Thm 3.9)"
+  in
+  let me = Amac.Node_id.unique_exn ctx.id in
+  let st =
+    {
+      me;
+      n;
+      input = ctx.input;
+      cfg;
+      omega = me;
+      leader_q = Some me;
+      lamport = 0;
+      last_change = (-1, -1);
+      change_q = None;
+      dist = Hashtbl.create 16;
+      parent = Hashtbl.create 16;
+      tree_q = [ (me, 1) ];
+      max_tag = 0;
+      phase = Idle;
+      attempts_left = 1;
+      proposal_q = None;
+      best_proposal_seen = None;
+      promised = None;
+      accepted = None;
+      responded = None;
+      response_q = [];
+      decision = None;
+      announced = false;
+      decide_q = None;
+      sending = false;
+    }
+  in
+  Hashtbl.replace st.dist me 0;
+  Hashtbl.replace st.parent me me;
+  (* Initialisation counts as a change (omega and dist were just set): every
+     node starts as its own leader and issues an initial proposal. *)
+  local_change st;
+  (st, finish st)
+
+let on_receive _ctx st (components : msg) =
+  (* Leader updates first so later components in the same broadcast are
+     judged against the freshest omega. *)
+  let rank = function
+    | Leader _ -> 0
+    | Change _ -> 1
+    | Search _ -> 2
+    | Proposal _ -> 3
+    | Response _ -> 4
+    | Decision _ -> 5
+  in
+  let ordered =
+    List.sort (fun a b -> Int.compare (rank a) (rank b)) components
+  in
+  List.iter
+    (fun component ->
+      match component with
+      | Leader id -> on_leader st id
+      | Change { counter; origin } -> on_change st ~counter ~origin
+      | Search { root; hops; sender } -> on_search st ~root ~hops ~sender
+      | Proposal p -> on_proposal st p
+      | Response r -> on_response st r
+      | Decision v -> on_decision st v)
+    ordered;
+  finish st
+
+let on_ack _ctx st =
+  st.sending <- false;
+  finish st
+
+let component_ids = function
+  | Leader _ -> 1
+  | Change _ -> 1
+  | Search _ -> 2
+  | Proposal p -> proposer_msg_ids p
+  | Response r -> response_ids r
+  | Decision _ -> 0
+
+let msg_ids components =
+  List.fold_left (fun acc c -> acc + component_ids c) 0 components
+
+let pp_component = function
+  | Leader id -> Printf.sprintf "leader(%d)" id
+  | Change { counter; origin } -> Printf.sprintf "change(%d@%d)" counter origin
+  | Search { root; hops; sender } ->
+      Printf.sprintf "search(root=%d,h=%d,from=%d)" root hops sender
+  | Proposal p -> pp_proposer_msg p
+  | Response r -> pp_response r
+  | Decision v -> Printf.sprintf "decide(%d)" v
+
+let pp_msg components = String.concat "+" (List.map pp_component components)
+
+let make ?(leader_priority = true) ?(aggregate = true) ?quorum ?instrument ()
+    =
+  (match quorum with
+  | Some q when q < 1 -> invalid_arg "Wpaxos.make: quorum must be >= 1"
+  | Some _ | None -> ());
+  let cfg = { leader_priority; aggregate; quorum; instrument } in
+  {
+    Amac.Algorithm.name =
+      (if leader_priority && aggregate then "wpaxos"
+       else
+         Printf.sprintf "wpaxos[prio=%b,agg=%b]" leader_priority aggregate);
+    init = init cfg;
+    on_receive;
+    on_ack;
+    msg_ids;
+  }

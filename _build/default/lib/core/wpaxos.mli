@@ -1,0 +1,99 @@
+(** Wireless PAXOS (Sec 4.2): consensus in multihop networks in
+    O(D · F_ack) time, assuming unique ids and knowledge of n.
+
+    wPAXOS combines the classic PAXOS proposer/acceptor logic with four
+    support services, each with its own outgoing-message queue, multiplexed
+    onto the single MAC-layer channel by a broadcast service (the paper's
+    Algorithms 2–5):
+
+    - {b leader election}: flood the maximum id; eventually stabilises
+      network-wide to the same leader Ω.
+    - {b tree building}: Bellman–Ford iterative refinement maintaining, for
+      every potential root, a shortest-path tree — with the current leader's
+      search messages prioritised so the leader's tree completes soon after
+      the election stabilises.
+    - {b change}: notifies proposers when to generate a fresh proposal
+      number; guarantees the eventual leader proposes {e after} the other
+      services stabilise, but only Θ(1) more times.
+    - {b broadcast}: dequeues at most one message per service and packs them
+      into a single O(1)-ids broadcast.
+
+    Acceptor responses are routed up the leader's tree and {e aggregated}:
+    same-kind responses to the same proposition merge into a count (keeping
+    only the highest-numbered embedded prior proposal), which is what brings
+    response collection from Θ(n · F_ack) down to O(D · F_ack). Lemma 4.2
+    (counts never exceed the number of generating acceptors) can be checked
+    at runtime via {!instrument}.
+
+    Deviations from the paper, both documented in DESIGN.md:
+    - The change service's [time stamp()] is a Lamport clock (the model has
+      no global clocks); stamps are (counter, id) pairs joined on receipt.
+    - Because Lamport stamps do not totally order concurrent changes the way
+      real timestamps do, a proposer that exhausts its two attempts for a
+      notification treats a majority-reject as a fresh local change (flooded
+      like any other). This preserves the paper's Θ(1)-new-proposals-after-
+      stabilisation property and removes a liveness gap: rejections bump the
+      tag above the largest committed number, so retries terminate. *)
+
+type component =
+  | Leader of int  (** Alg 2: candidate leader id *)
+  | Change of { counter : int; origin : int }  (** Alg 3: Lamport stamp *)
+  | Search of { root : int; hops : int; sender : int }  (** Alg 4 *)
+  | Proposal of Paxos_types.proposer_msg  (** flooded prepare/propose *)
+  | Response of Paxos_types.response  (** tree-routed acceptor response *)
+  | Decision of int  (** flooded decide *)
+
+(** One MAC-layer broadcast: at most one component per service queue. *)
+type msg = component list
+
+type state
+
+(** Per-run instrumentation for checking the Lemma 4.2 conservation
+    invariant: for every proposition, the count the proposer accumulates
+    never exceeds the number of acceptors that generated an affirmative
+    response. Create one per run and share it across nodes via {!make}. *)
+module Instrument : sig
+  type t
+
+  val create : unit -> t
+
+  (** [violations t] lists propositions for which counted > generated —
+      always [] unless aggregation is broken. Each entry is
+      [(pno, round, generated, counted)]. *)
+  val violations : t -> (Paxos_types.pno * Paxos_types.round * int * int) list
+
+  (** [generated t] / [counted t] — totals across all propositions. *)
+  val generated : t -> int
+
+  val counted : t -> int
+
+  (** [max_tag t] — largest proposal-number tag any acceptor responded to;
+      Lemma 4.4 says this stays polynomial in n. *)
+  val max_tag : t -> int
+end
+
+(** [make ()] builds a fresh wPAXOS instance (create one per run: the
+    instrument, if any, is shared mutable state).
+
+    @param leader_priority Alg 4's move-the-leader's-search-to-the-front
+      optimisation (default [true]; disable for the E9 ablation).
+    @param aggregate merge acceptor responses in queues (default [true];
+      disable for the E9 ablation — counts remain correct, one entry each).
+    @param quorum override the acceptance threshold (default ⌊n/2⌋ + 1).
+      This realises the paper's footnote 1: wPAXOS "still works even if
+      provided only good enough knowledge of n to recognize a majority" —
+      any [quorum] with n/2 < quorum <= n preserves correctness (quorums
+      intersect and are live). A quorum of at most n/2 breaks quorum
+      intersection and a long partition can then split the decision; see
+      [test_wpaxos.ml] for the executable counterexample.
+    @param instrument attach a Lemma 4.2 checker.
+    @raise Invalid_argument if [quorum < 1]. *)
+val make :
+  ?leader_priority:bool ->
+  ?aggregate:bool ->
+  ?quorum:int ->
+  ?instrument:Instrument.t ->
+  unit ->
+  (state, msg) Amac.Algorithm.t
+
+val pp_msg : msg -> string

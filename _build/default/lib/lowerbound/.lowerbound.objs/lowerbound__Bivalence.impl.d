@@ -1,0 +1,1 @@
+lib/lowerbound/bivalence.ml: Amac Array Digest Format Hashtbl List Marshal Queue

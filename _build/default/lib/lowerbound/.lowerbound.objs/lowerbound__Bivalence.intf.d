@@ -1,0 +1,1 @@
+lib/lowerbound/bivalence.mli: Amac Format

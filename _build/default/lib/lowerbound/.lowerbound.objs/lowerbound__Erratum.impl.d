@@ -1,0 +1,1 @@
+lib/lowerbound/erratum.ml: Amac Array Consensus Hashtbl List Option

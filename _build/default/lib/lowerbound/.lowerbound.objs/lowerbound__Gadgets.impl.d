@@ -1,0 +1,1 @@
+lib/lowerbound/gadgets.ml: Amac Array List

@@ -1,0 +1,1 @@
+lib/lowerbound/gadgets.mli: Amac

@@ -1,0 +1,1 @@
+lib/lowerbound/indist.ml: Amac Array Consensus Gadgets Int List Option

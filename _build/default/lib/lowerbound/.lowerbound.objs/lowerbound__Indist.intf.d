@@ -1,0 +1,1 @@
+lib/lowerbound/indist.mli: Consensus Gadgets

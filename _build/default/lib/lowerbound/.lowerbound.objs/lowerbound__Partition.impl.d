@@ -1,0 +1,1 @@
+lib/lowerbound/partition.ml: Amac Consensus List Printf

@@ -1,0 +1,45 @@
+type demo = {
+  literal_report : Consensus.Checker.report;
+  corrected_report : Consensus.Checker.report;
+  literal_decisions : (int * int) list;
+}
+
+(* Node 0 is fast (delay 1 always); node 1's first broadcast — its phase-1 —
+   crawls (delay 5), so everything node 0 sends arrives during node 1's
+   phase 1 and is recorded in R1. Per-sender broadcast counting makes this
+   expressible as a deterministic scheduler. *)
+let slow_first_broadcast () =
+  let broadcasts_seen = Hashtbl.create 4 in
+  Amac.Scheduler.make ~name:"erratum-schedule" ~fack:5
+    (fun ~now ~sender ~neighbors ->
+      let count =
+        Option.value ~default:0 (Hashtbl.find_opt broadcasts_seen sender)
+      in
+      Hashtbl.replace broadcasts_seen sender (count + 1);
+      let delay = if sender = 1 && count = 0 then 5 else 1 in
+      {
+        Amac.Scheduler.receives =
+          List.map (fun v -> (v, now + delay)) neighbors;
+        ack_at = now + delay;
+      })
+
+let run algorithm =
+  Consensus.Runner.run algorithm
+    ~topology:(Amac.Topology.clique 2)
+    ~scheduler:(slow_first_broadcast ())
+    ~inputs:[| 0; 1 |]
+
+let two_phase_demo () =
+  let literal = run Consensus.Two_phase.literal in
+  let corrected = run Consensus.Two_phase.algorithm in
+  let literal_decisions =
+    Array.to_list literal.outcome.decisions
+    |> List.mapi (fun node decision -> (node, decision))
+    |> List.filter_map (fun (node, decision) ->
+           Option.map (fun (value, _) -> (node, value)) decision)
+  in
+  {
+    literal_report = literal.report;
+    corrected_report = corrected.report;
+    literal_decisions;
+  }

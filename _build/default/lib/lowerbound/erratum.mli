@@ -1,0 +1,28 @@
+(** An executable erratum for Algorithm 1 (two-phase consensus, Sec 4.1).
+
+    Line 23 of the printed pseudocode decides 0 only if a
+    [⟨phase 2, *, decided(0)⟩] message is in {e R2}. But a fast node's
+    phase-2 [decided(0)] broadcast can reach a slow node while that node is
+    still waiting for its {e phase-1} ack — the message then lands in R1,
+    the witness condition for the fast node is already satisfied, and the
+    printed rule decides the default 1 while the fast node decides 0.
+    The proof of Thm 4.1 ("it will therefore see that u has a status of
+    decided(0)") clearly intends the check to range over R1 ∪ R2, which is
+    what [Consensus.Two_phase.algorithm] implements.
+
+    This module builds the two-node schedule realising the bad interleaving
+    and runs both variants on it: the literal transcription violates
+    agreement, the corrected one does not. *)
+
+type demo = {
+  literal_report : Consensus.Checker.report;
+      (** agreement is [false] here — the violation *)
+  corrected_report : Consensus.Checker.report;  (** fully ok *)
+  literal_decisions : (int * int) list;  (** (node, value), both nodes *)
+}
+
+(** [two_phase_demo ()] runs the schedule: node 0 (input 0) is fast — its
+    phase-1 and phase-2 broadcasts deliver and ack within 1 tick; node 1
+    (input 1) is slow — its phase-1 broadcast's deliveries and ack take 5
+    ticks, so node 0's entire execution lands inside node 1's phase 1. *)
+val two_phase_demo : unit -> demo

@@ -1,0 +1,138 @@
+(* Gadget H layout (indices), for parameters d >= 4, k >= 2:
+
+     0                c   (the connector)
+     1 .. d-2         a1 .. a_{d-2}, a chain hanging from c
+     d-1, d           p2, p3: with c and a1 they close a 4-cycle
+                      c - a1 - p2 - p3 - c
+     d+1 .. d+k       the parallel band, each adjacent to a_{d-2}
+     d+k+1            the terminal, adjacent to every band node
+
+   Eccentricity of c is d (the terminal); the 4-cycle exists so that the
+   3-lift can permute the c-a1 edge and stay connected, and so that the
+   detour a1^i .. a1^j between lift copies costs exactly 4 hops, keeping
+   diameter(B) = diameter(A) = 2d+2. *)
+
+type fig1 = {
+  d : int;
+  k : int;
+  gadget : Amac.Topology.t;
+  network_a : Amac.Topology.t;
+  a0 : int list;
+  a1 : int list;
+  q : int;
+  clique : int list;
+  network_b : Amac.Topology.t;
+  b_copy : copy:int -> int -> int;
+  a_node : side:int -> int -> int;
+}
+
+let gadget_size ~d ~k = d + k + 2
+
+let connector = 0
+
+let gadget_edges ~d ~k =
+  let p2 = d - 1 and p3 = d in
+  let band = List.init k (fun j -> d + 1 + j) in
+  let terminal = d + k + 1 in
+  let chain = List.init (d - 3) (fun j -> (j + 1, j + 2)) in
+  let cycle = [ (connector, 1); (1, p2); (p2, p3); (p3, connector) ] in
+  let band_edges =
+    List.concat_map (fun b -> [ (d - 2, b); (b, terminal) ]) band
+  in
+  cycle @ chain @ band_edges
+
+let gadget ~d ~k =
+  Amac.Topology.of_edges ~n:(gadget_size ~d ~k) (gadget_edges ~d ~k)
+
+let fig1 ~d ~k =
+  if d < 4 then invalid_arg "Gadgets.fig1: need d >= 4";
+  if k < 2 then invalid_arg "Gadgets.fig1: need k >= 2 (lift connectivity)";
+  let g = gadget_size ~d ~k in
+  let edges = gadget_edges ~d ~k in
+  (* Network A: two gadget copies, bridge q on both connectors, padding
+     clique of size g-1 so |A| = 3g = |B|. *)
+  let a_node ~side v = (side * g) + v in
+  let q = 2 * g in
+  let clique = List.init (g - 1) (fun j -> (2 * g) + 1 + j) in
+  let a_edges =
+    List.concat_map
+      (fun (u, v) -> [ (u, v); (u + g, v + g) ])
+      edges
+    @ [ (q, a_node ~side:0 connector); (q, a_node ~side:1 connector) ]
+    @ List.map (fun node -> (q, node)) clique
+    @ List.concat_map
+        (fun u -> List.filter_map (fun v -> if u < v then Some (u, v) else None) clique)
+        clique
+  in
+  let network_a = Amac.Topology.of_edges ~n:(3 * g) a_edges in
+  (* Network B: the 3-lift of H, with the copies of the c-a1 edge permuted
+     cyclically (it lies on the 4-cycle, so the lift is connected). *)
+  let b_copy ~copy v = (copy * g) + v in
+  let b_edges =
+    List.concat_map
+      (fun (u, v) ->
+        List.init 3 (fun copy ->
+            if (u, v) = (connector, 1) then
+              (b_copy ~copy connector, b_copy ~copy:((copy + 1) mod 3) 1)
+            else (b_copy ~copy u, b_copy ~copy v)))
+      edges
+  in
+  let network_b = Amac.Topology.of_edges ~n:(3 * g) b_edges in
+  {
+    d;
+    k;
+    gadget = gadget ~d ~k;
+    network_a;
+    a0 = List.init g (fun v -> a_node ~side:0 v);
+    a1 = List.init g (fun v -> a_node ~side:1 v);
+    q;
+    clique;
+    network_b;
+    b_copy;
+    a_node;
+  }
+
+let fig1_for ~diameter ~n =
+  if diameter < 10 || diameter mod 2 <> 0 then
+    invalid_arg "Gadgets.fig1_for: need an even diameter >= 10";
+  if n < diameter then invalid_arg "Gadgets.fig1_for: need n >= diameter";
+  let d = (diameter - 2) / 2 in
+  (* Smallest k >= 2 with 3 * (d + k + 2) >= n. *)
+  let k_min =
+    let needed = ((n + 2) / 3) - d - 2 in
+    max 2 needed
+  in
+  fig1 ~d ~k:k_min
+
+type kd = {
+  diameter : int;
+  topology : Amac.Topology.t;
+  l1 : int list;
+  l2 : int list;
+  middle : int list;
+  endpoint : int;
+}
+
+let kd ~diameter =
+  if diameter < 2 then invalid_arg "Gadgets.kd: need diameter >= 2";
+  let dd = diameter in
+  let l1 = List.init (dd + 1) (fun i -> i) in
+  let l2 = List.init (dd + 1) (fun i -> dd + 1 + i) in
+  let middle = List.init dd (fun i -> (2 * dd) + 2 + i) in
+  let endpoint = (2 * dd) + 2 in
+  let line_edges nodes =
+    let arr = Array.of_list nodes in
+    List.init (Array.length arr - 1) (fun i -> (arr.(i), arr.(i + 1)))
+  in
+  let edges =
+    line_edges l1 @ line_edges l2 @ line_edges middle
+    @ List.map (fun u -> (u, endpoint)) (l1 @ l2)
+  in
+  {
+    diameter;
+    topology = Amac.Topology.of_edges ~n:((3 * dd) + 2) edges;
+    l1;
+    l2;
+    middle;
+    endpoint;
+  }

@@ -1,0 +1,70 @@
+(** The worst-case network constructions of the paper's lower bounds.
+
+    {b Figure 1} (Thm 3.3, impossibility without unique ids): a {e gadget}
+    graph H with a designated connector node [c]; {e network A} is two
+    disjoint copies of H plus a bridge node [q] adjacent to both connectors
+    and to a padding clique [C]; {e network B} is a connected 3-fold
+    covering (3-lift) of H — three copies with one cycle-edge's copies
+    permuted cyclically to interconnect them. The covering property is
+    exactly the paper's property (★): every B-node's neighborhood is one
+    node from each neighbor-class, so an anonymous node cannot tell A's
+    split execution from B's synchronous one. The clique size is chosen so
+    [size A = size B], and the gadget's proportions so
+    [diameter A = diameter B = D] (Claim 3.4 — checked by
+    [test_gadgets.ml]).
+
+    Our gadget has one fewer padding node than the figure's (the paper's
+    exact pendant wiring is not fully specified by the diagram); the
+    properties the proof uses — equal sizes, equal diameter D, covering
+    structure — are preserved and tested.
+
+    {b Figure 2} (Thm 3.9, impossibility without knowledge of n): K_D is two
+    copies of the (D+1)-node line L_D plus a (D)-node line L_{D-1}, with
+    every node of both L_D copies adjacent to one fixed endpoint of
+    L_{D-1}. *)
+
+(** Figure 1 instantiation. All node lists are disjoint index sets into the
+    respective topology. *)
+type fig1 = {
+  d : int;  (** the paper's d = (D-2)/2 *)
+  k : int;  (** width of the parallel band (the size knob) *)
+  gadget : Amac.Topology.t;  (** H itself, connector = index 0 *)
+  network_a : Amac.Topology.t;
+  a0 : int list;  (** nodes of gadget copy A0 (initial value 0) *)
+  a1 : int list;  (** nodes of gadget copy A1 (initial value 1) *)
+  q : int;  (** the bridge node *)
+  clique : int list;  (** the padding clique C *)
+  network_b : Amac.Topology.t;
+  b_copy : copy:int -> int -> int;
+      (** [b_copy ~copy g] is the B-index of gadget node [g]'s image in copy
+          [copy] ∈ {0,1,2} *)
+  a_node : side:int -> int -> int;
+      (** [a_node ~side g] is the A-index of gadget node [g] in copy
+          [side] ∈ {0,1} *)
+}
+
+(** [fig1 ~d ~k] builds the instantiation. Requires [d >= 4] (so the pendant
+    path does not dominate the diameter) and [k >= 2] (so the lift stays
+    connected after permuting one band edge).
+    @raise Invalid_argument otherwise. *)
+val fig1 : d:int -> k:int -> fig1
+
+(** [fig1_for ~diameter ~n] chooses d = (diameter-2)/2 and the smallest k
+    giving [size >= n], as in Thm 3.3. Requires [diameter] even, ≥ 10, and
+    [n >= diameter].
+    @raise Invalid_argument otherwise. *)
+val fig1_for : diameter:int -> n:int -> fig1
+
+(** Figure 2 instantiation. *)
+type kd = {
+  diameter : int;
+  topology : Amac.Topology.t;
+  l1 : int list;  (** first L_D copy (initial value 0) *)
+  l2 : int list;  (** second L_D copy (initial value 1) *)
+  middle : int list;  (** the L_{D-1} line *)
+  endpoint : int;  (** the end of L_{D-1} adjacent to every L_D node *)
+}
+
+(** [kd ~diameter] builds K_D. Requires [diameter >= 2].
+    @raise Invalid_argument otherwise. *)
+val kd : diameter:int -> kd

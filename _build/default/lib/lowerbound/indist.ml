@@ -1,0 +1,120 @@
+type fig1_demo = {
+  instance : Gadgets.fig1;
+  b_decide_time_0 : int;
+  b_decide_time_1 : int;
+  b_ok : bool;
+  a_report : Consensus.Checker.report;
+  a0_values : int list;
+  a1_values : int list;
+  violated : bool;
+}
+
+let decided_values_of (outcome : Amac.Engine.outcome) nodes =
+  nodes
+  |> List.filter_map (fun node ->
+         Option.map fst outcome.decisions.(node))
+  |> List.sort_uniq Int.compare
+
+let fig1_demo ~diameter ~n =
+  let instance = Gadgets.fig1_for ~diameter ~n in
+  let size = Amac.Topology.size instance.network_b in
+  let victim = Consensus.Round_flood.make ~target:`Knows_n in
+  (* The victim is anonymous: run it with no ids at all. *)
+  let identities = Amac.Node_id.identity_assignment ~n:size ~kind:`Anonymous in
+  let run_b value =
+    Consensus.Runner.run victim ~topology:instance.network_b
+      ~scheduler:Amac.Scheduler.synchronous ~identities ~give_diameter:true
+      ~inputs:(Consensus.Runner.inputs_all ~n:size value)
+  in
+  let b0 = run_b 0 and b1 = run_b 1 in
+  let b_ok =
+    Consensus.Checker.ok b0.report
+    && Consensus.Checker.ok b1.report
+    && b0.report.decided_values = [ 0 ]
+    && b1.report.decided_values = [ 1 ]
+  in
+  let t_sync =
+    max
+      (Option.value ~default:0 b0.decision_time)
+      (Option.value ~default:0 b1.decision_time)
+  in
+  (* Network A: both gadget executions must complete their t synchronous
+     steps before anything from q arrives. *)
+  let cut ~sender ~receiver:_ = sender = instance.q in
+  let scheduler =
+    Amac.Scheduler.delayed_cut ~base_fack:1 ~until:(2 * (t_sync + 2)) ~cut
+  in
+  let inputs = Array.make size 0 in
+  List.iter (fun node -> inputs.(node) <- 1) instance.a1;
+  (* q and the padding clique hold arbitrary inputs; give them 0. *)
+  let a_result =
+    Consensus.Runner.run victim ~topology:instance.network_a ~scheduler
+      ~identities ~give_diameter:true ~inputs
+  in
+  let a0_values = decided_values_of a_result.outcome instance.a0 in
+  let a1_values = decided_values_of a_result.outcome instance.a1 in
+  {
+    instance;
+    b_decide_time_0 = Option.value ~default:0 b0.decision_time;
+    b_decide_time_1 = Option.value ~default:0 b1.decision_time;
+    b_ok;
+    a_report = a_result.report;
+    a0_values;
+    a1_values;
+    violated =
+      (not a_result.report.Consensus.Checker.agreement)
+      && a0_values = [ 0 ] && a1_values = [ 1 ];
+  }
+
+type kd_demo = {
+  kd : Gadgets.kd;
+  line_ok : bool;
+  line_decide_time : int;
+  kd_report : Consensus.Checker.report;
+  l1_values : int list;
+  l2_values : int list;
+  violated : bool;
+}
+
+let kd_demo ~diameter =
+  let kd = Gadgets.kd ~diameter in
+  let victim = Consensus.Round_flood.make ~target:`Knows_diameter in
+  (* Home setting: the standalone line L_D (diameter D, like K_D), mixed
+     inputs, synchronous scheduler. *)
+  let line = Amac.Topology.line (diameter + 1) in
+  let line_result =
+    Consensus.Runner.run victim ~topology:line
+      ~scheduler:Amac.Scheduler.synchronous ~give_n:false ~give_diameter:true
+      ~inputs:(Consensus.Runner.inputs_halves ~n:(diameter + 1))
+  in
+  let line_ok = Consensus.Checker.ok line_result.report in
+  let t_sync = Option.value ~default:0 line_result.decision_time in
+  (* K_D: silence the middle line's endpoint toward both L_D copies until
+     both have decided. *)
+  let size = Amac.Topology.size kd.topology in
+  let in_l side node = List.mem node (if side = 1 then kd.l1 else kd.l2) in
+  let cut ~sender ~receiver =
+    sender = kd.endpoint && (in_l 1 receiver || in_l 2 receiver)
+  in
+  let scheduler =
+    Amac.Scheduler.delayed_cut ~base_fack:1 ~until:(2 * (t_sync + 2)) ~cut
+  in
+  let inputs = Array.make size 0 in
+  List.iter (fun node -> inputs.(node) <- 1) kd.l2;
+  let kd_result =
+    Consensus.Runner.run victim ~topology:kd.topology ~scheduler ~give_n:false
+      ~give_diameter:true ~inputs
+  in
+  let l1_values = decided_values_of kd_result.outcome kd.l1 in
+  let l2_values = decided_values_of kd_result.outcome kd.l2 in
+  {
+    kd;
+    line_ok;
+    line_decide_time = t_sync;
+    kd_report = kd_result.report;
+    l1_values;
+    l2_values;
+    violated =
+      (not kd_result.report.Consensus.Checker.agreement)
+      && l1_values = [ 0 ] && l2_values = [ 1 ];
+  }

@@ -1,0 +1,45 @@
+(** Executable indistinguishability arguments (Thm 3.3 and Thm 3.9).
+
+    Each demo runs a {e victim} algorithm — one that genuinely solves
+    consensus under the synchronous scheduler with the network knowledge the
+    theorem grants — first in its "home" setting (where it is correct), then
+    in the paper's adversarial construction, where the carefully delayed
+    scheduler makes two network regions each believe they are the whole
+    network. The result is an agreement violation, produced by an actual
+    execution rather than argued on paper. *)
+
+(** Thm 3.3 demo (Fig 1). The victim is anonymous min-flooding for n rounds
+    ([Consensus.Round_flood] with [`Knows_n]): correct on network B under the
+    synchronous scheduler, for both all-0 and all-1 inputs. Running the same
+    algorithm — with the same n and D — on network A, with q's messages
+    delayed past both gadgets' decisions, makes copy A0 decide 0 and copy A1
+    decide 1. *)
+type fig1_demo = {
+  instance : Gadgets.fig1;
+  b_decide_time_0 : int;  (** decision time on B, all inputs 0 *)
+  b_decide_time_1 : int;  (** decision time on B, all inputs 1 *)
+  b_ok : bool;  (** victim solved consensus on B in both runs *)
+  a_report : Consensus.Checker.report;  (** the violated report on A *)
+  a0_values : int list;  (** distinct values decided inside gadget copy A0 *)
+  a1_values : int list;  (** distinct values decided inside gadget copy A1 *)
+  violated : bool;  (** the expected agreement violation occurred *)
+}
+
+val fig1_demo : diameter:int -> n:int -> fig1_demo
+
+(** Thm 3.9 demo (Fig 2). The victim has unique ids and knows D but not n
+    ([`Knows_diameter]): correct on the standalone line L_D under the
+    synchronous scheduler. On K_D (which also has diameter D), with the
+    semi-synchronous scheduler silencing the middle line's endpoint, L¹_D
+    decides 0 and L²_D decides 1. *)
+type kd_demo = {
+  kd : Gadgets.kd;
+  line_ok : bool;  (** victim solved consensus on the standalone L_D *)
+  line_decide_time : int;
+  kd_report : Consensus.Checker.report;
+  l1_values : int list;
+  l2_values : int list;
+  violated : bool;
+}
+
+val kd_demo : diameter:int -> kd_demo

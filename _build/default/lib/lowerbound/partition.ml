@@ -1,0 +1,60 @@
+type analysis = {
+  diameter : int;
+  fack : int;
+  lower_bound : int;
+  endpoint_cross_influence : int;
+  first_decision : int;
+  last_decision : int;
+  ratio : float;
+  consensus_ok : bool;
+}
+
+let analyze ?give_n ?(max_time = 10_000_000) algorithm ~diameter ~fack =
+  let n = diameter + 1 in
+  let topology = Amac.Topology.line n in
+  let scheduler = Amac.Scheduler.max_delay ~fack in
+  let inputs = Consensus.Runner.inputs_halves ~n in
+  let result =
+    Consensus.Runner.run ?give_n ~max_time ~track_causal:true algorithm
+      ~topology ~scheduler ~inputs
+  in
+  let causal =
+    match result.outcome.causal with
+    | Some causal -> causal
+    | None -> assert false
+  in
+  (* Earliest time an endpoint hears (transitively) from the far half. *)
+  let cross_for ~node ~far_half =
+    List.fold_left
+      (fun acc origin ->
+        match Amac.Causal.first_influence causal ~node ~origin with
+        | Some t -> min acc t
+        | None -> acc)
+      max_int far_half
+  in
+  let far_for_0 = List.init (n - (n / 2)) (fun i -> (n / 2) + i) in
+  let far_for_last = List.init (n / 2) (fun i -> i) in
+  let endpoint_cross_influence =
+    min (cross_for ~node:0 ~far_half:far_for_0)
+      (cross_for ~node:(n - 1) ~far_half:far_for_last)
+  in
+  let times = Amac.Engine.decision_times result.outcome in
+  (match times with
+  | [] ->
+      failwith
+        (Printf.sprintf "Partition.analyze: %s never decided (D=%d, fack=%d)"
+           algorithm.Amac.Algorithm.name diameter fack)
+  | _ :: _ -> ());
+  let first_decision = List.fold_left min max_int times in
+  let last_decision = List.fold_left max 0 times in
+  let lower_bound = diameter / 2 * fack in
+  {
+    diameter;
+    fack;
+    lower_bound;
+    endpoint_cross_influence;
+    first_decision;
+    last_decision;
+    ratio = float_of_int last_decision /. float_of_int (max 1 lower_bound);
+    consensus_ok = Consensus.Checker.ok result.report;
+  }

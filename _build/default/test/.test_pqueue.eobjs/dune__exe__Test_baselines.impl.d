@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Amac Array Consensus Gen List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ben_or.ml: Alcotest Amac Array Consensus Gen List Printf QCheck QCheck_alcotest String

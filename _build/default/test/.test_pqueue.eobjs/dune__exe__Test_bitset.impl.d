@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Amac Int List QCheck QCheck_alcotest Set

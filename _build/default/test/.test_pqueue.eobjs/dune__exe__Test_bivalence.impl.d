@@ -1,0 +1,1 @@
+test/test_bivalence.ml: Alcotest Amac Array Consensus Format List Lowerbound QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_causal.ml: Alcotest Amac Array Gen Int List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Amac Array Consensus Format

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Amac Array Int List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_erratum.ml: Alcotest Amac Consensus Lazy Lowerbound QCheck QCheck_alcotest

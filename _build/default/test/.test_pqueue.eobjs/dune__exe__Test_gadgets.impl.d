@@ -1,0 +1,1 @@
+test/test_gadgets.ml: Alcotest Amac Int List Lowerbound Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_indist.ml: Alcotest Amac Array Consensus List Lowerbound

@@ -1,0 +1,1 @@
+test/test_multi_value.ml: Alcotest Amac Array Consensus Gen List QCheck QCheck_alcotest String

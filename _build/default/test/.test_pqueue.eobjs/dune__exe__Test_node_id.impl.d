@@ -1,0 +1,1 @@
+test/test_node_id.ml: Alcotest Amac Array Int List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Consensus List Lowerbound Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_paxos_types.ml: Alcotest Consensus List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Amac Array Int List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Amac Int List QCheck QCheck_alcotest

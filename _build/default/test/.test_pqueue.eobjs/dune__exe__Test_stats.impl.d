@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Amac Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Amac Array List QCheck QCheck_alcotest

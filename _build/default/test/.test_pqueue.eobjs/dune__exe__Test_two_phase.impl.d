@@ -1,0 +1,1 @@
+test/test_two_phase.ml: Alcotest Amac Array Consensus Gen List Lowerbound Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_unreliable.ml: Alcotest Amac Consensus List Printf QCheck QCheck_alcotest String

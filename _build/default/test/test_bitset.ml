@@ -1,0 +1,119 @@
+(* Bitset checked against a reference implementation (stdlib Set). *)
+
+module Iset = Set.Make (Int)
+
+let of_list universe elements =
+  let set = Amac.Bitset.create universe in
+  List.iter (Amac.Bitset.add set) elements;
+  set
+
+let test_empty () =
+  let set = Amac.Bitset.create 100 in
+  Alcotest.(check int) "cardinal" 0 (Amac.Bitset.cardinal set);
+  Alcotest.(check bool) "is_empty" true (Amac.Bitset.is_empty set);
+  Alcotest.(check bool) "mem" false (Amac.Bitset.mem set 5)
+
+let test_add_remove () =
+  let set = Amac.Bitset.create 20 in
+  Amac.Bitset.add set 7;
+  Amac.Bitset.add set 0;
+  Amac.Bitset.add set 19;
+  Alcotest.(check (list int)) "elements" [ 0; 7; 19 ] (Amac.Bitset.elements set);
+  Amac.Bitset.remove set 7;
+  Alcotest.(check (list int)) "after remove" [ 0; 19 ] (Amac.Bitset.elements set);
+  Amac.Bitset.remove set 7;
+  Alcotest.(check (list int)) "idempotent remove" [ 0; 19 ]
+    (Amac.Bitset.elements set)
+
+let test_bounds () =
+  let set = Amac.Bitset.create 8 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Bitset: index out of range") (fun () ->
+      Amac.Bitset.add set 8)
+
+let test_union_into () =
+  let a = of_list 16 [ 1; 3; 5 ] and b = of_list 16 [ 3; 4 ] in
+  Amac.Bitset.union_into ~src:a ~dst:b;
+  Alcotest.(check (list int)) "union" [ 1; 3; 4; 5 ] (Amac.Bitset.elements b);
+  Alcotest.(check (list int)) "src untouched" [ 1; 3; 5 ] (Amac.Bitset.elements a)
+
+let test_union_mismatch () =
+  let a = Amac.Bitset.create 8 and b = Amac.Bitset.create 9 in
+  Alcotest.check_raises "universe mismatch"
+    (Invalid_argument "Bitset.union_into: universe mismatch") (fun () ->
+      Amac.Bitset.union_into ~src:a ~dst:b)
+
+let test_copy_independent () =
+  let a = of_list 10 [ 2; 4 ] in
+  let b = Amac.Bitset.copy a in
+  Amac.Bitset.add b 6;
+  Alcotest.(check (list int)) "copy modified" [ 2; 4; 6 ] (Amac.Bitset.elements b);
+  Alcotest.(check (list int)) "original intact" [ 2; 4 ] (Amac.Bitset.elements a)
+
+let test_subset_equal () =
+  let a = of_list 12 [ 1; 2 ] and b = of_list 12 [ 1; 2; 3 ] in
+  Alcotest.(check bool) "a subset b" true (Amac.Bitset.subset a b);
+  Alcotest.(check bool) "b not subset a" false (Amac.Bitset.subset b a);
+  Alcotest.(check bool) "equal self" true (Amac.Bitset.equal a a);
+  Alcotest.(check bool) "not equal" false (Amac.Bitset.equal a b)
+
+let test_singleton () =
+  let s = Amac.Bitset.singleton 33 32 in
+  Alcotest.(check (list int)) "singleton" [ 32 ] (Amac.Bitset.elements s);
+  Alcotest.(check int) "capacity" 33 (Amac.Bitset.capacity s)
+
+let gen_ops =
+  QCheck.(list (pair bool (int_range 0 63)))
+
+(* Property: a bitset driven by a random add/remove script agrees with a
+   reference Set at every observation point. *)
+let prop_matches_reference =
+  QCheck.Test.make ~name:"bitset matches Set reference" ~count:300 gen_ops
+    (fun ops ->
+      let set = Amac.Bitset.create 64 in
+      let reference =
+        List.fold_left
+          (fun reference (is_add, i) ->
+            if is_add then begin
+              Amac.Bitset.add set i;
+              Iset.add i reference
+            end
+            else begin
+              Amac.Bitset.remove set i;
+              Iset.remove i reference
+            end)
+          Iset.empty ops
+      in
+      Amac.Bitset.elements set = Iset.elements reference
+      && Amac.Bitset.cardinal set = Iset.cardinal reference
+      && Amac.Bitset.is_empty set = Iset.is_empty reference)
+
+let prop_union_is_set_union =
+  QCheck.Test.make ~name:"union_into is set union" ~count:300
+    QCheck.(pair (list (int_range 0 63)) (list (int_range 0 63)))
+    (fun (xs, ys) ->
+      let a = of_list 64 xs and b = of_list 64 ys in
+      Amac.Bitset.union_into ~src:a ~dst:b;
+      Amac.Bitset.elements b
+      = Iset.elements (Iset.union (Iset.of_list xs) (Iset.of_list ys)))
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "union_into" `Quick test_union_into;
+          Alcotest.test_case "union mismatch" `Quick test_union_mismatch;
+          Alcotest.test_case "copy independence" `Quick test_copy_independent;
+          Alcotest.test_case "subset/equal" `Quick test_subset_equal;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_matches_reference;
+          QCheck_alcotest.to_alcotest prop_union_is_set_union;
+        ] );
+    ]

@@ -1,0 +1,128 @@
+(* The causal-influence tracker in isolation (its engine integration is
+   covered in test_engine.ml and test_partition.ml). *)
+
+module C = Amac.Causal
+
+let test_initial_self_influence () =
+  let c = C.create ~n:4 in
+  for i = 0 to 3 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "node %d self at 0" i)
+      (Some 0)
+      (C.first_influence c ~node:i ~origin:i)
+  done;
+  Alcotest.(check (option int)) "no cross influence yet" None
+    (C.first_influence c ~node:0 ~origin:1)
+
+let test_absorb_records_first_time () =
+  let c = C.create ~n:3 in
+  let snapshot_of_1 = C.snapshot c 1 in
+  C.absorb c ~node:0 ~time:7 snapshot_of_1;
+  Alcotest.(check (option int)) "1 -> 0 at t=7" (Some 7)
+    (C.first_influence c ~node:0 ~origin:1);
+  (* A later re-delivery must not overwrite the first time. *)
+  C.absorb c ~node:0 ~time:20 snapshot_of_1;
+  Alcotest.(check (option int)) "first time kept" (Some 7)
+    (C.first_influence c ~node:0 ~origin:1)
+
+let test_transitivity () =
+  let c = C.create ~n:3 in
+  (* 2's influence reaches 1 at t=3; then 1's (now including 2) reaches 0 at
+     t=9: node 0 is influenced by 2 at 9, not 3. *)
+  C.absorb c ~node:1 ~time:3 (C.snapshot c 2);
+  C.absorb c ~node:0 ~time:9 (C.snapshot c 1);
+  Alcotest.(check (option int)) "2 -> 0 via 1" (Some 9)
+    (C.first_influence c ~node:0 ~origin:2);
+  Alcotest.(check (option int)) "1 -> 0 direct" (Some 9)
+    (C.first_influence c ~node:0 ~origin:1)
+
+let test_snapshot_isolation () =
+  let c = C.create ~n:3 in
+  let snap = C.snapshot c 1 in
+  (* Influence absorbed by node 1 AFTER the snapshot must not leak through
+     the old snapshot — that is the point of snapshotting at broadcast
+     time. *)
+  C.absorb c ~node:1 ~time:2 (C.snapshot c 2);
+  C.absorb c ~node:0 ~time:5 snap;
+  Alcotest.(check (option int)) "no leak of 2 through old snapshot" None
+    (C.first_influence c ~node:0 ~origin:2)
+
+let test_earliest_full_influence () =
+  let c = C.create ~n:3 in
+  Alcotest.(check (option int)) "not full yet" None
+    (C.earliest_full_influence c ~node:0);
+  C.absorb c ~node:0 ~time:4 (C.snapshot c 1);
+  C.absorb c ~node:0 ~time:11 (C.snapshot c 2);
+  Alcotest.(check (option int)) "full at the last arrival" (Some 11)
+    (C.earliest_full_influence c ~node:0)
+
+let test_influence_set_contents () =
+  let c = C.create ~n:4 in
+  C.absorb c ~node:0 ~time:1 (C.snapshot c 3);
+  Alcotest.(check (list int)) "influence set" [ 0; 3 ]
+    (Amac.Bitset.elements (C.influence c 0))
+
+(* Property: under a random absorb script, first_influence times are
+   monotone along causality — checked against a naive reference that
+   replays the script. *)
+let prop_first_influence_matches_reference =
+  QCheck.Test.make ~name:"causal tracker matches a replay reference"
+    ~count:150
+    QCheck.(
+      list_of_size
+        Gen.(1 -- 30)
+        (triple (int_range 0 5) (int_range 0 5) (int_range 1 50)))
+    (fun script ->
+      let n = 6 in
+      let c = C.create ~n in
+      (* Reference: explicit influence sets as int lists. *)
+      let reference = Array.init n (fun i -> [ i ]) in
+      let first = Array.make_matrix n n None in
+      for i = 0 to n - 1 do
+        first.(i).(i) <- Some 0
+      done;
+      (* Times must be non-decreasing for the reference semantics; sort. *)
+      let script =
+        List.sort (fun (_, _, a) (_, _, b) -> Int.compare a b) script
+      in
+      List.iter
+        (fun (src, dst, time) ->
+          let snap = C.snapshot c src in
+          C.absorb c ~node:dst ~time snap;
+          List.iter
+            (fun origin ->
+              if not (List.mem origin reference.(dst)) then begin
+                reference.(dst) <- origin :: reference.(dst);
+                first.(dst).(origin) <- Some time
+              end)
+            reference.(src))
+        script;
+      let ok = ref true in
+      for node = 0 to n - 1 do
+        for origin = 0 to n - 1 do
+          if C.first_influence c ~node ~origin <> first.(node).(origin) then
+            ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "causal"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "initial self influence" `Quick
+            test_initial_self_influence;
+          Alcotest.test_case "absorb first time" `Quick
+            test_absorb_records_first_time;
+          Alcotest.test_case "transitivity" `Quick test_transitivity;
+          Alcotest.test_case "snapshot isolation" `Quick
+            test_snapshot_isolation;
+          Alcotest.test_case "earliest full influence" `Quick
+            test_earliest_full_influence;
+          Alcotest.test_case "influence set" `Quick test_influence_set_contents;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_first_influence_matches_reference ]
+      );
+    ]

@@ -1,0 +1,113 @@
+(* Checker logic over hand-built outcomes. *)
+
+let outcome ?(extra = []) ?(crashed = [||]) decisions : Amac.Engine.outcome =
+  let n = Array.length decisions in
+  {
+    decisions;
+    extra_decides = extra;
+    crashed = (if Array.length crashed = n then crashed else Array.make n false);
+    broadcasts = 0;
+    deliveries = 0;
+    discarded = 0;
+    dropped = 0;
+    max_ids_per_message = 0;
+    end_time = 0;
+    events_processed = 0;
+    unreliable_deliveries = 0;
+    hit_max_time = false;
+    causal = None;
+    trace = [];
+  }
+
+let test_all_good () =
+  let report =
+    Consensus.Checker.check ~inputs:[| 0; 1; 0 |]
+      (outcome [| Some (0, 5); Some (0, 6); Some (0, 4) |])
+  in
+  Alcotest.(check bool) "ok" true (Consensus.Checker.ok report);
+  Alcotest.(check bool) "safe" true (Consensus.Checker.safe report);
+  Alcotest.(check (list int)) "values" [ 0 ] report.decided_values;
+  Alcotest.(check (list string)) "no problems" [] report.problems
+
+let test_agreement_violation () =
+  let report =
+    Consensus.Checker.check ~inputs:[| 0; 1 |]
+      (outcome [| Some (0, 1); Some (1, 1) |])
+  in
+  Alcotest.(check bool) "agreement" false report.agreement;
+  Alcotest.(check bool) "not ok" false (Consensus.Checker.ok report);
+  Alcotest.(check bool) "not safe" false (Consensus.Checker.safe report);
+  Alcotest.(check bool) "explained" true (report.problems <> [])
+
+let test_validity_violation () =
+  let report =
+    Consensus.Checker.check ~inputs:[| 1; 1 |]
+      (outcome [| Some (0, 1); Some (0, 2) |])
+  in
+  Alcotest.(check bool) "validity" false report.validity;
+  Alcotest.(check bool) "agreement still fine" true report.agreement
+
+let test_termination_violation () =
+  let report =
+    Consensus.Checker.check ~inputs:[| 0; 0 |] (outcome [| Some (0, 1); None |])
+  in
+  Alcotest.(check bool) "termination" false report.termination;
+  Alcotest.(check bool) "safe but not ok" true
+    (Consensus.Checker.safe report && not (Consensus.Checker.ok report))
+
+let test_crashed_node_excused () =
+  let report =
+    Consensus.Checker.check ~inputs:[| 0; 0 |]
+      (outcome ~crashed:[| false; true |] [| Some (0, 1); None |])
+  in
+  Alcotest.(check bool) "crashed need not decide" true report.termination;
+  Alcotest.(check bool) "ok" true (Consensus.Checker.ok report)
+
+let test_irrevocability_violation () =
+  let report =
+    Consensus.Checker.check ~inputs:[| 0; 1 |]
+      (outcome ~extra:[ (0, 1, 9) ] [| Some (0, 1); Some (0, 2) |])
+  in
+  Alcotest.(check bool) "irrevocability" false report.irrevocability;
+  Alcotest.(check bool) "not safe" false (Consensus.Checker.safe report)
+
+let test_no_decisions () =
+  let report = Consensus.Checker.check ~inputs:[| 0; 1 |] (outcome [| None; None |]) in
+  Alcotest.(check bool) "agreement vacuous" true report.agreement;
+  Alcotest.(check bool) "validity vacuous" true report.validity;
+  Alcotest.(check bool) "termination fails" false report.termination
+
+let test_input_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Checker.check: inputs length mismatches outcome")
+    (fun () ->
+      ignore (Consensus.Checker.check ~inputs:[| 0 |] (outcome [| None; None |])))
+
+let test_pp () =
+  let good =
+    Consensus.Checker.check ~inputs:[| 1 |] (outcome [| Some (1, 0) |])
+  in
+  Alcotest.(check string) "ok rendering" "consensus ok (decided {1})"
+    (Format.asprintf "%a" Consensus.Checker.pp good)
+
+let () =
+  Alcotest.run "checker"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "all good" `Quick test_all_good;
+          Alcotest.test_case "agreement violation" `Quick
+            test_agreement_violation;
+          Alcotest.test_case "validity violation" `Quick
+            test_validity_violation;
+          Alcotest.test_case "termination violation" `Quick
+            test_termination_violation;
+          Alcotest.test_case "crashed node excused" `Quick
+            test_crashed_node_excused;
+          Alcotest.test_case "irrevocability violation" `Quick
+            test_irrevocability_violation;
+          Alcotest.test_case "no decisions" `Quick test_no_decisions;
+          Alcotest.test_case "input mismatch" `Quick test_input_mismatch;
+          Alcotest.test_case "pretty printing" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,73 @@
+(* The Algorithm 1 erratum demonstration as a regression suite. *)
+
+let demo = lazy (Lowerbound.Erratum.two_phase_demo ())
+
+let test_literal_violates_agreement () =
+  let d = Lazy.force demo in
+  Alcotest.(check bool) "agreement broken" false d.literal_report.agreement;
+  (* The fast node (0) decides its value 0; the slow node (1), missing the
+     decided(0) status hidden in R1, falls back to the default 1. *)
+  Alcotest.(check (list (pair int int))) "who decided what" [ (0, 0); (1, 1) ]
+    d.literal_decisions
+
+let test_literal_other_properties_hold () =
+  let d = Lazy.force demo in
+  Alcotest.(check bool) "validity still fine" true d.literal_report.validity;
+  Alcotest.(check bool) "termination still fine" true
+    d.literal_report.termination;
+  Alcotest.(check bool) "irrevocability still fine" true
+    d.literal_report.irrevocability
+
+let test_corrected_ok () =
+  let d = Lazy.force demo in
+  Alcotest.(check bool) "corrected algorithm agrees" true
+    (Consensus.Checker.ok d.corrected_report);
+  (* The corrected rule sees decided(0) in R1 and follows it. *)
+  Alcotest.(check (list int)) "decides 0" [ 0 ]
+    d.corrected_report.decided_values
+
+let test_literal_fine_on_benign_schedules () =
+  (* The literal transcription is only wrong on the nasty interleaving; on
+     the synchronous scheduler it behaves. *)
+  let result =
+    Consensus.Runner.run Consensus.Two_phase.literal
+      ~topology:(Amac.Topology.clique 4)
+      ~scheduler:Amac.Scheduler.synchronous ~give_n:false
+      ~inputs:(Consensus.Runner.inputs_alternating ~n:4)
+  in
+  Alcotest.(check bool) "literal ok under synchrony" true
+    (Consensus.Checker.ok result.report)
+
+(* Property: across random schedules, whenever literal and corrected runs
+   both terminate, the CORRECTED one never violates; any divergence between
+   them is a literal-rule agreement break. *)
+let prop_corrected_never_worse =
+  QCheck.Test.make ~name:"corrected two-phase correct wherever literal runs"
+    ~count:200
+    QCheck.(triple (int_range 2 8) small_int (int_range 1 8))
+    (fun (n, seed, fack) ->
+      let run algorithm =
+        Consensus.Runner.run algorithm
+          ~topology:(Amac.Topology.clique n)
+          ~scheduler:(Amac.Scheduler.random (Amac.Rng.create seed) ~fack)
+          ~give_n:false
+          ~inputs:(Consensus.Runner.inputs_alternating ~n)
+      in
+      let corrected = run Consensus.Two_phase.algorithm in
+      Consensus.Checker.ok corrected.report)
+
+let () =
+  Alcotest.run "erratum"
+    [
+      ( "algorithm 1 line 23",
+        [
+          Alcotest.test_case "literal violates agreement" `Quick
+            test_literal_violates_agreement;
+          Alcotest.test_case "only agreement breaks" `Quick
+            test_literal_other_properties_hold;
+          Alcotest.test_case "corrected ok" `Quick test_corrected_ok;
+          Alcotest.test_case "literal ok when benign" `Quick
+            test_literal_fine_on_benign_schedules;
+          QCheck_alcotest.to_alcotest prop_corrected_never_worse;
+        ] );
+    ]

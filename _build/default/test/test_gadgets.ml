@@ -1,0 +1,153 @@
+(* The Fig 1 / Fig 2 constructions: Claim 3.4 and the covering property. *)
+
+module T = Amac.Topology
+module G = Lowerbound.Gadgets
+
+let test_fig1_claim_3_4 () =
+  (* Claim 3.4: networks A and B have the same size and the same diameter
+     (the target D = 2d + 2). *)
+  List.iter
+    (fun (d, k) ->
+      let f = G.fig1 ~d ~k in
+      let target_diameter = (2 * d) + 2 in
+      Alcotest.(check int)
+        (Printf.sprintf "sizes equal (d=%d,k=%d)" d k)
+        (T.size f.network_a) (T.size f.network_b);
+      Alcotest.(check int) "A diameter" target_diameter (T.diameter f.network_a);
+      Alcotest.(check int) "B diameter" target_diameter (T.diameter f.network_b);
+      Alcotest.(check bool) "A connected" true (T.is_connected f.network_a);
+      Alcotest.(check bool) "B connected" true (T.is_connected f.network_b))
+    [ (4, 2); (4, 5); (5, 2); (7, 9); (10, 3) ]
+
+let test_fig1_for_target () =
+  List.iter
+    (fun (diameter, n) ->
+      let f = G.fig1_for ~diameter ~n in
+      Alcotest.(check int) "hits diameter" diameter (T.diameter f.network_a);
+      Alcotest.(check bool) "size at least n" true (T.size f.network_a >= n);
+      (* Thm 3.3 promises n' = Theta(n): our construction stays within 3x. *)
+      Alcotest.(check bool) "size O(n)" true
+        (T.size f.network_a <= max (3 * n) (3 * diameter)))
+    [ (10, 10); (10, 60); (14, 30); (24, 100) ]
+
+let test_fig1_validation () =
+  Alcotest.check_raises "d >= 4" (Invalid_argument "Gadgets.fig1: need d >= 4")
+    (fun () -> ignore (G.fig1 ~d:3 ~k:2));
+  Alcotest.check_raises "k >= 2"
+    (Invalid_argument "Gadgets.fig1: need k >= 2 (lift connectivity)")
+    (fun () -> ignore (G.fig1 ~d:4 ~k:1));
+  Alcotest.check_raises "even diameter"
+    (Invalid_argument "Gadgets.fig1_for: need an even diameter >= 10")
+    (fun () -> ignore (G.fig1_for ~diameter:11 ~n:20))
+
+let test_fig1_partition_structure () =
+  let f = G.fig1 ~d:5 ~k:3 in
+  let g = T.size f.gadget in
+  Alcotest.(check int) "a0 size" g (List.length f.a0);
+  Alcotest.(check int) "a1 size" g (List.length f.a1);
+  Alcotest.(check int) "clique size" (g - 1) (List.length f.clique);
+  Alcotest.(check int) "total" (3 * g) (T.size f.network_a);
+  (* q is adjacent to both connectors and all clique nodes. *)
+  Alcotest.(check bool) "q-c0" true
+    (T.has_edge f.network_a f.q (f.a_node ~side:0 0));
+  Alcotest.(check bool) "q-c1" true
+    (T.has_edge f.network_a f.q (f.a_node ~side:1 0));
+  List.iter
+    (fun c -> Alcotest.(check bool) "q-clique" true (T.has_edge f.network_a f.q c))
+    f.clique;
+  (* No edge crosses directly between the two gadget copies. *)
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          if T.has_edge f.network_a u v then
+            Alcotest.fail "gadget copies must only meet at q")
+        f.a1)
+    f.a0
+
+(* The paper's property (star): every node of B has, for each neighbor class Sv
+   of its gadget-node's neighbors, exactly one neighbor — and nothing else.
+   Equivalently: B is a covering graph of the gadget. *)
+let test_fig1_covering_property () =
+  let f = G.fig1 ~d:6 ~k:4 in
+  let g = T.size f.gadget in
+  for copy = 0 to 2 do
+    for v = 0 to g - 1 do
+      let image = f.b_copy ~copy v in
+      let b_neighbors = T.neighbors f.network_b image in
+      let gadget_neighbors = T.neighbors f.gadget v in
+      (* Same degree... *)
+      Alcotest.(check int)
+        (Printf.sprintf "degree of copy %d of %d" copy v)
+        (List.length gadget_neighbors)
+        (List.length b_neighbors);
+      (* ...and each B-neighbor projects to a distinct gadget-neighbor. *)
+      let projected =
+        List.map (fun u -> u mod g) b_neighbors |> List.sort_uniq Int.compare
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "projection of copy %d of %d" copy v)
+        gadget_neighbors projected
+    done
+  done
+
+let test_kd_structure () =
+  List.iter
+    (fun diameter ->
+      let kd = G.kd ~diameter in
+      Alcotest.(check int) "diameter" diameter (T.diameter kd.topology);
+      Alcotest.(check int) "size" ((3 * diameter) + 2) (T.size kd.topology);
+      Alcotest.(check int) "l1 size" (diameter + 1) (List.length kd.l1);
+      Alcotest.(check int) "l2 size" (diameter + 1) (List.length kd.l2);
+      Alcotest.(check int) "middle size" diameter (List.length kd.middle);
+      (* Every L node touches the endpoint. *)
+      List.iter
+        (fun u ->
+          Alcotest.(check bool) "endpoint edge" true
+            (T.has_edge kd.topology u kd.endpoint))
+        (kd.l1 @ kd.l2);
+      (* The two L_D copies never touch each other directly. *)
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v ->
+              if T.has_edge kd.topology u v then
+                Alcotest.fail "L1 and L2 must be disjoint")
+            kd.l2)
+        kd.l1)
+    [ 2; 3; 6; 12 ]
+
+let test_kd_validation () =
+  Alcotest.check_raises "diameter >= 2"
+    (Invalid_argument "Gadgets.kd: need diameter >= 2") (fun () ->
+      ignore (G.kd ~diameter:1))
+
+let prop_fig1_claim_3_4_holds =
+  QCheck.Test.make ~name:"Claim 3.4 for random (d, k)" ~count:25
+    QCheck.(pair (int_range 4 9) (int_range 2 8))
+    (fun (d, k) ->
+      let f = G.fig1 ~d ~k in
+      T.size f.network_a = T.size f.network_b
+      && T.diameter f.network_a = (2 * d) + 2
+      && T.diameter f.network_b = (2 * d) + 2)
+
+let () =
+  Alcotest.run "gadgets"
+    [
+      ( "fig1",
+        [
+          Alcotest.test_case "claim 3.4" `Quick test_fig1_claim_3_4;
+          Alcotest.test_case "fig1_for targets" `Quick test_fig1_for_target;
+          Alcotest.test_case "validation" `Quick test_fig1_validation;
+          Alcotest.test_case "partition structure" `Quick
+            test_fig1_partition_structure;
+          Alcotest.test_case "covering property (star)" `Quick
+            test_fig1_covering_property;
+        ] );
+      ( "kd",
+        [
+          Alcotest.test_case "structure" `Quick test_kd_structure;
+          Alcotest.test_case "validation" `Quick test_kd_validation;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_fig1_claim_3_4_holds ]);
+    ]

@@ -1,0 +1,97 @@
+(* The executable Thm 3.3 / Thm 3.9 indistinguishability demos. *)
+
+let test_fig1_violation () =
+  let demo = Lowerbound.Indist.fig1_demo ~diameter:10 ~n:30 in
+  Alcotest.(check bool) "victim correct on network B" true demo.b_ok;
+  Alcotest.(check bool) "agreement violated on network A" false
+    demo.a_report.agreement;
+  Alcotest.(check (list int)) "A0 decided 0" [ 0 ] demo.a0_values;
+  Alcotest.(check (list int)) "A1 decided 1" [ 1 ] demo.a1_values;
+  Alcotest.(check bool) "overall violation flag" true demo.violated
+
+let test_fig1_various_sizes () =
+  List.iter
+    (fun (diameter, n) ->
+      let demo = Lowerbound.Indist.fig1_demo ~diameter ~n in
+      if not demo.violated then
+        Alcotest.failf "no violation for D=%d n=%d" diameter n)
+    [ (10, 10); (12, 40); (16, 60) ]
+
+let test_fig1_b_decides_both_ways () =
+  (* Lemma 3.5: on B the victim terminates deciding b for both inputs b. *)
+  let demo = Lowerbound.Indist.fig1_demo ~diameter:10 ~n:24 in
+  Alcotest.(check bool) "decision times recorded" true
+    (demo.b_decide_time_0 > 0 && demo.b_decide_time_1 > 0)
+
+let test_kd_violation () =
+  let demo = Lowerbound.Indist.kd_demo ~diameter:6 in
+  Alcotest.(check bool) "victim correct on the line" true demo.line_ok;
+  Alcotest.(check bool) "agreement violated on K_D" false
+    demo.kd_report.agreement;
+  Alcotest.(check (list int)) "L1 decided 0" [ 0 ] demo.l1_values;
+  Alcotest.(check (list int)) "L2 decided 1" [ 1 ] demo.l2_values;
+  Alcotest.(check bool) "overall violation flag" true demo.violated
+
+let test_kd_various_diameters () =
+  List.iter
+    (fun diameter ->
+      let demo = Lowerbound.Indist.kd_demo ~diameter in
+      if not demo.violated then Alcotest.failf "no violation for D=%d" diameter)
+    [ 3; 5; 9; 14 ]
+
+(* Control: with ids AND knowledge of n, wPAXOS is untroubled by K_D under
+   the same semi-synchronous scheduler — the lower bound is specifically
+   about the missing knowledge, not the topology. *)
+let test_kd_wpaxos_control () =
+  let kd = Lowerbound.Gadgets.kd ~diameter:5 in
+  let size = Amac.Topology.size kd.topology in
+  let cut ~sender ~receiver =
+    sender = kd.endpoint && List.mem receiver (kd.l1 @ kd.l2)
+  in
+  let scheduler = Amac.Scheduler.delayed_cut ~base_fack:1 ~until:40 ~cut in
+  let inputs = Array.make size 0 in
+  List.iter (fun node -> inputs.(node) <- 1) kd.l2;
+  let result =
+    Consensus.Runner.run (Consensus.Wpaxos.make ()) ~topology:kd.topology
+      ~scheduler ~inputs ~max_time:1_000_000
+  in
+  Alcotest.(check bool) "wpaxos survives the K_D scheduler" true
+    (Consensus.Checker.ok result.report)
+
+(* Control: the anonymous victim is fine on network A when the scheduler is
+   honestly synchronous — the violation needs the adversarial delays. *)
+let test_fig1_synchronous_control () =
+  let f = Lowerbound.Gadgets.fig1_for ~diameter:10 ~n:20 in
+  let size = Amac.Topology.size f.network_a in
+  let identities = Amac.Node_id.identity_assignment ~n:size ~kind:`Anonymous in
+  let inputs = Array.make size 0 in
+  List.iter (fun node -> inputs.(node) <- 1) f.a1;
+  let result =
+    Consensus.Runner.run
+      (Consensus.Round_flood.make ~target:`Knows_n)
+      ~identities ~topology:f.network_a
+      ~scheduler:Amac.Scheduler.synchronous ~inputs
+  in
+  Alcotest.(check bool) "synchronous A is fine" true
+    (Consensus.Checker.ok result.report)
+
+let () =
+  Alcotest.run "indist"
+    [
+      ( "thm 3.3 (fig 1)",
+        [
+          Alcotest.test_case "violation demo" `Quick test_fig1_violation;
+          Alcotest.test_case "various sizes" `Slow test_fig1_various_sizes;
+          Alcotest.test_case "B decides both ways" `Quick
+            test_fig1_b_decides_both_ways;
+          Alcotest.test_case "synchronous control" `Quick
+            test_fig1_synchronous_control;
+        ] );
+      ( "thm 3.9 (K_D)",
+        [
+          Alcotest.test_case "violation demo" `Quick test_kd_violation;
+          Alcotest.test_case "various diameters" `Quick
+            test_kd_various_diameters;
+          Alcotest.test_case "wpaxos control" `Quick test_kd_wpaxos_control;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Multi-valued consensus via bit-by-bit binary consensus (the reduction
+   the paper's Sec 2 open problem takes as the baseline). The subtle
+   property is validity: the decided value must be some node's input, which
+   naive bitwise agreement does not give — these tests hammer exactly
+   that. *)
+
+let over_two_phase ~bits = Consensus.Multi_value.make ~bits Consensus.Two_phase.algorithm
+
+let run ?(algorithm = over_two_phase ~bits:4) ?(give_n = false) ~n ~seed
+    ?(fack = 5) inputs =
+  Consensus.Runner.run algorithm ~give_n
+    ~topology:(Amac.Topology.clique n)
+    ~scheduler:(Amac.Scheduler.random (Amac.Rng.create seed) ~fack)
+    ~inputs ~max_time:500_000
+
+let check_ok what (result : Consensus.Runner.result) =
+  if not (Consensus.Checker.ok result.report) then
+    Alcotest.failf "%s: %s" what
+      (String.concat "; " result.report.Consensus.Checker.problems)
+
+let test_unanimous () =
+  List.iter
+    (fun value ->
+      let result = run ~n:5 ~seed:1 (Array.make 5 value) in
+      check_ok "unanimous" result;
+      Alcotest.(check (list int)) "decides the input" [ value ]
+        result.report.decided_values)
+    [ 0; 9; 15 ]
+
+let test_distinct_values () =
+  let inputs = [| 14; 11; 8; 5; 2 |] in
+  let result = run ~n:5 ~seed:2 inputs in
+  check_ok "all distinct" result
+
+let test_single_node () =
+  let result = run ~n:1 ~seed:3 [| 12 |] in
+  check_ok "n=1" result;
+  Alcotest.(check (list int)) "own value" [ 12 ] result.report.decided_values
+
+let test_two_nodes () =
+  let result = run ~n:2 ~seed:4 [| 3; 12 |] in
+  check_ok "n=2" result
+
+let test_one_bit_degenerate () =
+  (* bits=1 is plain binary consensus. *)
+  let result = run ~algorithm:(over_two_phase ~bits:1) ~n:6 ~seed:5
+      (Consensus.Runner.inputs_alternating ~n:6)
+  in
+  check_ok "bits=1" result
+
+let test_over_wpaxos_multihop () =
+  let inputs = [| 5; 2; 7; 1; 6; 3; 0; 4; 5 |] in
+  let algorithm = Consensus.Multi_value.make ~bits:3 (Consensus.Wpaxos.make ()) in
+  let result =
+    Consensus.Runner.run algorithm
+      ~topology:(Amac.Topology.grid ~width:3 ~height:3)
+      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create 9) ~fack:3)
+      ~inputs ~max_time:2_000_000
+  in
+  check_ok "multi-value over wpaxos" result
+
+let test_input_range_validation () =
+  (try
+     ignore (run ~algorithm:(over_two_phase ~bits:2) ~n:2 ~seed:1 [| 4; 0 |]);
+     Alcotest.fail "input out of range accepted"
+   with Invalid_argument _ -> ());
+  Alcotest.check_raises "bits range"
+    (Invalid_argument "Multi_value.make: need 1 <= bits <= 30") (fun () ->
+      ignore (over_two_phase ~bits:0))
+
+let test_message_tagging () =
+  (* The wire format keeps the base algorithm's id budget. *)
+  let result = run ~n:4 ~seed:6 [| 1; 2; 3; 4 |] in
+  Alcotest.(check bool) "one id per message (two-phase payloads)" true
+    (result.outcome.max_ids_per_message <= 1)
+
+(* The central property: agreement + validity + termination for arbitrary
+   value vectors, sizes, seeds — validity is where naive bitwise agreement
+   would fail (e.g. inputs {14=1110, 11=1011} can naively decide 1010=10,
+   nobody's input). *)
+let prop_consensus_multivalued =
+  QCheck.Test.make ~name:"multi-value consensus (validity included)"
+    ~count:200
+    QCheck.(
+      quad (int_range 1 8) small_int (int_range 1 8)
+        (list_of_size (Gen.return 8) (int_range 0 15)))
+    (fun (n, seed, fack, values) ->
+      let inputs = Array.init n (List.nth values) in
+      let result = run ~n ~seed ~fack inputs in
+      Consensus.Checker.ok result.report)
+
+(* Regression for the adversarial-validity scenario specifically: two
+   values whose bitwise mix is in neither. *)
+let prop_no_bit_mixing =
+  QCheck.Test.make ~name:"decided value is never a bitwise mixture"
+    ~count:100
+    QCheck.(triple small_int (int_range 0 15) (int_range 0 15))
+    (fun (seed, a, b) ->
+      QCheck.assume (a <> b);
+      let inputs = [| a; b; a; b; a |] in
+      let result = run ~n:5 ~seed inputs in
+      Consensus.Checker.ok result.report
+      && List.for_all (fun v -> v = a || v = b) result.report.decided_values)
+
+let () =
+  Alcotest.run "multi_value"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "unanimous" `Quick test_unanimous;
+          Alcotest.test_case "distinct values" `Quick test_distinct_values;
+          Alcotest.test_case "single node" `Quick test_single_node;
+          Alcotest.test_case "two nodes" `Quick test_two_nodes;
+          Alcotest.test_case "bits=1" `Quick test_one_bit_degenerate;
+          Alcotest.test_case "over wpaxos (multihop)" `Slow
+            test_over_wpaxos_multihop;
+          Alcotest.test_case "validation" `Quick test_input_range_validation;
+          Alcotest.test_case "message tagging" `Quick test_message_tagging;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_consensus_multivalued;
+          QCheck_alcotest.to_alcotest prop_no_bit_mixing;
+        ] );
+    ]

@@ -1,0 +1,60 @@
+let test_compare () =
+  let open Amac.Node_id in
+  Alcotest.(check bool) "id order" true (compare (Id 1) (Id 2) < 0);
+  Alcotest.(check bool) "id equal" true (compare (Id 3) (Id 3) = 0);
+  Alcotest.(check bool) "anon below ids" true (compare Anonymous (Id 0) < 0);
+  Alcotest.(check bool) "anon equal" true (compare Anonymous Anonymous = 0);
+  Alcotest.(check bool) "equal fn" true (equal (Id 7) (Id 7));
+  Alcotest.(check bool) "not equal fn" false (equal (Id 7) Anonymous)
+
+let test_pp () =
+  Alcotest.(check string) "id" "#7" (Amac.Node_id.to_string (Id 7));
+  Alcotest.(check string) "anon" "anon" (Amac.Node_id.to_string Anonymous)
+
+let test_unique_exn () =
+  Alcotest.(check int) "id value" 9 (Amac.Node_id.unique_exn (Id 9));
+  Alcotest.check_raises "anonymous raises"
+    (Invalid_argument "Node_id.unique_exn: anonymous node has no unique id")
+    (fun () -> ignore (Amac.Node_id.unique_exn Anonymous))
+
+let ids_of = Array.map Amac.Node_id.unique_exn
+
+let test_dense () =
+  let ids = Amac.Node_id.identity_assignment ~n:5 ~kind:`Dense in
+  Alcotest.(check (array int)) "dense" [| 0; 1; 2; 3; 4 |] (ids_of ids)
+
+let test_offset () =
+  let ids = Amac.Node_id.identity_assignment ~n:3 ~kind:(`Offset 100) in
+  Alcotest.(check (array int)) "offset" [| 100; 101; 102 |] (ids_of ids)
+
+let test_anonymous () =
+  let ids = Amac.Node_id.identity_assignment ~n:4 ~kind:`Anonymous in
+  Array.iter
+    (fun id ->
+      Alcotest.(check bool) "anon" true (Amac.Node_id.equal id Anonymous))
+    ids
+
+let prop_shuffled_is_permutation =
+  QCheck.Test.make ~name:"shuffled ids are a permutation of 0..n-1" ~count:100
+    QCheck.(pair small_int (int_range 1 50))
+    (fun (seed, n) ->
+      let rng = Amac.Rng.create seed in
+      let ids =
+        Amac.Node_id.identity_assignment ~n ~kind:(`Shuffled rng) |> ids_of
+      in
+      List.sort Int.compare (Array.to_list ids) = List.init n (fun i -> i))
+
+let () =
+  Alcotest.run "node_id"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "pp" `Quick test_pp;
+          Alcotest.test_case "unique_exn" `Quick test_unique_exn;
+          Alcotest.test_case "dense assignment" `Quick test_dense;
+          Alcotest.test_case "offset assignment" `Quick test_offset;
+          Alcotest.test_case "anonymous assignment" `Quick test_anonymous;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_shuffled_is_permutation ]);
+    ]

@@ -1,0 +1,96 @@
+(* The Thm 3.10 Omega(D * F_ack) bound, measured via causal influence. *)
+
+let test_cross_influence_exact () =
+  (* Under max-delay, influence crosses exactly one hop per F_ack. The
+     nearest opposite-half node is ceil(D/2) hops from an endpoint, so the
+     earliest cross-influence is exactly ceil(D/2) * F_ack — which meets the
+     paper's floor(D/2) * F_ack bound with equality at even D and exceeds it
+     by one hop at odd D. *)
+  List.iter
+    (fun (diameter, fack) ->
+      let a =
+        Lowerbound.Partition.analyze (Consensus.Wpaxos.make ()) ~diameter
+          ~fack
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "bound D=%d fack=%d" diameter fack)
+        (diameter / 2 * fack)
+        a.lower_bound;
+      Alcotest.(check int) "cross influence = ceil(D/2)*F_ack"
+        ((diameter + 1) / 2 * fack)
+        a.endpoint_cross_influence;
+      Alcotest.(check bool) "cross influence >= bound" true
+        (a.endpoint_cross_influence >= a.lower_bound))
+    [ (4, 3); (8, 2); (8, 5); (13, 4) ]
+
+let test_decisions_respect_bound () =
+  List.iter
+    (fun (diameter, fack) ->
+      let a =
+        Lowerbound.Partition.analyze (Consensus.Wpaxos.make ()) ~diameter
+          ~fack
+      in
+      Alcotest.(check bool) "consensus ok" true a.consensus_ok;
+      if a.first_decision < a.lower_bound then
+        Alcotest.failf "decision at %d before bound %d" a.first_decision
+          a.lower_bound)
+    [ (4, 3); (8, 4); (16, 2) ]
+
+let test_two_phase_also_respects_bound () =
+  (* Even the (single-hop) two-phase algorithm on a diameter-1 "line" (a
+     2-clique) respects the trivial bound. More interestingly, flood-gather
+     on lines also sits above the bound. *)
+  let a =
+    Lowerbound.Partition.analyze
+      (Consensus.Flood_gather.make ())
+      ~diameter:10 ~fack:3
+  in
+  Alcotest.(check bool) "consensus ok" true a.consensus_ok;
+  Alcotest.(check bool) "bound respected" true
+    (a.first_decision >= a.lower_bound)
+
+let test_ratio_stays_bounded () =
+  (* Optimality in the Thm 4.6 sense: decision time / (D * F_ack/2) stays a
+     small constant as D grows — no super-linear blowup. *)
+  let ratios =
+    List.map
+      (fun diameter ->
+        let a =
+          Lowerbound.Partition.analyze (Consensus.Wpaxos.make ()) ~diameter
+            ~fack:3
+        in
+        a.ratio)
+      [ 6; 12; 24 ]
+  in
+  List.iter
+    (fun r ->
+      if r > 40.0 then Alcotest.failf "ratio %.1f suggests non-linear time" r)
+    ratios
+
+let prop_bound_holds_on_random_fack =
+  QCheck.Test.make ~name:"first decision >= floor(D/2)*F_ack (max-delay)"
+    ~count:20
+    QCheck.(pair (int_range 2 10) (int_range 1 6))
+    (fun (diameter, fack) ->
+      let a =
+        Lowerbound.Partition.analyze (Consensus.Wpaxos.make ()) ~diameter
+          ~fack
+      in
+      a.consensus_ok && a.first_decision >= a.lower_bound)
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "thm 3.10",
+        [
+          Alcotest.test_case "cross influence exact" `Quick
+            test_cross_influence_exact;
+          Alcotest.test_case "decisions respect bound" `Quick
+            test_decisions_respect_bound;
+          Alcotest.test_case "other algorithms too" `Quick
+            test_two_phase_also_respects_bound;
+          Alcotest.test_case "ratio bounded (optimality)" `Slow
+            test_ratio_stays_bounded;
+          QCheck_alcotest.to_alcotest prop_bound_holds_on_random_fack;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+(* Tests for the deterministic splittable PRNG. *)
+
+let test_determinism () =
+  let a = Amac.Rng.create 42 and b = Amac.Rng.create 42 in
+  let seq rng = List.init 50 (fun _ -> Amac.Rng.int rng 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b)
+
+let test_seed_sensitivity () =
+  let a = Amac.Rng.create 1 and b = Amac.Rng.create 2 in
+  let seq rng = List.init 20 (fun _ -> Amac.Rng.int rng 1_000_000) in
+  Alcotest.(check bool) "different seeds diverge" true (seq a <> seq b)
+
+let test_int_bounds () =
+  let rng = Amac.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Amac.Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "int out of bounds"
+  done
+
+let test_int_invalid () =
+  let rng = Amac.Rng.create 7 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Amac.Rng.int rng 0))
+
+let test_int_range () =
+  let rng = Amac.Rng.create 11 in
+  let saw_lo = ref false and saw_hi = ref false in
+  for _ = 1 to 2000 do
+    let v = Amac.Rng.int_range rng ~lo:3 ~hi:5 in
+    if v < 3 || v > 5 then Alcotest.fail "int_range out of bounds";
+    if v = 3 then saw_lo := true;
+    if v = 5 then saw_hi := true
+  done;
+  Alcotest.(check bool) "inclusive bounds hit" true (!saw_lo && !saw_hi)
+
+let test_split_independence () =
+  let parent = Amac.Rng.create 3 in
+  let child = Amac.Rng.split parent in
+  let child_seq = List.init 10 (fun _ -> Amac.Rng.int child 1000) in
+  (* Drawing more from the parent must not change what the child produced. *)
+  let parent2 = Amac.Rng.create 3 in
+  let child2 = Amac.Rng.split parent2 in
+  ignore (Amac.Rng.int parent2 10);
+  let child2_seq = List.init 10 (fun _ -> Amac.Rng.int child2 1000) in
+  Alcotest.(check (list int)) "split stream is fixed at split time" child_seq
+    child2_seq
+
+let test_float_bounds () =
+  let rng = Amac.Rng.create 13 in
+  for _ = 1 to 1000 do
+    let v = Amac.Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "float out of bounds"
+  done
+
+let test_bool_mixes () =
+  let rng = Amac.Rng.create 17 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Amac.Rng.bool rng then incr trues
+  done;
+  (* A fair coin landing outside [300, 700] of 1000 would be astronomical. *)
+  Alcotest.(check bool) "roughly fair" true (!trues > 300 && !trues < 700)
+
+let test_pick () =
+  let rng = Amac.Rng.create 19 in
+  for _ = 1 to 100 do
+    let v = Amac.Rng.pick rng [ 1; 2; 3 ] in
+    if v < 1 || v > 3 then Alcotest.fail "pick out of list"
+  done;
+  Alcotest.check_raises "empty pick"
+    (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Amac.Rng.pick rng []))
+
+let prop_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle yields a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, values) ->
+      let rng = Amac.Rng.create seed in
+      let arr = Array.of_list values in
+      Amac.Rng.shuffle rng arr;
+      List.sort Int.compare (Array.to_list arr)
+      = List.sort Int.compare values)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "int_range inclusive" `Quick test_int_range;
+          Alcotest.test_case "split independence" `Quick test_split_independence;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "bool mixes" `Quick test_bool_mixes;
+          Alcotest.test_case "pick" `Quick test_pick;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_shuffle_permutes ]);
+    ]

@@ -1,0 +1,86 @@
+let feq = Alcotest.float 1e-9
+
+let test_mean () =
+  Alcotest.check feq "mean" 2.5 (Amac.Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  Alcotest.check feq "singleton" 7.0 (Amac.Stats.mean [ 7.0 ])
+
+let test_min_max () =
+  Alcotest.check feq "min" 1.0 (Amac.Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  Alcotest.check feq "max" 3.0 (Amac.Stats.maximum [ 3.0; 1.0; 2.0 ])
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.check feq "p50" 50.0 (Amac.Stats.percentile 50.0 xs);
+  Alcotest.check feq "p99" 99.0 (Amac.Stats.percentile 99.0 xs);
+  Alcotest.check feq "p0 -> min" 1.0 (Amac.Stats.percentile 0.0 xs);
+  Alcotest.check feq "p100 -> max" 100.0 (Amac.Stats.percentile 100.0 xs);
+  Alcotest.check feq "median alias" 50.0 (Amac.Stats.median xs)
+
+let test_stddev () =
+  Alcotest.check feq "constant" 0.0 (Amac.Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  Alcotest.check feq "spread" 2.0 (Amac.Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean" (Invalid_argument "Stats.mean: empty list")
+    (fun () -> ignore (Amac.Stats.mean []));
+  Alcotest.check_raises "percentile range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Amac.Stats.percentile 101.0 [ 1.0 ]))
+
+let test_table () =
+  let table =
+    Amac.Stats.Table.create ~title:"demo" ~columns:[ "name"; "value" ]
+  in
+  Amac.Stats.Table.add_row table [ "alpha"; "1" ];
+  Amac.Stats.Table.add_row table [ "b"; "22" ];
+  Amac.Stats.Table.add_note table "a footnote";
+  let rendered = Amac.Stats.Table.render table in
+  Alcotest.(check bool) "has title" true
+    (String.length rendered > 0
+    && String.sub rendered 0 11 = "== demo ==\n");
+  (* Columns aligned: every data row has the same 'value' column offset. *)
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "line count (title+hdr+rule+2rows+note+trailing)" 7
+    (List.length lines);
+  Alcotest.(check bool) "note present" true
+    (List.exists (fun l -> l = "  note: a footnote") lines)
+
+let test_table_arity () =
+  let table = Amac.Stats.Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "cell count"
+    (Invalid_argument "Stats.Table.add_row: 1 cells for 2 columns") (fun () ->
+      Amac.Stats.Table.add_row table [ "only" ])
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile stays within [min, max]" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 40) (float_bound_exclusive 100.0)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let v = Amac.Stats.percentile p xs in
+      v >= Amac.Stats.minimum xs && v <= Amac.Stats.maximum xs)
+
+let prop_mean_bounds =
+  QCheck.Test.make ~name:"mean stays within [min, max]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let m = Amac.Stats.mean xs in
+      m >= Amac.Stats.minimum xs -. 1e-9 && m <= Amac.Stats.maximum xs +. 1e-9)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "empty raises" `Quick test_empty_raises;
+          Alcotest.test_case "table rendering" `Quick test_table;
+          Alcotest.test_case "table arity" `Quick test_table_arity;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_percentile_bounds;
+          QCheck_alcotest.to_alcotest prop_mean_bounds;
+        ] );
+    ]

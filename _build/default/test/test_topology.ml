@@ -1,0 +1,177 @@
+module T = Amac.Topology
+
+let test_clique () =
+  let g = T.clique 6 in
+  Alcotest.(check int) "size" 6 (T.size g);
+  Alcotest.(check int) "edges" 15 (T.num_edges g);
+  Alcotest.(check int) "diameter" 1 (T.diameter g);
+  Alcotest.(check bool) "is_clique" true (T.is_clique g);
+  Alcotest.(check int) "degree" 5 (T.degree g 3)
+
+let test_line () =
+  let g = T.line 8 in
+  Alcotest.(check int) "diameter" 7 (T.diameter g);
+  Alcotest.(check int) "endpoint degree" 1 (T.degree g 0);
+  Alcotest.(check int) "inner degree" 2 (T.degree g 4);
+  Alcotest.(check bool) "not clique" false (T.is_clique g);
+  Alcotest.(check (list int)) "neighbors of 3" [ 2; 4 ] (T.neighbors g 3)
+
+let test_single_node () =
+  let g = T.line 1 in
+  Alcotest.(check int) "size" 1 (T.size g);
+  Alcotest.(check bool) "connected" true (T.is_connected g);
+  Alcotest.(check int) "diameter" 0 (T.diameter g);
+  Alcotest.(check bool) "clique" true (T.is_clique g)
+
+let test_ring () =
+  let g = T.ring 10 in
+  Alcotest.(check int) "diameter" 5 (T.diameter g);
+  Alcotest.(check int) "edges" 10 (T.num_edges g);
+  Alcotest.(check bool) "wrap edge" true (T.has_edge g 9 0)
+
+let test_star () =
+  let g = T.star 9 in
+  Alcotest.(check int) "diameter" 2 (T.diameter g);
+  Alcotest.(check int) "hub degree" 8 (T.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (T.degree g 5)
+
+let test_grid () =
+  let g = T.grid ~width:4 ~height:3 in
+  Alcotest.(check int) "size" 12 (T.size g);
+  Alcotest.(check int) "diameter" 5 (T.diameter g);
+  (* corner, edge, inner degrees *)
+  Alcotest.(check int) "corner" 2 (T.degree g 0);
+  Alcotest.(check int) "inner" 4 (T.degree g 5)
+
+let test_torus () =
+  let g = T.torus ~width:4 ~height:4 in
+  Alcotest.(check int) "size" 16 (T.size g);
+  Alcotest.(check int) "regular degree" 4 (T.degree g 0);
+  Alcotest.(check int) "diameter" 4 (T.diameter g)
+
+let test_binary_tree () =
+  let g = T.binary_tree 7 in
+  Alcotest.(check int) "size" 7 (T.size g);
+  Alcotest.(check int) "edges" 6 (T.num_edges g);
+  Alcotest.(check int) "diameter" 4 (T.diameter g);
+  Alcotest.(check int) "root degree" 2 (T.degree g 0)
+
+let test_barbell () =
+  let g = T.barbell ~clique_size:5 in
+  Alcotest.(check int) "size" 10 (T.size g);
+  Alcotest.(check int) "diameter" 3 (T.diameter g);
+  Alcotest.(check bool) "bridge" true (T.has_edge g 4 5)
+
+let test_star_of_lines () =
+  let g = T.star_of_lines ~arms:3 ~arm_len:4 in
+  Alcotest.(check int) "size" 13 (T.size g);
+  Alcotest.(check int) "diameter" 8 (T.diameter g);
+  Alcotest.(check int) "hub degree" 3 (T.degree g 0)
+
+let test_lollipop () =
+  let g = T.lollipop ~clique_size:4 ~tail_len:3 in
+  Alcotest.(check int) "size" 7 (T.size g);
+  Alcotest.(check int) "diameter" 4 (T.diameter g)
+
+let test_of_edges_validation () =
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Topology: self-loop at node 2") (fun () ->
+      ignore (T.of_edges ~n:3 [ (2, 2) ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Topology: duplicate edge (0,1)") (fun () ->
+      ignore (T.of_edges ~n:3 [ (0, 1); (1, 0) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Topology: edge (0,5) out of range for n=3") (fun () ->
+      ignore (T.of_edges ~n:3 [ (0, 5) ]))
+
+let test_disconnected () =
+  let g = T.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "not connected" false (T.is_connected g);
+  Alcotest.check_raises "diameter raises"
+    (Invalid_argument "Topology.eccentricity: graph is disconnected")
+    (fun () -> ignore (T.diameter g))
+
+let test_bfs_dist () =
+  let g = T.line 5 in
+  Alcotest.(check (array int)) "distances from 0" [| 0; 1; 2; 3; 4 |]
+    (T.bfs_dist g 0);
+  Alcotest.(check (array int)) "distances from middle" [| 2; 1; 0; 1; 2 |]
+    (T.bfs_dist g 2)
+
+let test_disjoint_union_add_edges () =
+  let g = T.disjoint_union (T.line 3) (T.line 2) in
+  Alcotest.(check int) "size" 5 (T.size g);
+  Alcotest.(check bool) "disconnected" false (T.is_connected g);
+  let g = T.add_edges g [ (2, 3) ] in
+  Alcotest.(check bool) "joined" true (T.is_connected g);
+  Alcotest.(check int) "diameter" 4 (T.diameter g)
+
+let test_edges_each_once () =
+  let g = T.clique 4 in
+  Alcotest.(check int) "edge count" 6 (List.length (T.edges g));
+  List.iter
+    (fun (u, v) ->
+      if u >= v then Alcotest.fail "edge not normalized (u < v expected)")
+    (T.edges g)
+
+let prop_random_connected =
+  QCheck.Test.make ~name:"random_connected is connected with right size"
+    ~count:150
+    QCheck.(triple small_int (int_range 1 60) (int_range 0 30))
+    (fun (seed, n, extra) ->
+      let rng = Amac.Rng.create seed in
+      let g = T.random_connected rng ~n ~extra_edges:extra in
+      T.size g = n && T.is_connected g && T.num_edges g >= n - 1)
+
+let prop_grid_diameter =
+  QCheck.Test.make ~name:"grid diameter = (w-1)+(h-1)" ~count:50
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (w, h) ->
+      T.diameter (T.grid ~width:w ~height:h) = w - 1 + (h - 1))
+
+let prop_bfs_triangle_inequality =
+  QCheck.Test.make ~name:"bfs distances obey the triangle inequality"
+    ~count:60
+    QCheck.(pair small_int (int_range 2 25))
+    (fun (seed, n) ->
+      let rng = Amac.Rng.create seed in
+      let g = T.random_connected rng ~n ~extra_edges:(n / 2) in
+      let d0 = T.bfs_dist g 0 in
+      List.for_all
+        (fun (u, v) -> abs (d0.(u) - d0.(v)) <= 1)
+        (T.edges g))
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "families",
+        [
+          Alcotest.test_case "clique" `Quick test_clique;
+          Alcotest.test_case "line" `Quick test_line;
+          Alcotest.test_case "single node" `Quick test_single_node;
+          Alcotest.test_case "ring" `Quick test_ring;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "torus" `Quick test_torus;
+          Alcotest.test_case "binary tree" `Quick test_binary_tree;
+          Alcotest.test_case "barbell" `Quick test_barbell;
+          Alcotest.test_case "star of lines" `Quick test_star_of_lines;
+          Alcotest.test_case "lollipop" `Quick test_lollipop;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "of_edges validation" `Quick
+            test_of_edges_validation;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "bfs distances" `Quick test_bfs_dist;
+          Alcotest.test_case "disjoint union / add edges" `Quick
+            test_disjoint_union_add_edges;
+          Alcotest.test_case "edges each once" `Quick test_edges_each_once;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_random_connected;
+          QCheck_alcotest.to_alcotest prop_grid_diameter;
+          QCheck_alcotest.to_alcotest prop_bfs_triangle_inequality;
+        ] );
+    ]

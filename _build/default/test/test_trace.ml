@@ -1,0 +1,86 @@
+(* Trace utilities, including the ASCII timeline renderer. *)
+
+let contains_substring haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let entries =
+  Amac.Trace.
+    [
+      Broadcast_start { time = 0; node = 0; ids = 1; msg = "m0" };
+      Broadcast_start { time = 0; node = 1; ids = 1; msg = "m1" };
+      Delivered { time = 1; node = 1; msg = "m0" };
+      Delivered { time = 1; node = 0; msg = "m1" };
+      Acked { time = 1; node = 0 };
+      Acked { time = 1; node = 1 };
+      Discarded { time = 2; node = 0; msg = "m2" };
+      Decided { time = 3; node = 0; value = 1 };
+      Crashed { time = 4; node = 1 };
+    ]
+
+let test_accessors () =
+  Alcotest.(check int) "time_of" 3
+    (Amac.Trace.time_of (Decided { time = 3; node = 0; value = 1 }));
+  Alcotest.(check int) "node_of" 1
+    (Amac.Trace.node_of (Crashed { time = 4; node = 1 }))
+
+let test_decisions () =
+  Alcotest.(check (list (triple int int int))) "decisions" [ (0, 1, 3) ]
+    (Amac.Trace.decisions entries)
+
+let test_for_node () =
+  Alcotest.(check int) "node 1 events" 4
+    (List.length (Amac.Trace.for_node entries 1))
+
+let test_pp_entries () =
+  let rendered = Format.asprintf "%a" Amac.Trace.pp entries in
+  Alcotest.(check bool) "nonempty" true (String.length rendered > 50);
+  Alcotest.(check bool) "mentions DECIDED" true
+    (contains_substring rendered "DECIDED")
+
+let test_timeline () =
+  let grid = Amac.Trace.timeline ~n:2 entries in
+  let lines = String.split_on_char '\n' grid in
+  (* header + 5 distinct times + trailing "" *)
+  Alcotest.(check int) "line count" 7 (List.length lines);
+  let row_for t =
+    List.find
+      (fun l ->
+        String.length l > 4 && String.trim (String.sub l 0 4) = string_of_int t)
+      lines
+  in
+  (* t=0: both broadcast *)
+  Alcotest.(check bool) "t0 shows BB" true (contains_substring (row_for 0) "BB");
+  (* t=1: receive outranks ack in the collision *)
+  Alcotest.(check bool) "t1 shows rr" true (contains_substring (row_for 1) "rr");
+  (* t=2: discard; t=3: decide; t=4: crash *)
+  Alcotest.(check bool) "t2 shows ~" true (String.contains (row_for 2) '~');
+  Alcotest.(check bool) "t3 shows D" true (String.contains (row_for 3) 'D');
+  Alcotest.(check bool) "t4 shows X" true (String.contains (row_for 4) 'X')
+
+let test_timeline_from_real_run () =
+  let outcome =
+    Amac.Engine.run Consensus.Two_phase.algorithm
+      ~topology:(Amac.Topology.clique 3)
+      ~scheduler:Amac.Scheduler.synchronous ~record_trace:true
+      ~inputs:[| 0; 1; 0 |]
+  in
+  let grid = Amac.Trace.timeline ~n:3 outcome.trace in
+  Alcotest.(check bool) "renders" true (String.length grid > 20);
+  Alcotest.(check bool) "has decisions" true (String.contains grid 'D')
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "decisions" `Quick test_decisions;
+          Alcotest.test_case "for_node" `Quick test_for_node;
+          Alcotest.test_case "pp" `Quick test_pp_entries;
+          Alcotest.test_case "timeline" `Quick test_timeline;
+          Alcotest.test_case "timeline from run" `Quick
+            test_timeline_from_real_run;
+        ] );
+    ]
