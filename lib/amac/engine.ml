@@ -56,8 +56,135 @@ let key_of ~time event = (time * 4) + kind_priority event
 
 let time_of_key key = key / 4
 
-let run ?identities ?(give_n = true) ?(give_diameter = false) ?(crashes = [])
-    ?(max_time = 1_000_000) ?(stop_when_all_decided = true)
+(* A resumable simulation: all the run state, advanced one event per [step].
+   [run] drains it in a loop; the model checker uses [step] directly to
+   interleave execution with budget checks and state observation. *)
+type ('s, 'm) sim = {
+  algorithm : ('s, 'm) Algorithm.t;
+  topology : Topology.t;
+  scheduler : Scheduler.t;
+  unreliable : Topology.t option;
+  render_msg : 'm -> string;
+  max_time : int;
+  stop_when_all_decided : bool;
+  record_trace : bool;
+  queue : 'm event Pqueue.t;
+  states : 's array;
+  ctxs : Algorithm.ctx array;
+  causal : Causal.t option;
+  crashed : bool array;
+  crash_time : int array;
+  busy : bool array;
+  decisions : (int * int) option array;
+  mutable extra_decides : (int * int * int) list;  (* newest first *)
+  mutable broadcasts : int;
+  mutable deliveries : int;
+  mutable discarded : int;
+  mutable dropped : int;
+  mutable max_ids : int;
+  mutable unreliable_deliveries : int;
+  mutable events_processed : int;
+  mutable end_time : int;
+  mutable hit_max_time : bool;
+  mutable trace : Trace.entry list;  (* newest first *)
+  mutable live_undecided : int;
+  mutable stopped : bool;
+}
+
+let log sim entry = if sim.record_trace then sim.trace <- entry :: sim.trace
+
+let do_broadcast ~now sim sender msg =
+  if sim.busy.(sender) then begin
+    sim.discarded <- sim.discarded + 1;
+    log sim
+      (Trace.Discarded { time = now; node = sender; msg = sim.render_msg msg })
+  end
+  else begin
+    sim.busy.(sender) <- true;
+    sim.broadcasts <- sim.broadcasts + 1;
+    let ids = sim.algorithm.msg_ids msg in
+    if ids > sim.max_ids then sim.max_ids <- ids;
+    log sim
+      (Trace.Broadcast_start
+         { time = now; node = sender; ids; msg = sim.render_msg msg });
+    let neighbors = Topology.neighbors sim.topology sender in
+    let plan = sim.scheduler.Scheduler.plan ~now ~sender ~neighbors in
+    (* Assert the scheduler respects the MAC layer contract. *)
+    if plan.Scheduler.ack_at > now + sim.scheduler.Scheduler.fack then
+      invalid_arg
+        (Printf.sprintf
+           "Engine.run: scheduler %s acked at %d for broadcast at %d \
+            (F_ack=%d)"
+           sim.scheduler.Scheduler.name plan.Scheduler.ack_at now
+           sim.scheduler.Scheduler.fack);
+    if plan.Scheduler.ack_at <= now then
+      invalid_arg "Engine.run: ack must be strictly after the broadcast";
+    let planned = List.map fst plan.Scheduler.receives in
+    if List.sort Int.compare planned <> neighbors then
+      invalid_arg
+        "Engine.run: scheduler must deliver to exactly the neighbor set";
+    let influence =
+      match sim.causal with
+      | Some c -> Some (Causal.snapshot c sender)
+      | None -> None
+    in
+    let deliver (receiver, time) =
+      if time <= now || time > plan.Scheduler.ack_at then
+        invalid_arg
+          (Printf.sprintf
+             "Engine.run: delivery time %d outside (broadcast %d, ack %d]"
+             time now plan.Scheduler.ack_at);
+      let event = Receive { node = receiver; sender; msg; influence } in
+      Pqueue.add sim.queue ~key:(key_of ~time event) event
+    in
+    List.iter deliver plan.Scheduler.receives;
+    (* Unreliable edges: the scheduler may additionally deliver to any
+       subset of the sender's unreliable neighbors, at any time within
+       the broadcast window. These deliveries never gate the ack. *)
+    (match (sim.unreliable, sim.scheduler.Scheduler.unreliable_plan) with
+    | Some extra, Some unreliable_plan ->
+        let candidates = Topology.neighbors extra sender in
+        if candidates <> [] then begin
+          let chosen =
+            unreliable_plan ~now ~sender ~candidates
+              ~ack_at:plan.Scheduler.ack_at
+          in
+          List.iter
+            (fun (receiver, time) ->
+              if not (List.mem receiver candidates) then
+                invalid_arg
+                  "Engine.run: unreliable delivery to a non-candidate";
+              deliver (receiver, time);
+              sim.unreliable_deliveries <- sim.unreliable_deliveries + 1)
+            chosen
+        end
+    | None, _ | _, None -> ());
+    let ack = Ack { node = sender } in
+    Pqueue.add sim.queue ~key:(key_of ~time:plan.Scheduler.ack_at ack) ack
+  end
+
+let handle_decide ~now sim node value =
+  match sim.decisions.(node) with
+  | None ->
+      sim.decisions.(node) <- Some (value, now);
+      sim.live_undecided <- sim.live_undecided - 1;
+      log sim (Trace.Decided { time = now; node; value })
+  | Some (prior, _) ->
+      if prior <> value then
+        sim.extra_decides <- (node, value, now) :: sim.extra_decides
+
+let rec apply_actions ~now sim node actions =
+  match actions with
+  | [] -> ()
+  | Algorithm.Decide value :: rest ->
+      handle_decide ~now sim node value;
+      apply_actions ~now sim node rest
+  | Algorithm.Broadcast msg :: rest ->
+      do_broadcast ~now sim node msg;
+      apply_actions ~now sim node rest
+
+let create ?identities ?(give_n = true) ?(give_diameter = false)
+    ?(crashes = []) ?(max_time = 1_000_000) ?(stop_when_all_decided = true)
     ?(track_causal = false) ?(record_trace = false) ?pp_msg ?unreliable
     (algorithm : ('s, 'm) Algorithm.t) ~topology ~scheduler ~inputs =
   let n = Topology.size topology in
@@ -100,190 +227,146 @@ let run ?identities ?(give_n = true) ?(give_diameter = false) ?(crashes = [])
   in
   let causal = if track_causal then Some (Causal.create ~n) else None in
   let queue : 'm event Pqueue.t = Pqueue.create () in
-  let crashed = Array.make n false in
-  let crash_time = Array.make n max_int in
-  let busy = Array.make n false in
-  let decisions = Array.make n None in
-  let extra_decides = ref [] in
-  let broadcasts = ref 0 in
-  let deliveries = ref 0 in
-  let discarded = ref 0 in
-  let dropped = ref 0 in
-  let max_ids = ref 0 in
-  let events_processed = ref 0 in
-  let unreliable_deliveries_planned = ref 0 in
-  let end_time = ref 0 in
-  let hit_max_time = ref false in
-  let trace = ref [] in
-  let log entry = if record_trace then trace := entry :: !trace in
-  let live_undecided = ref n in
-
   List.iter
     (fun (node, time) ->
       if node < 0 || node >= n then invalid_arg "Engine.run: crash node range";
       if time < 0 then invalid_arg "Engine.run: negative crash time";
       Pqueue.add queue ~key:(key_of ~time (Crash { node })) (Crash { node }))
     crashes;
-
-  let do_broadcast ~now sender msg =
-    if busy.(sender) then begin
-      incr discarded;
-      log (Trace.Discarded { time = now; node = sender; msg = render_msg msg })
-    end
-    else begin
-      busy.(sender) <- true;
-      incr broadcasts;
-      let ids = algorithm.msg_ids msg in
-      if ids > !max_ids then max_ids := ids;
-      log
-        (Trace.Broadcast_start
-           { time = now; node = sender; ids; msg = render_msg msg });
-      let neighbors = Topology.neighbors topology sender in
-      let plan =
-        scheduler.Scheduler.plan ~now ~sender ~neighbors
-      in
-      (* Assert the scheduler respects the MAC layer contract. *)
-      if plan.Scheduler.ack_at > now + scheduler.Scheduler.fack then
-        invalid_arg
-          (Printf.sprintf
-             "Engine.run: scheduler %s acked at %d for broadcast at %d \
-              (F_ack=%d)"
-             scheduler.Scheduler.name plan.Scheduler.ack_at now
-             scheduler.Scheduler.fack);
-      if plan.Scheduler.ack_at <= now then
-        invalid_arg "Engine.run: ack must be strictly after the broadcast";
-      let planned = List.map fst plan.Scheduler.receives in
-      if List.sort Int.compare planned <> neighbors then
-        invalid_arg
-          "Engine.run: scheduler must deliver to exactly the neighbor set";
-      let influence =
-        match causal with
-        | Some c -> Some (Causal.snapshot c sender)
-        | None -> None
-      in
-      let deliver (receiver, time) =
-        if time <= now || time > plan.Scheduler.ack_at then
-          invalid_arg
-            (Printf.sprintf
-               "Engine.run: delivery time %d outside (broadcast %d, ack %d]"
-               time now plan.Scheduler.ack_at);
-        let event = Receive { node = receiver; sender; msg; influence } in
-        Pqueue.add queue ~key:(key_of ~time event) event
-      in
-      List.iter deliver plan.Scheduler.receives;
-      (* Unreliable edges: the scheduler may additionally deliver to any
-         subset of the sender's unreliable neighbors, at any time within
-         the broadcast window. These deliveries never gate the ack. *)
-      (match (unreliable, scheduler.Scheduler.unreliable_plan) with
-      | Some extra, Some unreliable_plan ->
-          let candidates = Topology.neighbors extra sender in
-          if candidates <> [] then begin
-            let chosen =
-              unreliable_plan ~now ~sender ~candidates
-                ~ack_at:plan.Scheduler.ack_at
-            in
-            List.iter
-              (fun (receiver, time) ->
-                if not (List.mem receiver candidates) then
-                  invalid_arg
-                    "Engine.run: unreliable delivery to a non-candidate";
-                deliver (receiver, time);
-                incr unreliable_deliveries_planned)
-              chosen
-          end
-      | None, _ | _, None -> ());
-      let ack = Ack { node = sender } in
-      Pqueue.add queue ~key:(key_of ~time:plan.Scheduler.ack_at ack) ack
-    end
+  let sim =
+    {
+      algorithm;
+      topology;
+      scheduler;
+      unreliable;
+      render_msg;
+      max_time;
+      stop_when_all_decided;
+      record_trace;
+      queue;
+      states = [||];
+      ctxs;
+      causal;
+      crashed = Array.make n false;
+      crash_time = Array.make n max_int;
+      busy = Array.make n false;
+      decisions = Array.make n None;
+      extra_decides = [];
+      broadcasts = 0;
+      deliveries = 0;
+      discarded = 0;
+      dropped = 0;
+      max_ids = 0;
+      unreliable_deliveries = 0;
+      events_processed = 0;
+      end_time = 0;
+      hit_max_time = false;
+      trace = [];
+      live_undecided = n;
+      stopped = false;
+    }
   in
-
-  let handle_decide ~now node value =
-    match decisions.(node) with
-    | None ->
-        decisions.(node) <- Some (value, now);
-        decr live_undecided;
-        log (Trace.Decided { time = now; node; value })
-    | Some (prior, _) ->
-        if prior <> value then
-          extra_decides := (node, value, now) :: !extra_decides
-  in
-
-  let rec apply_actions ~now node actions =
-    match actions with
-    | [] -> ()
-    | Algorithm.Decide value :: rest ->
-        handle_decide ~now node value;
-        apply_actions ~now node rest
-    | Algorithm.Broadcast msg :: rest ->
-        do_broadcast ~now node msg;
-        apply_actions ~now node rest
-  in
-
-  (* Initialise every node at time 0, in index order. *)
+  (* Initialise every node at time 0, in index order, interleaving each
+     node's init with its first actions (scheduler plan calls must stay in
+     node order for stateful schedulers). Init actions never read [states],
+     so the placeholder array is safe; all mutations land before the
+     functional update below copies the field values. *)
   let states =
     Array.init n (fun i ->
         let state, actions = algorithm.init ctxs.(i) in
-        apply_actions ~now:0 i actions;
+        apply_actions ~now:0 sim i actions;
         state)
   in
+  { sim with states }
 
-  let stop = ref false in
-  while (not !stop) && not (Pqueue.is_empty queue) do
-    let key, event = Pqueue.pop queue in
+let step sim =
+  if sim.stopped then `Done
+  else if Pqueue.is_empty sim.queue then begin
+    sim.stopped <- true;
+    `Done
+  end
+  else begin
+    let key, event = Pqueue.pop sim.queue in
     let now = time_of_key key in
-    if now > max_time then begin
-      hit_max_time := true;
-      stop := true
+    if now > sim.max_time then begin
+      sim.hit_max_time <- true;
+      sim.stopped <- true;
+      `Capped
     end
     else begin
-      incr events_processed;
-      end_time := now;
+      sim.events_processed <- sim.events_processed + 1;
+      sim.end_time <- now;
       (match event with
       | Crash { node } ->
-          if not crashed.(node) then begin
-            crashed.(node) <- true;
-            crash_time.(node) <- now;
-            if decisions.(node) = None then decr live_undecided;
-            log (Trace.Crashed { time = now; node })
+          if not sim.crashed.(node) then begin
+            sim.crashed.(node) <- true;
+            sim.crash_time.(node) <- now;
+            if sim.decisions.(node) = None then
+              sim.live_undecided <- sim.live_undecided - 1;
+            log sim (Trace.Crashed { time = now; node })
           end
       | Receive { node; sender; msg; influence } ->
-          if crashed.(node) then incr dropped
-          else if crash_time.(sender) <= now then
+          if sim.crashed.(node) then sim.dropped <- sim.dropped + 1
+          else if sim.crash_time.(sender) <= now then
             (* The sender crashed mid-broadcast before this delivery. *)
-            incr dropped
+            sim.dropped <- sim.dropped + 1
           else begin
-            incr deliveries;
-            (match (causal, influence) with
+            sim.deliveries <- sim.deliveries + 1;
+            (match (sim.causal, influence) with
             | Some c, Some inf -> Causal.absorb c ~node ~time:now inf
             | Some _, None | None, _ -> ());
-            log (Trace.Delivered { time = now; node; msg = render_msg msg });
-            let actions = algorithm.on_receive ctxs.(node) states.(node) msg in
-            apply_actions ~now node actions
+            log sim
+              (Trace.Delivered { time = now; node; msg = sim.render_msg msg });
+            let actions =
+              sim.algorithm.on_receive sim.ctxs.(node) sim.states.(node) msg
+            in
+            apply_actions ~now sim node actions
           end
       | Ack { node } ->
-          if not crashed.(node) then begin
-            busy.(node) <- false;
-            log (Trace.Acked { time = now; node });
-            let actions = algorithm.on_ack ctxs.(node) states.(node) in
-            apply_actions ~now node actions
+          if not sim.crashed.(node) then begin
+            sim.busy.(node) <- false;
+            log sim (Trace.Acked { time = now; node });
+            let actions = sim.algorithm.on_ack sim.ctxs.(node) sim.states.(node) in
+            apply_actions ~now sim node actions
           end);
-      if stop_when_all_decided && !live_undecided = 0 then stop := true
+      if sim.stop_when_all_decided && sim.live_undecided = 0 then
+        sim.stopped <- true;
+      `Stepped
     end
-  done;
+  end
 
+let finished sim = sim.stopped || Pqueue.is_empty sim.queue
+
+let now sim = sim.end_time
+
+let snapshot sim =
   {
-    decisions;
-    extra_decides = List.rev !extra_decides;
-    crashed;
-    broadcasts = !broadcasts;
-    deliveries = !deliveries;
-    discarded = !discarded;
-    dropped = !dropped;
-    max_ids_per_message = !max_ids;
-    unreliable_deliveries = !unreliable_deliveries_planned;
-    end_time = !end_time;
-    events_processed = !events_processed;
-    hit_max_time = !hit_max_time;
-    causal;
-    trace = List.rev !trace;
+    decisions = Array.copy sim.decisions;
+    extra_decides = List.rev sim.extra_decides;
+    crashed = Array.copy sim.crashed;
+    broadcasts = sim.broadcasts;
+    deliveries = sim.deliveries;
+    discarded = sim.discarded;
+    dropped = sim.dropped;
+    max_ids_per_message = sim.max_ids;
+    unreliable_deliveries = sim.unreliable_deliveries;
+    end_time = sim.end_time;
+    events_processed = sim.events_processed;
+    hit_max_time = sim.hit_max_time;
+    causal = sim.causal;
+    trace = List.rev sim.trace;
   }
+
+let run ?identities ?give_n ?give_diameter ?crashes ?max_time
+    ?stop_when_all_decided ?track_causal ?record_trace ?pp_msg ?unreliable
+    algorithm ~topology ~scheduler ~inputs =
+  let sim =
+    create ?identities ?give_n ?give_diameter ?crashes ?max_time
+      ?stop_when_all_decided ?track_causal ?record_trace ?pp_msg ?unreliable
+      algorithm ~topology ~scheduler ~inputs
+  in
+  let continue = ref true in
+  while !continue do
+    match step sim with `Stepped -> () | `Done | `Capped -> continue := false
+  done;
+  snapshot sim

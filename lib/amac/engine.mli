@@ -56,6 +56,56 @@ val decision_times : outcome -> int list
     node decided. *)
 val latest_decision : outcome -> int option
 
+(** {1 Resumable simulation}
+
+    [run] below drains a simulation in one call. The model checker
+    ([Mcheck]) and other drivers that need to interleave execution with
+    budget checks or state observation use the step API instead: [create]
+    builds the simulation (initialising every node at time 0, exactly as
+    [run] does), [step] processes one event, [snapshot] captures the outcome
+    so far. [run] is [create] + a [step] loop + [snapshot]. *)
+
+type ('s, 'm) sim
+
+(** [create algorithm ~topology ~scheduler ~inputs ...] — parameters as in
+    {!run}. Node [init] handlers (and their first broadcasts) execute here,
+    at time 0. *)
+val create :
+  ?identities:Node_id.t array ->
+  ?give_n:bool ->
+  ?give_diameter:bool ->
+  ?crashes:(int * int) list ->
+  ?max_time:int ->
+  ?stop_when_all_decided:bool ->
+  ?track_causal:bool ->
+  ?record_trace:bool ->
+  ?pp_msg:('m -> string) ->
+  ?unreliable:Topology.t ->
+  ('s, 'm) Algorithm.t ->
+  topology:Topology.t ->
+  scheduler:Scheduler.t ->
+  inputs:int array ->
+  ('s, 'm) sim
+
+(** [step sim] processes the next event. [`Stepped] = one event processed
+    (the simulation may or may not have more); [`Done] = nothing left to do
+    (queue drained, or every live node decided under
+    [stop_when_all_decided]); [`Capped] = the next event lay beyond
+    [max_time], so the run stopped with [hit_max_time] set. After [`Done] or
+    [`Capped], further calls return [`Done]. *)
+val step : ('s, 'm) sim -> [ `Stepped | `Done | `Capped ]
+
+(** [finished sim] — true once [step] can make no further progress. *)
+val finished : ('s, 'm) sim -> bool
+
+(** [now sim] — the timestamp of the last processed event (0 initially). *)
+val now : ('s, 'm) sim -> int
+
+(** [snapshot sim] captures the outcome as of the events processed so far.
+    The arrays are copies; [snapshot] may be called mid-run and the
+    simulation continued afterwards. *)
+val snapshot : ('s, 'm) sim -> outcome
+
 (** [run algorithm ~topology ~scheduler ~inputs ...] executes the algorithm
     on every node until all non-crashed nodes have decided and the event
     queue drains, or until [max_time].

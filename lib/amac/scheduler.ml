@@ -39,6 +39,55 @@ let uniform_delay ~delay ~now ~neighbors =
     ack_at = now + delay;
   }
 
+type decision = { ack_delay : int; delays : (int * int) list }
+
+let record t =
+  let recorded = ref [] in
+  let plan ~now ~sender ~neighbors =
+    let plan = t.plan ~now ~sender ~neighbors in
+    let decision =
+      {
+        ack_delay = plan.ack_at - now;
+        delays = List.map (fun (v, time) -> (v, time - now)) plan.receives;
+      }
+    in
+    recorded := decision :: !recorded;
+    plan
+  in
+  ( { t with name = Printf.sprintf "%s+recorded" t.name; plan },
+    fun () -> List.rev !recorded )
+
+let replay ?(fallback_delay = 1) decisions =
+  if fallback_delay < 1 then
+    invalid_arg "Scheduler.replay: fallback_delay must be >= 1";
+  let fack =
+    List.fold_left
+      (fun acc d -> max acc (max 1 d.ack_delay))
+      fallback_delay decisions
+  in
+  let remaining = ref decisions in
+  let plan ~now ~sender:_ ~neighbors =
+    match !remaining with
+    | [] -> uniform_delay ~delay:fallback_delay ~now ~neighbors
+    | decision :: rest ->
+        remaining := rest;
+        let ack_delay = max 1 decision.ack_delay in
+        (* Clamping makes replay total: a decision list recorded against one
+           topology (or mutated by the shrinker) stays a valid plan against
+           any other — unknown neighbors get the ack delay, out-of-window
+           delays are pulled back into (now, ack]. *)
+        let delay_for v =
+          match List.assoc_opt v decision.delays with
+          | Some d -> min ack_delay (max 1 d)
+          | None -> ack_delay
+        in
+        {
+          receives = List.map (fun v -> (v, now + delay_for v)) neighbors;
+          ack_at = now + ack_delay;
+        }
+  in
+  make ~name:(Printf.sprintf "replay(%d)" (List.length decisions)) ~fack plan
+
 let synchronous =
   make ~name:"synchronous" ~fack:1 (fun ~now ~sender:_ ~neighbors ->
       uniform_delay ~delay:1 ~now ~neighbors)

@@ -53,6 +53,36 @@ val with_unreliable :
      (int * int) list) ->
   t
 
+(** {1 Recording and replay}
+
+    The model checker's shrinker needs schedules as {e data}: [record] wraps
+    any scheduler so that every plan it emits is captured as a [decision]
+    (delays relative to the broadcast time, one decision per accepted
+    broadcast, in broadcast order); [replay] turns a decision list back into
+    a scheduler. Replaying an unmodified recording against the same
+    deterministic algorithm reproduces the run event-for-event; the shrinker
+    then mutates the list (lowering delays, truncating) and replays. *)
+
+type decision = {
+  ack_delay : int;  (** ack time minus broadcast time *)
+  delays : (int * int) list;  (** (neighbor, delivery delay) *)
+}
+
+(** [record t] is [(t', recorded)]: [t'] plans exactly as [t] while
+    appending each plan to an internal log; [recorded ()] returns the log so
+    far, in broadcast order. *)
+val record : t -> t * (unit -> decision list)
+
+(** [replay decisions] consumes one decision per broadcast, in order. Replay
+    is {e total}: delays are clamped into [(now, ack\]], neighbors missing
+    from a decision receive at the ack, and once the list is exhausted every
+    broadcast completes uniformly after [fallback_delay] (default 1) — so a
+    decision list mutated by the shrinker, or applied to a smaller topology,
+    is always a contract-respecting scheduler. [F_ack] is the largest ack
+    delay in the list (at least [fallback_delay]).
+    @raise Invalid_argument if [fallback_delay < 1]. *)
+val replay : ?fallback_delay:int -> decision list -> t
+
 (** [bernoulli_unreliable rng ~p t] delivers on each unreliable edge
     independently with probability [p], at a uniform time within the
     broadcast's window. @raise Invalid_argument unless [0 <= p <= 1]. *)

@@ -1,18 +1,48 @@
+type violation =
+  | Agreement_violation of { values : int list }
+  | Validity_violation of { values : int list; inputs : int list }
+  | Termination_violation of { nodes : int list }
+  | Irrevocability_violation of { node : int; value : int; time : int }
+
 type report = {
   agreement : bool;
   validity : bool;
   termination : bool;
   irrevocability : bool;
   decided_values : int list;
+  violations : violation list;
   problems : string list;
 }
+
+let describe = function
+  | Agreement_violation { values } ->
+      Printf.sprintf "agreement violated: decided values {%s}"
+        (String.concat "," (List.map string_of_int values))
+  | Validity_violation { values; inputs } ->
+      Printf.sprintf "validity violated: decided {%s} not among inputs {%s}"
+        (String.concat "," (List.map string_of_int values))
+        (String.concat "," (List.map string_of_int inputs))
+  | Termination_violation { nodes } ->
+      Printf.sprintf "termination violated: nodes {%s} never decided"
+        (String.concat "," (List.map string_of_int nodes))
+  | Irrevocability_violation { node; value; time } ->
+      Printf.sprintf "irrevocability violated: node %d re-decided %d at t=%d"
+        node value time
+
+let pp_violation fmt v = Format.pp_print_string fmt (describe v)
+
+let is_safety = function
+  | Agreement_violation _ | Validity_violation _ | Irrevocability_violation _
+    ->
+      true
+  | Termination_violation _ -> false
 
 let check ~inputs (outcome : Amac.Engine.outcome) =
   let n = Array.length outcome.decisions in
   if Array.length inputs <> n then
     invalid_arg "Checker.check: inputs length mismatches outcome";
-  let problems = ref [] in
-  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let violations = ref [] in
+  let violation v = violations := v :: !violations in
   let decided_values =
     Array.to_list outcome.decisions
     |> List.filter_map (Option.map fst)
@@ -22,21 +52,18 @@ let check ~inputs (outcome : Amac.Engine.outcome) =
     match decided_values with
     | [] | [ _ ] -> true
     | values ->
-        problem "agreement violated: decided values {%s}"
-          (String.concat "," (List.map string_of_int values));
+        violation (Agreement_violation { values });
         false
   in
-  let input_values =
-    Array.to_list inputs |> List.sort_uniq Int.compare
-  in
+  let input_values = Array.to_list inputs |> List.sort_uniq Int.compare in
   let validity =
-    let invalid = List.filter (fun v -> not (List.mem v input_values)) decided_values in
+    let invalid =
+      List.filter (fun v -> not (List.mem v input_values)) decided_values
+    in
     match invalid with
     | [] -> true
     | values ->
-        problem "validity violated: decided {%s} not among inputs {%s}"
-          (String.concat "," (List.map string_of_int values))
-          (String.concat "," (List.map string_of_int input_values));
+        violation (Validity_violation { values; inputs = input_values });
         false
   in
   let termination =
@@ -49,8 +76,7 @@ let check ~inputs (outcome : Amac.Engine.outcome) =
     match !missing with
     | [] -> true
     | nodes ->
-        problem "termination violated: nodes {%s} never decided"
-          (String.concat "," (List.rev_map string_of_int nodes));
+        violation (Termination_violation { nodes = List.rev nodes });
         false
   in
   let irrevocability =
@@ -59,23 +85,26 @@ let check ~inputs (outcome : Amac.Engine.outcome) =
     | extras ->
         List.iter
           (fun (node, value, time) ->
-            problem "irrevocability violated: node %d re-decided %d at t=%d"
-              node value time)
+            violation (Irrevocability_violation { node; value; time }))
           extras;
         false
   in
+  let violations = List.rev !violations in
   {
     agreement;
     validity;
     termination;
     irrevocability;
     decided_values;
-    problems = List.rev !problems;
+    violations;
+    problems = List.map describe violations;
   }
 
 let ok r = r.agreement && r.validity && r.termination && r.irrevocability
 
 let safe r = r.agreement && r.validity && r.irrevocability
+
+let safety_violations r = List.filter is_safety r.violations
 
 let pp fmt r =
   if ok r then
@@ -83,5 +112,6 @@ let pp fmt r =
       (String.concat "," (List.map string_of_int r.decided_values))
   else
     Format.fprintf fmt "consensus violated:@;%a"
-      (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_string)
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space
+         Format.pp_print_string)
       r.problems

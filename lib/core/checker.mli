@@ -6,12 +6,26 @@
     is the expected artifact (the whole point of E5/E6 is exhibiting an
     agreement violation). *)
 
+(** A machine-readable property violation. The model checker's shrinker and
+    both [Mcheck] engines consume these; [problems] below is their rendered
+    form. *)
+type violation =
+  | Agreement_violation of { values : int list }
+      (** two or more distinct values decided *)
+  | Validity_violation of { values : int list; inputs : int list }
+      (** decided values outside the input set *)
+  | Termination_violation of { nodes : int list }
+      (** non-crashed nodes that never decided *)
+  | Irrevocability_violation of { node : int; value : int; time : int }
+      (** a node re-decided a different value *)
+
 type report = {
   agreement : bool;  (** no two nodes decided different values *)
   validity : bool;  (** every decided value was some node's input *)
   termination : bool;  (** every non-crashed node decided *)
   irrevocability : bool;  (** no node decided twice with different values *)
   decided_values : int list;  (** distinct decided values, sorted *)
+  violations : violation list;  (** machine-readable, empty when ok *)
   problems : string list;  (** human-readable explanations, empty when ok *)
 }
 
@@ -25,5 +39,16 @@ val ok : report -> bool
 (** [safe report] — agreement, validity and irrevocability hold (termination
     not required); the right notion when a run was cut off by [max_time]. *)
 val safe : report -> bool
+
+(** [is_safety violation] — true for agreement / validity / irrevocability
+    violations, false for termination (which a [max_time] cutoff or a crash
+    against a deterministic algorithm produces legitimately, Thm 3.2). *)
+val is_safety : violation -> bool
+
+(** [safety_violations report] = the [violations] for which {!is_safety}
+    holds — the fuzzer's failure predicate. *)
+val safety_violations : report -> violation list
+
+val pp_violation : Format.formatter -> violation -> unit
 
 val pp : Format.formatter -> report -> unit

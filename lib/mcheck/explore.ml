@@ -1,0 +1,296 @@
+type step =
+  | Deliver of { sender : int; receiver : int }
+  | Ack of int
+  | Crash of int
+
+let pp_step fmt = function
+  | Deliver { sender; receiver } ->
+      Format.fprintf fmt "deliver(%d->%d)" sender receiver
+  | Ack node -> Format.fprintf fmt "ack(%d)" node
+  | Crash node -> Format.fprintf fmt "crash(%d)" node
+
+type config = {
+  max_depth : int;
+  max_states : int;
+  crash_budget : int;
+  check_termination : bool;
+  stop_at_first_violation : bool;
+}
+
+let default =
+  {
+    max_depth = 64;
+    max_states = 2_000_000;
+    crash_budget = 0;
+    check_termination = false;
+    stop_at_first_violation = true;
+  }
+
+type stats = {
+  states : int;
+  transitions : int;
+  dedup_hits : int;
+  sleep_skips : int;
+  violations : (Consensus.Checker.violation * step list) list;
+  truncated : bool;
+}
+
+(* A node's untimed view: its algorithm state, the broadcast in flight (with
+   the live neighbors still owed a delivery), and what it decided. Times are
+   gone — only the MAC layer's ordering constraints remain. *)
+type ('s, 'm) node_cfg = {
+  st : 's;
+  outgoing : 'm option;
+  undelivered : int list;  (* live neighbors still owed the delivery *)
+  decided : int option;
+  crashed : bool;
+}
+
+type ('s, 'm) cfg = {
+  nodes : ('s, 'm) node_cfg array;
+  crashes_used : int;
+}
+
+(* Two transitions commute iff neither reads state the other writes.
+   Deliver(s,r) writes r's algorithm state and removes r from s's
+   undelivered set; Ack(u) writes u. Deliveries to distinct receivers
+   always commute (removals from the same sender's set are disjoint, and a
+   receiver's reaction only reads the in-flight message, which is fixed
+   until the ack). Crashes mutate every sender still owing the crashed node
+   a delivery, so they are conservatively dependent on everything. *)
+let independent a b =
+  match (a, b) with
+  | Deliver d1, Deliver d2 -> d1.receiver <> d2.receiver
+  | Deliver d, Ack u | Ack u, Deliver d -> d.receiver <> u && d.sender <> u
+  | Ack u, Ack v -> u <> v
+  | Crash _, _ | _, Crash _ -> false
+
+(* Configurations are keyed by the digest of their marshalled bytes, as in
+   Lowerbound.Bivalence: 16 bytes per state, non-canonical keys only cost
+   duplicate work. The crash budget used so far is part of the key — equal
+   node states with different remaining budgets have different futures. *)
+let key cfg = Digest.string (Marshal.to_string (cfg.nodes, cfg.crashes_used) [])
+
+let snapshot_nodes nodes : ('s, 'm) node_cfg array =
+  Marshal.from_string (Marshal.to_string nodes []) 0
+
+exception Violation_found
+
+let explore ?(give_n = true) ?(give_diameter = false) config algorithm
+    ~topology ~inputs =
+  let n = Amac.Topology.size topology in
+  if Array.length inputs <> n then
+    invalid_arg "Explore.explore: inputs length mismatches topology";
+  let ctxs =
+    Array.init n (fun i ->
+        {
+          Amac.Algorithm.id = Amac.Node_id.Id i;
+          n = (if give_n then Some n else None);
+          diameter =
+            (if give_diameter then Some (Amac.Topology.diameter topology)
+             else None);
+          degree = Amac.Topology.degree topology i;
+          input = inputs.(i);
+        })
+  in
+  let input_values = Array.to_list inputs |> List.sort_uniq Int.compare in
+  let states = ref 0 in
+  let transitions = ref 0 in
+  let dedup_hits = ref 0 in
+  let sleep_skips = ref 0 in
+  let truncated = ref false in
+  let violations = ref [] in
+  let record_violation violation path =
+    if not (List.mem_assoc violation !violations) then begin
+      violations := (violation, List.rev path) :: !violations;
+      if config.stop_at_first_violation then raise Violation_found
+    end
+  in
+
+  (* Apply a node's actions in place (the caller owns a private snapshot).
+     Broadcasting while one is in flight discards, as in the engine; a
+     re-decide with a different value is an irrevocability violation. *)
+  let apply_actions nodes node actions ~path =
+    List.iter
+      (fun action ->
+        match action with
+        | Amac.Algorithm.Decide value -> (
+            match nodes.(node).decided with
+            | None -> nodes.(node) <- { (nodes.(node)) with decided = Some value }
+            | Some prior ->
+                if prior <> value then
+                  record_violation
+                    (Consensus.Checker.Irrevocability_violation
+                       { node; value; time = 0 })
+                    path)
+        | Amac.Algorithm.Broadcast message ->
+            if nodes.(node).outgoing = None then
+              nodes.(node) <-
+                {
+                  (nodes.(node)) with
+                  outgoing = Some message;
+                  undelivered =
+                    List.filter
+                      (fun v -> not nodes.(v).crashed)
+                      (Amac.Topology.neighbors topology node);
+                })
+      actions
+  in
+
+  let check_safety nodes ~path =
+    let decided =
+      Array.to_list nodes
+      |> List.filter_map (fun c -> c.decided)
+      |> List.sort_uniq Int.compare
+    in
+    (match decided with
+    | [] | [ _ ] -> ()
+    | values ->
+        record_violation (Consensus.Checker.Agreement_violation { values }) path);
+    let invalid = List.filter (fun v -> not (List.mem v input_values)) decided in
+    if invalid <> [] then
+      record_violation
+        (Consensus.Checker.Validity_violation
+           { values = invalid; inputs = input_values })
+        path
+  in
+
+  let enabled cfg =
+    let steps = ref [] in
+    if cfg.crashes_used < config.crash_budget then
+      for u = n - 1 downto 0 do
+        if not cfg.nodes.(u).crashed then steps := Crash u :: !steps
+      done;
+    for s = n - 1 downto 0 do
+      let node = cfg.nodes.(s) in
+      if (not node.crashed) && node.outgoing <> None then
+        match node.undelivered with
+        | [] -> steps := Ack s :: !steps
+        | pending ->
+            List.iter (fun r -> steps := Deliver { sender = s; receiver = r } :: !steps)
+              (List.rev pending)
+    done;
+    !steps
+  in
+
+  let apply cfg step ~path =
+    incr transitions;
+    let nodes = snapshot_nodes cfg.nodes in
+    let crashes_used = ref cfg.crashes_used in
+    (match step with
+    | Crash u ->
+        incr crashes_used;
+        (* Mid-broadcast non-atomicity: neighbors already served keep the
+           message; the rest never receive it. *)
+        nodes.(u) <-
+          { (nodes.(u)) with crashed = true; outgoing = None; undelivered = [] };
+        Array.iteri
+          (fun s node ->
+            if List.mem u node.undelivered then
+              nodes.(s) <-
+                {
+                  node with
+                  undelivered = List.filter (fun v -> v <> u) node.undelivered;
+                })
+          nodes
+    | Deliver { sender; receiver } ->
+        let message =
+          match nodes.(sender).outgoing with
+          | Some m -> m
+          | None -> invalid_arg "Explore.apply: sender not sending"
+        in
+        nodes.(sender) <-
+          {
+            (nodes.(sender)) with
+            undelivered =
+              List.filter (fun v -> v <> receiver) nodes.(sender).undelivered;
+          };
+        let actions =
+          algorithm.Amac.Algorithm.on_receive ctxs.(receiver)
+            nodes.(receiver).st message
+        in
+        apply_actions nodes receiver actions ~path
+    | Ack u ->
+        nodes.(u) <- { (nodes.(u)) with outgoing = None };
+        let actions = algorithm.Amac.Algorithm.on_ack ctxs.(u) nodes.(u).st in
+        apply_actions nodes u actions ~path);
+    let cfg = { nodes; crashes_used = !crashes_used } in
+    check_safety cfg.nodes ~path;
+    cfg
+  in
+
+  (* seen : digest -> sleep sets already explored from that configuration.
+     A visit is redundant iff some stored sleep set is a subset of the
+     incoming one (everything the new visit would explore, an old one did). *)
+  let seen : (string, step list list) Hashtbl.t = Hashtbl.create 4096 in
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+
+  let rec dfs cfg ~depth ~sleep ~path =
+    let k = key cfg in
+    let stored = try Hashtbl.find seen k with Not_found -> [] in
+    if List.exists (fun old -> subset old sleep) stored then incr dedup_hits
+    else begin
+      if stored = [] then incr states;
+      Hashtbl.replace seen k
+        (sleep :: List.filter (fun old -> not (subset sleep old)) stored);
+      if !states > config.max_states then truncated := true
+      else begin
+        let steps = enabled cfg in
+        (match steps with
+        | [] ->
+            if config.check_termination && cfg.crashes_used = 0 then begin
+              let undecided = ref [] in
+              Array.iteri
+                (fun i node ->
+                  if (not node.crashed) && node.decided = None then
+                    undecided := i :: !undecided)
+                cfg.nodes;
+              if !undecided <> [] then
+                record_violation
+                  (Consensus.Checker.Termination_violation
+                     { nodes = List.rev !undecided })
+                  path
+            end
+        | _ :: _ when depth >= config.max_depth -> truncated := true
+        | _ :: _ ->
+            let executed = ref [] in
+            List.iter
+              (fun step ->
+                if List.mem step sleep then incr sleep_skips
+                else begin
+                  let child = apply cfg step ~path:(step :: path) in
+                  let child_sleep =
+                    List.filter (independent step) (sleep @ List.rev !executed)
+                  in
+                  dfs child ~depth:(depth + 1) ~sleep:child_sleep
+                    ~path:(step :: path);
+                  executed := step :: !executed
+                end)
+              steps)
+      end
+    end
+  in
+
+  let initial =
+    let inits = Array.map algorithm.Amac.Algorithm.init ctxs in
+    let nodes =
+      Array.map
+        (fun (st, _) ->
+          { st; outgoing = None; undelivered = []; decided = None; crashed = false })
+        inits
+    in
+    Array.iteri
+      (fun i (_, actions) -> apply_actions nodes i actions ~path:[])
+      inits;
+    check_safety nodes ~path:[];
+    { nodes; crashes_used = 0 }
+  in
+  (try dfs initial ~depth:0 ~sleep:[] ~path:[] with Violation_found -> ());
+  {
+    states = !states;
+    transitions = !transitions;
+    dedup_hits = !dedup_hits;
+    sleep_skips = !sleep_skips;
+    violations = List.rev !violations;
+    truncated = !truncated;
+  }

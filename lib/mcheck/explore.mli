@@ -1,0 +1,74 @@
+(** Bounded exhaustive exploration of the schedule space.
+
+    The abstract MAC layer's guarantees are {e ordering} constraints: every
+    neighbor receives a broadcast before the sender's ack, and the ack
+    arrives within [F_ack]. Since [F_ack] only bounds time — never the
+    interleaving — the set of behaviours an [F_ack]-respecting adversary can
+    produce is exactly the set of interleavings of {e deliver} and {e ack}
+    events in which each broadcast's deliveries precede its ack. This module
+    enumerates that set, up to a depth, over any [('s, 'm) Algorithm.t],
+    checking agreement / validity / irrevocability on every reachable
+    configuration (and, optionally, termination at quiescent ones).
+
+    This generalises [Lowerbound.Bivalence]'s valid-step semantics, which
+    pins each sender's next delivery to its smallest unserved neighbor; here
+    {e every} pending delivery (and, under a crash budget, every crash,
+    including mid-broadcast ones) is a branch.
+
+    Tractability comes from two reductions:
+    - {b state-hash deduplication}: configurations are keyed by the digest
+      of their marshalled bytes, so converging interleavings are explored
+      once;
+    - {b sleep sets} (Godefroid-style partial-order reduction): after
+      exploring a transition [t] from a configuration, [t] is put to sleep
+      in the siblings' subtrees and stays asleep as long as only transitions
+      independent of it execute — deliveries to distinct receivers commute,
+      so one order of each commuting pair is pruned. A configuration is
+      re-explored only when reached with a sleep set no stored visit
+      subsumes, which keeps the reduction sound for state matching. *)
+
+type step =
+  | Deliver of { sender : int; receiver : int }
+  | Ack of int
+  | Crash of int
+
+val pp_step : Format.formatter -> step -> unit
+
+type config = {
+  max_depth : int;  (** longest explored schedule, in steps *)
+  max_states : int;  (** distinct-configuration budget *)
+  crash_budget : int;  (** crash steps allowed per schedule *)
+  check_termination : bool;
+      (** also report quiescent configurations where a live node never
+          decided (meaningful for crash-free runs of terminating
+          algorithms; a crash legitimately blocks e.g. two-phase) *)
+  stop_at_first_violation : bool;
+}
+
+(** [{ max_depth = 64; max_states = 2_000_000; crash_budget = 0;
+    check_termination = false; stop_at_first_violation = true }] *)
+val default : config
+
+type stats = {
+  states : int;  (** distinct configurations visited *)
+  transitions : int;  (** steps applied *)
+  dedup_hits : int;  (** revisits answered by the state-hash table *)
+  sleep_skips : int;  (** enabled transitions pruned by sleep sets *)
+  violations : (Consensus.Checker.violation * step list) list;
+      (** each distinct violation with a schedule reaching it *)
+  truncated : bool;
+      (** true when some schedule was cut by [max_depth] / [max_states] —
+          [violations = []] is then a bounded verdict, not a proof *)
+}
+
+(** [explore config algorithm ~topology ~inputs] — exhaustive up to the
+    budgets; [give_n] / [give_diameter] as in {!Amac.Engine.run}.
+    @raise Invalid_argument on input/topology size mismatch. *)
+val explore :
+  ?give_n:bool ->
+  ?give_diameter:bool ->
+  config ->
+  ('s, 'm) Amac.Algorithm.t ->
+  topology:Amac.Topology.t ->
+  inputs:int array ->
+  stats

@@ -1,0 +1,289 @@
+type topo_kind = Clique | Line | Ring | Star | Random_graph of int
+
+type case = {
+  kind : topo_kind;
+  n : int;
+  fack : int;
+  inputs : int array;
+  crashes : (int * int) list;
+  plan : Amac.Scheduler.decision list;
+}
+
+let kind_name = function
+  | Clique -> "clique"
+  | Line -> "line"
+  | Ring -> "ring"
+  | Star -> "star"
+  | Random_graph seed -> Printf.sprintf "random(seed=%d)" seed
+
+let pp_case fmt case =
+  Format.fprintf fmt
+    "@[<v>%s n=%d F_ack=%d@,inputs=[%s]@,crashes=[%s]@,plan=%d decisions@]"
+    (kind_name case.kind) case.n case.fack
+    (String.concat ";"
+       (Array.to_list (Array.map string_of_int case.inputs)))
+    (String.concat ";"
+       (List.map
+          (fun (node, time) -> Printf.sprintf "%d@t%d" node time)
+          case.crashes))
+    (List.length case.plan)
+
+let topology_of case =
+  match case.kind with
+  | Clique -> Amac.Topology.clique case.n
+  | Line -> Amac.Topology.line case.n
+  | Ring -> Amac.Topology.ring case.n
+  | Star -> Amac.Topology.star case.n
+  | Random_graph seed ->
+      Amac.Topology.random_connected
+        (Amac.Rng.create seed)
+        ~n:case.n ~extra_edges:(case.n / 3)
+
+type config = {
+  iterations : int;
+  max_n : int;
+  max_fack : int;
+  max_crashes : int;
+  kinds : topo_kind list;
+  give_n : bool;
+  check_termination : bool;
+  max_time : int;
+  max_shrink_runs : int;
+}
+
+let default =
+  {
+    iterations = 300;
+    max_n = 6;
+    max_fack = 8;
+    max_crashes = 2;
+    kinds = [ Clique; Line ];
+    give_n = true;
+    check_termination = false;
+    max_time = 100_000;
+    max_shrink_runs = 2_000;
+  }
+
+type counterexample = {
+  iteration : int;
+  case : case;
+  original : case;
+  violations : Consensus.Checker.violation list;
+  timeline : string;
+}
+
+type outcome = {
+  iterations_run : int;
+  counterexample : counterexample option;
+}
+
+let violations_of config (result : Consensus.Runner.result) =
+  let safety = Consensus.Checker.safety_violations result.report in
+  if
+    config.check_termination
+    && (not result.outcome.hit_max_time)
+    && not result.report.termination
+  then
+    safety
+    @ List.filter
+        (function
+          | Consensus.Checker.Termination_violation _ -> true | _ -> false)
+        result.report.violations
+  else safety
+
+let run_case ?(record_trace = false) config algorithm case =
+  Consensus.Runner.run algorithm ~give_n:config.give_n
+    ~topology:(topology_of case)
+    ~scheduler:(Amac.Scheduler.replay case.plan)
+    ~inputs:case.inputs ~crashes:case.crashes ~max_time:config.max_time
+    ~record_trace
+
+(* splitmix-style mixing so that (seed, iteration) pairs give uncorrelated
+   generators without the caller managing a stream. *)
+let derive ~seed ~iteration =
+  let rng = Amac.Rng.create ((seed * 0x9E3779B1) lxor iteration) in
+  ignore (Amac.Rng.bits64 rng);
+  rng
+
+let generate config algorithm ~seed ~iteration =
+  let rng = derive ~seed ~iteration in
+  let n = Amac.Rng.int_range rng ~lo:2 ~hi:(max 2 config.max_n) in
+  let kind =
+    match Amac.Rng.pick rng config.kinds with
+    | Random_graph _ -> Random_graph (Amac.Rng.int rng 1_000_000)
+    | (Clique | Line | Ring | Star) as k -> k
+  in
+  let kind = if n < 3 && kind = Ring then Clique else kind in
+  let fack = Amac.Rng.int_range rng ~lo:1 ~hi:(max 1 config.max_fack) in
+  let inputs = Array.init n (fun _ -> if Amac.Rng.bool rng then 1 else 0) in
+  (* Crash times are drawn from the first few broadcast windows: every
+     algorithm broadcasts at t=0, so times in [1, fack] land mid-broadcast
+     (the window is (0, ack <= fack]), exercising Sec 2's non-atomic
+     crashes; later times interrupt follow-up phases. *)
+  let crash_count = Amac.Rng.int rng (config.max_crashes + 1) in
+  let crashes =
+    List.init crash_count (fun _ ->
+        ( Amac.Rng.int rng n,
+          Amac.Rng.int_range rng ~lo:0 ~hi:(((2 * fack) + 1) * 2) ))
+    |> List.sort_uniq compare
+  in
+  let base = Amac.Scheduler.random (Amac.Rng.split rng) ~fack in
+  let recording, recorded = Amac.Scheduler.record base in
+  let result =
+    Consensus.Runner.run algorithm ~give_n:config.give_n
+      ~topology:
+        (topology_of { kind; n; fack; inputs; crashes; plan = [] })
+      ~scheduler:recording ~inputs ~crashes ~max_time:config.max_time
+  in
+  ({ kind; n; fack; inputs; crashes; plan = recorded () }, result)
+
+(* ---------------------------------------------------------------- *)
+(* Shrinking: greedy delta-debugging over the case's four dimensions *)
+(* ---------------------------------------------------------------- *)
+
+let restrict_to case n' =
+  {
+    case with
+    n = n';
+    inputs = Array.sub case.inputs 0 n';
+    crashes = List.filter (fun (node, _) -> node < n') case.crashes;
+  }
+
+let normalize_decision (d : Amac.Scheduler.decision) =
+  {
+    Amac.Scheduler.ack_delay = 1;
+    delays = List.map (fun (v, _) -> (v, 1)) d.Amac.Scheduler.delays;
+  }
+
+let shrink config algorithm case =
+  let budget = ref config.max_shrink_runs in
+  let fails candidate =
+    !budget > 0
+    &&
+    (decr budget;
+     match run_case config algorithm candidate with
+     | result -> violations_of config result <> []
+     | exception Invalid_argument _ -> false)
+  in
+  let improve case candidates =
+    match List.find_opt fails candidates with
+    | Some better -> (true, better)
+    | None -> (false, case)
+  in
+  let pass_nodes case =
+    (* Smallest n that still fails, trying from 2 upward. *)
+    let candidates =
+      List.filter_map
+        (fun n' -> if n' < case.n then Some (restrict_to case n') else None)
+        (List.init (max 0 (case.n - 2)) (fun i -> i + 2))
+    in
+    improve case candidates
+  in
+  let pass_crashes case =
+    (* Drop each crash; then pull each crash time toward 0. *)
+    let drops =
+      List.mapi
+        (fun i _ ->
+          { case with crashes = List.filteri (fun j _ -> j <> i) case.crashes })
+        case.crashes
+    in
+    let earlier =
+      List.concat_map
+        (fun divisor ->
+          List.mapi
+            (fun i (node, time) ->
+              {
+                case with
+                crashes =
+                  List.mapi
+                    (fun j c -> if i = j then (node, time / divisor) else c)
+                    case.crashes;
+              })
+            case.crashes)
+        [ max_int; 2 ]
+    in
+    improve case (drops @ earlier)
+  in
+  let pass_plan_truncate case =
+    let len = List.length case.plan in
+    let truncate k = { case with plan = List.filteri (fun i _ -> i < k) case.plan } in
+    improve case
+      (List.filter_map
+         (fun k -> if k < len then Some (truncate k) else None)
+         [ 0; len / 4; len / 2; 3 * len / 4; len - 1 ])
+  in
+  let pass_plan_flatten case =
+    (* Normalise decisions (every delay to 1) — all at once, then one by
+       one. A decision that survives flattening was not load-bearing. *)
+    let all = { case with plan = List.map normalize_decision case.plan } in
+    let singles =
+      List.mapi
+        (fun i _ ->
+          {
+            case with
+            plan =
+              List.mapi
+                (fun j d -> if i = j then normalize_decision d else d)
+                case.plan;
+          })
+        case.plan
+    in
+    improve case (all :: singles)
+  in
+  let pass_inputs case =
+    let flips =
+      List.filter_map
+        (fun i ->
+          if case.inputs.(i) = 1 then (
+            let inputs = Array.copy case.inputs in
+            inputs.(i) <- 0;
+            Some { case with inputs })
+          else None)
+        (List.init case.n (fun i -> i))
+    in
+    improve case flips
+  in
+  let passes =
+    [ pass_nodes; pass_crashes; pass_plan_truncate; pass_plan_flatten; pass_inputs ]
+  in
+  let rec fixpoint case =
+    let changed, case =
+      List.fold_left
+        (fun (changed, case) pass ->
+          let c, case = pass case in
+          (changed || c, case))
+        (false, case) passes
+    in
+    if changed && !budget > 0 then fixpoint case else case
+  in
+  fixpoint case
+
+let pp_counterexample fmt cx =
+  Format.fprintf fmt
+    "@[<v>iteration %d:@,%a@,violations:@,  %a@,timeline:@,%s@]" cx.iteration
+    pp_case cx.case
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space
+       Consensus.Checker.pp_violation)
+    cx.violations cx.timeline
+
+let run config algorithm ~seed =
+  let result = ref None in
+  let iteration = ref 0 in
+  while !result = None && !iteration < config.iterations do
+    let case, first = generate config algorithm ~seed ~iteration:!iteration in
+    if violations_of config first <> [] then begin
+      let shrunk = shrink config algorithm case in
+      let replay = run_case ~record_trace:true config algorithm shrunk in
+      result :=
+        Some
+          {
+            iteration = !iteration;
+            case = shrunk;
+            original = case;
+            violations = violations_of config replay;
+            timeline = Amac.Trace.timeline ~n:shrunk.n replay.outcome.trace;
+          }
+    end;
+    incr iteration
+  done;
+  { iterations_run = !iteration; counterexample = !result }

@@ -1,0 +1,102 @@
+(** Seeded schedule/crash fuzzing with counterexample shrinking.
+
+    Each iteration derives a generator from [(seed, iteration)], draws a
+    topology, inputs, [F_ack], a crash pattern (times land inside broadcast
+    windows, so crash-mid-broadcast non-atomicity is exercised), and a
+    random scheduler wrapped in {!Amac.Scheduler.record}. The run goes
+    through {!Consensus.Runner.run} and is judged by
+    {!Consensus.Checker.safety_violations} (termination optionally too).
+
+    On failure the recorded decision list makes the whole execution {e
+    data}: a {!case} (topology kind + n + inputs + crashes + decision list)
+    replays deterministically via {!Amac.Scheduler.replay}, and the shrinker
+    delta-debugs it — dropping nodes, dropping and advancing crashes,
+    truncating and flattening scheduler decisions, canonicalising inputs —
+    re-running after each mutation and keeping it only while some violation
+    survives. The result is a minimal reproducer plus the seed that found
+    it. *)
+
+type topo_kind = Clique | Line | Ring | Star | Random_graph of int
+
+type case = {
+  kind : topo_kind;
+  n : int;
+  fack : int;  (** recorded for reporting; replay recomputes its own bound *)
+  inputs : int array;
+  crashes : (int * int) list;
+  plan : Amac.Scheduler.decision list;
+}
+
+val pp_case : Format.formatter -> case -> unit
+
+(** [topology_of case] rebuilds the graph ([Random_graph seed] is
+    deterministic in its seed and [n]). *)
+val topology_of : case -> Amac.Topology.t
+
+type config = {
+  iterations : int;
+  max_n : int;  (** nodes drawn from [\[2, max_n\]] *)
+  max_fack : int;  (** F_ack drawn from [\[1, max_fack\]] *)
+  max_crashes : int;  (** crash-pattern size drawn from [\[0, max_crashes\]] *)
+  kinds : topo_kind list;  (** topology families to draw from *)
+  give_n : bool;
+  check_termination : bool;
+      (** when true, a completed run (not cut off by [max_time]) in which a
+          live node never decided also counts as a failure *)
+  max_time : int;
+  max_shrink_runs : int;  (** re-run budget for the shrinker *)
+}
+
+(** 300 iterations, n ≤ 6, F_ack ≤ 8, ≤ 2 crashes, cliques and lines,
+    safety-only, 2000 shrink runs. *)
+val default : config
+
+type counterexample = {
+  iteration : int;  (** which iteration failed — replay via {!generate} *)
+  case : case;  (** the shrunk reproducer *)
+  original : case;  (** the case as generated, before shrinking *)
+  violations : Consensus.Checker.violation list;  (** of the shrunk case *)
+  timeline : string;  (** {!Amac.Trace.timeline} of the shrunk run *)
+}
+
+type outcome = {
+  iterations_run : int;
+  counterexample : counterexample option;  (** [None] — all iterations clean *)
+}
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+
+(** [run config algorithm ~seed] fuzzes until a violation is found (then
+    shrinks and stops) or [config.iterations] clean iterations pass. *)
+val run : config -> ('s, 'm) Amac.Algorithm.t -> seed:int -> outcome
+
+(** [generate config algorithm ~seed ~iteration] regenerates one iteration's
+    case — including the recorded schedule, which requires running it — and
+    returns it with the run's verdict. This is how a reported seed is
+    replayed. *)
+val generate :
+  config ->
+  ('s, 'm) Amac.Algorithm.t ->
+  seed:int ->
+  iteration:int ->
+  case * Consensus.Runner.result
+
+(** [run_case config algorithm case] replays a case through
+    {!Amac.Scheduler.replay}. *)
+val run_case :
+  ?record_trace:bool ->
+  config ->
+  ('s, 'm) Amac.Algorithm.t ->
+  case ->
+  Consensus.Runner.result
+
+(** [violations_of config result] — the failure predicate: safety
+    violations, plus termination ones when [config.check_termination] and
+    the run was not cut off by [max_time]. *)
+val violations_of :
+  config -> Consensus.Runner.result -> Consensus.Checker.violation list
+
+(** [shrink config algorithm case] — greedy fixpoint of the shrinking
+    passes, bounded by [config.max_shrink_runs] replays. The argument must
+    currently fail ({!violations_of} non-empty); the result still does. *)
+val shrink : config -> ('s, 'm) Amac.Algorithm.t -> case -> case

@@ -147,6 +147,48 @@ let test_crash_mid_broadcast () =
   Alcotest.(check (option (pair int int))) "node 2 heard nothing" None
     outcome.decisions.(2)
 
+(* Under the synchronous scheduler every delivery of a broadcast lands at
+   the same tick, so a crash cannot split one broadcast's audience: crashing
+   inside the window (crash events sort before same-tick receives) silences
+   the whole broadcast, crashing after it changes nothing. The genuinely
+   partial case needs staggered deliveries — see [test_crash_mid_broadcast]
+   above (per-edge delays) and the mcheck explorer, which branches over
+   every prefix. *)
+let test_crash_window_synchronous () =
+  let silenced =
+    run (counter ~target:1) ~topology:clique3
+      ~scheduler:Amac.Scheduler.synchronous ~crashes:[ (0, 1) ]
+      ~inputs:[| 0; 0; 0 |]
+  in
+  (* Node 0's two deliveries (due exactly at t=1) are dropped, as are the
+     two deliveries to it. *)
+  Alcotest.(check int) "whole broadcast silenced" 4 silenced.dropped;
+  Alcotest.(check (option (pair int int))) "node 0 undecided" None
+    silenced.decisions.(0);
+  let after =
+    run (counter ~target:1) ~topology:clique3
+      ~scheduler:Amac.Scheduler.synchronous ~crashes:[ (0, 2) ]
+      ~inputs:[| 0; 0; 0 |]
+  in
+  Alcotest.(check int) "window already closed: nothing dropped" 0 after.dropped;
+  Alcotest.(check bool) "everyone heard everyone" true
+    (Array.for_all (fun d -> d <> None) after.decisions)
+
+let test_crash_window_max_delay () =
+  (* max_delay stretches the window to its full F_ack but still delivers
+     everything at one tick: a crash at t=3 inside a (0, 5] window silences
+     node 1's broadcast entirely, and node 1 (crashed before t=5) also never
+     receives its neighbors' broadcasts. *)
+  let line = Amac.Topology.line 3 in
+  let outcome =
+    run (counter ~target:1) ~topology:line
+      ~scheduler:(Amac.Scheduler.max_delay ~fack:5)
+      ~crashes:[ (1, 3) ] ~inputs:[| 0; 0; 0 |] ~stop_when_all_decided:false
+  in
+  Alcotest.(check int) "all four deliveries dropped" 4 outcome.dropped;
+  Alcotest.(check bool) "nobody hears anything" true
+    (Array.for_all (fun d -> d = None) outcome.decisions)
+
 let test_crashed_node_silent () =
   (* After crashing, a node's pending ack must not fire (it takes no steps),
      so `forever` on a crashed node generates no further broadcasts. *)
@@ -279,6 +321,61 @@ let test_anonymous_identities () =
   Alcotest.(check bool) "anonymous run decides" true
     (Amac.Engine.all_decided outcome)
 
+(* The resumable API must agree step-for-step with the monolithic run. *)
+let test_step_engine_matches_run () =
+  let scheduler () = Amac.Scheduler.random (Amac.Rng.create 5) ~fack:4 in
+  let reference =
+    run (counter ~target:2) ~topology:clique3 ~scheduler:(scheduler ())
+      ~inputs:[| 0; 1; 0 |]
+  in
+  let sim =
+    Amac.Engine.create (counter ~target:2) ~topology:clique3
+      ~scheduler:(scheduler ()) ~inputs:[| 0; 1; 0 |]
+  in
+  Alcotest.(check bool) "not finished at creation" false
+    (Amac.Engine.finished sim);
+  let steps = ref 0 in
+  let last_now = ref (Amac.Engine.now sim) in
+  let rec drain () =
+    match Amac.Engine.step sim with
+    | `Stepped ->
+        incr steps;
+        Alcotest.(check bool) "time monotone" true
+          (Amac.Engine.now sim >= !last_now);
+        last_now := Amac.Engine.now sim;
+        drain ()
+    | `Done | `Capped -> ()
+  in
+  drain ();
+  Alcotest.(check bool) "finished after drain" true (Amac.Engine.finished sim);
+  Alcotest.(check bool) "stepped at least once" true (!steps > 0);
+  let snap = Amac.Engine.snapshot sim in
+  Alcotest.(check bool) "same decisions" true
+    (snap.decisions = reference.decisions);
+  Alcotest.(check int) "same end time" reference.end_time snap.end_time;
+  Alcotest.(check int) "same deliveries" reference.deliveries snap.deliveries;
+  Alcotest.(check int) "same broadcasts" reference.broadcasts snap.broadcasts
+
+let test_step_engine_midway_snapshot () =
+  (* Snapshots are pure observations: taking one midway must not disturb the
+     rest of the run. *)
+  let sim =
+    Amac.Engine.create once ~topology:clique3
+      ~scheduler:Amac.Scheduler.synchronous ~inputs:[| 0; 0; 0 |]
+  in
+  (match Amac.Engine.step sim with
+  | `Stepped -> ()
+  | `Done | `Capped -> Alcotest.fail "run cannot finish in one event");
+  let mid = Amac.Engine.snapshot sim in
+  while not (Amac.Engine.finished sim) do
+    ignore (Amac.Engine.step sim)
+  done;
+  let final = Amac.Engine.snapshot sim in
+  Alcotest.(check bool) "midway sees fewer events" true
+    (mid.events_processed < final.events_processed);
+  Alcotest.(check bool) "final all decided" true
+    (Amac.Engine.all_decided final)
+
 (* Property: for random schedulers, every node's delivery count matches the
    topology (everyone hears each neighbor's broadcast exactly once) and the
    full outcome is reproducible from the seed. *)
@@ -343,6 +440,10 @@ let () =
             test_crash_before_broadcast_delivery;
           Alcotest.test_case "crash mid-broadcast" `Quick
             test_crash_mid_broadcast;
+          Alcotest.test_case "crash window: synchronous" `Quick
+            test_crash_window_synchronous;
+          Alcotest.test_case "crash window: max delay" `Quick
+            test_crash_window_max_delay;
           Alcotest.test_case "crashed node silent" `Quick
             test_crashed_node_silent;
           Alcotest.test_case "max time" `Quick test_max_time;
@@ -355,6 +456,10 @@ let () =
           Alcotest.test_case "trace recording" `Quick test_trace_recording;
           Alcotest.test_case "anonymous identities" `Quick
             test_anonymous_identities;
+          Alcotest.test_case "step engine matches run" `Quick
+            test_step_engine_matches_run;
+          Alcotest.test_case "step engine midway snapshot" `Quick
+            test_step_engine_midway_snapshot;
         ] );
       ( "property",
         [

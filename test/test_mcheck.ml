@@ -1,0 +1,170 @@
+(* Schedule-space exploration subsystem: the fuzzer must find (and shrink) a
+   seeded violation in the deliberately broken two-phase variant, stay quiet
+   on the correct algorithms, and the bounded explorer must exhaust the
+   3-clique for two-phase. *)
+
+module Fuzz = Mcheck.Fuzz
+module Explore = Mcheck.Explore
+
+(* Two-phase assumes a single hop network, so it is fuzzed on cliques. *)
+let clique_only = { Fuzz.default with kinds = [ Fuzz.Clique ] }
+
+let has_agreement =
+  List.exists (function
+    | Consensus.Checker.Agreement_violation _ -> true
+    | _ -> false)
+
+let test_fuzzer_catches_literal () =
+  let outcome = Fuzz.run clique_only Consensus.Two_phase.literal ~seed:1 in
+  match outcome.Fuzz.counterexample with
+  | None -> Alcotest.fail "fuzzer missed the erratum in Two_phase.literal"
+  | Some cx ->
+      Alcotest.(check bool) "agreement violation" true
+        (has_agreement cx.violations);
+      Alcotest.(check bool) "shrunk to <= 4 nodes" true (cx.case.Fuzz.n <= 4);
+      Alcotest.(check bool) "shrunk no larger than original" true
+        (cx.case.Fuzz.n <= cx.original.Fuzz.n);
+      Alcotest.(check bool) "timeline rendered" true (cx.timeline <> "")
+
+let test_counterexample_replays_from_case () =
+  (* The shrunk case is self-contained data: replaying it through
+     Scheduler.replay reproduces the violation. *)
+  let outcome = Fuzz.run clique_only Consensus.Two_phase.literal ~seed:1 in
+  let cx = Option.get outcome.Fuzz.counterexample in
+  let replayed = Fuzz.run_case clique_only Consensus.Two_phase.literal cx.case in
+  Alcotest.(check bool) "replay still fails" true
+    (has_agreement (Fuzz.violations_of clique_only replayed))
+
+let test_counterexample_replays_from_seed () =
+  (* The reported (seed, iteration) pair alone regenerates the original
+     failing run. *)
+  let outcome = Fuzz.run clique_only Consensus.Two_phase.literal ~seed:1 in
+  let cx = Option.get outcome.Fuzz.counterexample in
+  let case, result =
+    Fuzz.generate clique_only Consensus.Two_phase.literal ~seed:1
+      ~iteration:cx.iteration
+  in
+  Alcotest.(check bool) "same case regenerated" true (case = cx.original);
+  Alcotest.(check bool) "still failing" true
+    (has_agreement (Fuzz.violations_of clique_only result))
+
+let test_generate_deterministic () =
+  let once () =
+    fst (Fuzz.generate Fuzz.default Consensus.Two_phase.algorithm ~seed:42 ~iteration:7)
+  in
+  Alcotest.(check bool) "same seed, same case" true (once () = once ())
+
+let test_fuzzer_clean_on_corrected () =
+  (* Same budget that catches the erratum within a handful of iterations
+     finds nothing against the corrected rule. *)
+  let outcome = Fuzz.run clique_only Consensus.Two_phase.algorithm ~seed:1 in
+  Alcotest.(check bool) "no counterexample" true
+    (outcome.Fuzz.counterexample = None);
+  Alcotest.(check int) "all iterations ran" clique_only.Fuzz.iterations
+    outcome.Fuzz.iterations_run
+
+let test_fuzzer_clean_on_multihop_algorithms () =
+  let config = { Fuzz.default with iterations = 60 } in
+  List.iter
+    (fun (name, outcome) ->
+      match outcome.Fuzz.counterexample with
+      | None -> ()
+      | Some cx ->
+          Alcotest.failf "%s violated: %s" name
+            (Format.asprintf "%a" Fuzz.pp_counterexample cx))
+    [
+      ("wpaxos", Fuzz.run config (Consensus.Wpaxos.make ()) ~seed:2);
+      ("flood-gather", Fuzz.run config (Consensus.Flood_gather.make ()) ~seed:3);
+      ("flood-paxos", Fuzz.run config (Consensus.Flood_paxos.make ()) ~seed:4);
+      ("ben-or", Fuzz.run config (Consensus.Ben_or.make ~seed:7 ()) ~seed:5);
+    ]
+
+let test_explorer_exhausts_two_phase_n3 () =
+  (* The acceptance bar: every F_ack-respecting delivery ordering of the
+     two-phase algorithm on the 3-clique, crash-free, is safe and decides. *)
+  let stats =
+    Explore.explore
+      { Explore.default with check_termination = true }
+      Consensus.Two_phase.algorithm
+      ~topology:(Amac.Topology.clique 3) ~inputs:[| 0; 1; 1 |]
+  in
+  Alcotest.(check bool) "explored something" true (stats.Explore.states > 0);
+  Alcotest.(check bool) "not truncated (a real verdict)" false
+    stats.Explore.truncated;
+  Alcotest.(check int) "no violations" 0
+    (List.length stats.Explore.violations);
+  Alcotest.(check bool) "dedup did work" true (stats.Explore.dedup_hits > 0);
+  Alcotest.(check bool) "sleep sets pruned" true (stats.Explore.sleep_skips > 0)
+
+let test_explorer_catches_literal () =
+  (* Exhaustive search finds the erratum without any seed luck, and returns
+     a concrete witness schedule. *)
+  let stats =
+    Explore.explore Explore.default Consensus.Two_phase.literal
+      ~topology:(Amac.Topology.clique 3) ~inputs:[| 0; 1; 1 |]
+  in
+  match stats.Explore.violations with
+  | [] -> Alcotest.fail "explorer missed the erratum in Two_phase.literal"
+  | (violation, path) :: _ ->
+      Alcotest.(check bool) "agreement violation" true
+        (has_agreement [ violation ]);
+      Alcotest.(check bool) "witness schedule attached" true (path <> [])
+
+let test_explorer_crash_branching () =
+  (* A crash budget multiplies the space (every prefix of every broadcast
+     can be cut short) but must not break safety. *)
+  let crash_free =
+    Explore.explore Explore.default Consensus.Two_phase.algorithm
+      ~topology:(Amac.Topology.clique 2) ~inputs:[| 0; 1 |]
+  in
+  let crashy =
+    Explore.explore
+      { Explore.default with crash_budget = 1 }
+      Consensus.Two_phase.algorithm
+      ~topology:(Amac.Topology.clique 2) ~inputs:[| 0; 1 |]
+  in
+  Alcotest.(check int) "crash-free safe" 0
+    (List.length crash_free.Explore.violations);
+  Alcotest.(check int) "safe under one crash" 0
+    (List.length crashy.Explore.violations);
+  Alcotest.(check bool) "crashes enlarge the space" true
+    (crashy.Explore.states > crash_free.Explore.states)
+
+let test_explorer_rejects_bad_inputs () =
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Explore.explore: inputs length mismatches topology")
+    (fun () ->
+      ignore
+        (Explore.explore Explore.default Consensus.Two_phase.algorithm
+           ~topology:(Amac.Topology.clique 3) ~inputs:[| 0 |]))
+
+let () =
+  Alcotest.run "mcheck"
+    [
+      ( "fuzz",
+        [
+          Alcotest.test_case "catches the two-phase erratum" `Quick
+            test_fuzzer_catches_literal;
+          Alcotest.test_case "counterexample replays from case" `Quick
+            test_counterexample_replays_from_case;
+          Alcotest.test_case "counterexample replays from seed" `Quick
+            test_counterexample_replays_from_seed;
+          Alcotest.test_case "generation is deterministic" `Quick
+            test_generate_deterministic;
+          Alcotest.test_case "clean on corrected two-phase" `Quick
+            test_fuzzer_clean_on_corrected;
+          Alcotest.test_case "clean on multihop algorithms" `Quick
+            test_fuzzer_clean_on_multihop_algorithms;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "exhausts two-phase on the 3-clique" `Slow
+            test_explorer_exhausts_two_phase_n3;
+          Alcotest.test_case "catches the two-phase erratum" `Quick
+            test_explorer_catches_literal;
+          Alcotest.test_case "crash branching" `Quick
+            test_explorer_crash_branching;
+          Alcotest.test_case "input validation" `Quick
+            test_explorer_rejects_bad_inputs;
+        ] );
+    ]

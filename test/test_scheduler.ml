@@ -117,6 +117,110 @@ let test_make_validation () =
         (S.make ~name:"bad" ~fack:0 (fun ~now ~sender:_ ~neighbors:_ ->
              { S.receives = []; ack_at = now + 1 })))
 
+let test_record_captures_relative_delays () =
+  let recording, recorded = S.record (S.fixed ~delay:3) in
+  ignore (recording.plan ~now:10 ~sender:0 ~neighbors);
+  ignore (recording.plan ~now:25 ~sender:1 ~neighbors:[ 0 ]);
+  match recorded () with
+  | [ first; second ] ->
+      Alcotest.(check int) "ack delay relative" 3 first.S.ack_delay;
+      Alcotest.(check (list (pair int int)))
+        "delivery delays relative"
+        [ (1, 3); (2, 3); (3, 3) ]
+        first.S.delays;
+      Alcotest.(check (list (pair int int))) "broadcast order" [ (0, 3) ]
+        second.S.delays
+  | other ->
+      Alcotest.failf "expected 2 decisions, got %d" (List.length other)
+
+let test_record_replay_roundtrip () =
+  (* A recorded random run, replayed, is the same scheduler as data. *)
+  let recording, recorded = S.record (S.random (Amac.Rng.create 11) ~fack:9) in
+  let plans =
+    List.map (fun now -> recording.plan ~now ~sender:0 ~neighbors) [ 0; 4; 20 ]
+  in
+  let replayed = S.replay (recorded ()) in
+  List.iteri
+    (fun i now ->
+      let original = List.nth plans i in
+      let again = replayed.plan ~now ~sender:0 ~neighbors in
+      Alcotest.(check int) "same ack" original.S.ack_at again.S.ack_at;
+      Alcotest.(check (list (pair int int)))
+        "same deliveries"
+        (List.sort compare original.S.receives)
+        (List.sort compare again.S.receives))
+    [ 0; 4; 20 ]
+
+let test_replay_total () =
+  (* Replay never breaks the contract: delays are clamped into (now, ack],
+     neighbors missing from the decision receive at the ack, and an
+     exhausted list falls back to uniform delivery. *)
+  let replayed =
+    S.replay [ { S.ack_delay = 2; delays = [ (1, 5); (2, 0) ] } ]
+  in
+  let plan = check_contract ~now:10 ~neighbors replayed in
+  Alcotest.(check int) "ack at recorded delay" 12 plan.ack_at;
+  Alcotest.(check int) "overlong delay clamped to ack" 12
+    (List.assoc 1 plan.receives);
+  Alcotest.(check int) "zero delay clamped to 1 tick" 11
+    (List.assoc 2 plan.receives);
+  Alcotest.(check int) "missing neighbor delivered at ack" 12
+    (List.assoc 3 plan.receives);
+  let exhausted = check_contract ~now:30 ~neighbors replayed in
+  Alcotest.(check int) "fallback after exhaustion" 31 exhausted.ack_at;
+  Alcotest.check_raises "fallback validation"
+    (Invalid_argument "Scheduler.replay: fallback_delay must be >= 1")
+    (fun () -> ignore (S.replay ~fallback_delay:0 []))
+
+let unreliable_plan_exn sched = Option.get sched.S.unreliable_plan
+
+let test_bernoulli_window () =
+  (* Every planned unreliable delivery lands in (now, ack_at], on a distinct
+     candidate. *)
+  let sched =
+    S.bernoulli_unreliable (Amac.Rng.create 3) ~p:0.5 (S.max_delay ~fack:7)
+  in
+  let plan = unreliable_plan_exn sched in
+  for now = 0 to 200 do
+    let ack_at = now + 7 in
+    let deliveries = plan ~now ~sender:0 ~candidates:[ 4; 5; 6 ] ~ack_at in
+    List.iter
+      (fun (v, t) ->
+        if t <= now || t > ack_at then
+          Alcotest.failf "delivery at %d outside (%d, %d]" t now ack_at;
+        if not (List.mem v [ 4; 5; 6 ]) then
+          Alcotest.failf "non-candidate %d" v)
+      deliveries;
+    let targets = List.map fst deliveries in
+    Alcotest.(check (list int)) "each candidate at most once"
+      (List.sort_uniq Int.compare targets)
+      (List.sort Int.compare targets)
+  done
+
+let test_bernoulli_edge_probabilities () =
+  let never =
+    S.bernoulli_unreliable (Amac.Rng.create 1) ~p:0.0 S.synchronous
+  in
+  let always =
+    S.bernoulli_unreliable (Amac.Rng.create 1) ~p:1.0 S.synchronous
+  in
+  for now = 0 to 50 do
+    Alcotest.(check (list (pair int int)))
+      "p=0 delivers nothing" []
+      ((unreliable_plan_exn never) ~now ~sender:0 ~candidates:[ 1; 2 ]
+         ~ack_at:(now + 1));
+    Alcotest.(check (list int))
+      "p=1 delivers to every candidate" [ 1; 2 ]
+      (List.map fst
+         ((unreliable_plan_exn always) ~now ~sender:0 ~candidates:[ 1; 2 ]
+            ~ack_at:(now + 1))
+       |> List.sort Int.compare)
+  done;
+  Alcotest.check_raises "p validation"
+    (Invalid_argument "Scheduler.bernoulli_unreliable: p must be in [0, 1]")
+    (fun () ->
+      ignore (S.bernoulli_unreliable (Amac.Rng.create 1) ~p:1.5 S.synchronous))
+
 let prop_random_plan_valid =
   QCheck.Test.make ~name:"random scheduler always honours the contract"
     ~count:300
@@ -150,6 +254,20 @@ let () =
           Alcotest.test_case "slow_node" `Quick test_slow_node;
           Alcotest.test_case "bursty" `Quick test_bursty;
           Alcotest.test_case "make validation" `Quick test_make_validation;
+        ] );
+      ( "record/replay",
+        [
+          Alcotest.test_case "record captures relative delays" `Quick
+            test_record_captures_relative_delays;
+          Alcotest.test_case "record/replay roundtrip" `Quick
+            test_record_replay_roundtrip;
+          Alcotest.test_case "replay is total" `Quick test_replay_total;
+        ] );
+      ( "unreliable",
+        [
+          Alcotest.test_case "bernoulli window" `Quick test_bernoulli_window;
+          Alcotest.test_case "bernoulli p=0 / p=1" `Quick
+            test_bernoulli_edge_probabilities;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest prop_random_plan_valid ]);
     ]

@@ -97,6 +97,25 @@ let test_ack_never_waits_for_unreliable () =
     (fun t -> Alcotest.(check int) "ack at t=1 as without chords" 1 t)
     (Amac.Engine.decision_times outcome)
 
+let test_bernoulli_extremes_through_engine () =
+  (* p=1 behaves like always_deliver (and is counted as such); p=0 like no
+     plan at all. *)
+  let with_p p =
+    Amac.Engine.run probe ~topology:line4
+      ~scheduler:
+        (Amac.Scheduler.bernoulli_unreliable (Amac.Rng.create 4) ~p
+           Amac.Scheduler.synchronous)
+      ~unreliable:chord ~inputs:[| 0; 0; 0; 0 |]
+  in
+  let certain = with_p 1.0 in
+  Alcotest.(check int) "p=1: both chord directions counted" 2
+    certain.unreliable_deliveries;
+  Alcotest.(check int) "p=1: total includes chords" 8 certain.deliveries;
+  let never = with_p 0.0 in
+  Alcotest.(check int) "p=0: nothing on the chord" 0
+    never.unreliable_deliveries;
+  Alcotest.(check int) "p=0: reliable only" 6 never.deliveries
+
 let test_bernoulli_validation () =
   Alcotest.check_raises "p out of range"
     (Invalid_argument "Scheduler.bernoulli_unreliable: p must be in [0, 1]")
@@ -218,6 +237,8 @@ let () =
             test_non_candidate_rejected;
           Alcotest.test_case "acks unchanged" `Quick
             test_ack_never_waits_for_unreliable;
+          Alcotest.test_case "bernoulli p=0 / p=1" `Quick
+            test_bernoulli_extremes_through_engine;
           Alcotest.test_case "bernoulli validation" `Quick
             test_bernoulli_validation;
         ] );
