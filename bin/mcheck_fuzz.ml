@@ -1,11 +1,24 @@
 (* CI quick-fuzz entry point (see .github/workflows/ci.yml).
 
-   Fuzzes every consensus algorithm in the repo for MCHECK_ITERS iterations
-   (default 200) of random schedules and crash patterns, expecting no safety
-   violation; then, as a harness self-test, checks that the same fuzzer DOES
-   catch the agreement bug in the erratum variant (Two_phase.literal) and
-   that the bounded explorer still verifies two-phase on the 3-clique.
-   Exit status 0 = all good; 1 = a violation (or a missed one). *)
+   Default mode: fuzzes every consensus algorithm in the repo for
+   MCHECK_ITERS iterations (default 200) of random schedules and crash
+   patterns, expecting no safety violation; then, as a harness self-test,
+   checks that the same fuzzer DOES catch the agreement bug in the erratum
+   variant (Two_phase.literal) and that the bounded explorer still verifies
+   two-phase on the 3-clique.
+
+   MCHECK_FAULTS=1 switches to fault-plan mode: fuzzes two-phase and
+   hardened wPAXOS under generated fault plans (crash-recovery, lossy
+   links, partition-and-heal, stutter) expecting safety to hold
+   unconditionally; then, as a self-test, points the same fuzzer with
+   termination checking at the unhardened wPAXOS (~retransmit:false) and
+   expects it to find AND shrink a liveness failure. If MCHECK_ARTIFACT
+   names a file, the shrunk counterexample is written there (CI uploads it
+   as a build artifact).
+
+   Exit status 0 = all good; 1 = a violation (or a missed one). Any
+   uncaught exception also exits non-zero, after printing the replay seed —
+   a crash in the harness must never read as a green CI job. *)
 
 let iterations =
   match Sys.getenv_opt "MCHECK_ITERS" with
@@ -17,8 +30,9 @@ let seed =
   | Some s -> (try int_of_string s with _ -> 1)
   | None -> 1
 
+let fault_mode = Sys.getenv_opt "MCHECK_FAULTS" = Some "1"
+let artifact = Sys.getenv_opt "MCHECK_ARTIFACT"
 let failures = ref 0
-
 let config = { Mcheck.Fuzz.default with iterations }
 
 (* Two-phase is a single-hop algorithm (Sec 4.1): on multi-hop topologies
@@ -28,7 +42,7 @@ let clique_only = { config with kinds = [ Mcheck.Fuzz.Clique ] }
 let fuzz_clean ?(config = config) name algorithm =
   let started = Sys.time () in
   let outcome = Mcheck.Fuzz.run config algorithm ~seed in
-  (match outcome.Mcheck.Fuzz.counterexample with
+  match outcome.Mcheck.Fuzz.counterexample with
   | None ->
       Printf.printf "fuzz %-14s %d iterations clean (%.1fs)\n%!" name
         outcome.Mcheck.Fuzz.iterations_run
@@ -36,9 +50,20 @@ let fuzz_clean ?(config = config) name algorithm =
   | Some cx ->
       incr failures;
       Format.printf "fuzz %-14s VIOLATION (seed %d):@.%a@." name seed
-        Mcheck.Fuzz.pp_counterexample cx)
+        Mcheck.Fuzz.pp_counterexample cx
 
-let () =
+let save_artifact name cx =
+  match artifact with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let fmt = Format.formatter_of_out_channel oc in
+      Format.fprintf fmt "%s (seed %d, iteration %d)@.%a@." name seed
+        cx.Mcheck.Fuzz.iteration Mcheck.Fuzz.pp_counterexample cx;
+      close_out oc;
+      Printf.printf "wrote shrunk counterexample to %s\n%!" path
+
+let default_mode () =
   fuzz_clean ~config:clique_only "two-phase" Consensus.Two_phase.algorithm;
   fuzz_clean "wpaxos" (Consensus.Wpaxos.make ());
   fuzz_clean "flood-gather" (Consensus.Flood_gather.make ());
@@ -74,6 +99,104 @@ let () =
     incr failures;
     Printf.printf "explore two-phase n=3: UNEXPECTED (truncated=%b)\n%!"
       stats.Mcheck.Explore.truncated
-  end;
+  end
 
+let faults_mode () =
+  let profile = Mcheck.Fuzz.default_fault_profile in
+  let fault_config = { config with faults = Some profile } in
+  (* What each algorithm's safety actually survives (DESIGN.md "Fault
+     model"): wPAXOS rests on quorum intersection, indifferent to lost or
+     partitioned deliveries, so it is gated under the full profile.
+     Two-phase's agreement instead leans on the MAC ack-implies-delivered
+     contract — exactly what loss and partitions break — and amnesiac
+     recovery makes any voter vote twice; so two-phase is gated under
+     crash+stutter plans only, and the fuzzer CATCHING its loss/recovery
+     violations is a self-test below. All gates are fixed-seed fuzz runs,
+     deterministic by construction. Liveness is judged only in the last
+     self-test — under faults it is conditional. *)
+  let crash_stutter_only =
+    {
+      fault_config with
+      kinds = [ Mcheck.Fuzz.Clique ];
+      faults =
+        Some
+          {
+            profile with
+            max_recoveries = 0;
+            max_loss_windows = 0;
+            max_partitions = 0;
+          };
+    }
+  in
+  fuzz_clean ~config:crash_stutter_only "two-phase"
+    Consensus.Two_phase.algorithm;
+  fuzz_clean ~config:fault_config "wpaxos" (Consensus.Wpaxos.make ());
+  fuzz_clean ~config:fault_config "wpaxos-rtx-off"
+    (Consensus.Wpaxos.make ~retransmit:false ());
+
+  (* Self-test: under the full profile (loss, partitions, amnesiac
+     recovery) two-phase genuinely loses agreement; the fault fuzzer must
+     find and shrink such a violation. *)
+  (match
+     (Mcheck.Fuzz.run
+        { fault_config with kinds = [ Mcheck.Fuzz.Clique ] }
+        Consensus.Two_phase.algorithm ~seed)
+       .Mcheck.Fuzz.counterexample
+   with
+  | Some cx ->
+      Printf.printf
+        "fuzz two-phase+faults: caught the fault-induced agreement \
+         violation at iteration %d, shrunk to n=%d with %d fault events \
+         (expected)\n%!"
+        cx.Mcheck.Fuzz.iteration cx.Mcheck.Fuzz.case.Mcheck.Fuzz.n
+        (List.length cx.Mcheck.Fuzz.case.Mcheck.Fuzz.faults)
+  | None ->
+      incr failures;
+      Printf.printf
+        "fuzz two-phase+faults: MISSED the known fault-induced agreement \
+         violation in %d iterations\n%!"
+        iterations);
+
+  (* Self-test: with termination checking on, the fuzzer must find a
+     schedule in which a lost delivery permanently silences the unhardened
+     protocol — and shrink it. *)
+  let liveness_config =
+    {
+      fault_config with
+      check_termination = true;
+      max_time = 200_000 (* far past any plan horizon: silence is final *);
+    }
+  in
+  (match
+     (Mcheck.Fuzz.run liveness_config
+        (Consensus.Wpaxos.make ~retransmit:false ())
+        ~seed)
+       .Mcheck.Fuzz.counterexample
+   with
+  | Some cx ->
+      Printf.printf
+        "fuzz wpaxos-unhardened: caught a liveness failure at iteration %d, \
+         shrunk to n=%d with %d fault events (expected)\n%!"
+        cx.Mcheck.Fuzz.iteration cx.Mcheck.Fuzz.case.Mcheck.Fuzz.n
+        (List.length cx.Mcheck.Fuzz.case.Mcheck.Fuzz.faults);
+      save_artifact "wpaxos-unhardened liveness counterexample" cx
+  | None ->
+      incr failures;
+      Printf.printf
+        "fuzz wpaxos-unhardened: MISSED the expected liveness failure in %d \
+         iterations\n%!"
+        iterations)
+
+let () =
+  Printexc.record_backtrace true;
+  (try if fault_mode then faults_mode () else default_mode ()
+   with exn ->
+     incr failures;
+     Printf.printf
+       "mcheck_fuzz: UNCAUGHT EXCEPTION (replay with MCHECK_SEED=%d \
+        MCHECK_ITERS=%d%s): %s\n%s\n%!"
+       seed iterations
+       (if fault_mode then " MCHECK_FAULTS=1" else "")
+       (Printexc.to_string exn)
+       (Printexc.get_backtrace ()));
   exit (if !failures = 0 then 0 else 1)

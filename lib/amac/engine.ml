@@ -2,10 +2,13 @@ type outcome = {
   decisions : (int * int) option array;
   extra_decides : (int * int * int) list;
   crashed : bool array;
+  incarnations : int array;
   broadcasts : int;
   deliveries : int;
   discarded : int;
   dropped : int;
+  link_dropped : int;
+  stuttered : int;
   max_ids_per_message : int;
   unreliable_deliveries : int;
   end_time : int;
@@ -40,15 +43,34 @@ let latest_decision outcome =
 
 (* Event kinds, in processing-priority order at equal times: a crash takes
    effect before deliveries at the same tick (so "delivery at the crash
-   instant" is lost, making crash-mid-broadcast expressible), and all
-   deliveries of a tick land before any ack of that tick (the model requires
-   every neighbor to receive before the sender's ack). *)
+   instant" is lost, making crash-mid-broadcast expressible), a recovery
+   right after any crash of the tick (schedule validation forbids a node
+   crashing and recovering at the same instant), and all deliveries of a
+   tick land before any ack of that tick (the model requires every neighbor
+   to receive before the sender's ack).
+
+   [Receive] and [Ack] are stamped with the incarnation of the nodes they
+   concern at scheduling time: a recovery invalidates everything in flight
+   to or from the previous incarnation, so stale events are recognised and
+   dropped when popped. *)
 type 'm event =
   | Crash of { node : int }
-  | Receive of { node : int; sender : int; msg : 'm; influence : Bitset.t option }
-  | Ack of { node : int }
+  | Recover of { node : int }
+  | Receive of {
+      node : int;
+      receiver_inc : int;
+      sender : int;
+      sender_inc : int;
+      msg : 'm;
+      influence : Bitset.t option;
+    }
+  | Ack of { node : int; inc : int }
 
-let kind_priority = function Crash _ -> 0 | Receive _ -> 1 | Ack _ -> 2
+let kind_priority = function
+  | Crash _ -> 0
+  | Recover _ -> 1
+  | Receive _ -> 2
+  | Ack _ -> 3
 
 (* Event-queue keys encode (time, kind priority); Pqueue breaks remaining
    ties by insertion order, making runs bit-for-bit deterministic. *)
@@ -68,12 +90,15 @@ type ('s, 'm) sim = {
   max_time : int;
   stop_when_all_decided : bool;
   record_trace : bool;
+  drop : (now:int -> sender:int -> receiver:int -> bool) option;
+  stutter : (now:int -> node:int -> bool) option;
   queue : 'm event Pqueue.t;
   states : 's array;
   ctxs : Algorithm.ctx array;
   causal : Causal.t option;
   crashed : bool array;
   crash_time : int array;
+  incarnation : int array;
   busy : bool array;
   decisions : (int * int) option array;
   mutable extra_decides : (int * int * int) list;  (* newest first *)
@@ -81,6 +106,8 @@ type ('s, 'm) sim = {
   mutable deliveries : int;
   mutable discarded : int;
   mutable dropped : int;
+  mutable link_dropped : int;
+  mutable stuttered : int;
   mutable max_ids : int;
   mutable unreliable_deliveries : int;
   mutable events_processed : int;
@@ -134,7 +161,17 @@ let do_broadcast ~now sim sender msg =
           (Printf.sprintf
              "Engine.run: delivery time %d outside (broadcast %d, ack %d]"
              time now plan.Scheduler.ack_at);
-      let event = Receive { node = receiver; sender; msg; influence } in
+      let event =
+        Receive
+          {
+            node = receiver;
+            receiver_inc = sim.incarnation.(receiver);
+            sender;
+            sender_inc = sim.incarnation.(sender);
+            msg;
+            influence;
+          }
+      in
       Pqueue.add sim.queue ~key:(key_of ~time event) event
     in
     List.iter deliver plan.Scheduler.receives;
@@ -159,7 +196,7 @@ let do_broadcast ~now sim sender msg =
             chosen
         end
     | None, _ | _, None -> ());
-    let ack = Ack { node = sender } in
+    let ack = Ack { node = sender; inc = sim.incarnation.(sender) } in
     Pqueue.add sim.queue ~key:(key_of ~time:plan.Scheduler.ack_at ack) ack
   end
 
@@ -183,8 +220,81 @@ let rec apply_actions ~now sim node actions =
       do_broadcast ~now sim node msg;
       apply_actions ~now sim node rest
 
+(* Fault-aware action application: inside a stutter window the node's
+   handlers still run (it receives and its state evolves) but the actions
+   they return are suppressed — the node takes no externally visible
+   steps. *)
+let apply_actions_faulted ~now sim node actions =
+  let stuttering =
+    match sim.stutter with Some f -> f ~now ~node | None -> false
+  in
+  if stuttering then begin
+    let count = List.length actions in
+    if count > 0 then begin
+      sim.stuttered <- sim.stuttered + count;
+      log sim (Trace.Stuttered { time = now; node; actions = count })
+    end
+  end
+  else apply_actions ~now sim node actions
+
+(* Crash/recovery schedules must describe a consistent per-node lifetime:
+   alternating crash < recover < crash < ... with strictly increasing times.
+   Anything else (duplicate crash of the same incarnation, recovery of a
+   node that never crashed, a recovery at or before its crash) is a
+   malformed fault plan and is rejected up front rather than silently
+   reinterpreted. *)
+let validate_fault_schedule ~n ~crashes ~recoveries =
+  let check what (node, time) =
+    if node < 0 || node >= n then
+      invalid_arg
+        (Printf.sprintf "Engine.run: %s node %d out of range [0,%d)" what node
+           n);
+    if time < 0 then
+      invalid_arg
+        (Printf.sprintf "Engine.run: negative %s time for node %d" what node)
+  in
+  List.iter (check "crash") crashes;
+  List.iter (check "recovery") recoveries;
+  for node = 0 to n - 1 do
+    let tagged tag entries =
+      List.filter_map
+        (fun (v, time) -> if v = node then Some (time, tag) else None)
+        entries
+    in
+    let events =
+      List.sort
+        (fun (ta, _) (tb, _) -> Int.compare ta tb)
+        (tagged `Crash crashes @ tagged `Recover recoveries)
+    in
+    let rec walk state last = function
+      | [] -> ()
+      | (time, kind) :: rest -> (
+          if last = Some time then
+            invalid_arg
+              (Printf.sprintf
+                 "Engine.run: node %d has two fault events at t=%d" node time);
+          match (state, kind) with
+          | `Up, `Crash -> walk `Down (Some time) rest
+          | `Down, `Recover -> walk `Up (Some time) rest
+          | `Down, `Crash ->
+              invalid_arg
+                (Printf.sprintf
+                   "Engine.run: duplicate crash of node %d at t=%d (same \
+                    incarnation crashed twice, no recovery between)"
+                   node time)
+          | `Up, `Recover ->
+              invalid_arg
+                (Printf.sprintf
+                   "Engine.run: recovery of node %d at t=%d without a \
+                    preceding crash"
+                   node time))
+    in
+    walk `Up None events
+  done
+
 let create ?identities ?(give_n = true) ?(give_diameter = false)
-    ?(crashes = []) ?(max_time = 1_000_000) ?(stop_when_all_decided = true)
+    ?(crashes = []) ?(recoveries = []) ?drop ?stutter
+    ?(max_time = 1_000_000) ?(stop_when_all_decided = true)
     ?(track_causal = false) ?(record_trace = false) ?pp_msg ?unreliable
     (algorithm : ('s, 'm) Algorithm.t) ~topology ~scheduler ~inputs =
   let n = Topology.size topology in
@@ -226,13 +336,16 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
         })
   in
   let causal = if track_causal then Some (Causal.create ~n) else None in
+  validate_fault_schedule ~n ~crashes ~recoveries;
   let queue : 'm event Pqueue.t = Pqueue.create () in
   List.iter
     (fun (node, time) ->
-      if node < 0 || node >= n then invalid_arg "Engine.run: crash node range";
-      if time < 0 then invalid_arg "Engine.run: negative crash time";
       Pqueue.add queue ~key:(key_of ~time (Crash { node })) (Crash { node }))
     crashes;
+  List.iter
+    (fun (node, time) ->
+      Pqueue.add queue ~key:(key_of ~time (Recover { node })) (Recover { node }))
+    recoveries;
   let sim =
     {
       algorithm;
@@ -243,12 +356,15 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       max_time;
       stop_when_all_decided;
       record_trace;
+      drop;
+      stutter;
       queue;
       states = [||];
       ctxs;
       causal;
       crashed = Array.make n false;
       crash_time = Array.make n max_int;
+      incarnation = Array.make n 0;
       busy = Array.make n false;
       decisions = Array.make n None;
       extra_decides = [];
@@ -256,6 +372,8 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       deliveries = 0;
       discarded = 0;
       dropped = 0;
+      link_dropped = 0;
+      stuttered = 0;
       max_ids = 0;
       unreliable_deliveries = 0;
       events_processed = 0;
@@ -274,7 +392,7 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
   let states =
     Array.init n (fun i ->
         let state, actions = algorithm.init ctxs.(i) in
-        apply_actions ~now:0 sim i actions;
+        apply_actions_faulted ~now:0 sim i actions;
         state)
   in
   { sim with states }
@@ -305,11 +423,45 @@ let step sim =
               sim.live_undecided <- sim.live_undecided - 1;
             log sim (Trace.Crashed { time = now; node })
           end
-      | Receive { node; sender; msg; influence } ->
-          if sim.crashed.(node) then sim.dropped <- sim.dropped + 1
-          else if sim.crash_time.(sender) <= now then
-            (* The sender crashed mid-broadcast before this delivery. *)
+      | Recover { node } ->
+          if sim.crashed.(node) then begin
+            (* Amnesiac restart: fresh state, a new incarnation number (so
+               anything still in flight to or from the old incarnation is
+               recognised as stale), and [init] runs again as if the node
+               just booted. Prior decisions stay in [decisions] — the
+               checker treats a decide as irrevocable, so a recovered node
+               re-deciding differently surfaces as an extra_decide. *)
+            sim.crashed.(node) <- false;
+            sim.crash_time.(node) <- max_int;
+            sim.incarnation.(node) <- sim.incarnation.(node) + 1;
+            sim.busy.(node) <- false;
+            if sim.decisions.(node) = None then
+              sim.live_undecided <- sim.live_undecided + 1;
+            log sim
+              (Trace.Recovered
+                 { time = now; node; incarnation = sim.incarnation.(node) });
+            let state, actions = sim.algorithm.init sim.ctxs.(node) in
+            sim.states.(node) <- state;
+            apply_actions_faulted ~now sim node actions
+          end
+      | Receive { node; receiver_inc; sender; sender_inc; msg; influence } ->
+          if sim.crashed.(node) || receiver_inc <> sim.incarnation.(node) then
             sim.dropped <- sim.dropped + 1
+          else if
+            sim.crash_time.(sender) <= now
+            || sender_inc <> sim.incarnation.(sender)
+          then
+            (* The sender crashed mid-broadcast before this delivery (or
+               has since restarted as a new incarnation). *)
+            sim.dropped <- sim.dropped + 1
+          else if
+            match sim.drop with
+            | Some f -> f ~now ~sender ~receiver:node
+            | None -> false
+          then begin
+            sim.link_dropped <- sim.link_dropped + 1;
+            log sim (Trace.Link_dropped { time = now; node; sender })
+          end
           else begin
             sim.deliveries <- sim.deliveries + 1;
             (match (sim.causal, influence) with
@@ -320,14 +472,14 @@ let step sim =
             let actions =
               sim.algorithm.on_receive sim.ctxs.(node) sim.states.(node) msg
             in
-            apply_actions ~now sim node actions
+            apply_actions_faulted ~now sim node actions
           end
-      | Ack { node } ->
-          if not sim.crashed.(node) then begin
+      | Ack { node; inc } ->
+          if (not sim.crashed.(node)) && inc = sim.incarnation.(node) then begin
             sim.busy.(node) <- false;
             log sim (Trace.Acked { time = now; node });
             let actions = sim.algorithm.on_ack sim.ctxs.(node) sim.states.(node) in
-            apply_actions ~now sim node actions
+            apply_actions_faulted ~now sim node actions
           end);
       if sim.stop_when_all_decided && sim.live_undecided = 0 then
         sim.stopped <- true;
@@ -344,10 +496,13 @@ let snapshot sim =
     decisions = Array.copy sim.decisions;
     extra_decides = List.rev sim.extra_decides;
     crashed = Array.copy sim.crashed;
+    incarnations = Array.copy sim.incarnation;
     broadcasts = sim.broadcasts;
     deliveries = sim.deliveries;
     discarded = sim.discarded;
     dropped = sim.dropped;
+    link_dropped = sim.link_dropped;
+    stuttered = sim.stuttered;
     max_ids_per_message = sim.max_ids;
     unreliable_deliveries = sim.unreliable_deliveries;
     end_time = sim.end_time;
@@ -357,13 +512,13 @@ let snapshot sim =
     trace = List.rev sim.trace;
   }
 
-let run ?identities ?give_n ?give_diameter ?crashes ?max_time
-    ?stop_when_all_decided ?track_causal ?record_trace ?pp_msg ?unreliable
-    algorithm ~topology ~scheduler ~inputs =
+let run ?identities ?give_n ?give_diameter ?crashes ?recoveries ?drop ?stutter
+    ?max_time ?stop_when_all_decided ?track_causal ?record_trace ?pp_msg
+    ?unreliable algorithm ~topology ~scheduler ~inputs =
   let sim =
-    create ?identities ?give_n ?give_diameter ?crashes ?max_time
-      ?stop_when_all_decided ?track_causal ?record_trace ?pp_msg ?unreliable
-      algorithm ~topology ~scheduler ~inputs
+    create ?identities ?give_n ?give_diameter ?crashes ?recoveries ?drop
+      ?stutter ?max_time ?stop_when_all_decided ?track_causal ?record_trace
+      ?pp_msg ?unreliable algorithm ~topology ~scheduler ~inputs
   in
   let continue = ref true in
   while !continue do

@@ -16,10 +16,26 @@
       are cancelled, so some neighbors receive the in-flight message and
       others do not (Sec 2's non-atomicity). Crashed nodes take no further
       steps and receive nothing.
+    - {b Recoveries} model amnesiac restart: at its scheduled time a crashed
+      node rejoins with {e fresh} state (its [init] runs again, actions and
+      all) and a bumped incarnation number. Everything still in flight to or
+      from the previous incarnation — deliveries and the pending ack — is
+      recognised as stale and dropped, so a new incarnation never observes
+      its predecessor's traffic. Crash/recovery schedules are validated up
+      front: per node they must alternate crash < recover < crash < ... with
+      strictly increasing times.
+    - {b Link faults} ([drop]) and {b stutter windows} ([stutter]) are
+      predicate hooks consulted per event: [drop] eats an otherwise-due
+      delivery (counted in [link_dropped]) without touching the sender's
+      ack — the abstract MAC layer's guarantee is exactly what a loss window
+      suspends; [stutter] lets a node's handlers run (it receives, its state
+      evolves) but suppresses the actions they return (counted in
+      [stuttered]). Both compose with every scheduler unchanged; [Fault]
+      (lib/fault) compiles declarative plans into these hooks.
     - {b Zero-time local computation}: handlers run at the event's timestamp;
       all elapsed time comes from the scheduler.
     - Simultaneous events are processed deterministically: crashes, then
-      deliveries, then acks; FIFO within a class.
+      recoveries, then deliveries, then acks; FIFO within a class.
 
     The engine never interprets messages; it moves them. Consensus-specific
     checking lives in [Consensus.Checker]. *)
@@ -31,10 +47,14 @@ type outcome = {
       (** (node, value, time) for decide actions after a node's first with a
           {e different} value — irrevocability violations, should be [] *)
   crashed : bool array;
+  incarnations : int array;
+      (** per node, how many times it recovered (0 = original incarnation) *)
   broadcasts : int;  (** broadcasts accepted by the MAC layer *)
   deliveries : int;  (** message deliveries performed *)
   discarded : int;  (** broadcasts attempted while busy *)
-  dropped : int;  (** deliveries cancelled by crashes *)
+  dropped : int;  (** deliveries cancelled by crashes or stale incarnations *)
+  link_dropped : int;  (** deliveries eaten by the [drop] fault hook *)
+  stuttered : int;  (** actions suppressed by the [stutter] fault hook *)
   max_ids_per_message : int;
   unreliable_deliveries : int;
       (** deliveries the scheduler granted on unreliable edges *)
@@ -75,6 +95,9 @@ val create :
   ?give_n:bool ->
   ?give_diameter:bool ->
   ?crashes:(int * int) list ->
+  ?recoveries:(int * int) list ->
+  ?drop:(now:int -> sender:int -> receiver:int -> bool) ->
+  ?stutter:(now:int -> node:int -> bool) ->
   ?max_time:int ->
   ?stop_when_all_decided:bool ->
   ?track_causal:bool ->
@@ -117,6 +140,12 @@ val snapshot : ('s, 'm) sim -> outcome
     @param give_diameter whether [ctx.diameter] is provided (default
       [false]).
     @param crashes adversarial crash schedule as [(node, time)] pairs.
+    @param recoveries amnesiac-restart schedule as [(node, time)] pairs;
+      each recovery must follow a strictly earlier crash of the same node
+      (per-node alternation is validated, see module preamble).
+    @param drop per-delivery link-fault predicate; [true] eats the delivery.
+    @param stutter per-event predicate; while [true] for a node, its
+      handlers run but their actions are suppressed.
     @param max_time stop popping events after this time (default
       [1_000_000]).
     @param stop_when_all_decided stop early once every live node decided
@@ -131,13 +160,18 @@ val snapshot : ('s, 'm) sim -> outcome
       variant of the abstract MAC layer the paper's Sec 2 sets aside and
       Sec 5 poses as an open question.
     @raise Invalid_argument if [inputs] length mismatches the topology, if an
-      unreliable edge duplicates a reliable one, or if the scheduler violates
-      its contract. *)
+      unreliable edge duplicates a reliable one, if the crash/recovery
+      schedule is malformed (out-of-range node, negative time, duplicate
+      crash of the same incarnation, recovery without or at the same instant
+      as a crash), or if the scheduler violates its contract. *)
 val run :
   ?identities:Node_id.t array ->
   ?give_n:bool ->
   ?give_diameter:bool ->
   ?crashes:(int * int) list ->
+  ?recoveries:(int * int) list ->
+  ?drop:(now:int -> sender:int -> receiver:int -> bool) ->
+  ?stutter:(now:int -> node:int -> bool) ->
   ?max_time:int ->
   ?stop_when_all_decided:bool ->
   ?track_causal:bool ->

@@ -5,6 +5,9 @@ type entry =
   | Decided of { time : int; node : int; value : int }
   | Discarded of { time : int; node : int; msg : string }
   | Crashed of { time : int; node : int }
+  | Recovered of { time : int; node : int; incarnation : int }
+  | Link_dropped of { time : int; node : int; sender : int }
+  | Stuttered of { time : int; node : int; actions : int }
 
 let time_of = function
   | Broadcast_start { time; _ }
@@ -12,7 +15,10 @@ let time_of = function
   | Acked { time; _ }
   | Decided { time; _ }
   | Discarded { time; _ }
-  | Crashed { time; _ } ->
+  | Crashed { time; _ }
+  | Recovered { time; _ }
+  | Link_dropped { time; _ }
+  | Stuttered { time; _ } ->
       time
 
 let node_of = function
@@ -21,7 +27,10 @@ let node_of = function
   | Acked { node; _ }
   | Decided { node; _ }
   | Discarded { node; _ }
-  | Crashed { node; _ } ->
+  | Crashed { node; _ }
+  | Recovered { node; _ }
+  | Link_dropped { node; _ }
+  | Stuttered { node; _ } ->
       node
 
 let pp_entry fmt = function
@@ -38,6 +47,15 @@ let pp_entry fmt = function
       Format.fprintf fmt "[t=%4d] node %d discarded (busy): %s" time node msg
   | Crashed { time; node } ->
       Format.fprintf fmt "[t=%4d] node %d CRASHED" time node
+  | Recovered { time; node; incarnation } ->
+      Format.fprintf fmt "[t=%4d] node %d RECOVERED (incarnation %d)" time node
+        incarnation
+  | Link_dropped { time; node; sender } ->
+      Format.fprintf fmt "[t=%4d] node %d lost delivery from %d (link fault)"
+        time node sender
+  | Stuttered { time; node; actions } ->
+      Format.fprintf fmt "[t=%4d] node %d stuttered (%d actions suppressed)"
+        time node actions
 
 let pp fmt entries =
   List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) entries
@@ -46,7 +64,8 @@ let decisions entries =
   List.filter_map
     (function
       | Decided { time; node; value } -> Some (node, value, time)
-      | Broadcast_start _ | Delivered _ | Acked _ | Discarded _ | Crashed _ ->
+      | Broadcast_start _ | Delivered _ | Acked _ | Discarded _ | Crashed _
+      | Recovered _ | Link_dropped _ | Stuttered _ ->
           None)
     entries
 
@@ -54,9 +73,9 @@ let for_node entries node = List.filter (fun e -> node_of e = node) entries
 
 (* Cell precedence for the timeline: higher wins when events collide. *)
 let cell_rank = function
-  | 'D' | 'X' -> 5
+  | 'D' | 'X' | 'R' -> 5
   | 'B' -> 4
-  | '~' -> 3
+  | '~' | '!' | 's' -> 3
   | 'r' -> 2
   | 'a' -> 1
   | _ -> 0
@@ -68,6 +87,9 @@ let cell_of = function
   | Decided _ -> 'D'
   | Discarded _ -> '~'
   | Crashed _ -> 'X'
+  | Recovered _ -> 'R'
+  | Link_dropped _ -> '!'
+  | Stuttered _ -> 's'
 
 let timeline ~n entries =
   let by_time = Hashtbl.create 64 in

@@ -16,6 +16,15 @@ type entry =
   | Discarded of { time : int; node : int; msg : string }
       (** [node] attempted to broadcast while one was already in flight *)
   | Crashed of { time : int; node : int }
+  | Recovered of { time : int; node : int; incarnation : int }
+      (** [node] rejoined with fresh state as [incarnation] (amnesiac
+          restart) *)
+  | Link_dropped of { time : int; node : int; sender : int }
+      (** a delivery to [node] from [sender] was eaten by an injected link
+          fault (loss window or partition) *)
+  | Stuttered of { time : int; node : int; actions : int }
+      (** [node] was inside a stutter window: it processed the event but its
+          [actions] resulting actions were suppressed *)
 
 val time_of : entry -> int
 
@@ -35,8 +44,10 @@ val for_node : entry list -> int -> entry list
 
 (** [timeline ~n entries] renders an ASCII time/node grid: one row per tick
     with an event, one column per node. Cell codes: [B] broadcast start,
-    [r] message received, [a] ack, [D] decided, [X] crashed, [~] broadcast
-    discarded (busy). When several events hit the same node at the same
-    tick, decisions and crashes win, then broadcasts, then receives, then
-    acks. Intended for small runs (the examples); n is the node count. *)
+    [r] message received, [a] ack, [D] decided, [X] crashed, [R] recovered,
+    [~] broadcast discarded (busy), [!] delivery lost to a link fault, [s]
+    stuttered. When several events hit the same node at the same tick,
+    decisions, crashes and recoveries win, then broadcasts, then receives,
+    then acks. Intended for small runs (the examples); n is the node
+    count. *)
 val timeline : n:int -> entry list -> string

@@ -115,3 +115,68 @@ let pp fmt r =
       (Format.pp_print_list ~pp_sep:Format.pp_print_space
          Format.pp_print_string)
       r.problems
+
+(* ------------------------------------------------------------------ *)
+(* Degradation: safety asserted, liveness measured                     *)
+(* ------------------------------------------------------------------ *)
+
+type degradation = {
+  safe : bool;
+  safety_violations : violation list;
+  correct : int list;
+  decided_correct : int;
+  correct_total : int;
+  decided_fraction : float;
+  decide_times : int list;
+  max_decide_time : int option;
+  broadcasts : int;
+  link_dropped : int;
+  stuttered : int;
+  max_incarnation : int;
+}
+
+let degrade ~inputs (outcome : Amac.Engine.outcome) =
+  let report = check ~inputs outcome in
+  let violations = safety_violations report in
+  let correct =
+    List.filter
+      (fun i -> not outcome.crashed.(i))
+      (List.init (Array.length outcome.decisions) (fun i -> i))
+  in
+  let decide_times =
+    List.filter_map
+      (fun i -> Option.map snd outcome.decisions.(i))
+      correct
+    |> List.sort Int.compare
+  in
+  let decided_correct = List.length decide_times in
+  let correct_total = List.length correct in
+  {
+    safe = violations = [];
+    safety_violations = violations;
+    correct;
+    decided_correct;
+    correct_total;
+    decided_fraction =
+      (if correct_total = 0 then 1.0
+       else float_of_int decided_correct /. float_of_int correct_total);
+    decide_times;
+    max_decide_time =
+      (match List.rev decide_times with [] -> None | t :: _ -> Some t);
+    broadcasts = outcome.broadcasts;
+    link_dropped = outcome.link_dropped;
+    stuttered = outcome.stuttered;
+    max_incarnation = Array.fold_left max 0 outcome.incarnations;
+  }
+
+let pp_degradation fmt d =
+  Format.fprintf fmt
+    "@[<v>safety: %s@,decided: %d/%d correct nodes (%.2f)@,\
+     decide times: [%s]@,broadcasts: %d  link-dropped: %d  stuttered: %d  \
+     max incarnation: %d@]"
+    (if d.safe then "ok"
+     else
+       String.concat "; " (List.map describe d.safety_violations))
+    d.decided_correct d.correct_total d.decided_fraction
+    (String.concat ";" (List.map string_of_int d.decide_times))
+    d.broadcasts d.link_dropped d.stuttered d.max_incarnation

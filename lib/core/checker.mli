@@ -52,3 +52,41 @@ val safety_violations : report -> violation list
 val pp_violation : Format.formatter -> violation -> unit
 
 val pp : Format.formatter -> report -> unit
+
+(** {1 Degradation under fault plans}
+
+    Under an adversarial fault plan, termination is not a pass/fail
+    property — the plan may legitimately prevent some nodes from ever
+    deciding. Safety, on the other hand, is unconditional. A
+    [degradation] report asserts safety and downgrades liveness to measured
+    metrics, so "graceful degradation" is a checkable artifact: tests pin
+    [safe = true] under {e any} plan and then assert quantitative floors
+    ([decided_fraction], decide-latency bounds, retransmission counts)
+    appropriate to the algorithm and plan at hand. *)
+
+type degradation = {
+  safe : bool;  (** agreement + validity + irrevocability *)
+  safety_violations : violation list;  (** empty iff [safe] *)
+  correct : int list;  (** nodes up at the end of the run *)
+  decided_correct : int;  (** how many of [correct] decided *)
+  correct_total : int;
+  decided_fraction : float;  (** [decided_correct / correct_total]; 1.0 if
+                                 no node is correct *)
+  decide_times : int list;  (** correct nodes' decide times, sorted *)
+  max_decide_time : int option;  (** last correct decide, if any *)
+  broadcasts : int;
+      (** total broadcasts accepted — against a fault-free baseline this
+          measures retransmission overhead *)
+  link_dropped : int;  (** deliveries eaten by injected link faults *)
+  stuttered : int;  (** actions suppressed by stutter windows *)
+  max_incarnation : int;  (** highest per-node recovery count *)
+}
+
+(** [degrade ~inputs outcome] — safety via {!check}, liveness as metrics.
+    Note "correct" here means up at the {e end} of the run, matching the
+    engine's [crashed] array: a crashed-then-recovered node counts as
+    correct (its incarnation is live) and is expected to decide under a
+    hardened algorithm once faults quiesce. *)
+val degrade : inputs:int array -> Amac.Engine.outcome -> degradation
+
+val pp_degradation : Format.formatter -> degradation -> unit

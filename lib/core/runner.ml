@@ -1,27 +1,46 @@
 type result = {
   outcome : Amac.Engine.outcome;
   report : Checker.report;
+  degradation : Checker.degradation;
   decision_time : int option;
 }
 
-let run ?identities ?give_n ?give_diameter ?crashes ?max_time ?track_causal
-    ?record_trace ?pp_msg ?unreliable algorithm ~topology ~scheduler ~inputs =
+let run ?identities ?give_n ?give_diameter ?(crashes = []) ?faults ?max_time
+    ?track_causal ?record_trace ?pp_msg ?unreliable algorithm ~topology
+    ~scheduler ~inputs =
+  (* A fault plan's crash/recovery schedule merges with the legacy
+     [?crashes] list; the merged schedule is validated by the engine. *)
+  let crashes, recoveries, drop, stutter =
+    match faults with
+    | None -> (crashes, [], None, None)
+    | Some plan ->
+        let compiled =
+          Fault.compile ~n:(Amac.Topology.size topology) plan
+        in
+        ( crashes @ compiled.Fault.crashes,
+          compiled.Fault.recoveries,
+          compiled.Fault.drop,
+          compiled.Fault.stutter )
+  in
   let outcome =
-    Amac.Engine.run ?identities ?give_n ?give_diameter ?crashes ?max_time
-      ?track_causal ?record_trace ?pp_msg ?unreliable algorithm ~topology
-      ~scheduler ~inputs
+    Amac.Engine.run ?identities ?give_n ?give_diameter ~crashes ~recoveries
+      ?drop ?stutter ?max_time ?track_causal ?record_trace ?pp_msg ?unreliable
+      algorithm ~topology ~scheduler ~inputs
   in
   {
     outcome;
     report = Checker.check ~inputs outcome;
+    degradation = Checker.degrade ~inputs outcome;
     decision_time = Amac.Engine.latest_decision outcome;
   }
 
-let run_exn ?identities ?give_n ?give_diameter ?crashes ?max_time ?track_causal
-    ?record_trace ?pp_msg ?unreliable algorithm ~topology ~scheduler ~inputs =
+let run_exn ?identities ?give_n ?give_diameter ?crashes ?faults ?max_time
+    ?track_causal ?record_trace ?pp_msg ?unreliable algorithm ~topology
+    ~scheduler ~inputs =
   let result =
-    run ?identities ?give_n ?give_diameter ?crashes ?max_time ?track_causal
-      ?record_trace ?pp_msg ?unreliable algorithm ~topology ~scheduler ~inputs
+    run ?identities ?give_n ?give_diameter ?crashes ?faults ?max_time
+      ?track_causal ?record_trace ?pp_msg ?unreliable algorithm ~topology
+      ~scheduler ~inputs
   in
   if not (Checker.ok result.report) then
     failwith

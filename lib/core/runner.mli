@@ -6,17 +6,25 @@
 type result = {
   outcome : Amac.Engine.outcome;
   report : Checker.report;
+  degradation : Checker.degradation;
+      (** safety asserted, liveness measured — the right lens under a fault
+          plan (under no faults it simply reports full liveness) *)
   decision_time : int option;
       (** time of the last decision, i.e. the run's consensus latency *)
 }
 
 (** [run algorithm ~topology ~scheduler ~inputs ...] — parameters as in
-    {!Amac.Engine.run}. *)
+    {!Amac.Engine.run}.
+
+    @param faults a declarative {!Fault.plan}; it is validated and compiled
+      ({!Fault.compile}) and its crash/recovery schedule merges with the
+      legacy [?crashes] list. @raise Invalid_argument on a malformed plan. *)
 val run :
   ?identities:Amac.Node_id.t array ->
   ?give_n:bool ->
   ?give_diameter:bool ->
   ?crashes:(int * int) list ->
+  ?faults:Fault.plan ->
   ?max_time:int ->
   ?track_causal:bool ->
   ?record_trace:bool ->
@@ -36,6 +44,7 @@ val run_exn :
   ?give_n:bool ->
   ?give_diameter:bool ->
   ?crashes:(int * int) list ->
+  ?faults:Fault.plan ->
   ?max_time:int ->
   ?track_causal:bool ->
   ?record_trace:bool ->

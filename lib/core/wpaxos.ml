@@ -1,7 +1,7 @@
 open Paxos_types
 
 type component =
-  | Leader of int
+  | Leader of { id : int; hb : int }
   | Change of { counter : int; origin : int }
   | Search of { root : int; hops : int; sender : int }
   | Proposal of proposer_msg
@@ -62,6 +62,7 @@ type config = {
   aggregate : bool;
   quorum : int option;  (* override of the majority threshold (footnote 1) *)
   instrument : Instrument.t option;
+  retransmit : bool;  (* fault hardening: heartbeats, re-election, re-proposal *)
 }
 
 type proposer_phase =
@@ -126,7 +127,36 @@ type state = {
   mutable decide_q : int option;
   (* transport *)
   mutable sending : bool;
+  (* hardening (all inert unless cfg.retransmit). The ack is the ONLY clock
+     in this model: a node that stops broadcasting stops observing time and
+     can never wake itself, so an undecided hardened node keeps a heartbeat
+     broadcast going — bounded by [patience_left] so that runs in which
+     consensus is genuinely impossible (majority crashed) still quiesce. *)
+  mutable my_hb : int;  (* own heartbeat counter, advanced per ack as leader *)
+  hb_seen : (int, int) Hashtbl.t;  (* candidate id -> largest heartbeat seen *)
+  suspect_hb : (int, int) Hashtbl.t;  (* id -> hb_seen at suspicion time *)
+  mutable hb_silence : int;  (* own acks since omega's heartbeat advanced *)
+  silence_limit : int;
+  mutable idle_acks : int;  (* acks since the last tree-refresh *)
+  mutable next_refresh : int;  (* tree-refresh backoff, in acks *)
+  mutable progress_silence : int;  (* leader acks since counted progress *)
+  mutable next_retry : int;  (* re-proposal backoff, in acks *)
+  retry_start : int;
+  retry_cap : int;
+  mutable retries_left : int;  (* re-proposal budget per leadership epoch *)
+  mutable patience_left : int;  (* heartbeat budget; refilled on progress *)
 }
+
+(* Hardening tunables. All counts are in the node's own acks (~F_ack each).
+   The re-proposal timeout scales with n so a healthy high-diameter
+   aggregation wave (Theta(D) acks) is never mistaken for loss. *)
+let refresh_start = 4
+
+let refresh_cap = 64
+
+let patience_max = 512
+
+let max_retries = 8
 
 let majority st =
   match st.cfg.quorum with Some q -> q | None -> (st.n / 2) + 1
@@ -139,6 +169,17 @@ let fail_threshold st = st.n - majority st + 1
 
 let stamp_compare (ca, oa) (cb, ob) =
   match Int.compare ca cb with 0 -> Int.compare oa ob | c -> c
+
+let hb_of st id = Option.value ~default:0 (Hashtbl.find_opt st.hb_seen id)
+
+let suspected st id = Hashtbl.mem st.suspect_hb id
+
+(* Observable protocol progress refills the heartbeat budget: as long as
+   state keeps advancing somewhere, hardened nodes keep knocking. Every
+   refill site is a finite-progress event (distances only shrink, stamps
+   only grow, one response per acceptor per proposition, re-proposals are
+   budgeted), so total refills are finite and a stuck run still drains. *)
+let refill st = if st.cfg.retransmit then st.patience_left <- patience_max
 
 (* ------------------------------------------------------------------ *)
 (* Broadcast service (Alg 5): pack one message per non-empty queue.    *)
@@ -210,7 +251,9 @@ let compose st =
   (match st.leader_q with
   | Some id ->
       st.leader_q <- None;
-      components := Leader id :: !components
+      (* The heartbeat value is read at send time so relays always carry
+         the freshest count they know for that candidate. *)
+      components := Leader { id; hb = hb_of st id } :: !components
   | None -> ());
   !components
 
@@ -315,6 +358,10 @@ and change_updateq st stamp =
   st.change_q <- Some stamp;
   if st.omega = st.me && st.decision = None then begin
     st.attempts_left <- 1;
+    (* A change notification opens a fresh leadership epoch: restore the
+       hardened re-proposal budget and backoff. *)
+    st.retries_left <- max_retries;
+    st.next_retry <- st.retry_start;
     generate_proposal st
   end
 
@@ -354,6 +401,8 @@ and start_propose st ~pno ~best_prior =
 and count_response st (r : response) =
   match st.phase with
   | Preparing p when compare_pno p.pno r.pno = 0 && r.round = Prepare_round ->
+      st.progress_silence <- 0;
+      refill st;
       if r.positive then begin
         note_counted st ~pno:r.pno ~round:r.round ~count:r.count;
         p.yes <- p.yes + r.count;
@@ -369,6 +418,8 @@ and count_response st (r : response) =
         if p.no >= fail_threshold st then proposition_failed st
       end
   | Proposing p when compare_pno p.pno r.pno = 0 && r.round = Propose_round ->
+      st.progress_silence <- 0;
+      refill st;
       if r.positive then begin
         note_counted st ~pno:r.pno ~round:r.round ~count:r.count;
         p.yes <- p.yes + r.count;
@@ -433,27 +484,61 @@ and self_respond st (message : proposer_msg) =
 (* Component handlers                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let on_leader st id =
-  if id > st.omega then begin
-    st.omega <- id;
-    st.leader_q <- Some id;
-    (* ONLEADERCHANGE: the proposer stands down and both PAXOS queues keep
-       only current-leader content. *)
-    st.phase <- Idle;
-    (match st.proposal_q with
-    | Some p when (pno_of_proposer_msg p).proposer <> st.omega ->
-        st.proposal_q <- None
-    | Some _ | None -> ());
-    prune_response_q st;
-    (* Omega was updated: a change event (Alg 3). *)
-    local_change st
-  end
+(* ONLEADERCHANGE, factored so monotone adoption (Alg 2) and the hardened
+   demotion path (suspected leader) share it: the proposer stands down, both
+   PAXOS queues keep only current-leader content, and the update counts as a
+   change event (Alg 3). *)
+let set_omega st id =
+  st.omega <- id;
+  st.leader_q <- Some id;
+  st.phase <- Idle;
+  (match st.proposal_q with
+  | Some p when (pno_of_proposer_msg p).proposer <> st.omega ->
+      st.proposal_q <- None
+  | Some _ | None -> ());
+  prune_response_q st;
+  st.hb_silence <- 0;
+  refill st;
+  local_change st
+
+(* Best unsuspected candidate among the ids we have heard from (we always
+   know — and never suspect — ourselves). *)
+let candidate_omega st =
+  Hashtbl.fold
+    (fun id _ best -> if (not (suspected st id)) && id > best then id else best)
+    st.hb_seen st.me
+
+let recompute_omega st =
+  let next = candidate_omega st in
+  if next <> st.omega then set_omega st next
+
+let on_leader st ~id ~hb =
+  (if st.cfg.retransmit && id <> st.me then
+     let seen = Option.value ~default:(-1) (Hashtbl.find_opt st.hb_seen id) in
+     if hb > seen then begin
+       Hashtbl.replace st.hb_seen id hb;
+       if id = st.omega then begin
+         st.hb_silence <- 0;
+         (* Relay the fresh heartbeat so it floods network-wide. *)
+         st.leader_q <- Some id
+       end;
+       match Hashtbl.find_opt st.suspect_hb id with
+       | Some at when hb > at ->
+           (* Heartbeats advanced past the suspicion point: the candidate
+              was alive after all (e.g. a loss window ate its traffic). *)
+           Hashtbl.remove st.suspect_hb id;
+           refill st;
+           recompute_omega st
+       | Some _ | None -> ()
+     end);
+  if id > st.omega && not (suspected st id) then set_omega st id
 
 let on_change st ~counter ~origin =
   st.lamport <- max st.lamport counter;
   let stamp = (counter, origin) in
   if stamp_compare stamp st.last_change > 0 then begin
     st.last_change <- stamp;
+    refill st;
     change_updateq st stamp
   end
 
@@ -464,6 +549,7 @@ let on_search st ~root ~hops ~sender =
   if hops < current then begin
     Hashtbl.replace st.dist root hops;
     Hashtbl.replace st.parent root sender;
+    refill st;
     (* UpdateQ (Alg 4): FIFO, one queued search per root, smallest hop
        count; the leader's entry is pulled to the front at dequeue time. *)
     st.tree_q <-
@@ -492,7 +578,8 @@ let on_proposal st (message : proposer_msg) =
        each proposition, keeping only the largest from the current leader. *)
     if proposition_gt (pno, round) st.best_proposal_seen then begin
       st.best_proposal_seen <- Some (pno, round);
-      st.proposal_q <- Some message
+      st.proposal_q <- Some message;
+      refill st
     end;
     (* Acceptor: respond once per proposition, routed up the leader's tree. *)
     if proposition_gt (pno, round) st.responded then begin
@@ -516,6 +603,61 @@ let on_decision st value =
     st.decision <- Some value;
     st.decide_q <- Some value;
     st.phase <- Idle
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Hardened ack tick (retransmit mode)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs on every ack while undecided and patient. The ack is this model's
+   only clock, so everything time-based lives here, measured in own acks:
+   the leader advances its heartbeat; followers count silence and suspect a
+   leader whose heartbeat stalls; routes to the leader are re-advertised on
+   an exponential backoff; and a leader whose proposition stopped making
+   counted progress escalates with a FRESH proposal number — acceptors'
+   responded-guard makes them answer a new number exactly once, so lost
+   responses are replaced without ever double-counting aggregated counts
+   from the old number. Setting [leader_q] unconditionally guarantees the
+   next broadcast, i.e. the clock keeps ticking. *)
+let hardened_tick st =
+  if st.cfg.retransmit && st.decision = None && st.patience_left > 0 then begin
+    st.patience_left <- st.patience_left - 1;
+    if st.omega = st.me then begin
+      st.my_hb <- st.my_hb + 1;
+      Hashtbl.replace st.hb_seen st.me st.my_hb
+    end
+    else begin
+      st.hb_silence <- st.hb_silence + 1;
+      if st.hb_silence > st.silence_limit && not (suspected st st.omega)
+      then begin
+        Hashtbl.replace st.suspect_hb st.omega (hb_of st st.omega);
+        recompute_omega st
+      end
+    end;
+    st.leader_q <- Some st.omega;
+    st.idle_acks <- st.idle_acks + 1;
+    if st.idle_acks >= st.next_refresh then begin
+      st.idle_acks <- 0;
+      st.next_refresh <- min (2 * st.next_refresh) refresh_cap;
+      (* Re-advertise our route to the leader (UpdateQ form, Alg 4) so
+         nodes that lost the search wave learn parent pointers and stuck
+         unroutable responses get unstuck. *)
+      match Hashtbl.find_opt st.dist st.omega with
+      | Some d ->
+          st.tree_q <-
+            List.filter (fun (r, _) -> r <> st.omega) st.tree_q
+            @ [ (st.omega, d + 1) ]
+      | None -> ()
+    end;
+    if st.omega = st.me && st.retries_left > 0 then begin
+      st.progress_silence <- st.progress_silence + 1;
+      if st.progress_silence >= st.next_retry then begin
+        st.progress_silence <- 0;
+        st.next_retry <- min (2 * st.next_retry) st.retry_cap;
+        st.retries_left <- st.retries_left - 1;
+        generate_proposal st
+      end
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -556,10 +698,24 @@ let init cfg (ctx : Amac.Algorithm.ctx) =
       announced = false;
       decide_q = None;
       sending = false;
+      my_hb = 0;
+      hb_seen = Hashtbl.create 8;
+      suspect_hb = Hashtbl.create 8;
+      hb_silence = 0;
+      silence_limit = (4 * n) + 16;
+      idle_acks = 0;
+      next_refresh = refresh_start;
+      progress_silence = 0;
+      next_retry = (2 * n) + 8;
+      retry_start = (2 * n) + 8;
+      retry_cap = 16 * ((2 * n) + 8);
+      retries_left = max_retries;
+      patience_left = patience_max;
     }
   in
   Hashtbl.replace st.dist me 0;
   Hashtbl.replace st.parent me me;
+  Hashtbl.replace st.hb_seen me 0;
   (* Initialisation counts as a change (omega and dist were just set): every
      node starts as its own leader and issues an initial proposal. *)
   local_change st;
@@ -582,17 +738,33 @@ let on_receive _ctx st (components : msg) =
   List.iter
     (fun component ->
       match component with
-      | Leader id -> on_leader st id
+      | Leader { id; hb } -> on_leader st ~id ~hb
       | Change { counter; origin } -> on_change st ~counter ~origin
       | Search { root; hops; sender } -> on_search st ~root ~hops ~sender
       | Proposal p -> on_proposal st p
       | Response r -> on_response st r
       | Decision v -> on_decision st v)
     ordered;
+  (* Hardened decision refresh: an undecided hardened node heartbeats on
+     every ack, so its broadcasts carry a Leader component. A decided node
+     that hears one answers with its decision — this is how an amnesiac
+     recovered node (or one a loss window starved) re-learns the outcome.
+     Bounded: triggered only by heartbeats, which are patience-bounded. *)
+  (if st.cfg.retransmit then
+     match st.decision with
+     | Some v
+       when List.exists (function Leader _ -> true | _ -> false) components
+            && not
+                 (List.exists
+                    (function Decision _ -> true | _ -> false)
+                    components) ->
+         st.decide_q <- Some v
+     | Some _ | None -> ());
   finish st
 
 let on_ack _ctx st =
   st.sending <- false;
+  hardened_tick st;
   finish st
 
 let component_ids = function
@@ -607,7 +779,7 @@ let msg_ids components =
   List.fold_left (fun acc c -> acc + component_ids c) 0 components
 
 let pp_component = function
-  | Leader id -> Printf.sprintf "leader(%d)" id
+  | Leader { id; hb } -> Printf.sprintf "leader(%d,hb=%d)" id hb
   | Change { counter; origin } -> Printf.sprintf "change(%d@%d)" counter origin
   | Search { root; hops; sender } ->
       Printf.sprintf "search(root=%d,h=%d,from=%d)" root hops sender
@@ -617,17 +789,18 @@ let pp_component = function
 
 let pp_msg components = String.concat "+" (List.map pp_component components)
 
-let make ?(leader_priority = true) ?(aggregate = true) ?quorum ?instrument ()
-    =
+let make ?(leader_priority = true) ?(aggregate = true) ?quorum ?instrument
+    ?(retransmit = true) () =
   (match quorum with
   | Some q when q < 1 -> invalid_arg "Wpaxos.make: quorum must be >= 1"
   | Some _ | None -> ());
-  let cfg = { leader_priority; aggregate; quorum; instrument } in
+  let cfg = { leader_priority; aggregate; quorum; instrument; retransmit } in
   {
     Amac.Algorithm.name =
-      (if leader_priority && aggregate then "wpaxos"
+      (if leader_priority && aggregate && retransmit then "wpaxos"
        else
-         Printf.sprintf "wpaxos[prio=%b,agg=%b]" leader_priority aggregate);
+         Printf.sprintf "wpaxos[prio=%b,agg=%b,rtx=%b]" leader_priority
+           aggregate retransmit);
     init = init cfg;
     on_receive;
     on_ack;

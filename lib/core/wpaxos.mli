@@ -33,10 +33,38 @@
       notification treats a majority-reject as a fresh local change (flooded
       like any other). This preserves the paper's Θ(1)-new-proposals-after-
       stabilisation property and removes a liveness gap: rejections bump the
-      tag above the largest committed number, so retries terminate. *)
+      tag above the largest committed number, so retries terminate.
+
+    {b Hardening} ([retransmit], on by default; see DESIGN.md "Fault model"):
+    the paper assumes a reliable MAC layer and fail-stop crashes, under
+    which wPAXOS as written is live. Under [Fault] plans (bounded loss
+    windows, partitions, crash-recovery) it needs three additions, all
+    clocked by the node's own acks — the only clock in the model:
+    - {e heartbeats}: an undecided node broadcasts on every ack (a [Leader]
+      component carrying the leader's heartbeat count), keeping its clock
+      ticking; bounded by a patience budget refilled on observable protocol
+      progress, so runs where consensus is impossible still quiesce.
+    - {e leader re-election on silence}: followers suspect a leader whose
+      heartbeat count stalls for [4n+16] acks and fall back to the largest
+      unsuspected id; a heartbeat advancing past the suspicion point
+      unsuspects (false suspicion under loss heals itself).
+    - {e re-proposal with backoff}: a leader whose proposition stops making
+      counted progress issues a {e fresh} proposal number (exponential
+      backoff, [2n+8] acks and up). Re-sending aggregated {e responses}
+      could double-count at the proposer (responses carry counts, not ids),
+      so recovery always goes through a new proposition, which every
+      acceptor answers exactly once — classic-PAXOS-safe.
+    A decided node answers any heartbeat it hears with its decision, which
+    is how recovered (amnesiac) or starved nodes re-learn the outcome. With
+    [~retransmit:false] the algorithm is exactly the paper's: safe under
+    any plan, but a single lost delivery can end liveness — the fault-plan
+    fuzzer finds and shrinks such schedules (see [bin/mcheck_fuzz]
+    [MCHECK_FAULTS] mode). *)
 
 type component =
-  | Leader of int  (** Alg 2: candidate leader id *)
+  | Leader of { id : int; hb : int }
+      (** Alg 2: candidate leader id; [hb] is the candidate's heartbeat
+          count (always 0 when hardening is off) *)
   | Change of { counter : int; origin : int }  (** Alg 3: Lamport stamp *)
   | Search of { root : int; hops : int; sender : int }  (** Alg 4 *)
   | Proposal of Paxos_types.proposer_msg  (** flooded prepare/propose *)
@@ -87,12 +115,17 @@ end
       intersection and a long partition can then split the decision; see
       [test_wpaxos.ml] for the executable counterexample.
     @param instrument attach a Lemma 4.2 checker.
+    @param retransmit fault hardening — heartbeats, silence-based leader
+      re-election, fresh-proposal retransmission with exponential backoff
+      (default [true]; disable to get the paper's original protocol, which
+      the fault-plan fuzzer can break for liveness).
     @raise Invalid_argument if [quorum < 1]. *)
 val make :
   ?leader_priority:bool ->
   ?aggregate:bool ->
   ?quorum:int ->
   ?instrument:Instrument.t ->
+  ?retransmit:bool ->
   unit ->
   (state, msg) Amac.Algorithm.t
 

@@ -6,6 +6,7 @@ type case = {
   fack : int;
   inputs : int array;
   crashes : (int * int) list;
+  faults : Fault.plan;
   plan : Amac.Scheduler.decision list;
 }
 
@@ -26,7 +27,9 @@ let pp_case fmt case =
        (List.map
           (fun (node, time) -> Printf.sprintf "%d@t%d" node time)
           case.crashes))
-    (List.length case.plan)
+    (List.length case.plan);
+  if case.faults <> [] then
+    Format.fprintf fmt "@,faults:@,%a" Fault.pp case.faults
 
 let topology_of case =
   match case.kind with
@@ -39,6 +42,14 @@ let topology_of case =
         (Amac.Rng.create seed)
         ~n:case.n ~extra_edges:(case.n / 3)
 
+type fault_profile = {
+  max_recoveries : int;
+  max_loss_windows : int;
+  max_partitions : int;
+  max_stutters : int;
+  max_window : int;
+}
+
 type config = {
   iterations : int;
   max_n : int;
@@ -49,6 +60,7 @@ type config = {
   check_termination : bool;
   max_time : int;
   max_shrink_runs : int;
+  faults : fault_profile option;
 }
 
 let default =
@@ -62,6 +74,16 @@ let default =
     check_termination = false;
     max_time = 100_000;
     max_shrink_runs = 2_000;
+    faults = None;
+  }
+
+let default_fault_profile =
+  {
+    max_recoveries = 2;
+    max_loss_windows = 2;
+    max_partitions = 1;
+    max_stutters = 1;
+    max_window = 40;
   }
 
 type counterexample = {
@@ -95,8 +117,8 @@ let run_case ?(record_trace = false) config algorithm case =
   Consensus.Runner.run algorithm ~give_n:config.give_n
     ~topology:(topology_of case)
     ~scheduler:(Amac.Scheduler.replay case.plan)
-    ~inputs:case.inputs ~crashes:case.crashes ~max_time:config.max_time
-    ~record_trace
+    ~inputs:case.inputs ~crashes:case.crashes ~faults:case.faults
+    ~max_time:config.max_time ~record_trace
 
 (* splitmix-style mixing so that (seed, iteration) pairs give uncorrelated
    generators without the caller managing a stream. *)
@@ -119,27 +141,129 @@ let generate config algorithm ~seed ~iteration =
   (* Crash times are drawn from the first few broadcast windows: every
      algorithm broadcasts at t=0, so times in [1, fack] land mid-broadcast
      (the window is (0, ack <= fack]), exercising Sec 2's non-atomic
-     crashes; later times interrupt follow-up phases. *)
+     crashes; later times interrupt follow-up phases. At most one crash per
+     node: the engine (rightly) rejects a second crash of the same
+     incarnation. *)
   let crash_count = Amac.Rng.int rng (config.max_crashes + 1) in
   let crashes =
     List.init crash_count (fun _ ->
         ( Amac.Rng.int rng n,
           Amac.Rng.int_range rng ~lo:0 ~hi:(((2 * fack) + 1) * 2) ))
     |> List.sort_uniq compare
+    |> List.fold_left
+         (fun acc (node, time) ->
+           if List.mem_assoc node acc then acc else (node, time) :: acc)
+         []
+    |> List.rev
   in
+  (* In fault mode the crashes move INTO the plan (so recoveries can refer
+     to them and the whole fault schedule shrinks as one object) and the
+     plan gains loss windows, a partition, stutters — each family built
+     valid by construction (distinct edges/nodes, disjoint partition
+     windows) and checked by Fault.validate before the run. *)
+  let faults =
+    match config.faults with
+    | None -> []
+    | Some p ->
+        let horizon = ((2 * fack) + 1) * 4 in
+        let window rng =
+          let from_ = Amac.Rng.int rng horizon in
+          let width = 1 + Amac.Rng.int rng (max 1 p.max_window) in
+          (from_, from_ + width)
+        in
+        let crash_events =
+          List.map (fun (node, at) -> Fault.Crash { node; at }) crashes
+        in
+        let recov_budget = Amac.Rng.int rng (p.max_recoveries + 1) in
+        let recoveries =
+          List.filteri (fun i _ -> i < recov_budget) crashes
+          |> List.map (fun (node, at) ->
+                 Fault.Recover { node; at = at + 1 + Amac.Rng.int rng horizon })
+        in
+        let rec draw_loss acc used k =
+          if k = 0 then acc
+          else
+            let u = Amac.Rng.int rng n and v = Amac.Rng.int rng n in
+            let e = if u < v then (u, v) else (v, u) in
+            if u = v || List.mem e used then draw_loss acc used (k - 1)
+            else
+              let from_, until = window rng in
+              draw_loss
+                (Fault.Link_drop { edge = e; from_; until } :: acc)
+                (e :: used) (k - 1)
+        in
+        let loss = draw_loss [] [] (Amac.Rng.int rng (p.max_loss_windows + 1)) in
+        let rec place_partitions acc t k =
+          if k = 0 then acc
+          else
+            let from_ = t + Amac.Rng.int rng horizon in
+            let width = 1 + Amac.Rng.int rng (max 1 p.max_window) in
+            let cut =
+              List.filter (fun _ -> Amac.Rng.bool rng) (List.init n Fun.id)
+            in
+            let cut =
+              match cut with
+              | [] -> [ Amac.Rng.int rng n ]
+              | cut when List.length cut = n -> List.tl cut
+              | cut -> cut
+            in
+            place_partitions
+              (Fault.Partition { cut; from_; until = from_ + width } :: acc)
+              (from_ + width) (k - 1)
+        in
+        let partitions =
+          if n < 2 then []
+          else place_partitions [] 0 (Amac.Rng.int rng (p.max_partitions + 1))
+        in
+        let rec draw_stutters acc used k =
+          if k = 0 then acc
+          else
+            let node = Amac.Rng.int rng n in
+            if List.mem node used then draw_stutters acc used (k - 1)
+            else
+              let from_, until = window rng in
+              draw_stutters
+                (Fault.Stutter { node; from_; until } :: acc)
+                (node :: used) (k - 1)
+        in
+        let stutters =
+          draw_stutters [] [] (Amac.Rng.int rng (p.max_stutters + 1))
+        in
+        let plan =
+          crash_events @ recoveries @ loss @ partitions @ stutters
+        in
+        Fault.validate ~n plan;
+        plan
+  in
+  let crashes = if config.faults = None then crashes else [] in
   let base = Amac.Scheduler.random (Amac.Rng.split rng) ~fack in
   let recording, recorded = Amac.Scheduler.record base in
   let result =
     Consensus.Runner.run algorithm ~give_n:config.give_n
       ~topology:
-        (topology_of { kind; n; fack; inputs; crashes; plan = [] })
-      ~scheduler:recording ~inputs ~crashes ~max_time:config.max_time
+        (topology_of { kind; n; fack; inputs; crashes; faults; plan = [] })
+      ~scheduler:recording ~inputs ~crashes ~faults ~max_time:config.max_time
   in
-  ({ kind; n; fack; inputs; crashes; plan = recorded () }, result)
+  ({ kind; n; fack; inputs; crashes; faults; plan = recorded () }, result)
 
 (* ---------------------------------------------------------------- *)
 (* Shrinking: greedy delta-debugging over the case's four dimensions *)
 (* ---------------------------------------------------------------- *)
+
+let restrict_plan plan n' =
+  List.filter_map
+    (function
+      | Fault.Crash { node; _ } as e -> if node < n' then Some e else None
+      | Fault.Recover { node; _ } as e -> if node < n' then Some e else None
+      | Fault.Link_drop { edge = u, v; _ } as e ->
+          if u < n' && v < n' then Some e else None
+      | Fault.Partition { cut; from_; until } ->
+          let cut = List.filter (fun v -> v < n') cut in
+          if cut <> [] && List.length cut < n' then
+            Some (Fault.Partition { cut; from_; until })
+          else None
+      | Fault.Stutter { node; _ } as e -> if node < n' then Some e else None)
+    plan
 
 let restrict_to case n' =
   {
@@ -147,6 +271,7 @@ let restrict_to case n' =
     n = n';
     inputs = Array.sub case.inputs 0 n';
     crashes = List.filter (fun (node, _) -> node < n') case.crashes;
+    faults = restrict_plan case.faults n';
   }
 
 let normalize_decision (d : Amac.Scheduler.decision) =
@@ -154,6 +279,24 @@ let normalize_decision (d : Amac.Scheduler.decision) =
     Amac.Scheduler.ack_delay = 1;
     delays = List.map (fun (v, _) -> (v, 1)) d.Amac.Scheduler.delays;
   }
+
+(* Pull a fault event toward the trivial one: times toward 0, windows
+   narrowed to width >= 1. [divisor = max_int] is the all-the-way jump. *)
+let shrink_fault_event divisor = function
+  | Fault.Crash { node; at } -> Fault.Crash { node; at = at / divisor }
+  | Fault.Recover { node; at } -> Fault.Recover { node; at = at / divisor }
+  | Fault.Link_drop { edge; from_; until } ->
+      let width = max 1 ((until - from_) / divisor) in
+      let from_ = from_ / divisor in
+      Fault.Link_drop { edge; from_; until = from_ + width }
+  | Fault.Partition { cut; from_; until } ->
+      let width = max 1 ((until - from_) / divisor) in
+      let from_ = from_ / divisor in
+      Fault.Partition { cut; from_; until = from_ + width }
+  | Fault.Stutter { node; from_; until } ->
+      let width = max 1 ((until - from_) / divisor) in
+      let from_ = from_ / divisor in
+      Fault.Stutter { node; from_; until = from_ + width }
 
 let shrink config algorithm case =
   let budget = ref config.max_shrink_runs in
@@ -243,8 +386,70 @@ let shrink config algorithm case =
     in
     improve case flips
   in
+  let pass_faults (case : case) =
+    (* Drop each event; drop crash+recovery pairs together (a lone recovery
+       is invalid and would be rejected, masking the shrink); narrow windows
+       and pull times toward 0 (all-at-once, then halving); thin partition
+       cuts. Any candidate the validator rejects fails [fails] safely. *)
+    let replace i e' =
+      { case with faults = List.mapi (fun j e -> if i = j then e' else e) case.faults }
+    in
+    let drops =
+      List.mapi
+        (fun i _ ->
+          { case with faults = List.filteri (fun j _ -> j <> i) case.faults })
+        case.faults
+    in
+    let drop_pairs =
+      List.filter_map
+        (function
+          | Fault.Crash { node; _ } ->
+              Some
+                {
+                  case with
+                  faults =
+                    List.filter
+                      (function
+                        | Fault.Crash { node = v; _ }
+                        | Fault.Recover { node = v; _ } ->
+                            v <> node
+                        | _ -> true)
+                      case.faults;
+                }
+          | _ -> None)
+        case.faults
+    in
+    let narrowed divisor =
+      List.mapi (fun i e -> replace i (shrink_fault_event divisor e)) case.faults
+    in
+    let cut_thinning =
+      List.concat
+        (List.mapi
+           (fun i e ->
+             match e with
+             | Fault.Partition { cut; from_; until } when List.length cut > 1
+               ->
+                 List.map
+                   (fun v ->
+                     replace i
+                       (Fault.Partition
+                          { cut = List.filter (( <> ) v) cut; from_; until }))
+                   cut
+             | _ -> [])
+           case.faults)
+    in
+    improve case
+      (drops @ drop_pairs @ narrowed max_int @ narrowed 2 @ cut_thinning)
+  in
   let passes =
-    [ pass_nodes; pass_crashes; pass_plan_truncate; pass_plan_flatten; pass_inputs ]
+    [
+      pass_nodes;
+      pass_crashes;
+      pass_faults;
+      pass_plan_truncate;
+      pass_plan_flatten;
+      pass_inputs;
+    ]
   in
   let rec fixpoint case =
     let changed, case =

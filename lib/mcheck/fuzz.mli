@@ -24,6 +24,10 @@ type case = {
   fack : int;  (** recorded for reporting; replay recomputes its own bound *)
   inputs : int array;
   crashes : (int * int) list;
+      (** legacy clean-crash schedule; [] when fault-plan fuzzing is on
+          (crashes then live inside [faults] so recoveries can pair with
+          them and the whole schedule shrinks as one object) *)
+  faults : Fault.plan;  (** [] unless [config.faults] is set *)
   plan : Amac.Scheduler.decision list;
 }
 
@@ -32,6 +36,18 @@ val pp_case : Format.formatter -> case -> unit
 (** [topology_of case] rebuilds the graph ([Random_graph seed] is
     deterministic in its seed and [n]). *)
 val topology_of : case -> Amac.Topology.t
+
+(** Sizes for fault-plan generation. Recoveries pair with generated
+    crashes; loss windows land on distinct edges; partition windows are
+    mutually disjoint; stutters hit distinct nodes — so generated plans are
+    valid by construction (and double-checked by {!Fault.validate}). *)
+type fault_profile = {
+  max_recoveries : int;  (** how many crashed nodes may restart *)
+  max_loss_windows : int;  (** per-edge bounded loss windows *)
+  max_partitions : int;  (** partition-and-heal episodes *)
+  max_stutters : int;  (** per-node stutter windows *)
+  max_window : int;  (** maximum width of any window *)
+}
 
 type config = {
   iterations : int;
@@ -45,11 +61,19 @@ type config = {
           live node never decided also counts as a failure *)
   max_time : int;
   max_shrink_runs : int;  (** re-run budget for the shrinker *)
+  faults : fault_profile option;
+      (** [Some profile] switches on fault-plan fuzzing: each case carries a
+          generated {!Fault.plan} and the shrinker delta-debugs its events,
+          windows and times alongside the other dimensions *)
 }
 
 (** 300 iterations, n ≤ 6, F_ack ≤ 8, ≤ 2 crashes, cliques and lines,
-    safety-only, 2000 shrink runs. *)
+    safety-only, 2000 shrink runs, no fault plans. *)
 val default : config
+
+(** ≤ 2 recoveries, ≤ 2 loss windows, ≤ 1 partition, ≤ 1 stutter, windows
+    up to 40 ticks. *)
+val default_fault_profile : fault_profile
 
 type counterexample = {
   iteration : int;  (** which iteration failed — replay via {!generate} *)

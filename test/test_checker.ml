@@ -6,10 +6,13 @@ let outcome ?(extra = []) ?(crashed = [||]) decisions : Amac.Engine.outcome =
     decisions;
     extra_decides = extra;
     crashed = (if Array.length crashed = n then crashed else Array.make n false);
+    incarnations = Array.make n 0;
     broadcasts = 0;
     deliveries = 0;
     discarded = 0;
     dropped = 0;
+    link_dropped = 0;
+    stuttered = 0;
     max_ids_per_message = 0;
     end_time = 0;
     events_processed = 0;

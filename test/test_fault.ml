@@ -1,0 +1,181 @@
+(* Satellite: fault-plan validation — malformed plans are rejected up
+   front with a clear Invalid_argument, at both the Fault.validate level
+   and the engine's crash/recovery-schedule level. *)
+
+let ok plan = Fault.validate ~n:4 plan
+
+let rejects msg plan =
+  Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+      Fault.validate ~n:4 plan)
+
+let test_valid_plans () =
+  ok [];
+  ok [ Fault.Crash { node = 0; at = 3 } ];
+  ok
+    [
+      Fault.Crash { node = 0; at = 3 };
+      Fault.Recover { node = 0; at = 7 };
+      Fault.Crash { node = 0; at = 9 };
+    ];
+  (* Non-overlapping windows on one edge, overlapping on distinct edges. *)
+  ok
+    [
+      Fault.Link_drop { edge = (0, 1); from_ = 0; until = 5 };
+      Fault.Link_drop { edge = (1, 0); from_ = 5; until = 9 };
+      Fault.Link_drop { edge = (2, 3); from_ = 2; until = 7 };
+    ];
+  (* Sequential partition-and-heal episodes. *)
+  ok
+    [
+      Fault.Partition { cut = [ 0; 1 ]; from_ = 0; until = 4 };
+      Fault.Partition { cut = [ 2 ]; from_ = 4; until = 8 };
+      Fault.Stutter { node = 1; from_ = 0; until = 3 };
+      Fault.Stutter { node = 2; from_ = 0; until = 3 };
+    ]
+
+let test_duplicate_crash () =
+  rejects
+    "Fault.validate: duplicate crash of node 2 at t=9 (same incarnation \
+     crashed twice, no recovery between)"
+    [ Fault.Crash { node = 2; at = 4 }; Fault.Crash { node = 2; at = 9 } ]
+
+let test_recover_before_crash () =
+  rejects "Fault.validate: recover of node 1 at t=5 before any crash"
+    [ Fault.Recover { node = 1; at = 5 } ];
+  rejects "Fault.validate: recover of node 1 at t=2 before any crash"
+    [ Fault.Recover { node = 1; at = 2 }; Fault.Crash { node = 1; at = 6 } ]
+
+let test_same_instant () =
+  rejects "Fault.validate: node 3 has two crash/recover events at t=6"
+    [ Fault.Crash { node = 3; at = 6 }; Fault.Recover { node = 3; at = 6 } ]
+
+let test_overlapping_loss_windows () =
+  (* Overlap is detected on the normalized (undirected) edge. *)
+  rejects
+    "Fault.validate: overlapping loss windows on edge (0,1): [2,8) and [5,11)"
+    [
+      Fault.Link_drop { edge = (0, 1); from_ = 2; until = 8 };
+      Fault.Link_drop { edge = (1, 0); from_ = 5; until = 11 };
+    ]
+
+let test_overlapping_stutters () =
+  rejects
+    "Fault.validate: overlapping stutter windows on node 2: [0,4) and [3,6)"
+    [
+      Fault.Stutter { node = 2; from_ = 0; until = 4 };
+      Fault.Stutter { node = 2; from_ = 3; until = 6 };
+    ]
+
+let test_concurrent_partitions () =
+  rejects
+    "Fault.validate: overlapping partitions: windows [0,9) and [4,6) are \
+     both in force"
+    [
+      Fault.Partition { cut = [ 0 ]; from_ = 0; until = 9 };
+      Fault.Partition { cut = [ 3 ]; from_ = 4; until = 6 };
+    ]
+
+let test_partition_cuts () =
+  rejects "Fault.validate: partition cut is empty"
+    [ Fault.Partition { cut = []; from_ = 0; until = 5 } ];
+  rejects "Fault.validate: partition cut has duplicate nodes"
+    [ Fault.Partition { cut = [ 1; 1 ]; from_ = 0; until = 5 } ];
+  rejects
+    "Fault.validate: partition cut contains every node (nothing to cut)"
+    [ Fault.Partition { cut = [ 0; 1; 2; 3 ]; from_ = 0; until = 5 } ]
+
+let test_ranges_and_windows () =
+  rejects "Fault.validate: crash node 4 out of range [0,4)"
+    [ Fault.Crash { node = 4; at = 0 } ];
+  rejects "Fault.validate: crash of node 0 at negative time -1"
+    [ Fault.Crash { node = 0; at = -1 } ];
+  rejects "Fault.validate: link-drop edge (2,2) is a self-loop"
+    [ Fault.Link_drop { edge = (2, 2); from_ = 0; until = 3 } ];
+  rejects "Fault.validate: link-drop window [5,5) is empty or inverted"
+    [ Fault.Link_drop { edge = (0, 1); from_ = 5; until = 5 } ];
+  rejects "Fault.validate: stutter window starts at negative time -2"
+    [ Fault.Stutter { node = 0; from_ = -2; until = 3 } ]
+
+let test_horizon_and_correct () =
+  let plan =
+    [
+      Fault.Crash { node = 0; at = 2 };
+      Fault.Recover { node = 0; at = 10 };
+      Fault.Crash { node = 1; at = 50 };
+      Fault.Link_drop { edge = (2, 3); from_ = 0; until = 30 };
+    ]
+  in
+  Fault.validate ~n:4 plan;
+  (* Unrecovered crash of node 1 contributes nothing: fail-stop is forever,
+     so the plan is "quiet" once windows close and recoveries are done. *)
+  Alcotest.(check int) "horizon" 30 (Fault.horizon plan);
+  Alcotest.(check (list int)) "correct at end" [ 0; 2; 3 ]
+    (List.sort Int.compare (Fault.correct_at_end ~n:4 plan));
+  Alcotest.(check (list (pair int int))) "crashes" [ (0, 2); (1, 50) ]
+    (List.sort compare (Fault.crashes plan));
+  Alcotest.(check (list (pair int int))) "recoveries" [ (0, 10) ]
+    (Fault.recoveries plan)
+
+let test_compile_half_open () =
+  let compiled =
+    Fault.compile ~n:4
+      [ Fault.Link_drop { edge = (1, 2); from_ = 3; until = 7 } ]
+  in
+  let drop = Option.get compiled.Fault.drop in
+  Alcotest.(check bool) "inactive before" false
+    (drop ~now:2 ~sender:1 ~receiver:2);
+  Alcotest.(check bool) "active at from_" true
+    (drop ~now:3 ~sender:1 ~receiver:2);
+  Alcotest.(check bool) "undirected" true (drop ~now:6 ~sender:2 ~receiver:1);
+  Alcotest.(check bool) "inactive at until" false
+    (drop ~now:7 ~sender:1 ~receiver:2);
+  Alcotest.(check bool) "other edge untouched" false
+    (drop ~now:5 ~sender:0 ~receiver:1);
+  Alcotest.(check bool) "no stutter hook" true (compiled.Fault.stutter = None)
+
+(* The engine applies the same alternation discipline to raw [?crashes] /
+   [?recoveries] schedules, so the legacy interface cannot smuggle in what
+   Fault.validate rejects. *)
+let test_engine_rejects_raw_duplicates () =
+  let run ~crashes =
+    ignore
+      (Consensus.Runner.run Consensus.Two_phase.algorithm
+         ~topology:(Amac.Topology.clique 3)
+         ~scheduler:Amac.Scheduler.synchronous ~inputs:[| 0; 1; 1 |] ~crashes)
+  in
+  Alcotest.check_raises "duplicate crash"
+    (Invalid_argument
+       "Engine.run: duplicate crash of node 1 at t=8 (same incarnation \
+        crashed twice, no recovery between)")
+    (fun () -> run ~crashes:[ (1, 3); (1, 8) ])
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "validate",
+        [
+          Alcotest.test_case "valid plans pass" `Quick test_valid_plans;
+          Alcotest.test_case "duplicate crash" `Quick test_duplicate_crash;
+          Alcotest.test_case "recover before crash" `Quick
+            test_recover_before_crash;
+          Alcotest.test_case "same-instant pair" `Quick test_same_instant;
+          Alcotest.test_case "overlapping loss windows" `Quick
+            test_overlapping_loss_windows;
+          Alcotest.test_case "overlapping stutters" `Quick
+            test_overlapping_stutters;
+          Alcotest.test_case "concurrent partitions" `Quick
+            test_concurrent_partitions;
+          Alcotest.test_case "partition cut checks" `Quick test_partition_cuts;
+          Alcotest.test_case "ranges and windows" `Quick
+            test_ranges_and_windows;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "horizon and correct-at-end" `Quick
+            test_horizon_and_correct;
+          Alcotest.test_case "compile: half-open windows" `Quick
+            test_compile_half_open;
+          Alcotest.test_case "engine rejects raw duplicates" `Quick
+            test_engine_rejects_raw_duplicates;
+        ] );
+    ]
