@@ -11,7 +11,13 @@
    are constructions. Each experiment reruns the construction and prints a
    table certifying the claimed *shape* (who wins, what scales with what,
    where the violation appears); EXPERIMENTS.md records these tables against
-   the paper's claims. *)
+   the paper's claims.
+
+   Every run also writes BENCH.json in the current directory: a
+   machine-readable mirror of each printed table (same cells, via
+   Stats.Table.to_json) plus attached metadata and raw measurement series
+   for the sweeps that have them — the per-PR perf-trajectory record
+   (BENCH_PR3.json is the first committed snapshot). *)
 
 let quick = ref false
 
@@ -38,6 +44,8 @@ let e1 () =
         [ "n"; "sync"; "random (5 seeds)"; "max-delay"; "<=3*F_ack"; "ok" ]
   in
   let fack = 8 in
+  Amac.Stats.Table.set_meta table "fack" (string_of_int fack);
+  Amac.Stats.Table.set_meta table "seeds" "1..5";
   let sizes =
     if !quick then [ 2; 8; 32 ] else [ 2; 4; 8; 16; 32; 64; 128; 256 ]
   in
@@ -71,6 +79,9 @@ let e1 () =
           (int_of_float (Amac.Stats.maximum times))
           (Option.get maxd.decision_time)
       in
+      Amac.Stats.Table.add_series table
+        ~name:(every_row "random_latency_n%d" n)
+        times;
       Amac.Stats.Table.add_row table
         [
           string_of_int n;
@@ -86,7 +97,7 @@ let e1 () =
     "latency is flat in n and bounded by 3*F_ack = 24 (paper: O(F_ack));";
   Amac.Stats.Table.add_note table
     "the algorithm is never told n (impossible without acks, Abboud et al.).";
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 (* E2 - Thm 4.6: wPAXOS is O(D * F_ack) in multihop networks           *)
@@ -135,7 +146,7 @@ let e2 () =
   Amac.Stats.Table.add_note table
     "latency/(D*F_ack) stays a small constant as D grows: O(D*F_ack), \
      matching the Thm 3.10 lower bound up to a constant.";
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 (* E3 - Sec 4.2 motivation: wPAXOS vs naive flooding, fixed D, rising n *)
@@ -179,7 +190,7 @@ let e3 () =
   Amac.Stats.Table.add_note table
     "wPAXOS stays ~flat (O(D*F_ack)); both flooding baselines grow with n \
      (Theta(n*F_ack) hub bottleneck) - the crossover the paper predicts.";
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 (* E4 - Thm 3.10: no decision before floor(D/2)*F_ack                  *)
@@ -227,7 +238,7 @@ let e4 () =
   Amac.Stats.Table.add_note table
     "wPAXOS decides after the bound with a ~constant factor: both bounds are \
      tight.";
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 (* E5 - Thm 3.3 / Fig 1: anonymity makes consensus impossible           *)
@@ -268,7 +279,7 @@ let e5 () =
   Amac.Stats.Table.add_note table
     "same algorithm, same knowledge (n', D): correct on B, split-brained on \
      A - anonymity is fatal (Claim 3.4 sizes/diameters verified in tests).";
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 (* E6 - Thm 3.9 / Fig 2: no knowledge of n is fatal in multihop         *)
@@ -305,7 +316,7 @@ let e6 () =
   Amac.Stats.Table.add_note table
     "K_D has diameter D, same as the standalone line the victim is correct \
      on; with the endpoint silenced, both L_D copies decide their own value.";
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 (* E7 - Thm 3.2 / Sec 3.1: FLP in the abstract MAC layer model          *)
@@ -374,7 +385,7 @@ let e7 () =
          crash kills liveness, not safety"
   | Some _ ->
       Amac.Stats.Table.add_note table "1 crash: AGREEMENT VIOLATION (bug!)");
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 (* E8 - model constraint + Lemma 4.4: O(1) ids/message, poly(n) tags    *)
@@ -433,7 +444,7 @@ let e8 () =
   Amac.Stats.Table.add_note table
     "ids per message is a constant (<=12) independent of n; tags stay far \
      below the poly(n) ceiling of Lemma 4.4.";
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 (* E9 - ablation: the stabilizing services are the contribution         *)
@@ -467,7 +478,7 @@ let e9 () =
   Amac.Stats.Table.add_note table
     "every variant stays safe; removing services costs time/messages, \
      removing the trees costs the O(D*F_ack) bound itself.";
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 (* E10 - future work 3: randomness circumvents the crash impossibility  *)
@@ -481,6 +492,8 @@ let e10 () =
       ~columns:
         [ "n"; "crashes"; "two-phase"; "ben-or (latency, 5 seeds)"; "ben-or ok" ]
   in
+  Amac.Stats.Table.set_meta table "fack" "4";
+  Amac.Stats.Table.set_meta table "seeds" "1..5";
   let cases =
     [ (3, [ (2, 5) ]); (5, [ (1, 0); (3, 6) ]); (7, [ (0, 1); (2, 4); (5, 9) ]);
       (9, [ (0, 1); (1, 5); (2, 9); (3, 13) ]) ]
@@ -521,6 +534,9 @@ let e10 () =
           (fun r -> Consensus.Checker.ok r.Consensus.Runner.report)
           results
       in
+      Amac.Stats.Table.add_series table
+        ~name:(every_row "ben_or_latency_n%d" n)
+        times;
       Amac.Stats.Table.add_row table
         [
           string_of_int n;
@@ -535,7 +551,7 @@ let e10 () =
     cases;
   Amac.Stats.Table.add_note table
     "two-phase is safe but blocks forever under the crash (Thm 3.2 says any      deterministic algorithm must); Ben-Or decides under any minority of      crashes with probability 1.";
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 (* E11 - future work 1: unreliable links                                *)
@@ -593,7 +609,7 @@ let e11 () =
     [ 0.0; 0.3; 0.7 ];
   Amac.Stats.Table.add_note table
     "safety survives unconditionally (the open question in Sec 5 is about      optimizing liveness/time, not safety); flood-gather's liveness is      unaffected because extra deliveries are pure information gain.";
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 (* E12 - Sec 2 open problem: the cost of bit-by-bit multi-valued consensus *)
@@ -609,6 +625,9 @@ let e12 () =
   in
   let n = 6 in
   let seeds = [ 1; 2; 3; 4; 5 ] in
+  Amac.Stats.Table.set_meta table "fack" "5";
+  Amac.Stats.Table.set_meta table "n" (string_of_int n);
+  Amac.Stats.Table.set_meta table "seeds" "1..5";
   List.iter
     (fun bits ->
       let algorithm =
@@ -638,6 +657,9 @@ let e12 () =
           results
       in
       let median = Amac.Stats.median times in
+      Amac.Stats.Table.add_series table
+        ~name:(every_row "latency_bits%d" bits)
+        times;
       Amac.Stats.Table.add_row table
         [
           string_of_int bits;
@@ -649,7 +671,7 @@ let e12 () =
     [ 1; 2; 4; 8; 12 ];
   Amac.Stats.Table.add_note table
     "latency is linear in the value width (latency/bits ~constant): the      baseline reduction costs Theta(log|V|) binary instances, which is the      inefficiency the paper's open problem asks to beat.";
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 
@@ -704,7 +726,7 @@ let b5 () =
     cases;
   Amac.Stats.Table.add_note table
     "states/sec is dominated by Marshal+MD5 keying; dedup hit rate shows       how much of the interleaving space converges, sleep skips what the       partial-order reduction pruned before keying.";
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 
@@ -726,6 +748,9 @@ let b6 () =
   let n = 5 in
   let fack = 4 in
   let seeds = [ 1; 2; 3; 4; 5 ] in
+  Amac.Stats.Table.set_meta table "fack" (string_of_int fack);
+  Amac.Stats.Table.set_meta table "n" (string_of_int n);
+  Amac.Stats.Table.set_meta table "seeds" "1..5";
   (* Width w isolates node 0 for [0, w) and drops one far edge for the
      second half of the window — the retransmission machinery must bridge
      both. w = 0 is the fault-free baseline that defines the
@@ -786,6 +811,11 @@ let b6 () =
           (fun (d : Consensus.Checker.degradation) -> d.safe)
           degradations
       in
+      (* never-decided seeds carry [infinity]; the raw series keeps only
+         the finite measurements *)
+      Amac.Stats.Table.add_series table
+        ~name:(every_row "latency_w%d" w)
+        (List.filter Float.is_finite latencies);
       Amac.Stats.Table.add_row table
         [
           (if w = 0 then "none" else Printf.sprintf "[0,%d)" w);
@@ -798,7 +828,7 @@ let b6 () =
     [ 0; 5; 10; 20; 40 ];
   Amac.Stats.Table.add_note table
     "the run cannot finish on node 0 before its window closes, so latency      is bounded below by the width and lands a recovery-backoff delay      after it; every lossy cell pays a retransmission overhead (silence      re-elections, fresh-proposal backoff, decision refresh). Safety holds      in every cell unconditionally.";
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the simulator core                      *)
@@ -881,7 +911,7 @@ let bechamel_section () =
       in
       Amac.Stats.Table.add_row table [ name; pretty; r2 ])
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
-  Amac.Stats.Table.print table
+  table
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -926,12 +956,42 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let wanted id = !only = [] || List.mem id !only in
+  let collected = ref [] in
+  let record id table =
+    Amac.Stats.Table.print table;
+    collected := (id, table) :: !collected
+  in
   List.iter
     (fun (id, experiment) ->
       if wanted id then begin
-        experiment ();
+        record id (experiment ());
         print_newline ()
       end)
     experiments;
   if (not !skip_bechamel) && (!only = [] || wanted "BECHAMEL") then
-    bechamel_section ()
+    record "BECHAMEL" (bechamel_section ());
+  (* The machine-readable mirror: BENCH.json holds exactly the tables
+     printed above (same cells via Table.to_json), keyed by experiment id. *)
+  let json =
+    Obs.Json.Obj
+      [
+        ("suite", Obs.Json.String "amac-bench");
+        ("quick", Obs.Json.Bool !quick);
+        ( "experiments",
+          Obs.Json.List
+            (List.rev_map
+               (fun (id, table) ->
+                 Obs.Json.Obj
+                   [
+                     ("id", Obs.Json.String id);
+                     ("table", Amac.Stats.Table.to_json table);
+                   ])
+               !collected) );
+      ]
+  in
+  let oc = open_out_bin "BENCH.json" in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH.json (%d experiments)\n"
+    (List.length !collected)

@@ -6,6 +6,8 @@
        --sched random --fack 5 --seed 3 --inputs alternating
      dune exec bin/amac_sim.exe -- run --algo two-phase --topo clique:8 \
        --sched max-delay --fack 10 --trace
+     dune exec bin/amac_sim.exe -- --metrics --trace-out /tmp/t.chrome.json
+     dune exec bin/amac_sim.exe -- validate-trace /tmp/t.chrome.json
      dune exec bin/amac_sim.exe -- lowerbounds *)
 
 open Cmdliner
@@ -90,7 +92,18 @@ let parse_algorithm = function
         "unknown algorithm; try two-phase two-phase-literal wpaxos \
          wpaxos-noagg flood-gather flood-paxos round-flood ben-or"
 
-let run_cmd algo topo sched fack seed inputs_spec trace max_time =
+(* The export format is picked by extension: .jsonl gets one event per
+   line, anything else the Chrome trace_event envelope. *)
+let export_for file events =
+  if Filename.check_suffix file ".jsonl" then Obs.Span.to_jsonl events
+  else Obs.Span.to_chrome events
+
+let parse_for file data =
+  if Filename.check_suffix file ".jsonl" then Obs.Span.of_jsonl data
+  else Obs.Span.of_chrome data
+
+let run_cmd algo topo sched fack seed inputs_spec trace trace_out metrics
+    max_time =
   let rng = Amac.Rng.create seed in
   let topology = parse_topology topo (Amac.Rng.split rng) in
   let n = Amac.Topology.size topology in
@@ -101,9 +114,11 @@ let run_cmd algo topo sched fack seed inputs_spec trace max_time =
     algorithm.Amac.Algorithm.name topo
     (Format.asprintf "%a" Amac.Topology.pp topology)
     scheduler.Amac.Scheduler.name inputs_spec;
+  let obs = if metrics then Some (Obs.Metrics.create ()) else None in
   let result =
     Consensus.Runner.run algorithm ~topology ~scheduler ~inputs
-      ~record_trace:trace ~pp_msg ~max_time
+      ~record_trace:(trace || trace_out <> None)
+      ~pp_msg ~max_time ?obs
   in
   if trace then
     Printf.printf "--- trace ---\n%s--- end trace ---\n"
@@ -118,7 +133,44 @@ let run_cmd algo topo sched fack seed inputs_spec trace max_time =
     result.outcome.broadcasts result.outcome.deliveries
     result.outcome.discarded result.outcome.max_ids_per_message
     result.outcome.events_processed;
+  (match trace_out with
+  | None -> ()
+  | Some file ->
+      let events = Amac.Trace_export.spans result.outcome.trace in
+      let oc = open_out_bin file in
+      output_string oc (export_for file events);
+      close_out oc;
+      Printf.printf "trace: %d span events written to %s\n"
+        (List.length events) file);
+  (match obs with
+  | None -> ()
+  | Some reg ->
+      Printf.printf "--- metrics ---\n%s--- end metrics ---\n"
+        (Obs.Metrics.render (Obs.Metrics.snapshot reg)));
   if Consensus.Checker.ok result.report then 0 else 1
+
+(* CI's trace checker: parse the export, re-export, re-parse, and demand
+   the same event multiset — the round-trip contract of Obs.Span. *)
+let validate_trace_cmd file =
+  let data =
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  match parse_for file data with
+  | exception Failure msg ->
+      Printf.eprintf "invalid trace %s: %s\n" file msg;
+      1
+  | events ->
+      let reparsed = parse_for file (export_for file events) in
+      if Obs.Span.same_multiset events reparsed then (
+        Printf.printf "ok: %s (%d span events, round-trip stable)\n" file
+          (List.length events);
+        0)
+      else (
+        Printf.eprintf "round-trip mismatch in %s\n" file;
+        1)
 
 let lowerbounds_cmd () =
   let f = Lowerbound.Indist.fig1_demo ~diameter:10 ~n:30 in
@@ -157,21 +209,47 @@ let inputs_arg =
 
 let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print full trace")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ]
+        ~doc:
+          "Write the run's span trace to $(docv); .jsonl gets JSON Lines, \
+           anything else Chrome trace_event (opens in Perfetto)"
+        ~docv:"FILE")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the run's metrics snapshot (deterministic per seed)")
+
 let max_time_arg =
   Arg.(value & opt int 1_000_000 & info [ "max-time" ] ~doc:"Time cap")
 
 let run_term =
   Term.(
     const run_cmd $ algo_arg $ topo_arg $ sched_arg $ fack_arg $ seed_arg
-    $ inputs_arg $ trace_arg $ max_time_arg)
+    $ inputs_arg $ trace_arg $ trace_out_arg $ metrics_arg $ max_time_arg)
+
+let validate_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Trace export to validate")
 
 let cmds =
-  Cmd.group
+  Cmd.group ~default:run_term
     (Cmd.info "amac_sim" ~doc:"Abstract MAC layer consensus simulator")
     [
       Cmd.v
         (Cmd.info "run" ~doc:"Run one algorithm on one topology and verify")
         run_term;
+      Cmd.v
+        (Cmd.info "validate-trace"
+           ~doc:"Check a --trace-out export parses and round-trips")
+        Term.(const validate_trace_cmd $ validate_file_arg);
       Cmd.v
         (Cmd.info "lowerbounds" ~doc:"Run the three lower-bound demos")
         Term.(const lowerbounds_cmd $ const ());

@@ -39,6 +39,15 @@ let config = { Mcheck.Fuzz.default with iterations }
    agreement genuinely fails, so fuzz it on cliques only. *)
 let clique_only = { config with kinds = [ Mcheck.Fuzz.Clique ] }
 
+(* Replay the shrunk case through an instrumented registry so every failure
+   report carries the minimal reproducer's metrics snapshot — what the
+   engine actually did (drops, stutters, ack latencies), not just its
+   decision log. Deterministic: the replay is schedule-driven. *)
+let counterexample_metrics config algorithm cx =
+  let reg = Obs.Metrics.create () in
+  ignore (Mcheck.Fuzz.run_case ~obs:reg config algorithm cx.Mcheck.Fuzz.case);
+  Obs.Metrics.render (Obs.Metrics.snapshot reg)
+
 let fuzz_clean ?(config = config) name algorithm =
   let started = Sys.time () in
   let outcome = Mcheck.Fuzz.run config algorithm ~seed in
@@ -50,9 +59,11 @@ let fuzz_clean ?(config = config) name algorithm =
   | Some cx ->
       incr failures;
       Format.printf "fuzz %-14s VIOLATION (seed %d):@.%a@." name seed
-        Mcheck.Fuzz.pp_counterexample cx
+        Mcheck.Fuzz.pp_counterexample cx;
+      Printf.printf "--- metrics (shrunk case) ---\n%s--- end metrics ---\n%!"
+        (counterexample_metrics config algorithm cx)
 
-let save_artifact name cx =
+let save_artifact config algorithm name cx =
   match artifact with
   | None -> ()
   | Some path ->
@@ -60,6 +71,8 @@ let save_artifact name cx =
       let fmt = Format.formatter_of_out_channel oc in
       Format.fprintf fmt "%s (seed %d, iteration %d)@.%a@." name seed
         cx.Mcheck.Fuzz.iteration Mcheck.Fuzz.pp_counterexample cx;
+      Format.fprintf fmt "--- metrics (shrunk case) ---@.%s--- end metrics ---@."
+        (counterexample_metrics config algorithm cx);
       close_out oc;
       Printf.printf "wrote shrunk counterexample to %s\n%!" path
 
@@ -179,7 +192,9 @@ let faults_mode () =
          shrunk to n=%d with %d fault events (expected)\n%!"
         cx.Mcheck.Fuzz.iteration cx.Mcheck.Fuzz.case.Mcheck.Fuzz.n
         (List.length cx.Mcheck.Fuzz.case.Mcheck.Fuzz.faults);
-      save_artifact "wpaxos-unhardened liveness counterexample" cx
+      save_artifact liveness_config
+        (Consensus.Wpaxos.make ~retransmit:false ())
+        "wpaxos-unhardened liveness counterexample" cx
   | None ->
       incr failures;
       Printf.printf

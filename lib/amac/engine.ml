@@ -78,6 +78,60 @@ let key_of ~time event = (time * 4) + kind_priority event
 
 let time_of_key key = key / 4
 
+(* The engine's metrics instruments, registered once per run in a caller
+   supplied [Obs.Metrics] registry. Every instrument is labelled with the
+   algorithm and scheduler names; the per-node broadcast counters add a
+   [node] label. All updates are O(1) int/float bumps on the hot path. *)
+type instruments = {
+  events_total : Obs.Metrics.counter;
+  deliveries_total : Obs.Metrics.counter;
+  acks_total : Obs.Metrics.counter;
+  drops_stale : Obs.Metrics.counter;  (* crash/incarnation-cancelled *)
+  drops_link : Obs.Metrics.counter;  (* eaten by the [drop] fault hook *)
+  discards_total : Obs.Metrics.counter;
+  stutters_total : Obs.Metrics.counter;
+  crashes_total : Obs.Metrics.counter;
+  recoveries_total : Obs.Metrics.counter;
+  unreliable_total : Obs.Metrics.counter;
+  broadcasts_by_node : Obs.Metrics.counter array;
+  pqueue_depth_max : Obs.Metrics.gauge;
+  end_time_gauge : Obs.Metrics.gauge;
+  ack_latency : Obs.Metrics.histogram;
+  decide_latency : Obs.Metrics.histogram;
+}
+
+let make_instruments reg ~algorithm ~scheduler ~n =
+  let labels = [ ("algorithm", algorithm); ("scheduler", scheduler) ] in
+  let counter name = Obs.Metrics.counter reg ~labels name in
+  {
+    events_total = counter "engine_events_total";
+    deliveries_total = counter "engine_deliveries_total";
+    acks_total = counter "engine_acks_total";
+    drops_stale =
+      Obs.Metrics.counter reg
+        ~labels:(("reason", "stale") :: labels)
+        "engine_drops_total";
+    drops_link =
+      Obs.Metrics.counter reg
+        ~labels:(("reason", "link") :: labels)
+        "engine_drops_total";
+    discards_total = counter "engine_discards_total";
+    stutters_total = counter "engine_stutters_total";
+    crashes_total = counter "engine_crashes_total";
+    recoveries_total = counter "engine_recoveries_total";
+    unreliable_total = counter "engine_unreliable_deliveries_total";
+    broadcasts_by_node =
+      Array.init n (fun i ->
+          Obs.Metrics.counter reg
+            ~labels:(("node", string_of_int i) :: labels)
+            "engine_broadcasts_total");
+    pqueue_depth_max = Obs.Metrics.gauge reg ~labels "engine_pqueue_depth_max";
+    end_time_gauge = Obs.Metrics.gauge reg ~labels "engine_end_time";
+    ack_latency = Obs.Metrics.histogram reg ~labels "engine_ack_latency_ticks";
+    decide_latency =
+      Obs.Metrics.histogram reg ~labels "engine_decide_latency_ticks";
+  }
+
 (* A resumable simulation: all the run state, advanced one event per [step].
    [run] drains it in a loop; the model checker uses [step] directly to
    interleave execution with budget checks and state observation. *)
@@ -100,6 +154,8 @@ type ('s, 'm) sim = {
   crash_time : int array;
   incarnation : int array;
   busy : bool array;
+  busy_since : int array;  (* broadcast start time while busy; for ack latency *)
+  obs : instruments option;
   decisions : (int * int) option array;
   mutable extra_decides : (int * int * int) list;  (* newest first *)
   mutable broadcasts : int;
@@ -120,15 +176,26 @@ type ('s, 'm) sim = {
 
 let log sim entry = if sim.record_trace then sim.trace <- entry :: sim.trace
 
+let obs_counter sim pick =
+  match sim.obs with Some i -> Obs.Metrics.inc (pick i) | None -> ()
+
+let obs_hist sim pick v =
+  match sim.obs with
+  | Some i -> Obs.Metrics.observe (pick i) (float_of_int v)
+  | None -> ()
+
 let do_broadcast ~now sim sender msg =
   if sim.busy.(sender) then begin
     sim.discarded <- sim.discarded + 1;
+    obs_counter sim (fun i -> i.discards_total);
     log sim
       (Trace.Discarded { time = now; node = sender; msg = sim.render_msg msg })
   end
   else begin
     sim.busy.(sender) <- true;
+    sim.busy_since.(sender) <- now;
     sim.broadcasts <- sim.broadcasts + 1;
+    obs_counter sim (fun i -> i.broadcasts_by_node.(sender));
     let ids = sim.algorithm.msg_ids msg in
     if ids > sim.max_ids then sim.max_ids <- ids;
     log sim
@@ -192,7 +259,8 @@ let do_broadcast ~now sim sender msg =
                 invalid_arg
                   "Engine.run: unreliable delivery to a non-candidate";
               deliver (receiver, time);
-              sim.unreliable_deliveries <- sim.unreliable_deliveries + 1)
+              sim.unreliable_deliveries <- sim.unreliable_deliveries + 1;
+              obs_counter sim (fun i -> i.unreliable_total))
             chosen
         end
     | None, _ | _, None -> ());
@@ -205,6 +273,7 @@ let handle_decide ~now sim node value =
   | None ->
       sim.decisions.(node) <- Some (value, now);
       sim.live_undecided <- sim.live_undecided - 1;
+      obs_hist sim (fun i -> i.decide_latency) now;
       log sim (Trace.Decided { time = now; node; value })
   | Some (prior, _) ->
       if prior <> value then
@@ -232,6 +301,9 @@ let apply_actions_faulted ~now sim node actions =
     let count = List.length actions in
     if count > 0 then begin
       sim.stuttered <- sim.stuttered + count;
+      (match sim.obs with
+      | Some i -> Obs.Metrics.add i.stutters_total count
+      | None -> ());
       log sim (Trace.Stuttered { time = now; node; actions = count })
     end
   end
@@ -295,7 +367,7 @@ let validate_fault_schedule ~n ~crashes ~recoveries =
 let create ?identities ?(give_n = true) ?(give_diameter = false)
     ?(crashes = []) ?(recoveries = []) ?drop ?stutter
     ?(max_time = 1_000_000) ?(stop_when_all_decided = true)
-    ?(track_causal = false) ?(record_trace = false) ?pp_msg ?unreliable
+    ?(track_causal = false) ?(record_trace = false) ?pp_msg ?unreliable ?obs
     (algorithm : ('s, 'm) Algorithm.t) ~topology ~scheduler ~inputs =
   let n = Topology.size topology in
   if Array.length inputs <> n then
@@ -366,6 +438,14 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       crash_time = Array.make n max_int;
       incarnation = Array.make n 0;
       busy = Array.make n false;
+      busy_since = Array.make n 0;
+      obs =
+        (match obs with
+        | Some reg ->
+            Some
+              (make_instruments reg ~algorithm:algorithm.Algorithm.name
+                 ~scheduler:scheduler.Scheduler.name ~n)
+        | None -> None);
       decisions = Array.make n None;
       extra_decides = [];
       broadcasts = 0;
@@ -404,6 +484,11 @@ let step sim =
     `Done
   end
   else begin
+    (match sim.obs with
+    | Some i ->
+        Obs.Metrics.observe_max i.pqueue_depth_max
+          (float_of_int (Pqueue.length sim.queue))
+    | None -> ());
     let key, event = Pqueue.pop sim.queue in
     let now = time_of_key key in
     if now > sim.max_time then begin
@@ -413,7 +498,11 @@ let step sim =
     end
     else begin
       sim.events_processed <- sim.events_processed + 1;
+      obs_counter sim (fun i -> i.events_total);
       sim.end_time <- now;
+      (match sim.obs with
+      | Some i -> Obs.Metrics.set i.end_time_gauge (float_of_int now)
+      | None -> ());
       (match event with
       | Crash { node } ->
           if not sim.crashed.(node) then begin
@@ -421,6 +510,7 @@ let step sim =
             sim.crash_time.(node) <- now;
             if sim.decisions.(node) = None then
               sim.live_undecided <- sim.live_undecided - 1;
+            obs_counter sim (fun i -> i.crashes_total);
             log sim (Trace.Crashed { time = now; node })
           end
       | Recover { node } ->
@@ -437,6 +527,7 @@ let step sim =
             sim.busy.(node) <- false;
             if sim.decisions.(node) = None then
               sim.live_undecided <- sim.live_undecided + 1;
+            obs_counter sim (fun i -> i.recoveries_total);
             log sim
               (Trace.Recovered
                  { time = now; node; incarnation = sim.incarnation.(node) });
@@ -445,30 +536,37 @@ let step sim =
             apply_actions_faulted ~now sim node actions
           end
       | Receive { node; receiver_inc; sender; sender_inc; msg; influence } ->
-          if sim.crashed.(node) || receiver_inc <> sim.incarnation.(node) then
-            sim.dropped <- sim.dropped + 1
+          if sim.crashed.(node) || receiver_inc <> sim.incarnation.(node) then begin
+            sim.dropped <- sim.dropped + 1;
+            obs_counter sim (fun i -> i.drops_stale)
+          end
           else if
             sim.crash_time.(sender) <= now
             || sender_inc <> sim.incarnation.(sender)
-          then
+          then begin
             (* The sender crashed mid-broadcast before this delivery (or
                has since restarted as a new incarnation). *)
-            sim.dropped <- sim.dropped + 1
+            sim.dropped <- sim.dropped + 1;
+            obs_counter sim (fun i -> i.drops_stale)
+          end
           else if
             match sim.drop with
             | Some f -> f ~now ~sender ~receiver:node
             | None -> false
           then begin
             sim.link_dropped <- sim.link_dropped + 1;
+            obs_counter sim (fun i -> i.drops_link);
             log sim (Trace.Link_dropped { time = now; node; sender })
           end
           else begin
             sim.deliveries <- sim.deliveries + 1;
+            obs_counter sim (fun i -> i.deliveries_total);
             (match (sim.causal, influence) with
             | Some c, Some inf -> Causal.absorb c ~node ~time:now inf
             | Some _, None | None, _ -> ());
             log sim
-              (Trace.Delivered { time = now; node; msg = sim.render_msg msg });
+              (Trace.Delivered
+                 { time = now; node; sender; msg = sim.render_msg msg });
             let actions =
               sim.algorithm.on_receive sim.ctxs.(node) sim.states.(node) msg
             in
@@ -477,6 +575,8 @@ let step sim =
       | Ack { node; inc } ->
           if (not sim.crashed.(node)) && inc = sim.incarnation.(node) then begin
             sim.busy.(node) <- false;
+            obs_counter sim (fun i -> i.acks_total);
+            obs_hist sim (fun i -> i.ack_latency) (now - sim.busy_since.(node));
             log sim (Trace.Acked { time = now; node });
             let actions = sim.algorithm.on_ack sim.ctxs.(node) sim.states.(node) in
             apply_actions_faulted ~now sim node actions
@@ -514,11 +614,11 @@ let snapshot sim =
 
 let run ?identities ?give_n ?give_diameter ?crashes ?recoveries ?drop ?stutter
     ?max_time ?stop_when_all_decided ?track_causal ?record_trace ?pp_msg
-    ?unreliable algorithm ~topology ~scheduler ~inputs =
+    ?unreliable ?obs algorithm ~topology ~scheduler ~inputs =
   let sim =
     create ?identities ?give_n ?give_diameter ?crashes ?recoveries ?drop
       ?stutter ?max_time ?stop_when_all_decided ?track_causal ?record_trace
-      ?pp_msg ?unreliable algorithm ~topology ~scheduler ~inputs
+      ?pp_msg ?unreliable ?obs algorithm ~topology ~scheduler ~inputs
   in
   let continue = ref true in
   while !continue do

@@ -104,6 +104,7 @@ val create :
   ?record_trace:bool ->
   ?pp_msg:('m -> string) ->
   ?unreliable:Topology.t ->
+  ?obs:Obs.Metrics.registry ->
   ('s, 'm) Algorithm.t ->
   topology:Topology.t ->
   scheduler:Scheduler.t ->
@@ -159,6 +160,13 @@ val snapshot : ('s, 'm) sim -> outcome
       the broadcast window, and the ack never waits for them — the dual-graph
       variant of the abstract MAC layer the paper's Sec 2 sets aside and
       Sec 5 poses as an open question.
+    @param obs a metrics registry the run instruments itself into: event,
+      delivery, ack, drop (labelled by reason: [stale] vs [link]), discard,
+      stutter, crash, recovery and unreliable-delivery counters; per-node
+      broadcast counters; the event-queue depth high-water mark; and
+      ack-latency and decide-latency histograms. All instruments carry
+      [algorithm] and [scheduler] labels. Identical seeded runs write
+      identical metrics (see {!Obs.Metrics.snapshot}).
     @raise Invalid_argument if [inputs] length mismatches the topology, if an
       unreliable edge duplicates a reliable one, if the crash/recovery
       schedule is malformed (out-of-range node, negative time, duplicate
@@ -178,6 +186,7 @@ val run :
   ?record_trace:bool ->
   ?pp_msg:('m -> string) ->
   ?unreliable:Topology.t ->
+  ?obs:Obs.Metrics.registry ->
   ('s, 'm) Algorithm.t ->
   topology:Topology.t ->
   scheduler:Scheduler.t ->

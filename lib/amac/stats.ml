@@ -1,6 +1,17 @@
+module Histogram = Obs.Histogram
+
 let require_nonempty name = function
   | [] -> invalid_arg (name ^ ": empty list")
   | xs -> xs
+
+(* NaN guard: a single NaN sample must not poison an aggregate (degenerate
+   inputs show up in bench sweeps where some seed never decided). NaNs are
+   dropped; an all-NaN list is rejected like an empty one. *)
+let require_numeric name xs =
+  let xs = require_nonempty name xs in
+  match List.filter (fun x -> not (Float.is_nan x)) xs with
+  | [] -> invalid_arg (name ^ ": all-NaN input")
+  | ys -> ys
 
 let mean xs =
   let xs = require_nonempty "Stats.mean" xs in
@@ -17,8 +28,9 @@ let maximum xs =
   | [] -> assert false
 
 let percentile p xs =
-  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-  let xs = require_nonempty "Stats.percentile" xs in
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile: p out of range";
+  let xs = require_numeric "Stats.percentile" xs in
   let sorted = List.sort Float.compare xs in
   let count = List.length sorted in
   let rank =
@@ -29,10 +41,12 @@ let percentile p xs =
 let median xs = percentile 50.0 xs
 
 let stddev xs =
-  let xs = require_nonempty "Stats.stddev" xs in
+  let xs = require_numeric "Stats.stddev" xs in
   let m = mean xs in
   let sq_sum = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
-  sqrt (sq_sum /. float_of_int (List.length xs))
+  (* max 0: rounding can push the variance of a constant list epsilon below
+     zero, and sqrt of that is NaN. *)
+  sqrt (Float.max 0.0 (sq_sum /. float_of_int (List.length xs)))
 
 module Table = struct
   type t = {
@@ -40,9 +54,12 @@ module Table = struct
     columns : string list;
     mutable rows : string list list;  (* reversed *)
     mutable notes : string list;  (* reversed *)
+    mutable meta : (string * string) list;  (* reversed *)
+    mutable series : (string * float list) list;  (* reversed *)
   }
 
-  let create ~title ~columns = { title; columns; rows = []; notes = [] }
+  let create ~title ~columns =
+    { title; columns; rows = []; notes = []; meta = []; series = [] }
 
   let add_row t cells =
     if List.length cells <> List.length t.columns then
@@ -52,6 +69,10 @@ module Table = struct
     t.rows <- cells :: t.rows
 
   let add_note t note = t.notes <- note :: t.notes
+
+  let set_meta t key value = t.meta <- (key, value) :: t.meta
+
+  let add_series t ~name values = t.series <- (name, values) :: t.series
 
   let render t =
     let rows = List.rev t.rows in
@@ -81,4 +102,34 @@ module Table = struct
     Buffer.contents buf
 
   let print t = print_string (render t)
+
+  let json_of_series (name, values) =
+    let finite = List.filter Float.is_finite values in
+    let stat f = if finite = [] then Obs.Json.Null else Obs.Json.Float (f finite) in
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String name);
+        ("count", Obs.Json.Int (List.length values));
+        ("mean", stat mean);
+        ("p50", stat (percentile 50.0));
+        ("p99", stat (percentile 99.0));
+        ("min", stat minimum);
+        ("max", stat maximum);
+        ("values", Obs.Json.List (List.map (fun v -> Obs.Json.Float v) values));
+      ]
+
+  let to_json t =
+    let strings xs = Obs.Json.List (List.map (fun s -> Obs.Json.String s) xs) in
+    Obs.Json.Obj
+      [
+        ("title", Obs.Json.String t.title);
+        ("columns", strings t.columns);
+        ( "rows",
+          Obs.Json.List (List.rev_map (fun row -> strings row) t.rows) );
+        ("notes", strings (List.rev t.notes));
+        ( "meta",
+          Obs.Json.Obj
+            (List.rev_map (fun (k, v) -> (k, Obs.Json.String v)) t.meta) );
+        ("series", Obs.Json.List (List.rev_map json_of_series t.series));
+      ]
 end

@@ -1,6 +1,6 @@
 type entry =
   | Broadcast_start of { time : int; node : int; ids : int; msg : string }
-  | Delivered of { time : int; node : int; msg : string }
+  | Delivered of { time : int; node : int; sender : int; msg : string }
   | Acked of { time : int; node : int }
   | Decided of { time : int; node : int; value : int }
   | Discarded of { time : int; node : int; msg : string }
@@ -37,8 +37,9 @@ let pp_entry fmt = function
   | Broadcast_start { time; node; ids; msg } ->
       Format.fprintf fmt "[t=%4d] node %d broadcast (%d ids): %s" time node ids
         msg
-  | Delivered { time; node; msg } ->
-      Format.fprintf fmt "[t=%4d] node %d received: %s" time node msg
+  | Delivered { time; node; sender; msg } ->
+      Format.fprintf fmt "[t=%4d] node %d received from %d: %s" time node
+        sender msg
   | Acked { time; node } ->
       Format.fprintf fmt "[t=%4d] node %d acked" time node
   | Decided { time; node; value } ->

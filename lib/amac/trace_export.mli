@@ -1,0 +1,23 @@
+(** Span-based causal view of a {!Trace}.
+
+    The abstract MAC layer's unit of work is the acknowledged broadcast:
+    [u] hands a message to the layer, every neighbor receives it, then [u]
+    gets its ack. {!spans} renders exactly that structure: each
+    [Broadcast_start] opens a {e span} on the sender's track that its
+    [Acked] closes (duration = ack latency), deliveries are instant child
+    events on the receivers' tracks carrying the sender id (the causal
+    edge), and decides, crashes, recoveries, link drops, discards and
+    stutters are instants on their node's track.
+
+    A broadcast whose ack never lands (sender crashed mid-broadcast, or
+    restarted as a new incarnation) is closed at the crash — or at the end
+    of the trace — with an ["unacked": true] arg, so lost work is visible
+    rather than missing.
+
+    The result renders to JSONL or Chrome [trace_event] JSON via
+    {!Obs.Span}; determinism: the event list (and hence both exports) is a
+    pure function of the trace. *)
+
+(** [spans entries] — [entries] in trace order (as in
+    {!Engine.outcome.trace}). *)
+val spans : Trace.entry list -> Obs.Span.event list

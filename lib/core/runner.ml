@@ -5,8 +5,25 @@ type result = {
   decision_time : int option;
 }
 
+(* Verdict-level metrics: the checker's degradation view (safety as a 0/1
+   gauge, liveness as measured quantities), labelled by algorithm so sweeps
+   over several algorithms into one registry stay separable. *)
+let record_degradation ~obs ~algorithm (degradation : Checker.degradation) =
+  let gauge name = Obs.Metrics.gauge obs ~labels:[ ("algorithm", algorithm) ] name in
+  Obs.Metrics.set (gauge "checker_safe")
+    (if degradation.Checker.safe then 1.0 else 0.0);
+  Obs.Metrics.set
+    (gauge "checker_decided_fraction")
+    degradation.Checker.decided_fraction;
+  Obs.Metrics.set
+    (gauge "checker_max_incarnation")
+    (float_of_int degradation.Checker.max_incarnation);
+  match degradation.Checker.max_decide_time with
+  | Some t -> Obs.Metrics.set (gauge "checker_max_decide_time") (float_of_int t)
+  | None -> ()
+
 let run ?identities ?give_n ?give_diameter ?(crashes = []) ?faults ?max_time
-    ?track_causal ?record_trace ?pp_msg ?unreliable algorithm ~topology
+    ?track_causal ?record_trace ?pp_msg ?unreliable ?obs algorithm ~topology
     ~scheduler ~inputs =
   (* A fault plan's crash/recovery schedule merges with the legacy
      [?crashes] list; the merged schedule is validated by the engine. *)
@@ -22,24 +39,33 @@ let run ?identities ?give_n ?give_diameter ?(crashes = []) ?faults ?max_time
           compiled.Fault.drop,
           compiled.Fault.stutter )
   in
+  (match (obs, faults) with
+  | Some reg, Some plan -> Fault.record ~obs:reg plan
+  | (Some _ | None), _ -> ());
   let outcome =
     Amac.Engine.run ?identities ?give_n ?give_diameter ~crashes ~recoveries
       ?drop ?stutter ?max_time ?track_causal ?record_trace ?pp_msg ?unreliable
-      algorithm ~topology ~scheduler ~inputs
+      ?obs algorithm ~topology ~scheduler ~inputs
   in
+  let degradation = Checker.degrade ~inputs outcome in
+  (match obs with
+  | Some reg ->
+      record_degradation ~obs:reg ~algorithm:algorithm.Amac.Algorithm.name
+        degradation
+  | None -> ());
   {
     outcome;
     report = Checker.check ~inputs outcome;
-    degradation = Checker.degrade ~inputs outcome;
+    degradation;
     decision_time = Amac.Engine.latest_decision outcome;
   }
 
 let run_exn ?identities ?give_n ?give_diameter ?crashes ?faults ?max_time
-    ?track_causal ?record_trace ?pp_msg ?unreliable algorithm ~topology
+    ?track_causal ?record_trace ?pp_msg ?unreliable ?obs algorithm ~topology
     ~scheduler ~inputs =
   let result =
     run ?identities ?give_n ?give_diameter ?crashes ?faults ?max_time
-      ?track_causal ?record_trace ?pp_msg ?unreliable algorithm ~topology
+      ?track_causal ?record_trace ?pp_msg ?unreliable ?obs algorithm ~topology
       ~scheduler ~inputs
   in
   if not (Checker.ok result.report) then

@@ -18,7 +18,13 @@ type result = {
 
     @param faults a declarative {!Fault.plan}; it is validated and compiled
       ({!Fault.compile}) and its crash/recovery schedule merges with the
-      legacy [?crashes] list. @raise Invalid_argument on a malformed plan. *)
+      legacy [?crashes] list. @raise Invalid_argument on a malformed plan.
+    @param obs a metrics registry: the engine instruments itself into it
+      (see {!Amac.Engine.run}), the fault plan is mirrored as
+      [fault_events_total] counters ({!Fault.record}), and the checker's
+      degradation verdict lands as [checker_safe] /
+      [checker_decided_fraction] / [checker_max_incarnation] /
+      [checker_max_decide_time] gauges labelled by algorithm. *)
 val run :
   ?identities:Amac.Node_id.t array ->
   ?give_n:bool ->
@@ -30,6 +36,7 @@ val run :
   ?record_trace:bool ->
   ?pp_msg:('m -> string) ->
   ?unreliable:Amac.Topology.t ->
+  ?obs:Obs.Metrics.registry ->
   ('s, 'm) Amac.Algorithm.t ->
   topology:Amac.Topology.t ->
   scheduler:Amac.Scheduler.t ->
@@ -50,6 +57,7 @@ val run_exn :
   ?record_trace:bool ->
   ?pp_msg:('m -> string) ->
   ?unreliable:Amac.Topology.t ->
+  ?obs:Obs.Metrics.registry ->
   ('s, 'm) Amac.Algorithm.t ->
   topology:Amac.Topology.t ->
   scheduler:Amac.Scheduler.t ->

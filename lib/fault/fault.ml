@@ -245,3 +245,25 @@ let compile ~n plan =
           List.exists (in_window now) (Hashtbl.find_all stutter_by_node node))
   in
   { crashes = crashes plan; recoveries = recoveries plan; drop; stutter }
+
+(* Fault events as metrics: one counter per event kind, plus the plan's
+   horizon as a gauge — so a metrics snapshot of a faulted run records what
+   was injected next to what the engine measured. *)
+let record ~obs plan =
+  let count kind =
+    Obs.Metrics.inc
+      (Obs.Metrics.counter obs ~labels:[ ("kind", kind) ] "fault_events_total")
+  in
+  List.iter
+    (fun event ->
+      count
+        (match event with
+        | Crash _ -> "crash"
+        | Recover _ -> "recover"
+        | Link_drop _ -> "link_drop"
+        | Partition _ -> "partition"
+        | Stutter _ -> "stutter"))
+    plan;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge obs "fault_plan_horizon")
+    (float_of_int (horizon plan))

@@ -77,3 +77,10 @@ type compiled = {
     window predicates are half-open: a window [\[from_, until)] is active at
     [from_] and inactive at [until]. *)
 val compile : n:int -> plan -> compiled
+
+(** [record ~obs plan] mirrors the plan into the metrics registry: a
+    [fault_events_total] counter per event kind ([kind] label: [crash],
+    [recover], [link_drop], [partition], [stutter]) and the plan's
+    {!horizon} as the [fault_plan_horizon] gauge. {!Consensus.Runner.run}
+    calls this when given both [~faults] and [~obs]. *)
+val record : obs:Obs.Metrics.registry -> plan -> unit

@@ -113,12 +113,12 @@ let violations_of config (result : Consensus.Runner.result) =
         result.report.violations
   else safety
 
-let run_case ?(record_trace = false) config algorithm case =
+let run_case ?(record_trace = false) ?obs config algorithm case =
   Consensus.Runner.run algorithm ~give_n:config.give_n
     ~topology:(topology_of case)
     ~scheduler:(Amac.Scheduler.replay case.plan)
     ~inputs:case.inputs ~crashes:case.crashes ~faults:case.faults
-    ~max_time:config.max_time ~record_trace
+    ~max_time:config.max_time ~record_trace ?obs
 
 (* splitmix-style mixing so that (seed, iteration) pairs give uncorrelated
    generators without the caller managing a stream. *)

@@ -106,9 +106,12 @@ val generate :
   case * Consensus.Runner.result
 
 (** [run_case config algorithm case] replays a case through
-    {!Amac.Scheduler.replay}. *)
+    {!Amac.Scheduler.replay}. [?obs] instruments the replay (see
+    {!Consensus.Runner.run}) — how a counterexample's metrics snapshot is
+    produced for failure artifacts. *)
 val run_case :
   ?record_trace:bool ->
+  ?obs:Obs.Metrics.registry ->
   config ->
   ('s, 'm) Amac.Algorithm.t ->
   case ->

@@ -1,0 +1,269 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec render buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+      if Float.is_finite f then
+        Buffer.add_string buf (Printf.sprintf "%.12g" f)
+      else Buffer.add_string buf "null"
+  | String s -> escape_string buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          render buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf key;
+          Buffer.add_char buf ':';
+          render buf value)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  render buf t;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent over a string with an explicit cursor.     *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg =
+  failwith (Printf.sprintf "Json.of_string: %s at offset %d" msg cur.pos)
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let rec skip_ws cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance cur;
+      skip_ws cur
+  | Some _ | None -> ()
+
+let expect cur c =
+  match peek cur with
+  | Some got when got = c -> advance cur
+  | Some got -> fail cur (Printf.sprintf "expected %c, found %c" c got)
+  | None -> fail cur (Printf.sprintf "expected %c, found end of input" c)
+
+let literal cur word value =
+  let len = String.length word in
+  if
+    cur.pos + len <= String.length cur.src
+    && String.sub cur.src cur.pos len = word
+  then begin
+    cur.pos <- cur.pos + len;
+    value
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | None -> fail cur "unterminated escape"
+        | Some c ->
+            advance cur;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if cur.pos + 4 > String.length cur.src then
+                  fail cur "truncated \\u escape";
+                let hex = String.sub cur.src cur.pos 4 in
+                cur.pos <- cur.pos + 4;
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail cur "bad \\u escape"
+                in
+                (* Encode the code point as UTF-8 (BMP only; our renderer
+                   only ever emits \u00xx for control characters). *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf
+                    (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | c -> fail cur (Printf.sprintf "bad escape \\%c" c));
+            loop ())
+    | Some c ->
+        advance cur;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec eat () =
+    match peek cur with
+    | Some c when is_num_char c ->
+        advance cur;
+        eat ()
+    | Some _ | None -> ()
+  in
+  eat ();
+  let token = String.sub cur.src start (cur.pos - start) in
+  if token = "" then fail cur "expected a number";
+  let is_float =
+    String.exists (fun c -> c = '.' || c = 'e' || c = 'E') token
+  in
+  if is_float then
+    match float_of_string_opt token with
+    | Some f -> Float f
+    | None -> fail cur (Printf.sprintf "bad number %s" token)
+  else
+    match int_of_string_opt token with
+    | Some n -> Int n
+    | None -> (
+        (* Integer overflow: fall back to float. *)
+        match float_of_string_opt token with
+        | Some f -> Float f
+        | None -> fail cur (Printf.sprintf "bad number %s" token))
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> literal cur "null" Null
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some '"' -> String (parse_string cur)
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec loop () =
+          items := parse_value cur :: !items;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              loop ()
+          | Some ']' -> advance cur
+          | _ -> fail cur "expected , or ] in array"
+        in
+        loop ();
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec loop () =
+          skip_ws cur;
+          let key = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          let value = parse_value cur in
+          fields := (key, value) :: !fields;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              loop ()
+          | Some '}' -> advance cur
+          | _ -> fail cur "expected , or } in object"
+        in
+        loop ();
+        Obj (List.rev !fields)
+      end
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> fail cur (Printf.sprintf "unexpected character %c" c)
+
+let of_string s =
+  let cur = { src = s; pos = 0 } in
+  let value = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  value
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> a = b
+  | Int a, Float b | Float b, Int a -> float_of_int a = b
+  | String a, String b -> a = b
+  | List a, List b ->
+      List.length a = List.length b && List.for_all2 equal a b
+  | Obj a, Obj b ->
+      List.length a = List.length b
+      && List.for_all2
+           (fun (ka, va) (kb, vb) -> ka = kb && equal va vb)
+           a b
+  | _ -> false

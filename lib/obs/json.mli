@@ -1,0 +1,36 @@
+(** A minimal JSON tree with a deterministic renderer and a strict parser.
+
+    The observability layer must produce byte-identical output for identical
+    runs (the determinism contract: same seed, same snapshot, same export
+    bytes), so rendering is fully specified: no whitespace, object fields in
+    the order given, floats printed with [%.12g], non-finite floats as
+    [null]. The parser accepts exactly the JSON this module (and standard
+    tools) produce; it exists so exports can be validated and round-tripped
+    without adding a dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string t] renders compactly (no spaces or newlines), deterministic
+    in [t]. *)
+val to_string : t -> string
+
+(** [of_string s] parses one JSON value (surrounding whitespace allowed).
+    Numbers without [.], [e] or [E] parse as [Int]; others as [Float].
+    @raise Failure with a position-annotated message on malformed input. *)
+val of_string : string -> t
+
+(** [member key t] is the value of field [key] when [t] is an [Obj] that has
+    it. *)
+val member : string -> t -> t option
+
+(** [equal a b] — structural equality, except [Int n] and [Float f] compare
+    equal when [f = float_of_int n] (a renderer may legally print [3.0] as
+    [3]). *)
+val equal : t -> t -> bool

@@ -1,0 +1,364 @@
+(* lib/obs: JSON, metrics registry, span exports — and the determinism
+   contract (same seed => byte-identical snapshot and trace export) that
+   the whole observability layer promises. *)
+
+let json =
+  Alcotest.testable
+    (fun ppf t -> Format.pp_print_string ppf (Obs.Json.to_string t))
+    Obs.Json.equal
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_render () =
+  let open Obs.Json in
+  Alcotest.(check string) "compact, ordered"
+    {|{"a":1,"b":[true,null,"x"],"c":2.5}|}
+    (to_string
+       (Obj
+          [
+            ("a", Int 1);
+            ("b", List [ Bool true; Null; String "x" ]);
+            ("c", Float 2.5);
+          ]));
+  Alcotest.(check string) "escapes" {|"a\"b\\c\nd"|}
+    (to_string (String "a\"b\\c\nd"));
+  Alcotest.(check string) "non-finite floats render null" {|[null,null,null]|}
+    (to_string (List [ Float nan; Float infinity; Float neg_infinity ]));
+  Alcotest.(check string) "float precision" {|0.1|} (to_string (Float 0.1))
+
+let test_json_parse () =
+  let open Obs.Json in
+  Alcotest.check json "ints stay ints" (Int 42) (of_string " 42 ");
+  Alcotest.check json "floats parse" (Float 2.5) (of_string "2.5");
+  Alcotest.check json "exponent is float" (Float 100.0) (of_string "1e2");
+  Alcotest.check json "unicode escape" (String "A\xc3\xa9") (of_string {|"Aé"|});
+  Alcotest.check json "nested"
+    (Obj [ ("xs", List [ Int 1; Obj [ ("y", Bool false) ] ]) ])
+    (of_string {|{"xs":[1,{"y":false}]}|});
+  Alcotest.(check bool) "garbage rejected" true
+    (match of_string "{broken" with
+    | exception Failure _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "trailing junk rejected" true
+    (match of_string "1 2" with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let value =
+    Obj
+      [
+        ("n", Int (-3));
+        ("f", Float 1234.5678);
+        ("s", String "tabs\tand \"quotes\"");
+        ("l", List [ Null; Bool true; List []; Obj [] ]);
+      ]
+  in
+  Alcotest.check json "parse (render v) = v" value (of_string (to_string value));
+  (* equal treats Int n and Float (float n) as the same number: a parser
+     may legally read a rendered 3.0 back as 3 *)
+  Alcotest.(check bool) "3 = 3.0" true (equal (Int 3) (Float 3.0));
+  Alcotest.(check bool) "3 <> 3.5" false (equal (Int 3) (Float 3.5))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_idempotent () =
+  let reg = Obs.Metrics.create () in
+  let c1 = Obs.Metrics.counter reg "hits" ~labels:[ ("node", "0") ] in
+  (* same name, label order irrelevant after sorting; same instrument *)
+  let c2 = Obs.Metrics.counter reg "hits" ~labels:[ ("node", "0") ] in
+  Obs.Metrics.inc c1;
+  Obs.Metrics.add c2 2;
+  Alcotest.(check int) "shared instrument" 3 (Obs.Metrics.counter_value c1);
+  Alcotest.(check bool) "kind clash rejected" true
+    (match Obs.Metrics.gauge reg "hits" ~labels:[ ("node", "0") ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_snapshot_ordering () =
+  let reg = Obs.Metrics.create () in
+  (* registration order deliberately scrambled *)
+  Obs.Metrics.inc (Obs.Metrics.counter reg "zeta");
+  Obs.Metrics.set (Obs.Metrics.gauge reg "alpha" ~labels:[ ("b", "2") ]) 1.0;
+  Obs.Metrics.set (Obs.Metrics.gauge reg "alpha" ~labels:[ ("b", "10") ]) 2.0;
+  Obs.Metrics.inc (Obs.Metrics.counter reg "mid");
+  let names =
+    List.map
+      (fun s ->
+        s.Obs.Metrics.name
+        ^ String.concat ""
+            (List.map (fun (k, v) -> "|" ^ k ^ "=" ^ v) s.Obs.Metrics.labels))
+      (Obs.Metrics.snapshot reg)
+  in
+  Alcotest.(check (list string)) "sorted by (name, labels)"
+    [ "alpha|b=10"; "alpha|b=2"; "mid"; "zeta" ]
+    names
+
+let test_diff () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "events" in
+  let g = Obs.Metrics.gauge reg "depth" in
+  Obs.Metrics.add c 10;
+  Obs.Metrics.set g 3.0;
+  let before = Obs.Metrics.snapshot reg in
+  Obs.Metrics.add c 5;
+  Obs.Metrics.set g 7.0;
+  let after = Obs.Metrics.snapshot reg in
+  let d = Obs.Metrics.diff ~before ~after in
+  Alcotest.(check int) "counters subtract" 5 (Obs.Metrics.counter_of d "events");
+  (match Obs.Metrics.find d "depth" with
+  | Some { value = Obs.Metrics.Gauge v; _ } ->
+      Alcotest.(check (float 0.0)) "gauges keep after" 7.0 v
+  | _ -> Alcotest.fail "gauge missing from diff");
+  Alcotest.(check int) "absent counter reads 0"
+    0
+    (Obs.Metrics.counter_of d "no_such_counter")
+
+let test_histogram_sample () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg "lat" ~buckets:[ 1.0; 10.0 ] in
+  List.iter (Obs.Metrics.observe h) [ 0.5; 2.0; 3.0 ];
+  match Obs.Metrics.find (Obs.Metrics.snapshot reg) "lat" with
+  | Some { value = Obs.Metrics.Histogram_summary s; _ } ->
+      Alcotest.(check int) "count" 3 s.Obs.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum" 5.5 s.Obs.Metrics.sum;
+      Alcotest.(check bool) "p50 present" true (s.Obs.Metrics.p50 <> None);
+      Alcotest.(check (list (pair (float 0.0) int)))
+        "buckets"
+        [ (1.0, 1); (10.0, 2); (infinity, 0) ]
+        s.Obs.Metrics.buckets
+  | _ -> Alcotest.fail "histogram sample missing"
+
+let test_metrics_json_roundtrip () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.add (Obs.Metrics.counter reg "c" ~labels:[ ("k", "v") ]) 2;
+  Obs.Metrics.set (Obs.Metrics.gauge reg "g") 1.5;
+  Obs.Metrics.observe (Obs.Metrics.histogram reg "h") 3.0;
+  let j = Obs.Metrics.to_json (Obs.Metrics.snapshot reg) in
+  Alcotest.check json "to_json parses back" j
+    (Obs.Json.of_string (Obs.Json.to_string j))
+
+(* ------------------------------------------------------------------ *)
+(* Span exports                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sample_events =
+  Obs.Span.
+    [
+      Complete
+        {
+          name = "broadcast";
+          cat = "mac";
+          start_time = 0;
+          duration = 5;
+          node = 0;
+          args = [ ("msg", Obs.Json.String "m0") ];
+        };
+      Instant
+        {
+          name = "deliver";
+          cat = "mac";
+          time = 2;
+          node = 1;
+          args = [ ("from", Obs.Json.Int 0) ];
+        };
+      Instant
+        { name = "decide"; cat = "consensus"; time = 9; node = 1; args = [] };
+    ]
+
+let test_span_jsonl_roundtrip () =
+  let exported = Obs.Span.to_jsonl sample_events in
+  Alcotest.(check int) "one line per event" 3
+    (List.length
+       (List.filter
+          (fun l -> l <> "")
+          (String.split_on_char '\n' exported)));
+  Alcotest.(check bool) "same multiset" true
+    (Obs.Span.same_multiset sample_events (Obs.Span.of_jsonl exported))
+
+let test_span_chrome_roundtrip () =
+  let exported = Obs.Span.to_chrome sample_events in
+  let parsed = Obs.Json.of_string exported in
+  (match Obs.Json.member "traceEvents" parsed with
+  | Some (Obs.Json.List events) ->
+      Alcotest.(check int) "all events exported" 3 (List.length events);
+      List.iter
+        (fun e ->
+          (* the trace_event schema fields Perfetto requires *)
+          List.iter
+            (fun field ->
+              Alcotest.(check bool)
+                ("has " ^ field)
+                true
+                (Obs.Json.member field e <> None))
+            [ "ph"; "name"; "cat"; "ts"; "pid"; "tid" ])
+        events
+  | _ -> Alcotest.fail "no traceEvents array");
+  Alcotest.(check bool) "same multiset" true
+    (Obs.Span.same_multiset sample_events (Obs.Span.of_chrome exported))
+
+let test_span_rejects_foreign () =
+  Alcotest.(check bool) "unsupported ph rejected" true
+    (match
+       Obs.Span.of_chrome
+         {|{"traceEvents":[{"ph":"M","name":"meta","cat":"c","ts":0,"pid":1,"tid":0}]}|}
+     with
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Trace -> spans                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_export_spans () =
+  let entries =
+    Amac.Trace.
+      [
+        Broadcast_start { time = 0; node = 0; ids = 1; msg = "m0" };
+        Delivered { time = 2; node = 1; sender = 0; msg = "m0" };
+        Acked { time = 5; node = 0 };
+        Broadcast_start { time = 6; node = 1; ids = 1; msg = "m1" };
+        Crashed { time = 8; node = 1 };
+        Decided { time = 9; node = 0; value = 1 };
+      ]
+  in
+  let events = Obs.Span.(List.sort compare_event (Amac.Trace_export.spans entries)) in
+  let completes =
+    List.filter_map
+      (function Obs.Span.Complete c -> Some c | Obs.Span.Instant _ -> None)
+      events
+  in
+  (match completes with
+  | [ acked; crashed ] ->
+      Alcotest.(check int) "acked span duration" 5 acked.Obs.Span.duration;
+      Alcotest.(check int) "acked span node" 0 acked.Obs.Span.node;
+      Alcotest.(check bool) "acked span not marked unacked" true
+        (List.assoc_opt "unacked" acked.Obs.Span.args = None);
+      (* node 1's broadcast never acked: the crash closes it, flagged *)
+      Alcotest.(check int) "crash closes at crash time" 2
+        crashed.Obs.Span.duration;
+      Alcotest.(check bool) "flagged unacked" true
+        (List.assoc_opt "unacked" crashed.Obs.Span.args
+        = Some (Obs.Json.Bool true))
+  | _ -> Alcotest.fail "expected exactly two complete spans");
+  let instant_names =
+    List.filter_map
+      (function
+        | Obs.Span.Instant i -> Some i.Obs.Span.name | Obs.Span.Complete _ -> None)
+      events
+  in
+  Alcotest.(check (list string))
+    "instants in order"
+    [ "deliver"; "crash"; "decide" ]
+    instant_names
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism                                              *)
+(* ------------------------------------------------------------------ *)
+
+let instrumented_run seed =
+  let reg = Obs.Metrics.create () in
+  let n = 9 in
+  let result =
+    Consensus.Runner.run (Consensus.Wpaxos.make ())
+      ~topology:(Amac.Topology.grid ~width:3 ~height:3)
+      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create seed) ~fack:4)
+      ~inputs:(Consensus.Runner.inputs_alternating ~n)
+      ~record_trace:true ~obs:reg
+  in
+  let snapshot = Obs.Metrics.snapshot reg in
+  let events = Amac.Trace_export.spans result.outcome.trace in
+  (result, snapshot, events)
+
+let test_determinism () =
+  let _, snap1, events1 = instrumented_run 11 in
+  let _, snap2, events2 = instrumented_run 11 in
+  Alcotest.(check string) "byte-identical metrics JSON"
+    (Obs.Json.to_string (Obs.Metrics.to_json snap1))
+    (Obs.Json.to_string (Obs.Metrics.to_json snap2));
+  Alcotest.(check string) "byte-identical JSONL export"
+    (Obs.Span.to_jsonl events1) (Obs.Span.to_jsonl events2);
+  Alcotest.(check string) "byte-identical Chrome export"
+    (Obs.Span.to_chrome events1) (Obs.Span.to_chrome events2);
+  (* and a different seed actually changes something *)
+  let _, _, events3 = instrumented_run 12 in
+  Alcotest.(check bool) "different seed, different trace" false
+    (Obs.Span.to_jsonl events1 = Obs.Span.to_jsonl events3)
+
+let test_engine_instrumentation () =
+  let result, snapshot, events = instrumented_run 11 in
+  let counter = Obs.Metrics.counter_of snapshot in
+  let labels =
+    [ ("algorithm", "wpaxos"); ("scheduler", "random(4)") ]
+  in
+  Alcotest.(check int) "deliveries counter matches outcome"
+    result.outcome.Amac.Engine.deliveries
+    (counter ~labels "engine_deliveries_total");
+  Alcotest.(check int) "events counter matches outcome"
+    result.outcome.Amac.Engine.events_processed
+    (counter ~labels "engine_events_total");
+  let per_node =
+    List.init 9 (fun i ->
+        counter
+          ~labels:(("node", string_of_int i) :: labels)
+          "engine_broadcasts_total")
+  in
+  Alcotest.(check int) "per-node broadcasts sum to the outcome total"
+    result.outcome.Amac.Engine.broadcasts
+    (List.fold_left ( + ) 0 per_node);
+  (* every broadcast span in the export corresponds to a real broadcast *)
+  let span_count =
+    List.length
+      (List.filter
+         (function Obs.Span.Complete _ -> true | Obs.Span.Instant _ -> false)
+         events)
+  in
+  Alcotest.(check int) "one complete span per broadcast"
+    result.outcome.Amac.Engine.broadcasts span_count;
+  (* checker verdict gauges, written by the runner *)
+  match Obs.Metrics.find snapshot "checker_safe" ~labels:[ ("algorithm", "wpaxos") ] with
+  | Some { value = Obs.Metrics.Gauge 1.0; _ } -> ()
+  | Some _ -> Alcotest.fail "checker_safe gauge wrong"
+  | None -> Alcotest.fail "checker_safe gauge missing"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "render" `Quick test_json_render;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "idempotent registration" `Quick
+            test_registry_idempotent;
+          Alcotest.test_case "snapshot ordering" `Quick test_snapshot_ordering;
+          Alcotest.test_case "diff" `Quick test_diff;
+          Alcotest.test_case "histogram sample" `Quick test_histogram_sample;
+          Alcotest.test_case "json round-trip" `Quick
+            test_metrics_json_roundtrip;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "jsonl round-trip" `Quick test_span_jsonl_roundtrip;
+          Alcotest.test_case "chrome round-trip" `Quick
+            test_span_chrome_roundtrip;
+          Alcotest.test_case "foreign ph rejected" `Quick
+            test_span_rejects_foreign;
+          Alcotest.test_case "trace export spans" `Quick
+            test_trace_export_spans;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "engine instrumentation" `Quick
+            test_engine_instrumentation;
+        ] );
+    ]

@@ -27,6 +27,88 @@ let test_empty_raises () =
     (Invalid_argument "Stats.percentile: p out of range") (fun () ->
       ignore (Amac.Stats.percentile 101.0 [ 1.0 ]))
 
+(* Degenerate bench inputs (a seed that never decided) surface as NaN
+   samples; the aggregates must drop them rather than return NaN. *)
+let test_nan_guards () =
+  Alcotest.check feq "percentile drops NaN" 5.0
+    (Amac.Stats.percentile 50.0 [ nan; 5.0; nan ]);
+  Alcotest.check feq "median drops NaN" 4.0
+    (Amac.Stats.median [ 3.0; nan; 5.0; 4.0 ]);
+  Alcotest.check feq "stddev drops NaN" 0.0 (Amac.Stats.stddev [ nan; 5.0 ]);
+  Alcotest.(check bool) "stddev of constant never NaN" false
+    (Float.is_nan (Amac.Stats.stddev [ 0.1; 0.1; 0.1 ]));
+  Alcotest.check_raises "all-NaN percentile"
+    (Invalid_argument "Stats.percentile: all-NaN input") (fun () ->
+      ignore (Amac.Stats.percentile 50.0 [ nan; nan ]));
+  Alcotest.check_raises "all-NaN stddev"
+    (Invalid_argument "Stats.stddev: all-NaN input") (fun () ->
+      ignore (Amac.Stats.stddev [ nan ]));
+  Alcotest.check_raises "NaN p rejected"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Amac.Stats.percentile nan [ 1.0 ]))
+
+let test_histogram () =
+  let h = Amac.Stats.Histogram.create ~buckets:[ 1.0; 2.0; 5.0; 10.0 ] in
+  List.iter (Amac.Stats.Histogram.observe h) [ 0.5; 1.5; 3.0; 3.0; 7.0; 42.0 ];
+  Alcotest.(check int) "count" 6 (Amac.Stats.Histogram.count h);
+  Alcotest.check feq "sum" 57.0 (Amac.Stats.Histogram.sum h);
+  Alcotest.(check (list (pair feq int)))
+    "bucket counts"
+    [ (1.0, 1); (2.0, 1); (5.0, 2); (10.0, 1); (infinity, 1) ]
+    (Amac.Stats.Histogram.bucket_counts h);
+  Alcotest.check feq "min" 0.5 (Amac.Stats.Histogram.observed_min h);
+  Alcotest.check feq "max" 42.0 (Amac.Stats.Histogram.observed_max h);
+  (* Quantiles are bucket estimates: only their bracketing is promised. *)
+  let q50 = Amac.Stats.Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "q50 inside (2, 5]" true (q50 > 2.0 && q50 <= 5.0);
+  Alcotest.check feq "q0 clamps to min" 0.5 (Amac.Stats.Histogram.quantile h 0.0);
+  Alcotest.check feq "q1 clamps to max" 42.0
+    (Amac.Stats.Histogram.quantile h 1.0)
+
+let test_histogram_nan_and_errors () =
+  let h = Amac.Stats.Histogram.create ~buckets:[ 1.0 ] in
+  Amac.Stats.Histogram.observe h nan;
+  Alcotest.(check int) "NaN not counted" 0 (Amac.Stats.Histogram.count h);
+  Alcotest.(check int) "NaN tracked" 1 (Amac.Stats.Histogram.nan_count h);
+  Alcotest.(check bool) "empty quantile raises" true
+    (match Amac.Stats.Histogram.quantile h 0.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "unsorted buckets rejected" true
+    (match Amac.Stats.Histogram.create ~buckets:[ 2.0; 1.0 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_table_json () =
+  let table =
+    Amac.Stats.Table.create ~title:"demo" ~columns:[ "name"; "value" ]
+  in
+  Amac.Stats.Table.add_row table [ "alpha"; "1" ];
+  Amac.Stats.Table.add_note table "a footnote";
+  Amac.Stats.Table.set_meta table "fack" "8";
+  Amac.Stats.Table.add_series table ~name:"lat" [ 3.0; 1.0; 2.0 ];
+  let json = Amac.Stats.Table.to_json table in
+  let open Obs.Json in
+  Alcotest.(check string) "title" "demo"
+    (match member "title" json with Some (String s) -> s | _ -> "?");
+  Alcotest.(check bool) "rows mirror the printed cells" true
+    (member "rows" json
+    = Some (List [ List [ String "alpha"; String "1" ] ]));
+  Alcotest.(check bool) "meta kept" true
+    (match member "meta" json with
+    | Some (Obj kvs) -> List.assoc_opt "fack" kvs = Some (String "8")
+    | _ -> false);
+  (match member "series" json with
+  | Some (List [ series ]) ->
+      Alcotest.(check bool) "series name" true
+        (member "name" series = Some (String "lat"));
+      Alcotest.(check bool) "series p50" true
+        (match member "p50" series with Some (Float v) -> v = 2.0 | _ -> false)
+  | _ -> Alcotest.fail "expected one series");
+  (* the export is parseable and round-trips *)
+  Alcotest.(check bool) "parse round-trip" true
+    (equal json (of_string (to_string json)))
+
 let test_table () =
   let table =
     Amac.Stats.Table.create ~title:"demo" ~columns:[ "name"; "value" ]
@@ -75,8 +157,13 @@ let () =
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "stddev" `Quick test_stddev;
           Alcotest.test_case "empty raises" `Quick test_empty_raises;
+          Alcotest.test_case "NaN guards" `Quick test_nan_guards;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram NaN/errors" `Quick
+            test_histogram_nan_and_errors;
           Alcotest.test_case "table rendering" `Quick test_table;
           Alcotest.test_case "table arity" `Quick test_table_arity;
+          Alcotest.test_case "table JSON" `Quick test_table_json;
         ] );
       ( "property",
         [

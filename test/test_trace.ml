@@ -10,8 +10,8 @@ let entries =
     [
       Broadcast_start { time = 0; node = 0; ids = 1; msg = "m0" };
       Broadcast_start { time = 0; node = 1; ids = 1; msg = "m1" };
-      Delivered { time = 1; node = 1; msg = "m0" };
-      Delivered { time = 1; node = 0; msg = "m1" };
+      Delivered { time = 1; node = 1; sender = 0; msg = "m0" };
+      Delivered { time = 1; node = 0; sender = 1; msg = "m1" };
       Acked { time = 1; node = 0 };
       Acked { time = 1; node = 1 };
       Discarded { time = 2; node = 0; msg = "m2" };
@@ -37,7 +37,9 @@ let test_pp_entries () =
   let rendered = Format.asprintf "%a" Amac.Trace.pp entries in
   Alcotest.(check bool) "nonempty" true (String.length rendered > 50);
   Alcotest.(check bool) "mentions DECIDED" true
-    (contains_substring rendered "DECIDED")
+    (contains_substring rendered "DECIDED");
+  Alcotest.(check bool) "delivery names its sender" true
+    (contains_substring rendered "node 1 received from 0")
 
 let test_timeline () =
   let grid = Amac.Trace.timeline ~n:2 entries in
@@ -58,6 +60,45 @@ let test_timeline () =
   Alcotest.(check bool) "t2 shows ~" true (String.contains (row_for 2) '~');
   Alcotest.(check bool) "t3 shows D" true (String.contains (row_for 3) 'D');
   Alcotest.(check bool) "t4 shows X" true (String.contains (row_for 4) 'X')
+
+(* Same-tick collisions on ONE node's cell: the documented precedence is
+   decisions/crashes/recoveries (rank 5) over broadcasts (4) over
+   discard/link-drop/stutter (3) over receives (2) over acks (1),
+   independent of the order the colliding entries appear in. *)
+let cell_at grid t =
+  let lines = String.split_on_char '\n' grid in
+  let row =
+    List.find
+      (fun l ->
+        String.length l > 4 && String.trim (String.sub l 0 4) = string_of_int t)
+      lines
+  in
+  (* "   t  <cells>": the single node-0 cell sits at offset 6. *)
+  row.[6]
+
+let check_collision name expected entries =
+  List.iter
+    (fun entries ->
+      let grid = Amac.Trace.timeline ~n:1 entries in
+      Alcotest.(check char) name expected (cell_at grid 7))
+    [ entries; List.rev entries ]
+
+let test_timeline_collisions () =
+  let open Amac.Trace in
+  let deliver = Delivered { time = 7; node = 0; sender = 0; msg = "m" } in
+  let ack = Acked { time = 7; node = 0 } in
+  let broadcast = Broadcast_start { time = 7; node = 0; ids = 1; msg = "m" } in
+  let decide = Decided { time = 7; node = 0; value = 1 } in
+  let crash = Crashed { time = 7; node = 0 } in
+  let stutter = Stuttered { time = 7; node = 0; actions = 1 } in
+  check_collision "receive beats ack" 'r' [ deliver; ack ];
+  check_collision "broadcast beats receive" 'B' [ broadcast; deliver ];
+  check_collision "decide beats broadcast" 'D' [ decide; broadcast ];
+  check_collision "crash beats broadcast" 'X' [ crash; broadcast ];
+  check_collision "stutter beats receive" 's' [ stutter; deliver ];
+  check_collision "broadcast beats stutter" 'B' [ broadcast; stutter ];
+  check_collision "decide beats everything" 'D'
+    [ ack; deliver; stutter; broadcast; decide ]
 
 let test_timeline_from_real_run () =
   let outcome =
@@ -80,6 +121,8 @@ let () =
           Alcotest.test_case "for_node" `Quick test_for_node;
           Alcotest.test_case "pp" `Quick test_pp_entries;
           Alcotest.test_case "timeline" `Quick test_timeline;
+          Alcotest.test_case "timeline collisions" `Quick
+            test_timeline_collisions;
           Alcotest.test_case "timeline from run" `Quick
             test_timeline_from_real_run;
         ] );
