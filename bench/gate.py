@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff a fresh BENCH.json against the committed one.
+
+Usage: gate.py BASELINE.json FRESH.json
+
+Checks, with a +/-30% tolerance on timing cells:
+  - B5: the "states/sec" column, per (n, crashes) row present in both files;
+    the "states" column must match EXACTLY (state counts are deterministic,
+    a drift there is a semantic regression in the explorer, not noise).
+  - B7: the "ns/state" column, per primitive row present in both files.
+
+Rows present in only one file (e.g. --quick runs fewer B5 cases) are
+skipped. Exit 0 = within tolerance, 1 = regression (offenders listed).
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.30
+
+
+def table(bench, exp_id):
+    for entry in bench["experiments"]:
+        if entry["id"] == exp_id:
+            return entry["table"]
+    return None
+
+
+def rows_by_key(tab, key_columns):
+    cols = tab["columns"]
+    idx = [cols.index(c) for c in key_columns]
+    return {tuple(row[i] for i in idx): row for row in tab["rows"]}
+
+
+def cell(tab, row, column):
+    return row[tab["columns"].index(column)]
+
+
+def check_ratio(failures, label, base_cell, fresh_cell, higher_is_better):
+    base, fresh = float(base_cell), float(fresh_cell)
+    if base <= 0:
+        return
+    ratio = fresh / base
+    # For throughput (higher better) flag drops; for latency (lower better)
+    # flag rises. Improvements never fail the gate.
+    bad = ratio < 1 - TOLERANCE if higher_is_better else ratio > 1 + TOLERANCE
+    if bad:
+        failures.append(
+            f"{label}: {fresh:.0f} vs baseline {base:.0f} "
+            f"({100 * (ratio - 1):+.1f}%, tolerance +/-{100 * TOLERANCE:.0f}%)"
+        )
+
+
+def main():
+    baseline = json.load(open(sys.argv[1]))
+    fresh = json.load(open(sys.argv[2]))
+    failures = []
+
+    b5_base, b5_fresh = table(baseline, "B5"), table(fresh, "B5")
+    if b5_base and b5_fresh:
+        base_rows = rows_by_key(b5_base, ["n", "crashes"])
+        fresh_rows = rows_by_key(b5_fresh, ["n", "crashes"])
+        for key in sorted(set(base_rows) & set(fresh_rows)):
+            label = f"B5 n={key[0]} crashes={key[1]}"
+            states_base = cell(b5_base, base_rows[key], "states")
+            states_fresh = cell(b5_fresh, fresh_rows[key], "states")
+            if states_base != states_fresh:
+                failures.append(
+                    f"{label}: states {states_fresh} vs baseline "
+                    f"{states_base} (must match exactly)"
+                )
+            check_ratio(
+                failures,
+                f"{label} states/sec",
+                cell(b5_base, base_rows[key], "states/sec"),
+                cell(b5_fresh, fresh_rows[key], "states/sec"),
+                higher_is_better=True,
+            )
+    else:
+        failures.append("B5 table missing from baseline or fresh run")
+
+    b7_base, b7_fresh = table(baseline, "B7"), table(fresh, "B7")
+    if b7_base and b7_fresh:
+        base_rows = rows_by_key(b7_base, ["primitive"])
+        fresh_rows = rows_by_key(b7_fresh, ["primitive"])
+        for key in sorted(set(base_rows) & set(fresh_rows)):
+            check_ratio(
+                failures,
+                f"B7 {key[0]} ns/state",
+                cell(b7_base, base_rows[key], "ns/state"),
+                cell(b7_fresh, fresh_rows[key], "ns/state"),
+                higher_is_better=False,
+            )
+    else:
+        failures.append("B7 table missing from baseline or fresh run")
+
+    if failures:
+        print("perf gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("perf gate passed (B5 states exact, timing within +/-30%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,13 @@
    names a file, the shrunk counterexample is written there (CI uploads it
    as a build artifact).
 
+   Flags: --jobs N spreads each fuzz campaign over N domains (the outcome
+   is byte-identical to --jobs 1 by Fuzz.run_par's contract, so CI can use
+   every core without losing reproducibility); --fingerprint fast/marshal
+   selects the explorer's seen-table keying (fast = the per-algorithm
+   fingerprint hooks, marshal = the seed Marshal+MD5 path — same verdict,
+   kept selectable so either path can be pinned in CI).
+
    Exit status 0 = all good; 1 = a violation (or a missed one). Any
    uncaught exception also exits non-zero, after printing the replay seed —
    a crash in the harness must never read as a green CI job. *)
@@ -32,8 +39,38 @@ let seed =
 
 let fault_mode = Sys.getenv_opt "MCHECK_FAULTS" = Some "1"
 let artifact = Sys.getenv_opt "MCHECK_ARTIFACT"
+
+let jobs, fingerprint =
+  let jobs = ref 1 and fingerprint = ref `Fast in
+  let usage () =
+    prerr_endline "usage: mcheck_fuzz [--jobs N] [--fingerprint fast|marshal]";
+    exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | Some _ | None -> usage ());
+        parse rest
+    | "--fingerprint" :: mode :: rest ->
+        (match mode with
+        | "fast" -> fingerprint := `Fast
+        | "marshal" -> fingerprint := `Marshal
+        | _ -> usage ());
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (!jobs, !fingerprint)
+
 let failures = ref 0
 let config = { Mcheck.Fuzz.default with iterations }
+
+(* All campaigns funnel through run_par: at --jobs 1 it IS Fuzz.run, and at
+   any higher job count the outcome is byte-identical, so the gates below
+   judge the same campaign regardless of parallelism. *)
+let run_fuzz config algorithm = Mcheck.Fuzz.run_par ~jobs config algorithm ~seed
 
 (* Two-phase is a single-hop algorithm (Sec 4.1): on multi-hop topologies
    agreement genuinely fails, so fuzz it on cliques only. *)
@@ -50,7 +87,7 @@ let counterexample_metrics config algorithm cx =
 
 let fuzz_clean ?(config = config) name algorithm =
   let started = Sys.time () in
-  let outcome = Mcheck.Fuzz.run config algorithm ~seed in
+  let outcome = run_fuzz config algorithm in
   match outcome.Mcheck.Fuzz.counterexample with
   | None ->
       Printf.printf "fuzz %-14s %d iterations clean (%.1fs)\n%!" name
@@ -85,7 +122,7 @@ let default_mode () =
 
   (* Self-test: the harness must detect a real bug. *)
   (match
-     (Mcheck.Fuzz.run clique_only Consensus.Two_phase.literal ~seed)
+     (run_fuzz clique_only Consensus.Two_phase.literal)
        .Mcheck.Fuzz.counterexample
    with
   | Some cx ->
@@ -101,7 +138,9 @@ let default_mode () =
         iterations);
 
   let stats =
-    Mcheck.Explore.explore Mcheck.Explore.default Consensus.Two_phase.algorithm
+    Mcheck.Explore.explore
+      { Mcheck.Explore.default with keying = fingerprint }
+      Consensus.Two_phase.algorithm
       ~topology:(Amac.Topology.clique 3) ~inputs:[| 0; 1; 1 |]
   in
   if stats.Mcheck.Explore.violations = [] && not stats.Mcheck.Explore.truncated
@@ -151,9 +190,9 @@ let faults_mode () =
      recovery) two-phase genuinely loses agreement; the fault fuzzer must
      find and shrink such a violation. *)
   (match
-     (Mcheck.Fuzz.run
+     (run_fuzz
         { fault_config with kinds = [ Mcheck.Fuzz.Clique ] }
-        Consensus.Two_phase.algorithm ~seed)
+        Consensus.Two_phase.algorithm)
        .Mcheck.Fuzz.counterexample
    with
   | Some cx ->
@@ -181,9 +220,7 @@ let faults_mode () =
     }
   in
   (match
-     (Mcheck.Fuzz.run liveness_config
-        (Consensus.Wpaxos.make ~retransmit:false ())
-        ~seed)
+     (run_fuzz liveness_config (Consensus.Wpaxos.make ~retransmit:false ()))
        .Mcheck.Fuzz.counterexample
    with
   | Some cx ->

@@ -75,6 +75,7 @@ let gather_all : (state, msg) A.t =
         st.sending := false;
         next_actions st);
     msg_ids = (fun _ -> 1);
+    hooks = None;
   }
 
 let () =

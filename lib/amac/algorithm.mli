@@ -30,6 +30,25 @@ type 'm action =
           service). *)
   | Decide of int  (** Perform the single irrevocable decide action. *)
 
+(** Optional verification fast-path hooks. The model checker
+    ({!Mcheck.Explore}) keys and snapshots millions of node states; an
+    algorithm that provides these escapes the generic
+    [Marshal]/[Digest]-based fallback:
+
+    - [fingerprint] folds the state's {e logical} content into a
+      {!Fingerprint.t}. Contract: structurally equal states (equal
+      marshalled bytes) must fold equal; states the algorithm considers
+      equivalent (e.g. hash tables with the same bindings in a different
+      order) {e may} fold equal — that only improves deduplication.
+    - [fingerprint_msg] does the same for an in-flight message.
+    - [clone] is a deep copy of everything mutable in the state. Messages
+      are treated as immutable and may be shared between the copies. *)
+type ('s, 'm) hooks = {
+  fingerprint : 's -> Fingerprint.t -> Fingerprint.t;
+  fingerprint_msg : 'm -> Fingerprint.t -> Fingerprint.t;
+  clone : 's -> 's;
+}
+
 type ('s, 'm) t = {
   name : string;
   init : ctx -> 's * 'm action list;
@@ -42,6 +61,8 @@ type ('s, 'm) t = {
   msg_ids : 'm -> int;
       (** How many unique ids the message carries — the engine tracks the
           maximum to check the model's O(1)-ids-per-message restriction. *)
+  hooks : ('s, 'm) hooks option;
+      (** [None] = use the Marshal fallback (always correct, slow). *)
 }
 
 (** [decides actions] extracts the decided values, in order. *)

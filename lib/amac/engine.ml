@@ -409,15 +409,16 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
   in
   let causal = if track_causal then Some (Causal.create ~n) else None in
   validate_fault_schedule ~n ~crashes ~recoveries;
-  let queue : 'm event Pqueue.t = Pqueue.create () in
-  List.iter
-    (fun (node, time) ->
-      Pqueue.add queue ~key:(key_of ~time (Crash { node })) (Crash { node }))
-    crashes;
-  List.iter
-    (fun (node, time) ->
-      Pqueue.add queue ~key:(key_of ~time (Recover { node })) (Recover { node }))
-    recoveries;
+  let queue : 'm event Pqueue.t =
+    Pqueue.of_list
+      (List.map
+         (fun (node, time) -> (key_of ~time (Crash { node }), Crash { node }))
+         crashes
+      @ List.map
+          (fun (node, time) ->
+            (key_of ~time (Recover { node }), Recover { node }))
+          recoveries)
+  in
   let sim =
     {
       algorithm;

@@ -1,0 +1,140 @@
+type t = int
+
+(* xxhash-style round over the native 63-bit int: the accumulator takes
+   one xor, a rotation and one multiply per mixed word — [x * p2] is off
+   the dependency chain, so the per-field latency is about half of a
+   splitmix round. Avalanche quality comes from {!to_int}'s finalizer,
+   which every consumer applies once per finished fold (the raw
+   accumulator's low bits are NOT well mixed — a bare multiply barely
+   stirs them). Constants fit the 63-bit int literal range (the canonical
+   64-bit ones don't); multiplication wraps mod 2^63, which is fine. *)
+let p1 = 0x2545F4914F6CDD1D
+let p2 = 0x165667B19E3779F9
+
+let empty = 0x1505 (* FNV-ish offset basis; any odd-ish constant works *)
+
+let[@inline] int x acc =
+  let h = acc lxor (x * p2) in
+  let h = (h lsl 31) lor (h lsr 32) in
+  h * p1
+
+let[@inline] bool b acc = int (if b then 1 else 0) acc
+
+let[@inline] char c acc = int (Char.code c) acc
+
+let string s acc =
+  let len = String.length s in
+  let acc = ref (int len acc) in
+  (* 8 bytes per round keeps the loop short; the tail is padded by length
+     (already mixed), so "a" and "a\000" cannot alias. *)
+  let i = ref 0 in
+  while !i + 8 <= len do
+    acc := int (Int64.to_int (String.get_int64_le s !i)) !acc;
+    i := !i + 8
+  done;
+  while !i < len do
+    acc := int (Char.code (String.unsafe_get s !i)) !acc;
+    incr i
+  done;
+  !acc
+
+let option f v acc =
+  match v with None -> int 0x6f70 acc | Some x -> f x (int 0x736f acc)
+
+let rec fold_elems f xs acc =
+  match xs with [] -> acc | x :: rest -> fold_elems f rest (f x acc)
+
+let list f xs acc = fold_elems f xs (int (List.length xs) acc)
+
+let array f xs acc =
+  let len = Array.length xs in
+  let acc = ref (int len acc) in
+  for i = 0 to len - 1 do
+    acc := f (Array.unsafe_get xs i) !acc
+  done;
+  !acc
+
+(* Splitmix-style finalizer: one per fold, so it can afford the full
+   avalanche the per-field round skips. Consumers index tables with the
+   low bits of the result, which this leaves uniformly mixed. *)
+let to_int h =
+  let h = h lxor (h lsr 29) in
+  let h = h * p1 in
+  let h = h lxor (h lsr 32) in
+  h land max_int
+
+module Table = struct
+  (* Open addressing with linear probing; no deletion. [vals.(i) = None]
+     marks an empty slot, so any int (including 0) is a valid key. *)
+  type 'a table = {
+    mutable keys : int array;
+    mutable vals : 'a option array;
+    mutable count : int;
+  }
+
+  type 'a t = 'a table
+
+  let rec capacity_for n c = if c * 2 >= n * 3 then c else capacity_for n (c * 2)
+
+  let create n =
+    let cap = capacity_for (max 1 n) 16 in
+    { keys = Array.make cap 0; vals = Array.make cap None; count = 0 }
+
+  let length t = t.count
+
+  (* The slot where [key] lives or would be inserted. *)
+  let slot t key =
+    let mask = Array.length t.keys - 1 in
+    let i = ref (key land max_int land mask) in
+    while
+      match t.vals.(!i) with Some _ -> t.keys.(!i) <> key | None -> false
+    do
+      i := (!i + 1) land mask
+    done;
+    !i
+
+  let grow t =
+    let old_keys = t.keys and old_vals = t.vals in
+    t.keys <- Array.make (2 * Array.length old_keys) 0;
+    t.vals <- Array.make (2 * Array.length old_vals) None;
+    Array.iteri
+      (fun i v ->
+        match v with
+        | Some _ ->
+            let j = slot t old_keys.(i) in
+            t.keys.(j) <- old_keys.(i);
+            t.vals.(j) <- v
+        | None -> ())
+      old_vals
+
+  let ensure_headroom t =
+    if t.count * 3 >= Array.length t.keys * 2 then grow t
+
+  let find t key =
+    let i = slot t key in
+    t.vals.(i)
+
+  let set t key value =
+    ensure_headroom t;
+    let i = slot t key in
+    if t.vals.(i) = None then t.count <- t.count + 1;
+    t.keys.(i) <- key;
+    t.vals.(i) <- Some value
+
+  let upsert t key f =
+    ensure_headroom t;
+    let i = slot t key in
+    (match t.vals.(i) with
+    | None ->
+        t.count <- t.count + 1;
+        t.keys.(i) <- key
+    | Some _ -> ());
+    t.vals.(i) <- Some (f t.vals.(i))
+
+  let fold f t acc =
+    let acc = ref acc in
+    Array.iteri
+      (fun i v -> match v with Some v -> acc := f t.keys.(i) v !acc | None -> ())
+      t.vals;
+    !acc
+end

@@ -1,0 +1,75 @@
+(** Fast, non-allocating structural fingerprints for model-checker states.
+
+    The schedule-space explorer keys every reachable configuration; doing
+    that with [Digest.string (Marshal.to_string ...)] allocates the whole
+    marshalled buffer and runs MD5 over it — the dominant cost of
+    exploration (BENCH.json B5). A fingerprint is instead an accumulator
+    folded by hand over the state's fields: each combinator mixes one
+    scalar into a 63-bit hash with splitmix-style avalanche rounds, no
+    intermediate buffer, no C digest call.
+
+    Combinators take the accumulator {e last} so folds read as pipelines:
+
+    {[
+      acc |> Fingerprint.int st.round |> Fingerprint.bool st.sending
+          |> Fingerprint.list Fingerprint.int st.witnesses
+    ]}
+
+    Structure markers: [option] and [list] mix a tag/length before their
+    payload, so [Some 0] vs [None] and [[0]] vs [[]; [0]]-style shape
+    ambiguities cannot alias. Two structurally equal values always fold to
+    the same fingerprint; distinct values collide with probability
+    ~2^-63 per pair (the explorer can double-check against the Marshal
+    digest — see {!Mcheck.Explore.config.check_collisions}). *)
+
+type t = private int
+
+(** The empty fold (FNV-style offset basis). *)
+val empty : t
+
+val int : int -> t -> t
+
+val bool : bool -> t -> t
+
+val char : char -> t -> t
+
+(** Mixes length then bytes, 8 bytes per round. *)
+val string : string -> t -> t
+
+(** [None] and [Some v] are distinguished by a tag. *)
+val option : ('a -> t -> t) -> 'a option -> t -> t
+
+(** Mixes the length, then each element in order. *)
+val list : ('a -> t -> t) -> 'a list -> t -> t
+
+(** Mixes the length, then each element in order. *)
+val array : ('a -> t -> t) -> 'a array -> t -> t
+
+(** The finished 63-bit value (non-negative). *)
+val to_int : t -> int
+
+(** Open-addressed, int-keyed hash table for fingerprint keys.
+
+    The explorer's seen-set workload: millions of [find]/[set] pairs on
+    keys that are already uniformly mixed, never deleted. Linear probing
+    over a power-of-two array, resized at 2/3 load; [upsert] probes once
+    for the read-modify-write the seen set does per visited state. *)
+module Table : sig
+  type 'a t
+
+  (** [create n] pre-sizes for about [n] entries. *)
+  val create : int -> 'a t
+
+  val length : 'a t -> int
+
+  val find : 'a t -> int -> 'a option
+
+  val set : 'a t -> int -> 'a -> unit
+
+  (** [upsert t key f] stores [f (find t key)] at [key] with a single
+      probe sequence. *)
+  val upsert : 'a t -> int -> ('a option -> 'a) -> unit
+
+  (** [fold f t acc] over (key, value) pairs, unspecified order. *)
+  val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+end

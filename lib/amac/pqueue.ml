@@ -16,18 +16,20 @@ let is_empty q = q.size = 0
    equal-priority events dequeue deterministically in FIFO order. *)
 let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
-let grow q =
-  let capacity = max 16 (2 * Array.length q.heap) in
-  let dummy = q.heap.(0) in
-  let heap = Array.make capacity dummy in
-  Array.blit q.heap 0 heap 0 q.size;
-  q.heap <- heap
+(* One growth path for every add: the incoming entry doubles as the fill
+   value, so the empty heap needs no dummy (the old code read [q.heap.(0)]
+   and had to special-case length 0). *)
+let ensure_capacity q filler =
+  if q.size = Array.length q.heap then begin
+    let heap = Array.make (max 16 (2 * Array.length q.heap)) filler in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end
 
 let add q ~key value =
   let entry = { key; seq = q.next_seq; value } in
   q.next_seq <- q.next_seq + 1;
-  if Array.length q.heap = 0 then q.heap <- Array.make 16 entry
-  else if q.size = Array.length q.heap then grow q;
+  ensure_capacity q entry;
   q.heap.(q.size) <- entry;
   q.size <- q.size + 1;
   (* Sift the new entry up to its place. *)
@@ -75,6 +77,11 @@ let pop q =
   (top.key, top.value)
 
 let clear q = q.size <- 0
+
+let of_list entries =
+  let q = create () in
+  List.iter (fun (key, value) -> add q ~key value) entries;
+  q
 
 let to_list q =
   let rec collect i acc =

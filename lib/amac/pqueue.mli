@@ -30,6 +30,11 @@ val peek : 'a t -> int * 'a
 (** [clear q] removes every entry. *)
 val clear : 'a t -> unit
 
+(** [of_list entries] is a queue holding every (key, value) pair, with
+    insertion order (and so FIFO tie-breaking) following the list — what
+    engine reset paths use instead of rebuilding element-by-element. *)
+val of_list : (int * 'a) list -> 'a t
+
 (** [to_list q] is every queued (key, value) pair in unspecified order;
     intended for tests and debugging. *)
 val to_list : 'a t -> (int * 'a) list

@@ -12,6 +12,10 @@ let mix z =
 
 let create seed = { state = mix (Int64.of_int seed) }
 
+let copy t = { state = t.state }
+
+let fingerprint t acc = Fingerprint.int (Int64.to_int t.state) acc
+
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state

@@ -15,6 +15,14 @@ val create : int -> t
     subsequent draws from [t]. *)
 val split : t -> t
 
+(** [copy t] is an independent generator at the same stream position —
+    what a state-cloning hook needs (cf. {!Algorithm.hooks}). *)
+val copy : t -> t
+
+(** [fingerprint t acc] folds the generator's current position into a
+    state fingerprint. *)
+val fingerprint : t -> Fingerprint.t -> Fingerprint.t
+
 (** [int t bound] is a uniform integer in [\[0, bound)].
     @raise Invalid_argument if [bound <= 0]. *)
 val int : t -> int -> int

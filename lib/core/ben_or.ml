@@ -167,6 +167,51 @@ let on_ack _ctx st =
 
 let msg_ids _ = 1
 
+(* Verification fast path (Algorithm.hooks). Vote tables are folded in
+   sorted key order, so two states whose tables carry the same bindings in
+   different insertion orders fingerprint equal — strictly better
+   deduplication than the Marshal fallback, which keys on layout. *)
+module F = Amac.Fingerprint
+
+let fp_vote vote acc =
+  match vote with
+  | Report { round; value } -> acc |> F.int 1 |> F.int round |> F.int value
+  | Proposal { round; value } ->
+      acc |> F.int 2 |> F.int round |> F.option F.int value
+  | Decided v -> acc |> F.int 3 |> F.int v
+
+let fp_msg { sender; vote } acc = acc |> F.int sender |> fp_vote vote
+
+let fp_tbl fp_value tbl acc =
+  let entries = Hashtbl.fold (fun k v l -> (k, v) :: l) tbl [] in
+  let entries = List.sort compare entries in
+  F.list
+    (fun ((round, sender), v) acc ->
+      acc |> F.int round |> F.int sender |> fp_value v)
+    entries acc
+
+let fingerprint st acc =
+  acc |> F.int st.me |> F.int st.n |> F.int st.f
+  |> Amac.Rng.fingerprint st.coins
+  |> F.int st.round
+  |> F.int (match st.phase with Reporting -> 0 | Proposing -> 1)
+  |> F.int st.value
+  |> fp_tbl F.int st.reports
+  |> fp_tbl (F.option F.int) st.proposals
+  |> F.list fp_vote st.outbox |> F.bool st.sending
+  |> F.option F.int st.decision
+  |> F.bool st.announced |> F.bool st.echoed_decide
+
+let clone st =
+  {
+    st with
+    coins = Amac.Rng.copy st.coins;
+    reports = Hashtbl.copy st.reports;
+    proposals = Hashtbl.copy st.proposals;
+  }
+
+let hooks = Some { Amac.Algorithm.fingerprint; fingerprint_msg = fp_msg; clone }
+
 let make ~seed () =
   {
     Amac.Algorithm.name = Printf.sprintf "ben-or(seed=%d)" seed;
@@ -174,4 +219,5 @@ let make ~seed () =
     on_receive;
     on_ack;
     msg_ids;
+    hooks;
   }

@@ -85,4 +85,5 @@ let make ?(pairs_per_msg = 2) () =
     on_receive;
     on_ack;
     msg_ids = List.length;
+    hooks = None;
   }

@@ -425,4 +425,5 @@ let make () =
     on_receive;
     on_ack;
     msg_ids;
+    hooks = None;
   }

@@ -202,6 +202,55 @@ let on_ack _ctx st =
   | None -> ());
   finish st
 
+(* Verification fast path (Algorithm.hooks), available exactly when the
+   base algorithm provides its own — inner instance states and payloads are
+   folded/cloned through the base hooks. *)
+module F = Amac.Fingerprint
+
+let hooks_over (bh : ('s, 'm) Amac.Algorithm.hooks) =
+  let fp_msg message acc =
+    match message with
+    | Inner { instance; payload } ->
+        acc |> F.int 1 |> F.int instance |> bh.fingerprint_msg payload
+    | Candidate { instance; value } ->
+        acc |> F.int 2 |> F.int instance |> F.int value
+  in
+  let fingerprint st acc =
+    acc |> F.int st.bits |> F.int st.candidate
+    |> F.array F.int st.decided_bits
+    |> F.int st.current
+    |> F.int
+         (match st.mode with
+         | Running -> 0
+         | Awaiting_candidate -> 1
+         | Finished -> 2)
+    |> F.array (F.option bh.fingerprint) st.instances
+    |> F.array F.int st.instance_inputs
+    |> F.array F.bool st.flooded
+    |> F.list
+         (fun (instance, payload) acc ->
+           acc |> F.int instance |> bh.fingerprint_msg payload)
+         st.future_inner
+    |> F.array (F.option F.int) st.known_candidate
+    |> F.list fp_msg st.channel.out_q
+    |> F.option fp_msg st.channel.in_flight
+    |> F.option F.int st.final
+    |> F.bool st.announced
+  in
+  let clone st =
+    {
+      st with
+      decided_bits = Array.copy st.decided_bits;
+      instances = Array.map (Option.map bh.clone) st.instances;
+      instance_inputs = Array.copy st.instance_inputs;
+      flooded = Array.copy st.flooded;
+      known_candidate = Array.copy st.known_candidate;
+      channel =
+        { out_q = st.channel.out_q; in_flight = st.channel.in_flight };
+    }
+  in
+  { Amac.Algorithm.fingerprint; fingerprint_msg = fp_msg; clone }
+
 let make ~bits base =
   if bits < 1 || bits > 30 then
     invalid_arg "Multi_value.make: need 1 <= bits <= 30";
@@ -217,4 +266,5 @@ let make ~bits base =
         match message with
         | Inner { payload; _ } -> base.Amac.Algorithm.msg_ids payload
         | Candidate _ -> 0);
+    hooks = Option.map hooks_over base.Amac.Algorithm.hooks;
   }

@@ -63,4 +63,5 @@ let make ~target =
     on_receive;
     on_ack;
     msg_ids = (fun _ -> 0);
+    hooks = None;
   }

@@ -789,6 +789,114 @@ let pp_component = function
 
 let pp_msg components = String.concat "+" (List.map pp_component components)
 
+(* Verification fast path (Algorithm.hooks). The state is wide but almost
+   entirely ints and small variants; the four service hashtables are folded
+   in sorted key order so insertion history cannot split logically equal
+   states. [cfg] is per-algorithm-instance and constant across a checking
+   run, so it is skipped (and shared by [clone], including the instrument —
+   instrumentation is not model state). *)
+module F = Amac.Fingerprint
+
+let fp_pno { tag; proposer } acc = acc |> F.int tag |> F.int proposer
+
+let fp_prior { pno; value } acc = acc |> fp_pno pno |> F.int value
+
+let fp_round r acc =
+  F.int (match r with Prepare_round -> 0 | Propose_round -> 1) acc
+
+let fp_proposer_msg m acc =
+  match m with
+  | Prepare pno -> acc |> F.int 1 |> fp_pno pno
+  | Propose { pno; value } -> acc |> F.int 2 |> fp_pno pno |> F.int value
+
+let fp_response (r : response) acc =
+  acc |> F.int r.dest |> F.int r.target |> fp_pno r.pno |> fp_round r.round
+  |> F.bool r.positive |> F.int r.count
+  |> F.option fp_prior r.best_prior
+  |> F.option fp_pno r.committed
+
+let fp_component c acc =
+  match c with
+  | Leader { id; hb } -> acc |> F.int 1 |> F.int id |> F.int hb
+  | Change { counter; origin } -> acc |> F.int 2 |> F.int counter |> F.int origin
+  | Search { root; hops; sender } ->
+      acc |> F.int 3 |> F.int root |> F.int hops |> F.int sender
+  | Proposal p -> acc |> F.int 4 |> fp_proposer_msg p
+  | Response r -> acc |> F.int 5 |> fp_response r
+  | Decision v -> acc |> F.int 6 |> F.int v
+
+let fp_msg (components : msg) acc = F.list fp_component components acc
+
+let fp_int_tbl tbl acc =
+  let entries = Hashtbl.fold (fun k v l -> (k, v) :: l) tbl [] in
+  let entries = List.sort compare entries in
+  F.list (fun (k, v) acc -> acc |> F.int k |> F.int v) entries acc
+
+let fp_phase phase acc =
+  match phase with
+  | Idle -> F.int 0 acc
+  | Preparing p ->
+      acc |> F.int 1 |> fp_pno p.pno |> F.int p.yes |> F.int p.no
+      |> F.option fp_prior p.best_prior
+  | Proposing p ->
+      acc |> F.int 2 |> fp_pno p.pno |> F.int p.value |> F.int p.yes
+      |> F.int p.no
+
+let fp_pending (e : pending_response) acc =
+  acc |> F.int e.q_target |> fp_pno e.q_pno |> fp_round e.q_round
+  |> F.bool e.q_positive |> F.int e.q_count
+  |> F.option fp_prior e.q_prior
+  |> F.option fp_pno e.q_committed
+
+let fp_pair (a, b) acc = acc |> F.int a |> F.int b
+
+let fingerprint st acc =
+  acc |> F.int st.me |> F.int st.n |> F.int st.input |> F.int st.omega
+  |> F.option F.int st.leader_q
+  |> F.int st.lamport |> fp_pair st.last_change
+  |> F.option fp_pair st.change_q
+  |> fp_int_tbl st.dist |> fp_int_tbl st.parent
+  |> F.list fp_pair st.tree_q
+  |> F.int st.max_tag |> fp_phase st.phase |> F.int st.attempts_left
+  |> F.option fp_proposer_msg st.proposal_q
+  |> F.option
+       (fun (pno, round) acc -> acc |> fp_pno pno |> fp_round round)
+       st.best_proposal_seen
+  |> F.option fp_pno st.promised
+  |> F.option fp_prior st.accepted
+  |> F.option
+       (fun (pno, round) acc -> acc |> fp_pno pno |> fp_round round)
+       st.responded
+  |> F.list fp_pending st.response_q
+  |> F.option F.int st.decision
+  |> F.bool st.announced
+  |> F.option F.int st.decide_q
+  |> F.bool st.sending |> F.int st.my_hb |> fp_int_tbl st.hb_seen
+  |> fp_int_tbl st.suspect_hb |> F.int st.hb_silence |> F.int st.silence_limit
+  |> F.int st.idle_acks |> F.int st.next_refresh |> F.int st.progress_silence
+  |> F.int st.next_retry |> F.int st.retries_left |> F.int st.patience_left
+
+let clone st =
+  {
+    st with
+    dist = Hashtbl.copy st.dist;
+    parent = Hashtbl.copy st.parent;
+    hb_seen = Hashtbl.copy st.hb_seen;
+    suspect_hb = Hashtbl.copy st.suspect_hb;
+    phase =
+      (match st.phase with
+      | Idle -> Idle
+      | Preparing p ->
+          Preparing
+            { pno = p.pno; yes = p.yes; no = p.no; best_prior = p.best_prior }
+      | Proposing p ->
+          Proposing { pno = p.pno; value = p.value; yes = p.yes; no = p.no });
+    response_q =
+      List.map (fun e -> { e with q_count = e.q_count }) st.response_q;
+  }
+
+let hooks = Some { Amac.Algorithm.fingerprint; fingerprint_msg = fp_msg; clone }
+
 let make ?(leader_priority = true) ?(aggregate = true) ?quorum ?instrument
     ?(retransmit = true) () =
   (match quorum with
@@ -805,4 +913,5 @@ let make ?(leader_priority = true) ?(aggregate = true) ?quorum ?instrument
     on_receive;
     on_ack;
     msg_ids;
+    hooks;
   }

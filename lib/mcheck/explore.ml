@@ -15,6 +15,8 @@ type config = {
   crash_budget : int;
   check_termination : bool;
   stop_at_first_violation : bool;
+  keying : [ `Fast | `Marshal ];
+  check_collisions : bool;
 }
 
 let default =
@@ -24,6 +26,8 @@ let default =
     crash_budget = 0;
     check_termination = false;
     stop_at_first_violation = true;
+    keying = `Fast;
+    check_collisions = false;
   }
 
 type stats = {
@@ -31,6 +35,7 @@ type stats = {
   transitions : int;
   dedup_hits : int;
   sleep_skips : int;
+  collisions : int;
   violations : (Consensus.Checker.violation * step list) list;
   truncated : bool;
 }
@@ -49,6 +54,16 @@ type ('s, 'm) node_cfg = {
 type ('s, 'm) cfg = {
   nodes : ('s, 'm) node_cfg array;
   crashes_used : int;
+  fps : int array;
+      (* per-node fingerprint cache: [fps.(i)] is the finalized fingerprint
+         of [nodes.(i)] (seeded with [i]), or -1 when not yet computed. A
+         child copies its parent's array and resets only the slots its step
+         touched, so keying costs O(changed nodes), not O(n). Kept OUTSIDE
+         [node_cfg] so the Marshal digest of [(nodes, crashes_used)] — the
+         fallback key and the collision-check ground truth — is independent
+         of cache state. Cross-domain safety: a slot is only ever written
+         with the one value determined by the node's content, so racy reads
+         see either -1 (recompute, same result) or that value. *)
 }
 
 (* Two transitions commute iff neither reads state the other writes.
@@ -65,19 +80,33 @@ let independent a b =
   | Ack u, Ack v -> u <> v
   | Crash _, _ | _, Crash _ -> false
 
-(* Configurations are keyed by the digest of their marshalled bytes, as in
-   Lowerbound.Bivalence: 16 bytes per state, non-canonical keys only cost
-   duplicate work. The crash budget used so far is part of the key — equal
-   node states with different remaining budgets have different futures. *)
+(* Fallback keying: digest of the marshalled bytes, as in
+   Lowerbound.Bivalence. The crash budget used so far is part of the key —
+   equal node states with different remaining budgets have different
+   futures. *)
 let key cfg = Digest.string (Marshal.to_string (cfg.nodes, cfg.crashes_used) [])
 
-let snapshot_nodes nodes : ('s, 'm) node_cfg array =
+let marshal_snapshot nodes : ('s, 'm) node_cfg array =
   Marshal.from_string (Marshal.to_string nodes []) 0
 
-exception Violation_found
+module F = Amac.Fingerprint
 
-let explore ?(give_n = true) ?(give_diameter = false) config algorithm
-    ~topology ~inputs =
+(* Per-run machinery shared by the serial DFS, the parallel frontier
+   explorer and the sampling API. [snapshot] and [fingerprint] come from
+   the algorithm's hooks when present: cloning replaces the Marshal
+   round-trip, and keying replaces digest-of-marshalled-bytes with a
+   63-bit structural fold (config.keying can force the fallback). *)
+type ('s, 'm) rt = {
+  n : int;
+  topology : Amac.Topology.t;
+  ctxs : Amac.Algorithm.ctx array;
+  algorithm : ('s, 'm) Amac.Algorithm.t;
+  input_values : int list;
+  clone_state : 's -> 's;
+  fingerprint : (('s, 'm) cfg -> int) option;
+}
+
+let make_rt ~give_n ~give_diameter algorithm ~topology ~inputs =
   let n = Amac.Topology.size topology in
   if Array.length inputs <> n then
     invalid_arg "Explore.explore: inputs length mismatches topology";
@@ -94,50 +123,89 @@ let explore ?(give_n = true) ?(give_diameter = false) config algorithm
         })
   in
   let input_values = Array.to_list inputs |> List.sort_uniq Int.compare in
-  let states = ref 0 in
-  let transitions = ref 0 in
-  let dedup_hits = ref 0 in
-  let sleep_skips = ref 0 in
-  let truncated = ref false in
-  let violations = ref [] in
-  let record_violation violation path =
-    if not (List.mem_assoc violation !violations) then begin
-      violations := (violation, List.rev path) :: !violations;
-      if config.stop_at_first_violation then raise Violation_found
-    end
+  let clone_state, fingerprint =
+    match algorithm.Amac.Algorithm.hooks with
+    | Some h ->
+        let fp_node nc i =
+          F.int i F.empty |> h.fingerprint nc.st
+          |> F.option h.fingerprint_msg nc.outgoing
+          |> F.list F.int nc.undelivered
+          |> F.option F.int nc.decided
+          |> F.bool nc.crashed |> F.to_int
+        in
+        ( h.clone,
+          Some
+            (fun cfg ->
+              (* Zobrist-style combine: XOR of per-node finalized
+                 fingerprints (each seeded with its index, so permutations
+                 differ), then one finishing mix with the crash budget.
+                 XOR makes the per-node cache possible — an order-dependent
+                 fold could not reuse untouched nodes' work. *)
+              let acc = ref 0 in
+              for i = 0 to Array.length cfg.nodes - 1 do
+                let f = cfg.fps.(i) in
+                let f =
+                  if f >= 0 then f
+                  else begin
+                    let f = fp_node cfg.nodes.(i) i in
+                    cfg.fps.(i) <- f;
+                    f
+                  end
+                in
+                acc := !acc lxor f
+              done;
+              F.to_int (F.int cfg.crashes_used (F.int !acc F.empty))) )
+    | None ->
+        ((fun st -> Marshal.from_string (Marshal.to_string st []) 0), None)
   in
+  { n; topology; ctxs; algorithm; input_values; clone_state; fingerprint }
 
-  (* Apply a node's actions in place (the caller owns a private snapshot).
-     Broadcasting while one is in flight discards, as in the engine; a
-     re-decide with a different value is an irrevocability violation. *)
-  let apply_actions nodes node actions ~path =
-    List.iter
-      (fun action ->
-        match action with
-        | Amac.Algorithm.Decide value -> (
-            match nodes.(node).decided with
-            | None -> nodes.(node) <- { (nodes.(node)) with decided = Some value }
-            | Some prior ->
-                if prior <> value then
-                  record_violation
-                    (Consensus.Checker.Irrevocability_violation
-                       { node; value; time = 0 })
-                    path)
-        | Amac.Algorithm.Broadcast message ->
-            if nodes.(node).outgoing = None then
-              nodes.(node) <-
-                {
-                  (nodes.(node)) with
-                  outgoing = Some message;
-                  undelivered =
-                    List.filter
-                      (fun v -> not nodes.(v).crashed)
-                      (Amac.Topology.neighbors topology node);
-                })
-      actions
+(* Apply a node's actions in place (the caller owns a private snapshot).
+   Broadcasting while one is in flight discards, as in the engine; a
+   re-decide with a different value is an irrevocability violation. *)
+let apply_actions rt ~record nodes node actions ~path =
+  List.iter
+    (fun action ->
+      match action with
+      | Amac.Algorithm.Decide value -> (
+          match nodes.(node).decided with
+          | None -> nodes.(node) <- { (nodes.(node)) with decided = Some value }
+          | Some prior ->
+              if prior <> value then
+                record
+                  (Consensus.Checker.Irrevocability_violation
+                     { node; value; time = 0 })
+                  path)
+      | Amac.Algorithm.Broadcast message ->
+          if nodes.(node).outgoing = None then
+            nodes.(node) <-
+              {
+                (nodes.(node)) with
+                outgoing = Some message;
+                undelivered =
+                  List.filter
+                    (fun v -> not nodes.(v).crashed)
+                    (Amac.Topology.neighbors rt.topology node);
+              })
+    actions
+
+let check_safety rt ~record nodes ~path =
+  (* Allocation-free scan for the overwhelmingly common clean case
+     ([memq] is exact on immediate ints and skips the polymorphic-equality
+     C call); the slow path below recomputes the exact violation values on
+     demand. *)
+  let len = Array.length nodes in
+  let rec clean i first seen_one =
+    if i = len then true
+    else
+      match nodes.(i).decided with
+      | None -> clean (i + 1) first seen_one
+      | Some v ->
+          List.memq v rt.input_values
+          && ((not seen_one) || v = first)
+          && clean (i + 1) v true
   in
-
-  let check_safety nodes ~path =
+  if not (clean 0 0 false) then begin
     let decided =
       Array.to_list nodes
       |> List.filter_map (fun c -> c.decided)
@@ -146,151 +214,612 @@ let explore ?(give_n = true) ?(give_diameter = false) config algorithm
     (match decided with
     | [] | [ _ ] -> ()
     | values ->
-        record_violation (Consensus.Checker.Agreement_violation { values }) path);
-    let invalid = List.filter (fun v -> not (List.mem v input_values)) decided in
+        record (Consensus.Checker.Agreement_violation { values }) path);
+    let invalid =
+      List.filter (fun v -> not (List.mem v rt.input_values)) decided
+    in
     if invalid <> [] then
-      record_violation
+      record
         (Consensus.Checker.Validity_violation
-           { values = invalid; inputs = input_values })
+           { values = invalid; inputs = rt.input_values })
         path
-  in
+  end
 
-  let enabled cfg =
-    let steps = ref [] in
-    if cfg.crashes_used < config.crash_budget then
-      for u = n - 1 downto 0 do
-        if not cfg.nodes.(u).crashed then steps := Crash u :: !steps
-      done;
-    for s = n - 1 downto 0 do
-      let node = cfg.nodes.(s) in
-      if (not node.crashed) && node.outgoing <> None then
-        match node.undelivered with
-        | [] -> steps := Ack s :: !steps
-        | pending ->
-            List.iter (fun r -> steps := Deliver { sender = s; receiver = r } :: !steps)
-              (List.rev pending)
+let enabled config rt cfg =
+  let steps = ref [] in
+  if cfg.crashes_used < config.crash_budget then
+    for u = rt.n - 1 downto 0 do
+      if not cfg.nodes.(u).crashed then steps := Crash u :: !steps
     done;
-    !steps
+  for s = rt.n - 1 downto 0 do
+    let node = cfg.nodes.(s) in
+    if (not node.crashed) && node.outgoing <> None then
+      match node.undelivered with
+      | [] -> steps := Ack s :: !steps
+      | pending ->
+          List.iter
+            (fun r -> steps := Deliver { sender = s; receiver = r } :: !steps)
+            (List.rev pending)
+  done;
+  !steps
+
+(* The child configuration shares everything with the parent except what
+   the step touches: node_cfg records are updated functionally on a fresh
+   array, and only the stepped node's algorithm state is cloned before its
+   handler mutates it. Sound because this clone-before-mutate discipline
+   holds for every transition — a shared ['s] is never written through. *)
+let apply rt ~record ~transitions cfg step ~path =
+  incr transitions;
+  let nodes = Array.copy cfg.nodes in
+  let fps = Array.copy cfg.fps in
+  let crashes_used =
+    match step with Crash _ -> cfg.crashes_used + 1 | _ -> cfg.crashes_used
   in
+  (match step with
+  | Crash u ->
+      (* Mid-broadcast non-atomicity: neighbors already served keep the
+         message; the rest never receive it. No algorithm state mutates. *)
+      nodes.(u) <-
+        { (nodes.(u)) with crashed = true; outgoing = None; undelivered = [] };
+      fps.(u) <- -1;
+      Array.iteri
+        (fun s node ->
+          if List.memq u node.undelivered then begin
+            nodes.(s) <-
+              {
+                node with
+                undelivered = List.filter (fun v -> v <> u) node.undelivered;
+              };
+            fps.(s) <- -1
+          end)
+        nodes
+  | Deliver { sender; receiver } ->
+      let message =
+        match nodes.(sender).outgoing with
+        | Some m -> m
+        | None -> invalid_arg "Explore.apply: sender not sending"
+      in
+      nodes.(sender) <-
+        {
+          (nodes.(sender)) with
+          undelivered =
+            List.filter (fun v -> v <> receiver) nodes.(sender).undelivered;
+        };
+      fps.(sender) <- -1;
+      let st = rt.clone_state nodes.(receiver).st in
+      nodes.(receiver) <- { (nodes.(receiver)) with st };
+      fps.(receiver) <- -1;
+      let actions =
+        rt.algorithm.Amac.Algorithm.on_receive rt.ctxs.(receiver) st message
+      in
+      apply_actions rt ~record nodes receiver actions ~path
+  | Ack u ->
+      let st = rt.clone_state nodes.(u).st in
+      nodes.(u) <- { (nodes.(u)) with st; outgoing = None };
+      fps.(u) <- -1;
+      let actions = rt.algorithm.Amac.Algorithm.on_ack rt.ctxs.(u) st in
+      apply_actions rt ~record nodes u actions ~path);
+  let cfg = { nodes; crashes_used; fps } in
+  check_safety rt ~record cfg.nodes ~path;
+  cfg
 
-  let apply cfg step ~path =
-    incr transitions;
-    let nodes = snapshot_nodes cfg.nodes in
-    let crashes_used = ref cfg.crashes_used in
-    (match step with
-    | Crash u ->
-        incr crashes_used;
-        (* Mid-broadcast non-atomicity: neighbors already served keep the
-           message; the rest never receive it. *)
-        nodes.(u) <-
-          { (nodes.(u)) with crashed = true; outgoing = None; undelivered = [] };
-        Array.iteri
-          (fun s node ->
-            if List.mem u node.undelivered then
-              nodes.(s) <-
-                {
-                  node with
-                  undelivered = List.filter (fun v -> v <> u) node.undelivered;
-                })
-          nodes
-    | Deliver { sender; receiver } ->
-        let message =
-          match nodes.(sender).outgoing with
-          | Some m -> m
-          | None -> invalid_arg "Explore.apply: sender not sending"
-        in
-        nodes.(sender) <-
-          {
-            (nodes.(sender)) with
-            undelivered =
-              List.filter (fun v -> v <> receiver) nodes.(sender).undelivered;
-          };
-        let actions =
-          algorithm.Amac.Algorithm.on_receive ctxs.(receiver)
-            nodes.(receiver).st message
-        in
-        apply_actions nodes receiver actions ~path
-    | Ack u ->
-        nodes.(u) <- { (nodes.(u)) with outgoing = None };
-        let actions = algorithm.Amac.Algorithm.on_ack ctxs.(u) nodes.(u).st in
-        apply_actions nodes u actions ~path);
-    let cfg = { nodes; crashes_used = !crashes_used } in
-    check_safety cfg.nodes ~path;
-    cfg
+let initial_cfg rt ~record =
+  let inits = Array.map rt.algorithm.Amac.Algorithm.init rt.ctxs in
+  let nodes =
+    Array.map
+      (fun (st, _) ->
+        { st; outgoing = None; undelivered = []; decided = None; crashed = false })
+      inits
   in
+  Array.iteri
+    (fun i (_, actions) -> apply_actions rt ~record nodes i actions ~path:[])
+    inits;
+  check_safety rt ~record nodes ~path:[];
+  { nodes; crashes_used = 0; fps = Array.make (Array.length nodes) (-1) }
 
-  (* seen : digest -> sleep sets already explored from that configuration.
-     A visit is redundant iff some stored sleep set is a subset of the
-     incoming one (everything the new visit would explore, an old one did). *)
-  let seen : (string, step list list) Hashtbl.t = Hashtbl.create 4096 in
-  let subset a b = List.for_all (fun x -> List.mem x b) a in
+let quiescent_check config ~record cfg ~path =
+  if config.check_termination && cfg.crashes_used = 0 then begin
+    let undecided = ref [] in
+    Array.iteri
+      (fun i node ->
+        if (not node.crashed) && node.decided = None then
+          undecided := i :: !undecided)
+      cfg.nodes;
+    if !undecided <> [] then
+      record
+        (Consensus.Checker.Termination_violation { nodes = List.rev !undecided })
+        path
+  end
 
+(* Monomorphic step equality: the sleep-set algebra compares steps on
+   every visit, and the polymorphic [List.mem] pays a C call per
+   comparison. *)
+let step_eq a b =
+  match (a, b) with
+  | Deliver d1, Deliver d2 ->
+      d1.sender = d2.sender && d1.receiver = d2.receiver
+  | Ack u, Ack v | Crash u, Crash v -> u = v
+  | _ -> false
+
+let mem_step step steps = List.exists (step_eq step) steps
+
+(* A visit cell stores the sleep sets already explored from its
+   configuration. A visit is redundant iff some stored set is a subset of
+   the incoming one (everything the new visit would explore, an old one
+   did). *)
+let subset a b = List.for_all (fun x -> mem_step x b) a
+
+let visit_cell cell sleep =
+  let stored = !cell in
+  if List.exists (fun old -> subset old sleep) stored then `Dedup
+  else begin
+    cell := sleep :: List.filter (fun old -> not (subset sleep old)) stored;
+    if stored = [] then `Fresh else `Revisit
+  end
+
+(* seen-set for the serial explorer: cfg -> visit cell, created empty on
+   first sight. Fast keying probes an int-keyed open-addressed table with
+   the structural fingerprint; [check_collisions] cross-checks each
+   fingerprint against the Marshal digest and counts fingerprints claimed
+   by two distinct digests. The fallback keeps the digest-keyed Hashtbl,
+   but pays one probe per revisit ([find_opt] on a mutable cell) instead
+   of the old find-then-replace pair. *)
+let make_seen config rt =
+  match rt.fingerprint with
+  | Some fp when config.keying = `Fast ->
+      let table : step list list ref F.Table.t = F.Table.create 4096 in
+      let digests =
+        if config.check_collisions then Some (Hashtbl.create 4096) else None
+      in
+      let collisions = ref 0 in
+      let lookup cfg =
+        let k = fp cfg in
+        (match digests with
+        | Some tbl -> (
+            let d = key cfg in
+            match Hashtbl.find_opt tbl k with
+            | Some prior -> if prior <> d then incr collisions
+            | None -> Hashtbl.add tbl k d)
+        | None -> ());
+        match F.Table.find table k with
+        | Some cell -> cell
+        | None ->
+            let cell = ref [] in
+            F.Table.set table k cell;
+            cell
+      in
+      (lookup, collisions)
+  | _ ->
+      let seen : (string, step list list ref) Hashtbl.t = Hashtbl.create 4096 in
+      let lookup cfg =
+        let k = key cfg in
+        match Hashtbl.find_opt seen k with
+        | Some cell -> cell
+        | None ->
+            let cell = ref [] in
+            Hashtbl.add seen k cell;
+            cell
+      in
+      (lookup, ref 0)
+
+let record_obs obs stats ~steals ~occupancy =
+  match obs with
+  | None -> ()
+  | Some reg ->
+      let c name v = Obs.Metrics.add (Obs.Metrics.counter reg name) v in
+      c "explore_states_total" stats.states;
+      c "explore_transitions_total" stats.transitions;
+      c "explore_dedup_hits_total" stats.dedup_hits;
+      c "explore_sleep_skips_total" stats.sleep_skips;
+      (match steals with Some s -> c "explore_steals_total" s | None -> ());
+      (match occupancy with
+      | Some occ ->
+          Obs.Metrics.set
+            (Obs.Metrics.gauge reg "explore_seen_shards")
+            (float_of_int (Array.length occ));
+          Obs.Metrics.set
+            (Obs.Metrics.gauge reg "explore_shard_max_states")
+            (float_of_int (Array.fold_left max 0 occ))
+      | None -> ())
+
+exception Violation_found
+
+let explore ?(give_n = true) ?(give_diameter = false) ?obs config algorithm
+    ~topology ~inputs =
+  let rt = make_rt ~give_n ~give_diameter algorithm ~topology ~inputs in
+  let states = ref 0 in
+  let transitions = ref 0 in
+  let dedup_hits = ref 0 in
+  let sleep_skips = ref 0 in
+  let truncated = ref false in
+  let violations = ref [] in
+  let record violation path =
+    if not (List.mem_assoc violation !violations) then begin
+      violations := (violation, List.rev path) :: !violations;
+      if config.stop_at_first_violation then raise Violation_found
+    end
+  in
+  let lookup, collisions = make_seen config rt in
   let rec dfs cfg ~depth ~sleep ~path =
-    let k = key cfg in
-    let stored = try Hashtbl.find seen k with Not_found -> [] in
-    if List.exists (fun old -> subset old sleep) stored then incr dedup_hits
-    else begin
-      if stored = [] then incr states;
-      Hashtbl.replace seen k
-        (sleep :: List.filter (fun old -> not (subset sleep old)) stored);
-      if !states > config.max_states then truncated := true
-      else begin
-        let steps = enabled cfg in
-        (match steps with
-        | [] ->
-            if config.check_termination && cfg.crashes_used = 0 then begin
-              let undecided = ref [] in
-              Array.iteri
-                (fun i node ->
-                  if (not node.crashed) && node.decided = None then
-                    undecided := i :: !undecided)
-                cfg.nodes;
-              if !undecided <> [] then
-                record_violation
-                  (Consensus.Checker.Termination_violation
-                     { nodes = List.rev !undecided })
-                  path
-            end
-        | _ :: _ when depth >= config.max_depth -> truncated := true
-        | _ :: _ ->
-            let executed = ref [] in
-            List.iter
-              (fun step ->
-                if List.mem step sleep then incr sleep_skips
-                else begin
-                  let child = apply cfg step ~path:(step :: path) in
-                  let child_sleep =
-                    List.filter (independent step) (sleep @ List.rev !executed)
-                  in
-                  dfs child ~depth:(depth + 1) ~sleep:child_sleep
-                    ~path:(step :: path);
-                  executed := step :: !executed
-                end)
-              steps)
+    match visit_cell (lookup cfg) sleep with
+    | `Dedup -> incr dedup_hits
+    | (`Fresh | `Revisit) as verdict ->
+        if verdict = `Fresh then incr states;
+        if !states > config.max_states then truncated := true
+        else begin
+          let steps = enabled config rt cfg in
+          match steps with
+          | [] -> quiescent_check config ~record cfg ~path
+          | _ :: _ when depth >= config.max_depth -> truncated := true
+          | _ :: _ ->
+              (* [all] is sleep ∪ executed-so-far, grown by consing — sleep
+                 sets are compared as sets, so order is immaterial. *)
+              let rec siblings all = function
+                | [] -> ()
+                | step :: rest ->
+                    if mem_step step sleep then begin
+                      incr sleep_skips;
+                      siblings all rest
+                    end
+                    else begin
+                      let path = step :: path in
+                      let child = apply rt ~record ~transitions cfg step ~path in
+                      let child_sleep = List.filter (independent step) all in
+                      dfs child ~depth:(depth + 1) ~sleep:child_sleep ~path;
+                      siblings (step :: all) rest
+                    end
+              in
+              siblings sleep steps
+        end
+  in
+  (try
+     let initial = initial_cfg rt ~record in
+     dfs initial ~depth:0 ~sleep:[] ~path:[]
+   with Violation_found -> ());
+  let result =
+    {
+      states = !states;
+      transitions = !transitions;
+      dedup_hits = !dedup_hits;
+      sleep_skips = !sleep_skips;
+      collisions = !collisions;
+      violations = List.rev !violations;
+      truncated = !truncated;
+    }
+  in
+  record_obs obs result ~steals:None ~occupancy:None;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Parallel frontier exploration                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Sharded seen-set: the key space is partitioned by its low bits over
+   [shard_count] independently locked tables, so concurrent visits only
+   contend when they land on the same shard. The subsumption check and
+   sleep-set update happen atomically under the shard lock. *)
+let make_sharded_seen config rt ~shard_count =
+  let mask = shard_count - 1 in
+  let locks = Array.init shard_count (fun _ -> Mutex.create ()) in
+  let collision_counts = Array.make shard_count 0 in
+  match rt.fingerprint with
+  | Some fp when config.keying = `Fast ->
+      let tables = Array.init shard_count (fun _ -> F.Table.create 1024) in
+      let digests =
+        if config.check_collisions then
+          Some (Array.init shard_count (fun _ -> Hashtbl.create 256))
+        else None
+      in
+      let visit cfg sleep =
+        let k = fp cfg in
+        let s = k land mask in
+        Mutex.lock locks.(s);
+        (match digests with
+        | Some ds -> (
+            let d = key cfg in
+            match Hashtbl.find_opt ds.(s) k with
+            | Some prior ->
+                if prior <> d then
+                  collision_counts.(s) <- collision_counts.(s) + 1
+            | None -> Hashtbl.add ds.(s) k d)
+        | None -> ());
+        let cell =
+          match F.Table.find tables.(s) k with
+          | Some cell -> cell
+          | None ->
+              let cell = ref [] in
+              F.Table.set tables.(s) k cell;
+              cell
+        in
+        let verdict = visit_cell cell sleep in
+        Mutex.unlock locks.(s);
+        verdict
+      in
+      ( visit,
+        (fun () -> Array.map F.Table.length tables),
+        fun () -> Array.fold_left ( + ) 0 collision_counts )
+  | _ ->
+      let tables = Array.init shard_count (fun _ -> Hashtbl.create 256) in
+      let visit cfg sleep =
+        let d = key cfg in
+        let s = Hashtbl.hash d land mask in
+        Mutex.lock locks.(s);
+        let cell =
+          match Hashtbl.find_opt tables.(s) d with
+          | Some cell -> cell
+          | None ->
+              let cell = ref [] in
+              Hashtbl.add tables.(s) d cell;
+              cell
+        in
+        let verdict = visit_cell cell sleep in
+        Mutex.unlock locks.(s);
+        verdict
+      in
+      ( visit,
+        (fun () -> Array.map Hashtbl.length tables),
+        fun () -> 0 )
+
+type ('s, 'm) item = {
+  it_cfg : ('s, 'm) cfg;
+  it_sleep : step list;
+  it_path : step list;  (* reversed *)
+}
+
+type ('s, 'm) slice_out = {
+  out_children : ('s, 'm) item list;  (* reversed *)
+  out_transitions : int;
+  out_fresh : int;
+  out_dedup : int;
+  out_sleeps : int;
+  out_trunc : bool;
+  out_viols : (Consensus.Checker.violation * step list) list;  (* reversed *)
+}
+
+let explore_par ?(give_n = true) ?(give_diameter = false) ?pool ?(jobs = 1)
+    ?obs config algorithm ~topology ~inputs =
+  let owned, pool =
+    match pool with
+    | Some p -> (None, Some p)
+    | None ->
+        if jobs <= 1 then (None, None)
+        else
+          let p = Par.create ~domains:jobs () in
+          (Some p, Some p)
+  in
+  match pool with
+  | None -> explore ~give_n ~give_diameter ?obs config algorithm ~topology ~inputs
+  | Some pool ->
+      Fun.protect
+        ~finally:(fun () ->
+          match owned with Some p -> Par.shutdown p | None -> ())
+        (fun () ->
+          if Par.size pool <= 1 then
+            explore ~give_n ~give_diameter ?obs config algorithm ~topology
+              ~inputs
+          else begin
+            let rt = make_rt ~give_n ~give_diameter algorithm ~topology ~inputs in
+            let shard_count =
+              let want = 4 * Par.size pool in
+              let rec pow2 k = if k >= want then k else pow2 (2 * k) in
+              pow2 8
+            in
+            let visit, occupancy, collisions =
+              make_sharded_seen config rt ~shard_count
+            in
+            let steals_before = (Par.stats pool).Par.steals in
+            let states = ref 0 in
+            let transitions = ref 0 in
+            let dedup_hits = ref 0 in
+            let sleep_skips = ref 0 in
+            let truncated = ref false in
+            let violations = ref [] in
+            let merge_violation (v, path) =
+              if not (List.mem_assoc v !violations) then
+                violations := (v, path) :: !violations
+            in
+            (* Initial configuration on the calling domain; its violations
+               are recorded directly (paths are already chronological at
+               the root). *)
+            let initial =
+              initial_cfg rt ~record:(fun v path ->
+                  merge_violation (v, List.rev path))
+            in
+            let stop () =
+              (config.stop_at_first_violation && !violations <> [])
+              || !states > config.max_states
+            in
+            (* Each level fans its frontier out as contiguous slices; a
+               slice dedups each item against the sharded seen-set and, if
+               the visit is not subsumed, expands it exactly as the serial
+               DFS would (same step order, same sleep-set algebra). All
+               counters and violations are slice-local and merged in slice
+               order on the calling domain, so the only cross-domain
+               mutation is the locked seen-set. *)
+            let process depth slice =
+              let transitions = ref 0 in
+              let fresh = ref 0 in
+              let dedup = ref 0 in
+              let sleeps = ref 0 in
+              let trunc = ref false in
+              let viols = ref [] in
+              let children = ref [] in
+              let record v path = viols := (v, List.rev path) :: !viols in
+              Array.iter
+                (fun item ->
+                  match visit item.it_cfg item.it_sleep with
+                  | `Dedup -> incr dedup
+                  | (`Fresh | `Revisit) as verdict ->
+                      if verdict = `Fresh then incr fresh;
+                      let steps = enabled config rt item.it_cfg in
+                      (match steps with
+                      | [] ->
+                          quiescent_check config ~record item.it_cfg
+                            ~path:item.it_path
+                      | _ :: _ when depth >= config.max_depth -> trunc := true
+                      | _ :: _ ->
+                          let rec siblings all = function
+                            | [] -> ()
+                            | step :: rest ->
+                                if mem_step step item.it_sleep then begin
+                                  incr sleeps;
+                                  siblings all rest
+                                end
+                                else begin
+                                  let path = step :: item.it_path in
+                                  let child =
+                                    apply rt ~record ~transitions item.it_cfg
+                                      step ~path
+                                  in
+                                  let child_sleep =
+                                    List.filter (independent step) all
+                                  in
+                                  children :=
+                                    {
+                                      it_cfg = child;
+                                      it_sleep = child_sleep;
+                                      it_path = path;
+                                    }
+                                    :: !children;
+                                  siblings (step :: all) rest
+                                end
+                          in
+                          siblings item.it_sleep steps))
+                slice;
+              {
+                out_children = !children;
+                out_transitions = !transitions;
+                out_fresh = !fresh;
+                out_dedup = !dedup;
+                out_sleeps = !sleeps;
+                out_trunc = !trunc;
+                out_viols = !viols;
+              }
+            in
+            let frontier =
+              ref [| { it_cfg = initial; it_sleep = []; it_path = [] } |]
+            in
+            let depth = ref 0 in
+            while Array.length !frontier > 0 && not (stop ()) do
+              let items = !frontier in
+              let len = Array.length items in
+              let slice_count = min len (4 * Par.size pool) in
+              let slices =
+                Array.init slice_count (fun k ->
+                    let lo = len * k / slice_count in
+                    let hi = len * (k + 1) / slice_count in
+                    Array.sub items lo (hi - lo))
+              in
+              let outs = Par.map pool (process !depth) slices in
+              let next = ref [] in
+              Array.iter
+                (fun out ->
+                  states := !states + out.out_fresh;
+                  transitions := !transitions + out.out_transitions;
+                  dedup_hits := !dedup_hits + out.out_dedup;
+                  sleep_skips := !sleep_skips + out.out_sleeps;
+                  if out.out_trunc then truncated := true;
+                  List.iter merge_violation (List.rev out.out_viols);
+                  next := List.rev_append out.out_children !next)
+                outs;
+              if !states > config.max_states then truncated := true;
+              frontier := Array.of_list (List.rev !next);
+              incr depth
+            done;
+            let result =
+              {
+                states = !states;
+                transitions = !transitions;
+                dedup_hits = !dedup_hits;
+                sleep_skips = !sleep_skips;
+                collisions = collisions ();
+                violations = List.rev !violations;
+                truncated = !truncated;
+              }
+            in
+            let steals = (Par.stats pool).Par.steals - steals_before in
+            record_obs obs result ~steals:(Some steals)
+              ~occupancy:(Some (occupancy ()));
+            result
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Reachable-configuration sampling (bench B7, fingerprint tests)      *)
+(* ------------------------------------------------------------------ *)
+
+type ('s, 'm) snapshot_set = {
+  ss_rt : ('s, 'm) rt;
+  ss_cfgs : ('s, 'm) cfg array;
+}
+
+let sample ?(give_n = true) ?(give_diameter = false) config algorithm ~topology
+    ~inputs ~max_samples =
+  let rt = make_rt ~give_n ~give_diameter algorithm ~topology ~inputs in
+  let quiet _ _ = () in
+  let seen = Hashtbl.create 1024 in
+  let collected = ref [] in
+  let count = ref 0 in
+  let q = Queue.create () in
+  let push cfg ~depth =
+    (* Keyed on the Marshal digest regardless of hooks: the sample must be
+       keying-neutral ground truth for comparing the two key functions. *)
+    if !count < max_samples then begin
+      let d = key cfg in
+      if not (Hashtbl.mem seen d) then begin
+        Hashtbl.add seen d ();
+        collected := cfg :: !collected;
+        incr count;
+        Queue.add (cfg, depth) q
       end
     end
   in
+  let transitions = ref 0 in
+  push (initial_cfg rt ~record:quiet) ~depth:0;
+  while !count < max_samples && not (Queue.is_empty q) do
+    let cfg, depth = Queue.pop q in
+    if depth < config.max_depth then
+      List.iter
+        (fun step ->
+          push (apply rt ~record:quiet ~transitions cfg step ~path:[])
+            ~depth:(depth + 1))
+        (enabled config rt cfg)
+  done;
+  { ss_rt = rt; ss_cfgs = Array.of_list (List.rev !collected) }
 
-  let initial =
-    let inits = Array.map algorithm.Amac.Algorithm.init ctxs in
-    let nodes =
-      Array.map
-        (fun (st, _) ->
-          { st; outgoing = None; undelivered = []; decided = None; crashed = false })
-        inits
-    in
-    Array.iteri
-      (fun i (_, actions) -> apply_actions nodes i actions ~path:[])
-      inits;
-    check_safety nodes ~path:[];
-    { nodes; crashes_used = 0 }
-  in
-  (try dfs initial ~depth:0 ~sleep:[] ~path:[] with Violation_found -> ());
-  {
-    states = !states;
-    transitions = !transitions;
-    dedup_hits = !dedup_hits;
-    sleep_skips = !sleep_skips;
-    violations = List.rev !violations;
-    truncated = !truncated;
-  }
+let sample_size ss = Array.length ss.ss_cfgs
+
+let keys_marshal ss =
+  Array.fold_left (fun acc cfg -> acc lxor Hashtbl.hash (key cfg)) 0 ss.ss_cfgs
+
+let keys_fast ss =
+  match ss.ss_rt.fingerprint with
+  | None -> invalid_arg "Explore.keys_fast: algorithm has no fingerprint hooks"
+  | Some fp ->
+      (* Blank each per-node cache first so the pass times the full
+         structural hash, not cache hits left by a previous pass. *)
+      Array.fold_left
+        (fun acc cfg ->
+          Array.fill cfg.fps 0 (Array.length cfg.fps) (-1);
+          acc lxor fp cfg)
+        0 ss.ss_cfgs
+
+let clones_marshal ss =
+  Array.fold_left
+    (fun acc cfg -> acc lxor Array.length (marshal_snapshot cfg.nodes))
+    0 ss.ss_cfgs
+
+let clones_fast ss =
+  match ss.ss_rt.algorithm.Amac.Algorithm.hooks with
+  | None -> invalid_arg "Explore.clones_fast: algorithm has no clone hook"
+  | Some h ->
+      Array.fold_left
+        (fun acc cfg ->
+          acc
+          lxor Array.length
+                 (Array.map (fun nc -> { nc with st = h.clone nc.st }) cfg.nodes))
+        0 ss.ss_cfgs
+
+let key_pairs ss =
+  match ss.ss_rt.fingerprint with
+  | None -> invalid_arg "Explore.key_pairs: algorithm has no fingerprint hooks"
+  | Some fp -> Array.map (fun cfg -> (key cfg, fp cfg)) ss.ss_cfgs

@@ -16,16 +16,22 @@
     including mid-broadcast ones) is a branch.
 
     Tractability comes from two reductions:
-    - {b state-hash deduplication}: configurations are keyed by the digest
-      of their marshalled bytes, so converging interleavings are explored
-      once;
+    - {b state deduplication}: configurations are keyed — by a fast
+      structural fingerprint when the algorithm provides
+      {!Amac.Algorithm.hooks} (an int-keyed open-addressed table, no
+      marshalling, no MD5), falling back to the digest of the marshalled
+      bytes otherwise — so converging interleavings are explored once;
     - {b sleep sets} (Godefroid-style partial-order reduction): after
       exploring a transition [t] from a configuration, [t] is put to sleep
       in the siblings' subtrees and stays asleep as long as only transitions
       independent of it execute — deliveries to distinct receivers commute,
       so one order of each commuting pair is pruned. A configuration is
       re-explored only when reached with a sleep set no stored visit
-      subsumes, which keeps the reduction sound for state matching. *)
+      subsumes, which keeps the reduction sound for state matching.
+
+    Cloning a configuration for a child transition likewise uses the
+    algorithm's [clone] hook when present, instead of a Marshal
+    round-trip. *)
 
 type step =
   | Deliver of { sender : int; receiver : int }
@@ -43,17 +49,29 @@ type config = {
           decided (meaningful for crash-free runs of terminating
           algorithms; a crash legitimately blocks e.g. two-phase) *)
   stop_at_first_violation : bool;
+  keying : [ `Fast | `Marshal ];
+      (** [`Fast] keys the seen-set on the hooks' structural fingerprint
+          (63-bit; distinct states alias with probability ~2^-63 per
+          pair); [`Marshal] forces the digest-of-marshalled-bytes
+          fallback. Algorithms without hooks always use the fallback. *)
+  check_collisions : bool;
+      (** debug mode for [`Fast]: additionally compute the Marshal digest
+          per visit and count fingerprints claimed by two distinct
+          digests (reported in [stats.collisions]) *)
 }
 
 (** [{ max_depth = 64; max_states = 2_000_000; crash_budget = 0;
-    check_termination = false; stop_at_first_violation = true }] *)
+    check_termination = false; stop_at_first_violation = true;
+    keying = `Fast; check_collisions = false }] *)
 val default : config
 
 type stats = {
   states : int;  (** distinct configurations visited *)
   transitions : int;  (** steps applied *)
-  dedup_hits : int;  (** revisits answered by the state-hash table *)
+  dedup_hits : int;  (** revisits answered by the seen-set *)
   sleep_skips : int;  (** enabled transitions pruned by sleep sets *)
+  collisions : int;  (** fingerprint/digest disagreements; 0 unless
+                         [check_collisions] *)
   violations : (Consensus.Checker.violation * step list) list;
       (** each distinct violation with a schedule reaching it *)
   truncated : bool;
@@ -62,13 +80,93 @@ type stats = {
 }
 
 (** [explore config algorithm ~topology ~inputs] — exhaustive up to the
-    budgets; [give_n] / [give_diameter] as in {!Amac.Engine.run}.
+    budgets; [give_n] / [give_diameter] as in {!Amac.Engine.run}. [?obs]
+    records [explore_*] throughput counters into the registry on return.
     @raise Invalid_argument on input/topology size mismatch. *)
 val explore :
+  ?give_n:bool ->
+  ?give_diameter:bool ->
+  ?obs:Obs.Metrics.registry ->
+  config ->
+  ('s, 'm) Amac.Algorithm.t ->
+  topology:Amac.Topology.t ->
+  inputs:int array ->
+  stats
+
+(** [explore_par ?pool ?jobs config algorithm ~topology ~inputs] — the
+    same state space walked level-synchronously: each frontier level is
+    sliced across a {!Par} domain pool, every slice dedups against a
+    fingerprint-partitioned sharded seen-set (per-shard locks) and expands
+    its survivors with exactly the serial step order and sleep-set
+    algebra. Slice-local counters and violations merge in slice order on
+    the calling domain.
+
+    Soundness matches {!explore}: a visit is skipped only when a stored
+    visit subsumes it. The {e verdict} (violations vs clean, up to the
+    budgets) is the same; [stats] may differ slightly from the serial DFS
+    — visit order changes which sleep sets reach a configuration first,
+    and [stop_at_first_violation] / [max_states] cut at level rather than
+    step granularity. Memory is proportional to the widest level.
+
+    [?pool] reuses a caller-owned pool (its size wins over [jobs]);
+    otherwise a throwaway pool of [jobs] domains is created and shut down.
+    [jobs <= 1] without a pool is exactly {!explore}. [?obs] additionally
+    records steal counts and shard occupancy. *)
+val explore_par :
+  ?give_n:bool ->
+  ?give_diameter:bool ->
+  ?pool:Par.pool ->
+  ?jobs:int ->
+  ?obs:Obs.Metrics.registry ->
+  config ->
+  ('s, 'm) Amac.Algorithm.t ->
+  topology:Amac.Topology.t ->
+  inputs:int array ->
+  stats
+
+(** {1 Reachable-configuration sampling}
+
+    A keying-neutral batch of distinct reachable configurations (BFS from
+    the initial one, deduplicated by Marshal digest), exposed so
+    benchmarks and tests can time / compare the two key and clone
+    implementations on exactly the states the explorer visits, without
+    the library timing itself. *)
+
+type ('s, 'm) snapshot_set
+
+(** [sample config algorithm ~topology ~inputs ~max_samples] — up to
+    [max_samples] distinct configurations, respecting [config]'s depth
+    and crash budgets. Violations encountered while sampling are
+    ignored. *)
+val sample :
   ?give_n:bool ->
   ?give_diameter:bool ->
   config ->
   ('s, 'm) Amac.Algorithm.t ->
   topology:Amac.Topology.t ->
   inputs:int array ->
-  stats
+  max_samples:int ->
+  ('s, 'm) snapshot_set
+
+val sample_size : ('s, 'm) snapshot_set -> int
+
+(** Key every sampled configuration via Marshal + Digest; returns a fold
+    of the keys (a sink, so the work cannot be optimised away). *)
+val keys_marshal : ('s, 'm) snapshot_set -> int
+
+(** Key every sampled configuration via the fingerprint hooks.
+    @raise Invalid_argument if the algorithm has no hooks. *)
+val keys_fast : ('s, 'm) snapshot_set -> int
+
+(** Clone every sampled configuration's nodes via a Marshal round-trip. *)
+val clones_marshal : ('s, 'm) snapshot_set -> int
+
+(** Clone every sampled configuration's nodes via the clone hook.
+    @raise Invalid_argument if the algorithm has no hooks. *)
+val clones_fast : ('s, 'm) snapshot_set -> int
+
+(** [(Marshal digest, fingerprint)] per sampled configuration — the raw
+    material for the fingerprint soundness property (digest-equal implies
+    fingerprint-equal) and for measuring the collision rate.
+    @raise Invalid_argument if the algorithm has no hooks. *)
+val key_pairs : ('s, 'm) snapshot_set -> (string * int) array

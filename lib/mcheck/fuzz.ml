@@ -471,24 +471,106 @@ let pp_counterexample fmt cx =
        Consensus.Checker.pp_violation)
     cx.violations cx.timeline
 
+(* First failing iteration in [lo, hi), with its (unshrunk) case. Pure in
+   (config, algorithm, seed, lo, hi): every iteration re-derives its own
+   generator, so the same range scanned on any domain yields the same
+   answer — the keystone of [run_par]'s determinism. *)
+let find_failure config algorithm ~seed ~lo ~hi =
+  let rec scan i =
+    if i >= hi then None
+    else
+      let case, first = generate config algorithm ~seed ~iteration:i in
+      if violations_of config first <> [] then Some (i, case) else scan (i + 1)
+  in
+  scan lo
+
+let finalize config algorithm ~iteration case =
+  let shrunk = shrink config algorithm case in
+  let replay = run_case ~record_trace:true config algorithm shrunk in
+  {
+    iteration;
+    case = shrunk;
+    original = case;
+    violations = violations_of config replay;
+    timeline = Amac.Trace.timeline ~n:shrunk.n replay.outcome.trace;
+  }
+
 let run config algorithm ~seed =
-  let result = ref None in
-  let iteration = ref 0 in
-  while !result = None && !iteration < config.iterations do
-    let case, first = generate config algorithm ~seed ~iteration:!iteration in
-    if violations_of config first <> [] then begin
-      let shrunk = shrink config algorithm case in
-      let replay = run_case ~record_trace:true config algorithm shrunk in
-      result :=
-        Some
-          {
-            iteration = !iteration;
-            case = shrunk;
-            original = case;
-            violations = violations_of config replay;
-            timeline = Amac.Trace.timeline ~n:shrunk.n replay.outcome.trace;
-          }
-    end;
-    incr iteration
-  done;
-  { iterations_run = !iteration; counterexample = !result }
+  match find_failure config algorithm ~seed ~lo:0 ~hi:config.iterations with
+  | None -> { iterations_run = config.iterations; counterexample = None }
+  | Some (iteration, case) ->
+      {
+        iterations_run = iteration + 1;
+        counterexample = Some (finalize config algorithm ~iteration case);
+      }
+
+(* Parallel campaign over a domain pool. Iterations are scanned in waves
+   of contiguous chunks; a wave with failures reports the MINIMUM failing
+   iteration — exactly the one the sequential scan would have stopped at,
+   since every earlier iteration was scanned clean in this or an earlier
+   wave. Shrinking and replay run on the calling domain. Hence the outcome
+   (and anything printed from it) is byte-identical to [run]'s at any job
+   count. *)
+let run_par ?pool ?(jobs = 1) config algorithm ~seed =
+  let owned, pool =
+    match pool with
+    | Some p -> (None, Some p)
+    | None ->
+        if jobs <= 1 then (None, None)
+        else
+          let p = Par.create ~domains:jobs () in
+          (Some p, Some p)
+  in
+  match pool with
+  | None -> run config algorithm ~seed
+  | Some pool ->
+      Fun.protect
+        ~finally:(fun () ->
+          match owned with Some p -> Par.shutdown p | None -> ())
+        (fun () ->
+          if Par.size pool <= 1 then run config algorithm ~seed
+          else begin
+            (* Small chunks: each iteration is already tens of
+               microseconds, so a chunk of a few amortizes the
+               cross-domain wakeup, keeps the per-domain allocation
+               bursts short (long concurrent bursts amplify minor-GC
+               stop-the-world stalls), and bounds wasted work past the
+               first failure to wave granularity. *)
+            let chunk = 4 in
+            let wave = Par.size pool * 4 * chunk in
+            let rec waves start =
+              if start >= config.iterations then
+                { iterations_run = config.iterations; counterexample = None }
+              else
+                let stop = min config.iterations (start + wave) in
+                let chunks =
+                  Array.init
+                    ((stop - start + chunk - 1) / chunk)
+                    (fun k ->
+                      let lo = start + (k * chunk) in
+                      (lo, min stop (lo + chunk)))
+                in
+                let hits =
+                  Par.map pool
+                    (fun (lo, hi) -> find_failure config algorithm ~seed ~lo ~hi)
+                    chunks
+                  |> Array.to_list
+                  |> List.filter_map Fun.id
+                in
+                match hits with
+                | [] -> waves stop
+                | first :: rest ->
+                    let iteration, case =
+                      List.fold_left
+                        (fun (bi, bc) (i, c) ->
+                          if i < bi then (i, c) else (bi, bc))
+                        first rest
+                    in
+                    {
+                      iterations_run = iteration + 1;
+                      counterexample =
+                        Some (finalize config algorithm ~iteration case);
+                    }
+            in
+            waves 0
+          end)

@@ -94,6 +94,25 @@ val pp_counterexample : Format.formatter -> counterexample -> unit
     shrinks and stops) or [config.iterations] clean iterations pass. *)
 val run : config -> ('s, 'm) Amac.Algorithm.t -> seed:int -> outcome
 
+(** [run_par ?pool ?jobs config algorithm ~seed] — the same campaign
+    spread over a {!Par} domain pool. Iterations are scanned in waves of
+    contiguous chunks; each iteration re-derives its generator from
+    [(seed, iteration)], so chunks are independent, and a wave with
+    failures reports the {e minimum} failing iteration — the one the
+    sequential scan stops at. Shrinking runs on the calling domain. The
+    outcome is therefore byte-identical to {!run}'s at any job count.
+
+    [?pool] reuses a caller-owned pool (its size wins over [jobs]);
+    otherwise a throwaway pool of [jobs] domains is created and shut
+    down. [jobs <= 1] without a pool is exactly {!run}. *)
+val run_par :
+  ?pool:Par.pool ->
+  ?jobs:int ->
+  config ->
+  ('s, 'm) Amac.Algorithm.t ->
+  seed:int ->
+  outcome
+
 (** [generate config algorithm ~seed ~iteration] regenerates one iteration's
     case — including the recorded schedule, which requires running it — and
     returns it with the run's verdict. This is how a reported seed is

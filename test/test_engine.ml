@@ -18,6 +18,7 @@ let once : (once_state, string) A.t =
           [ A.Decide ctx.input ]
         end);
     msg_ids = (fun _ -> 0);
+    hooks = None;
   }
 
 (* Probe 2: attempt two broadcasts back-to-back at init — the second must be
@@ -29,6 +30,7 @@ let greedy : (unit, string) A.t =
     on_receive = (fun _ctx () _msg -> []);
     on_ack = (fun ctx () -> [ A.Decide ctx.input ]);
     msg_ids = (fun _ -> 0);
+    hooks = None;
   }
 
 (* Probe 3: count deliveries; decide the count when it reaches [target]. *)
@@ -44,6 +46,7 @@ let counter ~target : (counter_state, string) A.t =
         if st.seen = target then [ A.Decide st.seen ] else []);
     on_ack = (fun _ctx _st -> []);
     msg_ids = (fun _ -> 0);
+    hooks = None;
   }
 
 (* Probe 4: forever-rebroadcasting node (for max_time tests). *)
@@ -54,6 +57,7 @@ let forever : (unit, string) A.t =
     on_receive = (fun _ctx () _msg -> []);
     on_ack = (fun _ctx () -> [ A.Broadcast "x" ]);
     msg_ids = (fun _ -> 0);
+    hooks = None;
   }
 
 let run ?identities ?give_n ?crashes ?max_time ?stop_when_all_decided
@@ -257,6 +261,7 @@ let test_irrevocability_tracking () =
       on_receive = (fun _ctx () _msg -> []);
       on_ack = (fun _ctx () -> [ A.Decide 0; A.Decide 1; A.Decide 0 ]);
       msg_ids = (fun _ -> 0);
+      hooks = None;
     }
   in
   let outcome =

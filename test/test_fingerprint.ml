@@ -1,0 +1,172 @@
+(* The fingerprint hasher and its open-addressed table: the combinators
+   must separate the structures the explorer distinguishes (field order,
+   list lengths, string boundaries), the table must agree with a Hashtbl
+   model under arbitrary operation sequences, and — the soundness property
+   the explorer's `Fast keying rests on — over a large batch of real
+   reachable configurations the fingerprint must be deterministic and
+   collision-free against the Marshal digest. *)
+
+module F = Amac.Fingerprint
+module Explore = Mcheck.Explore
+
+let fp_of f = F.to_int (f F.empty)
+
+let test_combinators_separate () =
+  let cases =
+    [
+      ("int value", fp_of (F.int 1), fp_of (F.int 2));
+      ( "field order",
+        fp_of (fun a -> a |> F.int 1 |> F.int 2),
+        fp_of (fun a -> a |> F.int 2 |> F.int 1) );
+      ("bool", fp_of (F.bool true), fp_of (F.bool false));
+      (* a bool is not the int it encodes to at a different position *)
+      ( "list length",
+        fp_of (F.list F.int [ 0 ]),
+        fp_of (F.list F.int [ 0; 0 ]) );
+      ( "list split",
+        fp_of (fun a -> a |> F.list F.int [ 1 ] |> F.list F.int [ 2; 3 ]),
+        fp_of (fun a -> a |> F.list F.int [ 1; 2 ] |> F.list F.int [ 3 ]) );
+      ("option", fp_of (F.option F.int None), fp_of (F.option F.int (Some 0)));
+      ("string tail", fp_of (F.string "a"), fp_of (F.string "a\000"));
+      ( "string boundary",
+        (* both sides of the 8-byte fast path *)
+        fp_of (F.string "abcdefgh"),
+        fp_of (F.string "abcdefgi") );
+      ( "string split",
+        fp_of (fun a -> a |> F.string "ab" |> F.string "c"),
+        fp_of (fun a -> a |> F.string "a" |> F.string "bc") );
+      ( "array vs reversed",
+        fp_of (F.array F.int [| 1; 2; 3 |]),
+        fp_of (F.array F.int [| 3; 2; 1 |]) );
+    ]
+  in
+  List.iter
+    (fun (name, a, b) ->
+      Alcotest.(check bool) (name ^ " separated") true (a <> b))
+    cases
+
+let test_to_int_range_and_determinism () =
+  List.iter
+    (fun acc ->
+      let k = F.to_int acc in
+      Alcotest.(check bool) "non-negative" true (k >= 0);
+      Alcotest.(check int) "deterministic" k (F.to_int acc))
+    [ F.empty; F.int 0 F.empty; F.int min_int F.empty; F.string "x" F.empty ]
+
+(* Low bits feed table/shard indexing directly, so neighbouring inputs
+   must not collide modulo a small power of two. *)
+let test_to_int_low_bits_mixed () =
+  let mask = 255 in
+  let buckets = Hashtbl.create 64 in
+  for i = 0 to 63 do
+    Hashtbl.replace buckets (F.to_int (F.int i F.empty) land mask) ()
+  done;
+  Alcotest.(check bool) "64 consecutive ints spread over >= 32 of 256 buckets"
+    true
+    (Hashtbl.length buckets >= 32)
+
+let prop_table_matches_hashtbl =
+  (* Keys are drawn small and signed so duplicates, 0 and negatives all
+     occur; the sequence is long enough to force several grows. *)
+  QCheck.Test.make ~name:"Fingerprint.Table behaves like Hashtbl" ~count:100
+    QCheck.(list (pair (int_range (-50) 50) small_int))
+    (fun ops ->
+      let t = F.Table.create 4 in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (key, v) ->
+          F.Table.set t key v;
+          Hashtbl.replace model key v;
+          F.Table.length t = Hashtbl.length model
+          && F.Table.find t key = Some v)
+        ops
+      &&
+      Hashtbl.fold
+        (fun key v ok -> ok && F.Table.find t key = Some v)
+        model true
+      && F.Table.fold (fun _ _ n -> n + 1) t 0 = Hashtbl.length model)
+
+let test_table_upsert () =
+  let t = F.Table.create 1 in
+  F.Table.upsert t 7 (function None -> 1 | Some n -> n + 1);
+  F.Table.upsert t 7 (function None -> 1 | Some n -> n + 1);
+  F.Table.upsert t min_int (function None -> 10 | Some n -> n);
+  Alcotest.(check (option int)) "bumped twice" (Some 2) (F.Table.find t 7);
+  Alcotest.(check (option int)) "negative key" (Some 10)
+    (F.Table.find t min_int);
+  Alcotest.(check int) "two entries" 2 (F.Table.length t)
+
+let test_table_growth_keeps_entries () =
+  let t = F.Table.create 4 in
+  for i = 0 to 999 do
+    F.Table.set t (i * 7919) i
+  done;
+  Alcotest.(check int) "1000 entries" 1000 (F.Table.length t);
+  for i = 0 to 999 do
+    if F.Table.find t (i * 7919) <> Some i then
+      Alcotest.failf "lost key %d across grows" (i * 7919)
+  done
+
+(* The soundness property behind `Fast keying, over the states the
+   explorer actually visits: sampling is keyed on the Marshal digest, so
+   every sampled configuration is digest-distinct — any two of them
+   sharing a fingerprint is a genuine 63-bit collision. With 20k states
+   the expected count is ~2^2·10^8/2^64 ≈ 2e-11: assert exactly zero. *)
+let test_key_pairs_collision_free () =
+  let sample () =
+    Explore.key_pairs
+      (Explore.sample
+         { Explore.default with max_states = 5_000_000 }
+         Consensus.Two_phase.algorithm
+         ~topology:(Amac.Topology.clique 3)
+         ~inputs:[| 0; 1; 1 |] ~max_samples:20_000)
+  in
+  let pairs = sample () in
+  Alcotest.(check int) "sampled the full batch" 20_000 (Array.length pairs);
+  let by_fp = Hashtbl.create (Array.length pairs) in
+  let collisions = ref 0 in
+  Array.iter
+    (fun (digest, fp) ->
+      match Hashtbl.find_opt by_fp fp with
+      | None -> Hashtbl.add by_fp fp digest
+      | Some d when d = digest -> () (* digest-equal: agreement is required *)
+      | Some _ -> incr collisions)
+    pairs;
+  Alcotest.(check int) "no distinct-digest fingerprint collisions" 0
+    !collisions;
+  (* Digest-equal ⇒ fingerprint-equal, across independent recomputations:
+     the same sample is regenerated (BFS is deterministic), so digests
+     line up pairwise and the fingerprints must too. *)
+  let again = sample () in
+  Array.iteri
+    (fun i (digest, fp) ->
+      let digest', fp' = again.(i) in
+      Alcotest.(check string) "same state sampled" digest digest';
+      Alcotest.(check int) "digest-equal implies fingerprint-equal" fp fp')
+    pairs
+
+let () =
+  Alcotest.run "fingerprint"
+    [
+      ( "combinators",
+        [
+          Alcotest.test_case "separate distinct structures" `Quick
+            test_combinators_separate;
+          Alcotest.test_case "to_int range + determinism" `Quick
+            test_to_int_range_and_determinism;
+          Alcotest.test_case "to_int mixes low bits" `Quick
+            test_to_int_low_bits_mixed;
+        ] );
+      ( "table",
+        [
+          QCheck_alcotest.to_alcotest prop_table_matches_hashtbl;
+          Alcotest.test_case "upsert" `Quick test_table_upsert;
+          Alcotest.test_case "growth keeps entries" `Quick
+            test_table_growth_keeps_entries;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "collision-free over 20k reachable states"
+            `Quick test_key_pairs_collision_free;
+        ] );
+    ]

@@ -138,6 +138,49 @@ let test_explorer_rejects_bad_inputs () =
         (Explore.explore Explore.default Consensus.Two_phase.algorithm
            ~topology:(Amac.Topology.clique 3) ~inputs:[| 0 |]))
 
+let test_explorer_keying_equivalence () =
+  (* The fingerprint-keyed seen-set must carve up the state space exactly
+     as the Marshal+MD5 one: same states, same transitions, same
+     reduction counters — on both the correct and the violating
+     algorithm. *)
+  let check name algorithm =
+    let run keying =
+      Explore.explore
+        { Explore.default with crash_budget = 1; keying }
+        algorithm
+        ~topology:(Amac.Topology.clique 2) ~inputs:[| 0; 1 |]
+    in
+    let fast = run `Fast and marshal = run `Marshal in
+    Alcotest.(check int) (name ^ ": same states") marshal.Explore.states
+      fast.Explore.states;
+    Alcotest.(check int) (name ^ ": same transitions")
+      marshal.Explore.transitions fast.Explore.transitions;
+    Alcotest.(check int) (name ^ ": same dedup hits")
+      marshal.Explore.dedup_hits fast.Explore.dedup_hits;
+    Alcotest.(check int) (name ^ ": same sleep skips")
+      marshal.Explore.sleep_skips fast.Explore.sleep_skips;
+    Alcotest.(check int) (name ^ ": same violation count")
+      (List.length marshal.Explore.violations)
+      (List.length fast.Explore.violations)
+  in
+  check "two-phase" Consensus.Two_phase.algorithm;
+  check "literal" Consensus.Two_phase.literal
+
+let test_explorer_collision_check () =
+  (* Debug mode: every `Fast lookup is double-checked against the Marshal
+     digest; with 63-bit fingerprints a disagreement over this space is a
+     code bug, not bad luck. *)
+  let stats =
+    Explore.explore
+      { Explore.default with crash_budget = 1; check_collisions = true }
+      Consensus.Two_phase.algorithm
+      ~topology:(Amac.Topology.clique 2) ~inputs:[| 0; 1 |]
+  in
+  Alcotest.(check int) "no fingerprint/digest disagreements" 0
+    stats.Explore.collisions;
+  Alcotest.(check bool) "revisits actually checked" true
+    (stats.Explore.dedup_hits > 0)
+
 let () =
   Alcotest.run "mcheck"
     [
@@ -166,5 +209,9 @@ let () =
             test_explorer_crash_branching;
           Alcotest.test_case "input validation" `Quick
             test_explorer_rejects_bad_inputs;
+          Alcotest.test_case "fast and marshal keying agree" `Quick
+            test_explorer_keying_equivalence;
+          Alcotest.test_case "collision check finds none" `Quick
+            test_explorer_collision_check;
         ] );
     ]

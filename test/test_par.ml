@@ -1,0 +1,185 @@
+(* The domain pool under its stated contract: results land in input order
+   at any pool size, the lowest-index exception wins, pools are reusable
+   across maps and safe to shut down, and the parallel entry points built
+   on it (Fuzz.run_par, Explore.explore_par) produce outcomes
+   byte-identical / verdict-equal to their sequential baselines. *)
+
+let squares n = Array.init n (fun i -> i * i)
+
+(* Per-element work varies by two orders of magnitude so stealing and
+   completion order genuinely scramble execution; the result array must
+   not care. *)
+let busy i =
+  let rounds = 1 + (i * 37 mod 100) * 50 in
+  let acc = ref 0 in
+  for k = 1 to rounds do
+    acc := (!acc + k) land 0xFFFF
+  done;
+  ignore !acc;
+  i * i
+
+let test_map_order () =
+  List.iter
+    (fun domains ->
+      Par.with_pool ~domains (fun pool ->
+          let got = Par.map pool busy (Array.init 400 Fun.id) in
+          Alcotest.(check bool)
+            (Printf.sprintf "input order at %d domains" domains)
+            true
+            (got = squares 400)))
+    [ 1; 2; 4 ]
+
+let test_map_empty_and_singleton () =
+  Par.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check bool) "empty" true (Par.map pool busy [||] = [||]);
+      Alcotest.(check bool) "singleton" true (Par.map pool busy [| 5 |] = [| 25 |]))
+
+let test_lowest_index_exception_wins () =
+  Par.with_pool ~domains:4 (fun pool ->
+      let f i =
+        if i = 3 || i = 17 then failwith (Printf.sprintf "boom %d" i) else i
+      in
+      match Par.map pool f (Array.init 32 Fun.id) with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+          Alcotest.(check string) "first failing index reported" "boom 3" msg)
+
+let test_pool_survives_exception () =
+  Par.with_pool ~domains:2 (fun pool ->
+      (try ignore (Par.map pool (fun _ -> failwith "x") [| 0; 1; 2 |])
+       with Failure _ -> ());
+      Alcotest.(check bool) "usable after a failed map" true
+        (Par.map pool busy (Array.init 50 Fun.id) = squares 50))
+
+let test_stats_and_size () =
+  let pool = Par.create ~domains:3 () in
+  Alcotest.(check int) "size" 3 (Par.size pool);
+  ignore (Par.map pool busy (Array.init 64 Fun.id));
+  ignore (Par.map pool busy (Array.init 36 Fun.id));
+  let stats = Par.stats pool in
+  Alcotest.(check int) "every task counted once" 100 stats.Par.tasks;
+  Alcotest.(check bool) "steal counter sane" true (stats.Par.steals >= 0);
+  Par.shutdown pool;
+  Par.shutdown pool (* idempotent *)
+
+let test_clamps_to_one () =
+  Par.with_pool ~domains:0 (fun pool ->
+      Alcotest.(check int) "clamped" 1 (Par.size pool);
+      Alcotest.(check bool) "inline map" true
+        (Par.map pool busy [| 1; 2 |] = [| 1; 4 |]))
+
+(* --- the parallel verification entry points against their baselines --- *)
+
+module Fuzz = Mcheck.Fuzz
+module Explore = Mcheck.Explore
+
+let clique_only = { Fuzz.default with iterations = 120; kinds = [ Fuzz.Clique ] }
+
+let render (o : Fuzz.outcome) =
+  Format.asprintf "iterations_run=%d %a" o.iterations_run
+    (Format.pp_print_option
+       ~none:(fun fmt () -> Format.pp_print_string fmt "clean")
+       Fuzz.pp_counterexample)
+    o.counterexample
+
+let test_run_par_identical_on_failure () =
+  (* The literal variant fails within the budget: the 4-domain campaign
+     must report the same minimum failing iteration, the same shrunk
+     counterexample — the same bytes. *)
+  let base = render (Fuzz.run clique_only Consensus.Two_phase.literal ~seed:1) in
+  List.iter
+    (fun jobs ->
+      let par =
+        render
+          (Fuzz.run_par ~jobs clique_only Consensus.Two_phase.literal ~seed:1)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "identical report at %d domains" jobs)
+        base par)
+    [ 2; 4 ]
+
+let test_run_par_identical_on_clean () =
+  let base =
+    render (Fuzz.run clique_only Consensus.Two_phase.algorithm ~seed:1)
+  in
+  let par =
+    render (Fuzz.run_par ~jobs:4 clique_only Consensus.Two_phase.algorithm ~seed:1)
+  in
+  Alcotest.(check string) "identical clean report" base par
+
+let test_run_par_shared_pool () =
+  Par.with_pool ~domains:4 (fun pool ->
+      let a = Fuzz.run_par ~pool clique_only Consensus.Two_phase.literal ~seed:1 in
+      let b = Fuzz.run clique_only Consensus.Two_phase.literal ~seed:1 in
+      Alcotest.(check string) "caller-owned pool, same outcome" (render b)
+        (render a))
+
+let test_explore_par_matches_serial () =
+  (* Exhaustive runs visit the same reachable set, so the distinct-state
+     count agrees exactly; transitions and the reduction counters are
+     visit-order dependent (which sleep set reaches a configuration first
+     decides what is pruned under it), so they are only sanity-bounded. *)
+  let config = { Explore.default with crash_budget = 1 } in
+  let run f =
+    f config Consensus.Two_phase.algorithm
+      ~topology:(Amac.Topology.clique 2) ~inputs:[| 0; 1 |]
+  in
+  let serial = run (fun c -> Explore.explore c) in
+  List.iter
+    (fun jobs ->
+      let par = run (fun c -> Explore.explore_par ~jobs c) in
+      Alcotest.(check int) "same states" serial.Explore.states
+        par.Explore.states;
+      Alcotest.(check bool) "transitions cover the states" true
+        (par.Explore.transitions >= par.Explore.states - 1);
+      Alcotest.(check bool) "clean verdict" true
+        (par.Explore.violations = [] && not par.Explore.truncated))
+    [ 2; 4 ]
+
+let test_explore_par_catches_literal () =
+  let stats =
+    Explore.explore_par ~jobs:4 Explore.default Consensus.Two_phase.literal
+      ~topology:(Amac.Topology.clique 3) ~inputs:[| 0; 1; 1 |]
+  in
+  match stats.Explore.violations with
+  | [] -> Alcotest.fail "parallel explorer missed the erratum"
+  | (violation, path) :: _ ->
+      Alcotest.(check bool) "agreement violation" true
+        (match violation with
+        | Consensus.Checker.Agreement_violation _ -> true
+        | _ -> false);
+      Alcotest.(check bool) "witness schedule attached" true (path <> [])
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map keeps input order" `Quick test_map_order;
+          Alcotest.test_case "empty + singleton" `Quick
+            test_map_empty_and_singleton;
+          Alcotest.test_case "lowest-index exception wins" `Quick
+            test_lowest_index_exception_wins;
+          Alcotest.test_case "pool survives an exception" `Quick
+            test_pool_survives_exception;
+          Alcotest.test_case "stats and size" `Quick test_stats_and_size;
+          Alcotest.test_case "domains clamped to >= 1" `Quick
+            test_clamps_to_one;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "byte-identical failure report (2/4 domains)"
+            `Quick test_run_par_identical_on_failure;
+          Alcotest.test_case "byte-identical clean report" `Quick
+            test_run_par_identical_on_clean;
+          Alcotest.test_case "caller-owned pool" `Quick
+            test_run_par_shared_pool;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "matches serial on exhaustive run" `Quick
+            test_explore_par_matches_serial;
+          Alcotest.test_case "catches the erratum" `Slow
+            test_explore_par_catches_literal;
+        ] );
+    ]

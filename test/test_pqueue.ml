@@ -32,6 +32,16 @@ let test_peek () =
   Alcotest.(check (pair int string)) "peek min" (1, "y") (Amac.Pqueue.peek q);
   Alcotest.(check int) "peek does not remove" 2 (Amac.Pqueue.length q)
 
+let test_of_list () =
+  let q = Amac.Pqueue.of_list [ (4, "a"); (1, "min"); (4, "b"); (2, "mid") ] in
+  Alcotest.(check int) "length" 4 (Amac.Pqueue.length q);
+  let popped = List.init 4 (fun _ -> Amac.Pqueue.pop q) in
+  (* min-key order, list order breaking the key-4 tie *)
+  Alcotest.(check bool) "sorted with FIFO ties" true
+    (popped = [ (1, "min"); (2, "mid"); (4, "a"); (4, "b") ]);
+  Alcotest.(check bool) "empty list" true
+    (Amac.Pqueue.is_empty (Amac.Pqueue.of_list []))
+
 let test_clear () =
   let q = Amac.Pqueue.create () in
   Amac.Pqueue.add q ~key:1 "x";
@@ -86,6 +96,7 @@ let () =
           Alcotest.test_case "ordering" `Quick test_ordering;
           Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
           Alcotest.test_case "peek" `Quick test_peek;
+          Alcotest.test_case "of_list" `Quick test_of_list;
           Alcotest.test_case "clear" `Quick test_clear;
           Alcotest.test_case "interleaved" `Quick test_interleaved;
           Alcotest.test_case "to_list" `Quick test_to_list;

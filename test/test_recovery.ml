@@ -46,6 +46,7 @@ let probe_algorithm ?(resend = true) p : (unit, string) A.t =
         p.acks.(i) <- p.acks.(i) + 1;
         []);
     msg_ids = (fun _ -> 0);
+    hooks = None;
   }
 
 let run ?resend ?(crashes = []) ?(recoveries = []) probe ~scheduler ~inputs =

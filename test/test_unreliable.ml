@@ -20,6 +20,7 @@ let probe : (probe_state, int) A.t =
         []);
     on_ack = (fun ctx _st -> [ A.Decide ctx.input ]);
     msg_ids = (fun _ -> 1);
+    hooks = None;
   }
 
 let line4 = Amac.Topology.line 4
