@@ -8,6 +8,10 @@ Checks, with a +/-30% tolerance on timing cells:
     the "states" column must match EXACTLY (state counts are deterministic,
     a drift there is a semantic regression in the explorer, not noise).
   - B7: the "ns/state" column, per primitive row present in both files.
+  - B9: the "cmds/sec" column, per (n, loss width) row present in both
+    files; "committed", "p50", "p99" and "safe" must match EXACTLY (the
+    replicated-log run is deterministic from its seed — any drift is a
+    semantic change in the SMR stack, not noise).
 
 Rows present in only one file (e.g. --quick runs fewer B5 cases) are
 skipped. Exit 0 = within tolerance, 1 = regression (offenders listed).
@@ -94,12 +98,39 @@ def main():
     else:
         failures.append("B7 table missing from baseline or fresh run")
 
+    b9_base, b9_fresh = table(baseline, "B9"), table(fresh, "B9")
+    if b9_base and b9_fresh:
+        base_rows = rows_by_key(b9_base, ["n", "loss width"])
+        fresh_rows = rows_by_key(b9_fresh, ["n", "loss width"])
+        for key in sorted(set(base_rows) & set(fresh_rows)):
+            label = f"B9 n={key[0]} loss_width={key[1]}"
+            for column in ("committed", "p50", "p99", "safe"):
+                base_cell = cell(b9_base, base_rows[key], column)
+                fresh_cell = cell(b9_fresh, fresh_rows[key], column)
+                if base_cell != fresh_cell:
+                    failures.append(
+                        f"{label}: {column} {fresh_cell} vs baseline "
+                        f"{base_cell} (must match exactly)"
+                    )
+            check_ratio(
+                failures,
+                f"{label} cmds/sec",
+                cell(b9_base, base_rows[key], "cmds/sec"),
+                cell(b9_fresh, fresh_rows[key], "cmds/sec"),
+                higher_is_better=True,
+            )
+    else:
+        failures.append("B9 table missing from baseline or fresh run")
+
     if failures:
         print("perf gate FAILED:")
         for failure in failures:
             print(f"  {failure}")
         return 1
-    print("perf gate passed (B5 states exact, timing within +/-30%)")
+    print(
+        "perf gate passed (B5 states + B9 committed/p50/p99 exact, "
+        "timing within +/-30%)"
+    )
     return 0
 
 

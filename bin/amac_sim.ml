@@ -92,6 +92,47 @@ let parse_algorithm = function
         "unknown algorithm; try two-phase two-phase-literal wpaxos \
          wpaxos-noagg flood-gather flood-paxos round-flood ben-or"
 
+(* Declarative fault events on the command line, one --fault per event:
+   crash:N@T recover:N@T loss:U-V@A-B part:N1,N2,..@A-B stutter:N@A-B
+   (windows are half-open [A, B), matching Fault's semantics). *)
+let parse_fault spec =
+  let fail () =
+    failwith
+      ("bad fault spec '" ^ spec
+     ^ "'; try crash:N@T recover:N@T loss:U-V@A-B part:N1,N2,..@A-B \
+        stutter:N@A-B")
+  in
+  let window s =
+    match String.split_on_char '-' s with
+    | [ a; b ] -> (int_of_string a, int_of_string b)
+    | _ -> fail ()
+  in
+  match String.index_opt spec ':' with
+  | None -> fail ()
+  | Some i -> (
+      let kind = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match (kind, String.split_on_char '@' rest) with
+      | "crash", [ node; at ] ->
+          Fault.Crash { node = int_of_string node; at = int_of_string at }
+      | "recover", [ node; at ] ->
+          Fault.Recover { node = int_of_string node; at = int_of_string at }
+      | "loss", [ edge; w ] -> (
+          match String.split_on_char '-' edge with
+          | [ u; v ] ->
+              let from_, until = window w in
+              Fault.Link_drop
+                { edge = (int_of_string u, int_of_string v); from_; until }
+          | _ -> fail ())
+      | "part", [ cut; w ] ->
+          let cut = List.map int_of_string (String.split_on_char ',' cut) in
+          let from_, until = window w in
+          Fault.Partition { cut; from_; until }
+      | "stutter", [ node; w ] ->
+          let from_, until = window w in
+          Fault.Stutter { node = int_of_string node; from_; until }
+      | _ -> fail ())
+
 (* The export format is picked by extension: .jsonl gets one event per
    line, anything else the Chrome trace_event envelope. *)
 let export_for file events =
@@ -148,6 +189,79 @@ let run_cmd algo topo sched fack seed inputs_spec trace trace_out metrics
       Printf.printf "--- metrics ---\n%s--- end metrics ---\n"
         (Obs.Metrics.render (Obs.Metrics.snapshot reg)));
   if Consensus.Checker.ok result.report then 0 else 1
+
+(* The replicated log: run the SMR algorithm under a generated workload and
+   report throughput/latency plus the Smr_checker verdict. Exit status 1 on
+   any safety violation. *)
+let smr_cmd topo sched fack seed cmds mode window gap clients fault_specs
+    metrics trace_out max_time =
+  let rng = Amac.Rng.create seed in
+  let topology = parse_topology topo (Amac.Rng.split rng) in
+  let n = Amac.Topology.size topology in
+  let scheduler = parse_scheduler sched ~fack (Amac.Rng.split rng) in
+  let faults = List.map parse_fault fault_specs in
+  let mode =
+    match mode with
+    | "open" -> Workload.Open_loop { mean_gap = gap }
+    | "closed" -> Workload.Closed_loop { clients_per_node = clients }
+    | _ -> failwith "mode: open|closed"
+  in
+  let obs = if metrics then Some (Obs.Metrics.create ()) else None in
+  let result =
+    Workload.run ~window ~faults ~max_time
+      ~record_trace:(trace_out <> None)
+      ?obs ~topology ~scheduler
+      ~seed:(Amac.Rng.int rng 1_000_000)
+      ~cmds ~mode ()
+  in
+  Printf.printf
+    "smr: topology=%s (n=%d) scheduler=%s window=%d cmds=%d faults=%d\n" topo n
+    scheduler.Amac.Scheduler.name window cmds (List.length faults);
+  Printf.printf
+    "issued=%d submitted=%d committed=%d commit_index=[%d,%d] end_time=%d \
+     events=%d broadcasts=%d\n"
+    result.Workload.issued result.Workload.submitted result.Workload.committed
+    result.Workload.commit_index_min result.Workload.commit_index_max
+    result.Workload.outcome.Amac.Engine.end_time
+    result.Workload.outcome.Amac.Engine.events_processed
+    result.Workload.outcome.Amac.Engine.broadcasts;
+  let q label qv =
+    match Workload.latency result ~q:qv with
+    | Some l -> Printf.printf "%s=%d " label l
+    | None -> Printf.printf "%s=- " label
+  in
+  Printf.printf "commit latency (ticks): ";
+  q "p50" 0.50;
+  q "p90" 0.90;
+  q "p99" 0.99;
+  print_newline ();
+  (match trace_out with
+  | None -> ()
+  | Some file ->
+      let events =
+        Amac.Trace_export.spans result.Workload.outcome.Amac.Engine.trace
+      in
+      let oc = open_out_bin file in
+      output_string oc (export_for file events);
+      close_out oc;
+      Printf.printf "trace: %d span events written to %s\n"
+        (List.length events) file);
+  (match obs with
+  | None -> ()
+  | Some reg ->
+      Printf.printf "--- metrics ---\n%s--- end metrics ---\n"
+        (Obs.Metrics.render (Obs.Metrics.snapshot reg)));
+  match result.Workload.violations with
+  | [] ->
+      Printf.printf
+        "smr checker: ok (prefix agreement, no holes, exactly-once apply, \
+         validity)\n";
+      0
+  | vs ->
+      List.iter
+        (fun v -> Printf.printf "VIOLATION: %s\n" (Smr_checker.to_string v))
+        vs;
+      1
 
 (* CI's trace checker: parse the export, re-export, re-parse, and demand
    the same event multiset — the round-trip contract of Obs.Span. *)
@@ -233,6 +347,45 @@ let run_term =
     const run_cmd $ algo_arg $ topo_arg $ sched_arg $ fack_arg $ seed_arg
     $ inputs_arg $ trace_arg $ trace_out_arg $ metrics_arg $ max_time_arg)
 
+let cmds_arg =
+  Arg.(value & opt int 100 & info [ "cmds" ] ~doc:"Total client commands")
+
+let mode_arg =
+  Arg.(
+    value & opt string "closed"
+    & info [ "mode" ]
+        ~doc:
+          "Workload shape: $(b,open) (Poisson arrivals) or $(b,closed) \
+           (outstanding=1 clients)")
+
+let window_arg =
+  Arg.(value & opt int 4 & info [ "window" ] ~doc:"SMR pipelining window")
+
+let gap_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "gap" ] ~doc:"Open loop: mean inter-arrival gap in ticks")
+
+let clients_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "clients" ] ~doc:"Closed loop: clients per replica")
+
+let fault_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "fault" ]
+        ~doc:
+          "Fault event (repeatable): crash:N\\@T recover:N\\@T \
+           loss:U-V\\@A-B part:N1,N2,..\\@A-B stutter:N\\@A-B"
+        ~docv:"SPEC")
+
+let smr_term =
+  Term.(
+    const smr_cmd $ topo_arg $ sched_arg $ fack_arg $ seed_arg $ cmds_arg
+    $ mode_arg $ window_arg $ gap_arg $ clients_arg $ fault_arg $ metrics_arg
+    $ trace_out_arg $ max_time_arg)
+
 let validate_file_arg =
   Arg.(
     required
@@ -246,6 +399,12 @@ let cmds =
       Cmd.v
         (Cmd.info "run" ~doc:"Run one algorithm on one topology and verify")
         run_term;
+      Cmd.v
+        (Cmd.info "smr"
+           ~doc:
+             "Run the replicated log under a client workload and verify it \
+              with the SMR checker")
+        smr_term;
       Cmd.v
         (Cmd.info "validate-trace"
            ~doc:"Check a --trace-out export parses and round-trips")

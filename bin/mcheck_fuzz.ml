@@ -7,6 +7,14 @@
    variant (Two_phase.literal) and that the bounded explorer still verifies
    two-phase on the 3-clique.
 
+   MCHECK_SMR=1 switches to the replicated-log campaign: each iteration
+   draws a topology, scheduler, workload shape (open- or closed-loop) and a
+   full fault plan, runs the SMR log through lib/workload and judges it
+   with Smr_checker — prefix agreement, no holes below commit, exactly-once
+   apply, validity. Safety only: under adversarial plans a straggler's
+   short log is legitimate. Every stochastic choice derives from
+   (seed, iteration), so a failing iteration number IS the reproducer.
+
    MCHECK_FAULTS=1 switches to fault-plan mode: fuzzes two-phase and
    hardened wPAXOS under generated fault plans (crash-recovery, lossy
    links, partition-and-heal, stutter) expecting safety to hold
@@ -38,6 +46,7 @@ let seed =
   | None -> 1
 
 let fault_mode = Sys.getenv_opt "MCHECK_FAULTS" = Some "1"
+let smr_mode = Sys.getenv_opt "MCHECK_SMR" = Some "1"
 let artifact = Sys.getenv_opt "MCHECK_ARTIFACT"
 
 let jobs, fingerprint =
@@ -239,16 +248,52 @@ let faults_mode () =
          iterations\n%!"
         iterations)
 
+let smr_mode_run () =
+  let config = { Smr_fuzz.default with iterations } in
+  let started = Sys.time () in
+  (* Progress ticks keep long CI campaigns visibly alive without drowning
+     the log: one line per 25 iterations. *)
+  let progress i =
+    if (i + 1) mod 25 = 0 then
+      Printf.printf "fuzz smr-log       ... %d/%d (%.1fs)\n%!" (i + 1)
+        iterations
+        (Sys.time () -. started)
+  in
+  let outcome = Smr_fuzz.run ~progress config ~seed in
+  match outcome.Smr_fuzz.failure with
+  | None ->
+      Printf.printf "fuzz smr-log       %d iterations clean (%.1fs)\n%!"
+        outcome.Smr_fuzz.iterations_run
+        (Sys.time () -. started)
+  | Some f ->
+      incr failures;
+      Format.printf "fuzz smr-log       SAFETY VIOLATION (seed %d):@.%a@." seed
+        Smr_fuzz.pp_failure f;
+      (match artifact with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          let fmt = Format.formatter_of_out_channel oc in
+          Format.fprintf fmt "smr-log safety violation (seed %d)@.%a@." seed
+            Smr_fuzz.pp_failure f;
+          close_out oc;
+          Printf.printf "wrote failing draw to %s\n%!" path)
+
 let () =
   Printexc.record_backtrace true;
-  (try if fault_mode then faults_mode () else default_mode ()
+  (try
+     if smr_mode then smr_mode_run ()
+     else if fault_mode then faults_mode ()
+     else default_mode ()
    with exn ->
      incr failures;
      Printf.printf
        "mcheck_fuzz: UNCAUGHT EXCEPTION (replay with MCHECK_SEED=%d \
         MCHECK_ITERS=%d%s): %s\n%s\n%!"
        seed iterations
-       (if fault_mode then " MCHECK_FAULTS=1" else "")
+       (if smr_mode then " MCHECK_SMR=1"
+        else if fault_mode then " MCHECK_FAULTS=1"
+        else "")
        (Printexc.to_string exn)
        (Printexc.get_backtrace ()));
   exit (if !failures = 0 then 0 else 1)

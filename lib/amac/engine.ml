@@ -11,6 +11,7 @@ type outcome = {
   stuttered : int;
   max_ids_per_message : int;
   unreliable_deliveries : int;
+  injected : int;
   end_time : int;
   events_processed : int;
   hit_max_time : bool;
@@ -65,18 +66,23 @@ type 'm event =
       influence : Bitset.t option;
     }
   | Ack of { node : int; inc : int }
+  | Inject of { node : int; payload : int }
+      (* external input (a client submit) handed to [on_inject]; carries no
+         incarnation — it targets whichever incarnation is up at pop time,
+         and is lost if the node is down. *)
 
 let kind_priority = function
   | Crash _ -> 0
   | Recover _ -> 1
   | Receive _ -> 2
   | Ack _ -> 3
+  | Inject _ -> 4
 
 (* Event-queue keys encode (time, kind priority); Pqueue breaks remaining
    ties by insertion order, making runs bit-for-bit deterministic. *)
-let key_of ~time event = (time * 4) + kind_priority event
+let key_of ~time event = (time * 8) + kind_priority event
 
-let time_of_key key = key / 4
+let time_of_key key = key / 8
 
 (* The engine's metrics instruments, registered once per run in a caller
    supplied [Obs.Metrics] registry. Every instrument is labelled with the
@@ -146,6 +152,10 @@ type ('s, 'm) sim = {
   record_trace : bool;
   drop : (now:int -> sender:int -> receiver:int -> bool) option;
   stutter : (now:int -> node:int -> bool) option;
+  on_inject :
+    (now:int -> payload:int -> Algorithm.ctx -> 's -> 'm Algorithm.action list)
+    option;
+  clock : int ref option;  (* mirrors the current event time, for callbacks *)
   queue : 'm event Pqueue.t;
   states : 's array;
   ctxs : Algorithm.ctx array;
@@ -166,6 +176,7 @@ type ('s, 'm) sim = {
   mutable stuttered : int;
   mutable max_ids : int;
   mutable unreliable_deliveries : int;
+  mutable injected : int;
   mutable events_processed : int;
   mutable end_time : int;
   mutable hit_max_time : bool;
@@ -365,8 +376,8 @@ let validate_fault_schedule ~n ~crashes ~recoveries =
   done
 
 let create ?identities ?(give_n = true) ?(give_diameter = false)
-    ?(crashes = []) ?(recoveries = []) ?drop ?stutter
-    ?(max_time = 1_000_000) ?(stop_when_all_decided = true)
+    ?(crashes = []) ?(recoveries = []) ?drop ?stutter ?(injections = [])
+    ?on_inject ?clock ?(max_time = 1_000_000) ?(stop_when_all_decided = true)
     ?(track_causal = false) ?(record_trace = false) ?pp_msg ?unreliable ?obs
     (algorithm : ('s, 'm) Algorithm.t) ~topology ~scheduler ~inputs =
   let n = Topology.size topology in
@@ -409,6 +420,17 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
   in
   let causal = if track_causal then Some (Causal.create ~n) else None in
   validate_fault_schedule ~n ~crashes ~recoveries;
+  List.iter
+    (fun (node, time, _payload) ->
+      if node < 0 || node >= n then
+        invalid_arg
+          (Printf.sprintf "Engine.run: injection node %d out of range [0,%d)"
+             node n);
+      if time < 0 then
+        invalid_arg
+          (Printf.sprintf "Engine.run: negative injection time for node %d"
+             node))
+    injections;
   let queue : 'm event Pqueue.t =
     Pqueue.of_list
       (List.map
@@ -417,7 +439,11 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       @ List.map
           (fun (node, time) ->
             (key_of ~time (Recover { node }), Recover { node }))
-          recoveries)
+          recoveries
+      @ List.map
+          (fun (node, time, payload) ->
+            (key_of ~time (Inject { node; payload }), Inject { node; payload }))
+          injections)
   in
   let sim =
     {
@@ -431,6 +457,8 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       record_trace;
       drop;
       stutter;
+      on_inject;
+      clock;
       queue;
       states = [||];
       ctxs;
@@ -457,6 +485,7 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       stuttered = 0;
       max_ids = 0;
       unreliable_deliveries = 0;
+      injected = 0;
       events_processed = 0;
       end_time = 0;
       hit_max_time = false;
@@ -465,6 +494,7 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       stopped = false;
     }
   in
+  (match clock with Some r -> r := 0 | None -> ());
   (* Initialise every node at time 0, in index order, interleaving each
      node's init with its first actions (scheduler plan calls must stay in
      node order for stateful schedulers). Init actions never read [states],
@@ -501,6 +531,7 @@ let step sim =
       sim.events_processed <- sim.events_processed + 1;
       obs_counter sim (fun i -> i.events_total);
       sim.end_time <- now;
+      (match sim.clock with Some r -> r := now | None -> ());
       (match sim.obs with
       | Some i -> Obs.Metrics.set i.end_time_gauge (float_of_int now)
       | None -> ());
@@ -581,6 +612,24 @@ let step sim =
             log sim (Trace.Acked { time = now; node });
             let actions = sim.algorithm.on_ack sim.ctxs.(node) sim.states.(node) in
             apply_actions_faulted ~now sim node actions
+          end
+      | Inject { node; payload } ->
+          (* Lost (not buffered) if the node is down — clients of a crashed
+             replica get no service; with no [on_inject] handler the event
+             is inert. *)
+          if sim.crashed.(node) then begin
+            sim.dropped <- sim.dropped + 1;
+            obs_counter sim (fun i -> i.drops_stale)
+          end
+          else begin
+            match sim.on_inject with
+            | None -> ()
+            | Some f ->
+                sim.injected <- sim.injected + 1;
+                let actions =
+                  f ~now ~payload sim.ctxs.(node) sim.states.(node)
+                in
+                apply_actions_faulted ~now sim node actions
           end);
       if sim.stop_when_all_decided && sim.live_undecided = 0 then
         sim.stopped <- true;
@@ -606,6 +655,7 @@ let snapshot sim =
     stuttered = sim.stuttered;
     max_ids_per_message = sim.max_ids;
     unreliable_deliveries = sim.unreliable_deliveries;
+    injected = sim.injected;
     end_time = sim.end_time;
     events_processed = sim.events_processed;
     hit_max_time = sim.hit_max_time;
@@ -614,12 +664,14 @@ let snapshot sim =
   }
 
 let run ?identities ?give_n ?give_diameter ?crashes ?recoveries ?drop ?stutter
-    ?max_time ?stop_when_all_decided ?track_causal ?record_trace ?pp_msg
-    ?unreliable ?obs algorithm ~topology ~scheduler ~inputs =
+    ?injections ?on_inject ?clock ?max_time ?stop_when_all_decided
+    ?track_causal ?record_trace ?pp_msg ?unreliable ?obs algorithm ~topology
+    ~scheduler ~inputs =
   let sim =
     create ?identities ?give_n ?give_diameter ?crashes ?recoveries ?drop
-      ?stutter ?max_time ?stop_when_all_decided ?track_causal ?record_trace
-      ?pp_msg ?unreliable ?obs algorithm ~topology ~scheduler ~inputs
+      ?stutter ?injections ?on_inject ?clock ?max_time ?stop_when_all_decided
+      ?track_causal ?record_trace ?pp_msg ?unreliable ?obs algorithm ~topology
+      ~scheduler ~inputs
   in
   let continue = ref true in
   while !continue do

@@ -58,6 +58,9 @@ type outcome = {
   max_ids_per_message : int;
   unreliable_deliveries : int;
       (** deliveries the scheduler granted on unreliable edges *)
+  injected : int;
+      (** injection events handed to [on_inject] (scheduled injections whose
+          node was down at pop time are counted in [dropped] instead) *)
   end_time : int;  (** time of the last processed event *)
   events_processed : int;
   hit_max_time : bool;  (** true when stopped by the [max_time] guard *)
@@ -98,6 +101,10 @@ val create :
   ?recoveries:(int * int) list ->
   ?drop:(now:int -> sender:int -> receiver:int -> bool) ->
   ?stutter:(now:int -> node:int -> bool) ->
+  ?injections:(int * int * int) list ->
+  ?on_inject:
+    (now:int -> payload:int -> Algorithm.ctx -> 's -> 'm Algorithm.action list) ->
+  ?clock:int ref ->
   ?max_time:int ->
   ?stop_when_all_decided:bool ->
   ?track_causal:bool ->
@@ -147,6 +154,18 @@ val snapshot : ('s, 'm) sim -> outcome
     @param drop per-delivery link-fault predicate; [true] eats the delivery.
     @param stutter per-event predicate; while [true] for a node, its
       handlers run but their actions are suppressed.
+    @param injections external inputs as [(node, time, payload)] triples —
+      client submits in the SMR sense. Each is scheduled as an event (after
+      any delivery/ack of the same tick) and handed to [on_inject] on the
+      target node's current state; actions returned go through the normal
+      fault-aware application. An injection whose node is crashed at pop
+      time is lost (counted in [dropped]); without an [on_inject] handler
+      injections are inert.
+    @param on_inject handler for injection payloads, running in the target
+      node's context like any other handler.
+    @param clock a cell the engine keeps equal to the current event time —
+      lets callbacks buried inside the algorithm (e.g. an SMR apply hook)
+      timestamp occurrences without threading [now] through every layer.
     @param max_time stop popping events after this time (default
       [1_000_000]).
     @param stop_when_all_decided stop early once every live node decided
@@ -180,6 +199,10 @@ val run :
   ?recoveries:(int * int) list ->
   ?drop:(now:int -> sender:int -> receiver:int -> bool) ->
   ?stutter:(now:int -> node:int -> bool) ->
+  ?injections:(int * int * int) list ->
+  ?on_inject:
+    (now:int -> payload:int -> Algorithm.ctx -> 's -> 'm Algorithm.action list) ->
+  ?clock:int ref ->
   ?max_time:int ->
   ?stop_when_all_decided:bool ->
   ?track_causal:bool ->

@@ -76,6 +76,30 @@ let on_ack _ctx st =
   st.sending <- false;
   maybe_send st
 
+(* Verification fast path (Algorithm.hooks). [known] is folded in sorted
+   key order so insertion history cannot split logically equal states;
+   [queue] keeps FIFO order, which is real state (it decides what the next
+   batch contains). *)
+module F = Amac.Fingerprint
+
+let fp_pair (id, v) acc = acc |> F.int id |> F.int v
+
+let fp_known tbl acc =
+  let entries = Hashtbl.fold (fun k v l -> (k, v) :: l) tbl [] in
+  F.list fp_pair (List.sort compare entries) acc
+
+let fingerprint st acc =
+  acc |> F.int st.n
+  |> F.int st.pairs_per_msg
+  |> fp_known st.known |> F.list fp_pair st.queue |> F.bool st.sending
+  |> F.bool st.decided
+
+let fingerprint_msg pairs acc = F.list fp_pair pairs acc
+
+let clone st = { st with known = Hashtbl.copy st.known }
+
+let hooks = Some { Amac.Algorithm.fingerprint; fingerprint_msg; clone }
+
 let make ?(pairs_per_msg = 2) () =
   if pairs_per_msg < 1 then
     invalid_arg "Flood_gather.make: pairs_per_msg must be >= 1";
@@ -85,5 +109,5 @@ let make ?(pairs_per_msg = 2) () =
     on_receive;
     on_ack;
     msg_ids = List.length;
-    hooks = None;
+    hooks;
   }

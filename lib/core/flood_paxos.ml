@@ -418,6 +418,115 @@ let pp_component = function
 
 let pp_msg components = String.concat "+" (List.map pp_component components)
 
+(* Verification fast path (Algorithm.hooks). The [count] sets inside the
+   proposer phase and [seen_units] are folded in sorted order (responder
+   ids, resp. (responder, pno, round) keys under polymorphic compare) so
+   insertion history cannot split logically equal states. [unit_q] keeps
+   FIFO order — it decides which unit the next broadcast carries. *)
+module F = Amac.Fingerprint
+
+let fp_pno ({ tag; proposer } : pno) acc = acc |> F.int tag |> F.int proposer
+
+let fp_prior ({ pno; value } : prior) acc = acc |> fp_pno pno |> F.int value
+
+let fp_round r acc =
+  F.int (match r with Prepare_round -> 0 | Propose_round -> 1) acc
+
+let fp_proposer_msg m acc =
+  match m with
+  | Prepare pno -> acc |> F.int 1 |> fp_pno pno
+  | Propose { pno; value } -> acc |> F.int 2 |> fp_pno pno |> F.int value
+
+let fp_unit (u : unit_response) acc =
+  acc |> F.int u.responder |> F.int u.target |> fp_pno u.u_pno
+  |> fp_round u.u_round |> F.bool u.positive
+  |> F.option fp_prior u.prior
+  |> F.option fp_pno u.committed
+
+let fp_count count acc =
+  let ids = Hashtbl.fold (fun id () l -> id :: l) count.ids [] in
+  F.list F.int (List.sort compare ids) acc
+
+let fp_phase phase acc =
+  match phase with
+  | Idle -> F.int 0 acc
+  | Preparing p ->
+      acc |> F.int 1 |> fp_pno p.pno |> fp_count p.yes |> fp_count p.no
+      |> F.option fp_prior p.best_prior
+  | Proposing p ->
+      acc |> F.int 2 |> fp_pno p.pno |> F.int p.value |> fp_count p.yes
+      |> fp_count p.no
+
+let fp_seen_units tbl acc =
+  let keys = Hashtbl.fold (fun k () l -> k :: l) tbl [] in
+  F.list
+    (fun (responder, pno, round) acc ->
+      acc |> F.int responder |> fp_pno pno |> fp_round round)
+    (List.sort compare keys) acc
+
+let fp_component c acc =
+  match c with
+  | Leader id -> acc |> F.int 1 |> F.int id
+  | Change { counter; origin } -> acc |> F.int 2 |> F.int counter |> F.int origin
+  | Proposal p -> acc |> F.int 3 |> fp_proposer_msg p
+  | Unit u -> acc |> F.int 4 |> fp_unit u
+  | Decision v -> acc |> F.int 5 |> F.int v
+
+let fp_msg (components : msg) acc = F.list fp_component components acc
+
+let fingerprint st acc =
+  acc |> F.int st.me |> F.int st.n |> F.int st.input |> F.int st.omega
+  |> F.option F.int st.leader_q
+  |> F.int st.lamport
+  |> (fun acc ->
+       let a, b = st.last_change in
+       acc |> F.int a |> F.int b)
+  |> F.option (fun (a, b) acc -> acc |> F.int a |> F.int b) st.change_q
+  |> F.int st.max_tag |> fp_phase st.phase |> F.int st.attempts_left
+  |> F.option fp_proposer_msg st.proposal_q
+  |> F.option
+       (fun (pno, round) acc -> acc |> fp_pno pno |> fp_round round)
+       st.best_proposal_seen
+  |> F.option fp_pno st.promised
+  |> F.option fp_prior st.accepted
+  |> F.option
+       (fun (pno, round) acc -> acc |> fp_pno pno |> fp_round round)
+       st.responded
+  |> F.list fp_unit st.unit_q |> fp_seen_units st.seen_units
+  |> F.option F.int st.decision
+  |> F.bool st.announced
+  |> F.option F.int st.decide_q
+  |> F.bool st.sending
+
+let clone_count count = { ids = Hashtbl.copy count.ids }
+
+let clone st =
+  {
+    st with
+    phase =
+      (match st.phase with
+      | Idle -> Idle
+      | Preparing p ->
+          Preparing
+            {
+              pno = p.pno;
+              yes = clone_count p.yes;
+              no = clone_count p.no;
+              best_prior = p.best_prior;
+            }
+      | Proposing p ->
+          Proposing
+            {
+              pno = p.pno;
+              value = p.value;
+              yes = clone_count p.yes;
+              no = clone_count p.no;
+            });
+    seen_units = Hashtbl.copy st.seen_units;
+  }
+
+let hooks = Some { Amac.Algorithm.fingerprint; fingerprint_msg = fp_msg; clone }
+
 let make () =
   {
     Amac.Algorithm.name = "flood-paxos";
@@ -425,5 +534,5 @@ let make () =
     on_receive;
     on_ack;
     msg_ids;
-    hooks = None;
+    hooks;
   }

@@ -50,6 +50,19 @@ let on_ack _ctx st =
     else [ Amac.Algorithm.Broadcast st.current_min ]
   end
 
+(* Verification fast path (Algorithm.hooks): the state is four scalars and
+   the message one int, so the fold is total and [clone] is a record copy. *)
+module F = Amac.Fingerprint
+
+let fingerprint st acc =
+  acc |> F.int st.target |> F.int st.current_min |> F.int st.rounds_done
+  |> F.bool st.decided
+
+let clone st = { st with current_min = st.current_min }
+
+let hooks =
+  Some { Amac.Algorithm.fingerprint; fingerprint_msg = F.int; clone }
+
 let make ~target =
   let name =
     match target with
@@ -63,5 +76,5 @@ let make ~target =
     on_receive;
     on_ack;
     msg_ids = (fun _ -> 0);
-    hooks = None;
+    hooks;
   }

@@ -127,6 +127,78 @@ let derive ~seed ~iteration =
   ignore (Amac.Rng.bits64 rng);
   rng
 
+(* The crashes move INTO the plan (so recoveries can refer to them and the
+   whole fault schedule shrinks as one object) and the plan gains loss
+   windows, a partition, stutters — each family built valid by construction
+   (distinct edges/nodes, disjoint partition windows) and checked by
+   Fault.validate before use. *)
+let gen_fault_plan rng ~n ~fack ~crashes p =
+  let horizon = ((2 * fack) + 1) * 4 in
+  let window rng =
+    let from_ = Amac.Rng.int rng horizon in
+    let width = 1 + Amac.Rng.int rng (max 1 p.max_window) in
+    (from_, from_ + width)
+  in
+  let crash_events =
+    List.map (fun (node, at) -> Fault.Crash { node; at }) crashes
+  in
+  let recov_budget = Amac.Rng.int rng (p.max_recoveries + 1) in
+  let recoveries =
+    List.filteri (fun i _ -> i < recov_budget) crashes
+    |> List.map (fun (node, at) ->
+           Fault.Recover { node; at = at + 1 + Amac.Rng.int rng horizon })
+  in
+  let rec draw_loss acc used k =
+    if k = 0 then acc
+    else
+      let u = Amac.Rng.int rng n and v = Amac.Rng.int rng n in
+      let e = if u < v then (u, v) else (v, u) in
+      if u = v || List.mem e used then draw_loss acc used (k - 1)
+      else
+        let from_, until = window rng in
+        draw_loss
+          (Fault.Link_drop { edge = e; from_; until } :: acc)
+          (e :: used) (k - 1)
+  in
+  let loss = draw_loss [] [] (Amac.Rng.int rng (p.max_loss_windows + 1)) in
+  let rec place_partitions acc t k =
+    if k = 0 then acc
+    else
+      let from_ = t + Amac.Rng.int rng horizon in
+      let width = 1 + Amac.Rng.int rng (max 1 p.max_window) in
+      let cut =
+        List.filter (fun _ -> Amac.Rng.bool rng) (List.init n Fun.id)
+      in
+      let cut =
+        match cut with
+        | [] -> [ Amac.Rng.int rng n ]
+        | cut when List.length cut = n -> List.tl cut
+        | cut -> cut
+      in
+      place_partitions
+        (Fault.Partition { cut; from_; until = from_ + width } :: acc)
+        (from_ + width) (k - 1)
+  in
+  let partitions =
+    if n < 2 then []
+    else place_partitions [] 0 (Amac.Rng.int rng (p.max_partitions + 1))
+  in
+  let rec draw_stutters acc used k =
+    if k = 0 then acc
+    else
+      let node = Amac.Rng.int rng n in
+      if List.mem node used then draw_stutters acc used (k - 1)
+      else
+        let from_, until = window rng in
+        draw_stutters
+          (Fault.Stutter { node; from_; until } :: acc)
+          (node :: used) (k - 1)
+  in
+  let stutters = draw_stutters [] [] (Amac.Rng.int rng (p.max_stutters + 1)) in
+  let plan = crash_events @ recoveries @ loss @ partitions @ stutters in
+  Fault.validate ~n plan;
+  plan
+
 let generate config algorithm ~seed ~iteration =
   let rng = derive ~seed ~iteration in
   let n = Amac.Rng.int_range rng ~lo:2 ~hi:(max 2 config.max_n) in
@@ -156,84 +228,10 @@ let generate config algorithm ~seed ~iteration =
          []
     |> List.rev
   in
-  (* In fault mode the crashes move INTO the plan (so recoveries can refer
-     to them and the whole fault schedule shrinks as one object) and the
-     plan gains loss windows, a partition, stutters — each family built
-     valid by construction (distinct edges/nodes, disjoint partition
-     windows) and checked by Fault.validate before the run. *)
   let faults =
     match config.faults with
     | None -> []
-    | Some p ->
-        let horizon = ((2 * fack) + 1) * 4 in
-        let window rng =
-          let from_ = Amac.Rng.int rng horizon in
-          let width = 1 + Amac.Rng.int rng (max 1 p.max_window) in
-          (from_, from_ + width)
-        in
-        let crash_events =
-          List.map (fun (node, at) -> Fault.Crash { node; at }) crashes
-        in
-        let recov_budget = Amac.Rng.int rng (p.max_recoveries + 1) in
-        let recoveries =
-          List.filteri (fun i _ -> i < recov_budget) crashes
-          |> List.map (fun (node, at) ->
-                 Fault.Recover { node; at = at + 1 + Amac.Rng.int rng horizon })
-        in
-        let rec draw_loss acc used k =
-          if k = 0 then acc
-          else
-            let u = Amac.Rng.int rng n and v = Amac.Rng.int rng n in
-            let e = if u < v then (u, v) else (v, u) in
-            if u = v || List.mem e used then draw_loss acc used (k - 1)
-            else
-              let from_, until = window rng in
-              draw_loss
-                (Fault.Link_drop { edge = e; from_; until } :: acc)
-                (e :: used) (k - 1)
-        in
-        let loss = draw_loss [] [] (Amac.Rng.int rng (p.max_loss_windows + 1)) in
-        let rec place_partitions acc t k =
-          if k = 0 then acc
-          else
-            let from_ = t + Amac.Rng.int rng horizon in
-            let width = 1 + Amac.Rng.int rng (max 1 p.max_window) in
-            let cut =
-              List.filter (fun _ -> Amac.Rng.bool rng) (List.init n Fun.id)
-            in
-            let cut =
-              match cut with
-              | [] -> [ Amac.Rng.int rng n ]
-              | cut when List.length cut = n -> List.tl cut
-              | cut -> cut
-            in
-            place_partitions
-              (Fault.Partition { cut; from_; until = from_ + width } :: acc)
-              (from_ + width) (k - 1)
-        in
-        let partitions =
-          if n < 2 then []
-          else place_partitions [] 0 (Amac.Rng.int rng (p.max_partitions + 1))
-        in
-        let rec draw_stutters acc used k =
-          if k = 0 then acc
-          else
-            let node = Amac.Rng.int rng n in
-            if List.mem node used then draw_stutters acc used (k - 1)
-            else
-              let from_, until = window rng in
-              draw_stutters
-                (Fault.Stutter { node; from_; until } :: acc)
-                (node :: used) (k - 1)
-        in
-        let stutters =
-          draw_stutters [] [] (Amac.Rng.int rng (p.max_stutters + 1))
-        in
-        let plan =
-          crash_events @ recoveries @ loss @ partitions @ stutters
-        in
-        Fault.validate ~n plan;
-        plan
+    | Some p -> gen_fault_plan rng ~n ~fack ~crashes p
   in
   let crashes = if config.faults = None then crashes else [] in
   let base = Amac.Scheduler.random (Amac.Rng.split rng) ~fack in

@@ -75,6 +75,25 @@ val default : config
     up to 40 ticks. *)
 val default_fault_profile : fault_profile
 
+(** [derive ~seed ~iteration] is the campaign's per-iteration generator:
+    splitmix-style mixing, so [(seed, iteration)] pairs give uncorrelated
+    streams without the caller managing one. Exposed so other seeded
+    campaigns (e.g. the SMR workload fuzzer) share the same convention. *)
+val derive : seed:int -> iteration:int -> Amac.Rng.t
+
+(** [gen_fault_plan rng ~n ~fack ~crashes profile] draws a valid fault plan
+    sized by [profile]: the given [(node, time)] crashes become plan events,
+    a subset gains paired recoveries, plus per-edge loss windows, disjoint
+    partition episodes and per-node stutters — all within a horizon scaled
+    by [fack], validated by {!Fault.validate}. *)
+val gen_fault_plan :
+  Amac.Rng.t ->
+  n:int ->
+  fack:int ->
+  crashes:(int * int) list ->
+  fault_profile ->
+  Fault.plan
+
 type counterexample = {
   iteration : int;  (** which iteration failed — replay via {!generate} *)
   case : case;  (** the shrunk reproducer *)

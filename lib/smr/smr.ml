@@ -1,0 +1,950 @@
+open Consensus.Paxos_types
+
+(* Multi-decree state-machine replication over the wPAXOS machinery: the
+   shared services (leader election, change, tree building, broadcast
+   packing) and the hardened retransmission layer are carried over from
+   [Consensus.Wpaxos] unchanged in spirit; the single proposer/acceptor
+   pair is replaced by the standard multi-Paxos construction. One Prepare
+   establishes a leader lease covering every instance from the leader's
+   commit index up; while the lease holds, the leader streams per-instance
+   Propose messages under the same proposal number, up to [window]
+   instances beyond the commit index (instance pipelining). A value is
+   chosen at an instance once a majority accepts it; the commit index is
+   the length of the chosen prefix, and commands are applied to the state
+   machine exactly once, in log order, skipping noops. *)
+
+let noop = 0
+
+type proposer_msg =
+  | Prepare of { pno : pno; from_inst : int }
+  | Propose of { pno : pno; inst : int; value : int }
+
+let pno_of = function Prepare { pno; _ } -> pno | Propose { pno; _ } -> pno
+
+(* Key identifying one proposition for respond-once / forward-once dedup:
+   (tag, proposer, -1) for the lease Prepare, (tag, proposer, inst) for a
+   per-instance Propose. *)
+let prop_key = function
+  | Prepare { pno; _ } -> (pno.tag, pno.proposer, -1)
+  | Propose { pno; inst; _ } -> (pno.tag, pno.proposer, inst)
+
+type resp_round = Rprep | Racc of int
+
+(* A (possibly tree-aggregated) acceptor response. Prepare responses carry
+   the responders' accepted priors per instance — the constraint set the
+   new lease holder must respect; Propose responses just count. *)
+type response = {
+  dest : int;
+  target : int;
+  r_pno : pno;
+  round : resp_round;
+  positive : bool;
+  count : int;
+  priors : (int * prior) list;
+  committed : pno option;
+}
+
+type component =
+  | Leader of { id : int; hb : int; commit : int }
+      (* heartbeat; [commit] is stamped by the relaying sender at send time,
+         so receivers can repair a straggling neighbor (see [on_leader]) *)
+  | Change of { counter : int; origin : int }
+  | Search of { root : int; hops : int; sender : int }
+  | Forward of { cmd : int }  (* client command flooding *)
+  | Proposal of proposer_msg
+  | Response of response
+  | Decision of { inst : int; value : int }
+
+type msg = component list
+
+(* Proposer lease: one Prepare covers all instances >= [from_inst]; the
+   merged priors map constrains per-instance value choice once Ready. *)
+type lease =
+  | No_lease
+  | Preparing of {
+      pno : pno;
+      from_inst : int;
+      mutable yes : int;
+      mutable no : int;
+      priors : (int, prior) Hashtbl.t;
+    }
+  | Ready of { pno : pno; priors : (int, prior) Hashtbl.t }
+
+type flight = { f_value : int; mutable f_yes : int; mutable f_no : int }
+
+type inst = { mutable accepted : prior option; mutable chosen : int option }
+
+type pending_response = {
+  q_target : int;
+  q_pno : pno;
+  q_round : resp_round;
+  q_positive : bool;
+  mutable q_count : int;
+  mutable q_priors : (int * prior) list;
+  mutable q_committed : pno option;
+}
+
+type config = {
+  window : int;
+  on_apply : (node:int -> index:int -> cmd:int -> unit) option;
+}
+
+type state = {
+  me : int;
+  n : int;
+  cfg : config;
+  (* leader election service *)
+  mutable omega : int;
+  mutable leader_q : int option;
+  (* change service *)
+  mutable lamport : int;
+  mutable last_change : int * int;
+  mutable change_q : (int * int) option;
+  (* tree building service *)
+  dist : (int, int) Hashtbl.t;
+  parent : (int, int) Hashtbl.t;
+  mutable tree_q : (int * int) list;
+  (* the log *)
+  insts : (int, inst) Hashtbl.t;
+  mutable commit_index : int;  (* length of the chosen prefix *)
+  mutable max_inst_seen : int;  (* 1 + highest instance heard of *)
+  mutable applied : int list;  (* applied commands, newest first *)
+  applied_set : (int, unit) Hashtbl.t;
+  (* client commands *)
+  known_cmds : (int, unit) Hashtbl.t;
+  mutable cmd_pool : int list;  (* submitted, not yet known chosen; FIFO *)
+  chosen_cmds : (int, unit) Hashtbl.t;
+  mutable forward_q : int list;
+  (* proposer *)
+  mutable max_tag : int;
+  mutable lease : lease;
+  mutable attempts_left : int;
+  proposing : (int, flight) Hashtbl.t;  (* instance -> in-flight proposal *)
+  mutable proposal_q : proposer_msg list;
+  seen_props : (int * int * int, unit) Hashtbl.t;  (* forward-once *)
+  (* acceptor *)
+  mutable promised : pno option;
+  responded : (int * int * int, unit) Hashtbl.t;  (* respond-once *)
+  mutable response_q : pending_response list;
+  (* decision flooding *)
+  mutable decide_q : (int * int) list;  (* (inst, value), FIFO *)
+  (* transport *)
+  mutable sending : bool;
+  (* hardening, as in Wpaxos (always on: a replicated log only makes sense
+     with retransmission; the paper's one-shot no-retransmit variant is a
+     single-instance concern) *)
+  mutable my_hb : int;
+  hb_seen : (int, int) Hashtbl.t;
+  suspect_hb : (int, int) Hashtbl.t;
+  mutable hb_silence : int;
+  silence_limit : int;
+  mutable idle_acks : int;
+  mutable next_refresh : int;
+  mutable progress_silence : int;
+  mutable next_retry : int;
+  retry_start : int;
+  retry_cap : int;
+  mutable retries_left : int;
+  mutable patience_left : int;
+}
+
+let refresh_start = 4
+
+let refresh_cap = 64
+
+let patience_max = 512
+
+let max_retries = 8
+
+let majority st = (st.n / 2) + 1
+
+let fail_threshold st = st.n - majority st + 1
+
+let stamp_compare (ca, oa) (cb, ob) =
+  match Int.compare ca cb with 0 -> Int.compare oa ob | c -> c
+
+let hb_of st id = Option.value ~default:0 (Hashtbl.find_opt st.hb_seen id)
+
+let suspected st id = Hashtbl.mem st.suspect_hb id
+
+let refill st = st.patience_left <- patience_max
+
+let get_inst st i =
+  match Hashtbl.find_opt st.insts i with
+  | Some r -> r
+  | None ->
+      let r = { accepted = None; chosen = None } in
+      Hashtbl.replace st.insts i r;
+      r
+
+let note_inst st i =
+  if i + 1 > st.max_inst_seen then st.max_inst_seen <- i + 1
+
+(* A node is complete when its chosen prefix covers everything it has heard
+   of and no command it holds is still waiting for a slot. Complete nodes
+   stop heartbeating (the network quiesces); incomplete ones keep the
+   ack-clock ticking, patience-bounded. *)
+let has_work st =
+  st.commit_index < st.max_inst_seen
+  || st.cmd_pool <> []
+  || (st.omega = st.me
+     && (Hashtbl.length st.proposing > 0
+        || match st.lease with Preparing _ -> true | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Broadcast service: pack one component per non-empty queue.          *)
+(* ------------------------------------------------------------------ *)
+
+let dequeue_tree st =
+  match st.tree_q with
+  | [] -> None
+  | entries ->
+      let chosen =
+        match List.find_opt (fun (root, _) -> root = st.omega) entries with
+        | Some entry -> entry
+        | None -> List.hd entries
+      in
+      st.tree_q <- List.filter (fun e -> e <> chosen) st.tree_q;
+      let root, hops = chosen in
+      Some (Search { root; hops; sender = st.me })
+
+let dequeue_response st =
+  let rec pick acc = function
+    | [] -> None
+    | entry :: rest -> (
+        match Hashtbl.find_opt st.parent entry.q_target with
+        | Some parent_id ->
+            st.response_q <- List.rev_append acc rest;
+            Some
+              (Response
+                 {
+                   dest = parent_id;
+                   target = entry.q_target;
+                   r_pno = entry.q_pno;
+                   round = entry.q_round;
+                   positive = entry.q_positive;
+                   count = entry.q_count;
+                   priors = entry.q_priors;
+                   committed = entry.q_committed;
+                 })
+        | None -> pick (entry :: acc) rest)
+  in
+  pick [] st.response_q
+
+let compose st =
+  let components = ref [] in
+  (match st.decide_q with
+  | (inst, value) :: rest ->
+      st.decide_q <- rest;
+      components := Decision { inst; value } :: !components
+  | [] -> ());
+  (match dequeue_response st with
+  | Some c -> components := c :: !components
+  | None -> ());
+  (match st.proposal_q with
+  | p :: rest ->
+      st.proposal_q <- rest;
+      components := Proposal p :: !components
+  | [] -> ());
+  (match st.forward_q with
+  | cmd :: rest ->
+      st.forward_q <- rest;
+      components := Forward { cmd } :: !components
+  | [] -> ());
+  (match dequeue_tree st with
+  | Some c -> components := c :: !components
+  | None -> ());
+  (match st.change_q with
+  | Some (counter, origin) ->
+      st.change_q <- None;
+      components := Change { counter; origin } :: !components
+  | None -> ());
+  (match st.leader_q with
+  | Some id ->
+      st.leader_q <- None;
+      (* Heartbeat and commit index are read at send time: relays carry
+         the freshest count they know, and [commit] always describes the
+         sender itself (the straggler-repair signal). *)
+      components :=
+        Leader { id; hb = hb_of st id; commit = st.commit_index }
+        :: !components
+  | None -> ());
+  !components
+
+let maybe_send st =
+  if st.sending then []
+  else
+    match compose st with
+    | [] -> []
+    | components ->
+        st.sending <- true;
+        [ Amac.Algorithm.Broadcast components ]
+
+let finish st = maybe_send st
+
+(* ------------------------------------------------------------------ *)
+(* The log: choosing, committing, applying                             *)
+(* ------------------------------------------------------------------ *)
+
+let prune_response_q st =
+  st.response_q <-
+    List.filter (fun entry -> entry.q_target = st.omega) st.response_q;
+  let largest =
+    List.fold_left
+      (fun acc entry ->
+        match acc with
+        | None -> Some entry.q_pno
+        | Some best -> if pno_lt best entry.q_pno then Some entry.q_pno else acc)
+      None st.response_q
+  in
+  match largest with
+  | None -> ()
+  | Some best ->
+      st.response_q <-
+        List.filter (fun entry -> compare_pno entry.q_pno best = 0) st.response_q
+
+let merge_priors existing extra =
+  List.fold_left
+    (fun acc (i, prior) ->
+      let rec upd = function
+        | [] -> [ (i, prior) ]
+        | (j, p) :: rest when j = i -> (
+            match max_prior (Some p) (Some prior) with
+            | Some best -> (j, best) :: rest
+            | None -> (j, p) :: rest)
+        | entry :: rest -> entry :: upd rest
+      in
+      upd acc)
+    existing extra
+
+let enqueue_response st ~target ~pno ~round ~positive ~count ~priors ~committed
+    =
+  let entry =
+    {
+      q_target = target;
+      q_pno = pno;
+      q_round = round;
+      q_positive = positive;
+      q_count = count;
+      q_priors = priors;
+      q_committed = committed;
+    }
+  in
+  let mergeable existing =
+    existing.q_target = entry.q_target
+    && compare_pno existing.q_pno entry.q_pno = 0
+    && existing.q_round = entry.q_round
+    && existing.q_positive = entry.q_positive
+  in
+  (match List.find_opt mergeable st.response_q with
+  | Some existing ->
+      existing.q_count <- existing.q_count + entry.q_count;
+      existing.q_priors <- merge_priors existing.q_priors entry.q_priors;
+      existing.q_committed <-
+        max_committed existing.q_committed entry.q_committed
+  | None -> st.response_q <- st.response_q @ [ entry ]);
+  prune_response_q st
+
+(* Apply the chosen prefix: every newly covered instance with a real
+   command (not noop) applies exactly once — re-chosen duplicates (a
+   command salvaged by a new lease after the old one already drove it to
+   a decision) are skipped via [applied_set]. *)
+let advance_commit st =
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt st.insts st.commit_index with
+    | Some { chosen = Some value; _ } ->
+        let index = st.commit_index in
+        st.commit_index <- st.commit_index + 1;
+        if value <> noop && not (Hashtbl.mem st.applied_set value) then begin
+          Hashtbl.replace st.applied_set value ();
+          st.applied <- value :: st.applied;
+          match st.cfg.on_apply with
+          | Some f -> f ~node:st.me ~index ~cmd:value
+          | None -> ()
+        end
+    | Some { chosen = None; _ } | None -> continue := false
+  done
+
+let rec note_chosen st i value =
+  let r = get_inst st i in
+  match r.chosen with
+  | Some _ -> ()  (* first choice wins locally; cross-node agreement is the
+                     checker's business *)
+  | None ->
+      r.chosen <- Some value;
+      note_inst st i;
+      if value <> noop then Hashtbl.replace st.chosen_cmds value ();
+      st.cmd_pool <- List.filter (fun c -> c <> value) st.cmd_pool;
+      (* Flood the decision exactly once per node. *)
+      st.decide_q <- st.decide_q @ [ (i, value) ];
+      refill st;
+      advance_commit st;
+      if st.omega = st.me then fill_window st
+
+(* ------------------------------------------------------------------ *)
+(* Proposer: lease acquisition and window filling                      *)
+(* ------------------------------------------------------------------ *)
+
+and start_prepare st =
+  if st.omega = st.me then begin
+    st.max_tag <- st.max_tag + 1;
+    let pno = { tag = st.max_tag; proposer = st.me } in
+    let from_inst = st.commit_index in
+    Hashtbl.reset st.proposing;
+    st.lease <- Preparing { pno; from_inst; yes = 0; no = 0; priors = Hashtbl.create 8 };
+    let message = Prepare { pno; from_inst } in
+    st.proposal_q <- st.proposal_q @ [ message ];
+    Hashtbl.replace st.seen_props (prop_key message) ();
+    self_respond st message
+  end
+
+(* The next command this leader should put at the log end: the first pooled
+   command not already chosen and not in flight at another instance. *)
+and pick_cmd st =
+  let inflight value =
+    Hashtbl.fold
+      (fun _ f acc -> acc || f.f_value = value)
+      st.proposing false
+  in
+  List.find_opt
+    (fun c -> (not (Hashtbl.mem st.chosen_cmds c)) && not (inflight c))
+    st.cmd_pool
+
+and choose_value st priors i =
+  match Hashtbl.find_opt priors i with
+  | Some prior -> Some prior.value  (* bound by an earlier proposal *)
+  | None ->
+      if i < st.max_inst_seen then Some noop  (* fill a hole below the end *)
+      else pick_cmd st
+
+and fill_window st =
+  match st.lease with
+  | Ready { pno; priors } when st.omega = st.me ->
+      let upper = st.commit_index + st.cfg.window in
+      let i = ref st.commit_index in
+      let stalled = ref false in
+      while (not !stalled) && !i < upper do
+        let inst = !i in
+        let r = get_inst st inst in
+        (if r.chosen = None && not (Hashtbl.mem st.proposing inst) then
+           match choose_value st priors inst with
+           | Some value ->
+               Hashtbl.replace st.proposing inst
+                 { f_value = value; f_yes = 0; f_no = 0 };
+               note_inst st inst;
+               let message = Propose { pno; inst; value } in
+               st.proposal_q <- st.proposal_q @ [ message ];
+               Hashtbl.replace st.seen_props (prop_key message) ();
+               self_respond st message
+           | None -> stalled := true);
+        incr i
+      done
+  | Ready _ | Preparing _ | No_lease -> ()
+
+and lease_failed st =
+  st.lease <- No_lease;
+  Hashtbl.reset st.proposing;
+  if st.omega = st.me then begin
+    if st.attempts_left > 0 then begin
+      st.attempts_left <- st.attempts_left - 1;
+      start_prepare st
+    end
+    else local_change st
+  end
+
+and change_updateq st stamp =
+  st.change_q <- Some stamp;
+  if st.omega = st.me then begin
+    st.attempts_left <- 1;
+    st.retries_left <- max_retries;
+    st.next_retry <- st.retry_start;
+    match st.lease with
+    | No_lease -> start_prepare st
+    | Ready _ -> fill_window st
+    | Preparing _ -> ()
+  end
+
+and local_change st =
+  st.lamport <- st.lamport + 1;
+  let stamp = (st.lamport, st.me) in
+  st.last_change <- stamp;
+  change_updateq st stamp
+
+and count_response st (r : response) =
+  match (st.lease, r.round) with
+  | Preparing p, Rprep when compare_pno p.pno r.r_pno = 0 ->
+      st.progress_silence <- 0;
+      refill st;
+      if r.positive then begin
+        p.yes <- p.yes + r.count;
+        List.iter
+          (fun (i, prior) ->
+            note_inst st i;
+            let best =
+              max_prior (Hashtbl.find_opt p.priors i) (Some prior)
+            in
+            match best with
+            | Some best -> Hashtbl.replace p.priors i best
+            | None -> ())
+          r.priors;
+        if p.yes >= majority st then begin
+          st.lease <- Ready { pno = p.pno; priors = p.priors };
+          fill_window st
+        end
+      end
+      else begin
+        p.no <- p.no + r.count;
+        (match r.committed with
+        | Some committed -> st.max_tag <- max st.max_tag committed.tag
+        | None -> ());
+        if p.no >= fail_threshold st then lease_failed st
+      end
+  | Ready rd, Racc inst when compare_pno rd.pno r.r_pno = 0 -> (
+      match Hashtbl.find_opt st.proposing inst with
+      | Some f ->
+          st.progress_silence <- 0;
+          refill st;
+          if r.positive then begin
+            f.f_yes <- f.f_yes + r.count;
+            if f.f_yes >= majority st then begin
+              Hashtbl.remove st.proposing inst;
+              note_chosen st inst f.f_value
+            end
+          end
+          else begin
+            f.f_no <- f.f_no + r.count;
+            if f.f_no >= fail_threshold st then lease_failed st
+          end
+      | None -> ())
+  | (No_lease | Preparing _ | Ready _), _ -> ()
+
+(* Acceptor: a single lease-wide promise (multi-Paxos), per-instance
+   accepted values. Prepare responses return every accepted prior at or
+   above the requested instance — the new leader's constraint set. *)
+and acceptor_respond st (message : proposer_msg) =
+  let pno = pno_of message in
+  let ok = match st.promised with None -> true | Some p -> pno_le p pno in
+  match message with
+  | Prepare { from_inst; _ } ->
+      if ok then begin
+        st.promised <- Some pno;
+        let priors =
+          Hashtbl.fold
+            (fun i r acc ->
+              match r.accepted with
+              | Some prior when i >= from_inst -> (i, prior) :: acc
+              | Some _ | None -> acc)
+            st.insts []
+        in
+        let priors = List.sort (fun (a, _) (b, _) -> Int.compare a b) priors in
+        (Rprep, true, priors, None)
+      end
+      else (Rprep, false, [], st.promised)
+  | Propose { inst; value; _ } ->
+      note_inst st inst;
+      if ok then begin
+        st.promised <- Some pno;
+        (get_inst st inst).accepted <- Some { pno; value };
+        (Racc inst, true, [], None)
+      end
+      else (Racc inst, false, [], st.promised)
+
+and self_respond st (message : proposer_msg) =
+  let pno = pno_of message in
+  Hashtbl.replace st.responded (prop_key message) ();
+  let round, positive, priors, committed = acceptor_respond st message in
+  count_response st
+    {
+      dest = st.me;
+      target = st.me;
+      r_pno = pno;
+      round;
+      positive;
+      count = 1;
+      priors;
+      committed;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Client commands                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* First sight of a command: remember it, queue it for the leader, and
+   re-flood it once so it reaches the leader in multihop networks. *)
+and absorb_cmd st cmd =
+  if cmd <> noop && not (Hashtbl.mem st.known_cmds cmd) then begin
+    Hashtbl.replace st.known_cmds cmd ();
+    if not (Hashtbl.mem st.chosen_cmds cmd) then begin
+      st.cmd_pool <- st.cmd_pool @ [ cmd ];
+      refill st;
+      if st.omega = st.me then
+        match st.lease with
+        | Ready _ -> fill_window st
+        | No_lease -> start_prepare st
+        | Preparing _ -> ()
+    end;
+    st.forward_q <- st.forward_q @ [ cmd ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Component handlers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let set_omega st id =
+  st.omega <- id;
+  st.leader_q <- Some id;
+  st.lease <- No_lease;
+  Hashtbl.reset st.proposing;
+  st.proposal_q <-
+    List.filter (fun p -> (pno_of p).proposer = st.omega) st.proposal_q;
+  prune_response_q st;
+  st.hb_silence <- 0;
+  refill st;
+  local_change st
+
+let candidate_omega st =
+  Hashtbl.fold
+    (fun id _ best -> if (not (suspected st id)) && id > best then id else best)
+    st.hb_seen st.me
+
+let recompute_omega st =
+  let next = candidate_omega st in
+  if next <> st.omega then set_omega st next
+
+let on_leader st ~id ~hb ~commit =
+  (if id <> st.me then
+     let seen = Option.value ~default:(-1) (Hashtbl.find_opt st.hb_seen id) in
+     if hb > seen then begin
+       Hashtbl.replace st.hb_seen id hb;
+       if id = st.omega then begin
+         st.hb_silence <- 0;
+         st.leader_q <- Some id
+       end;
+       match Hashtbl.find_opt st.suspect_hb id with
+       | Some at when hb > at ->
+           Hashtbl.remove st.suspect_hb id;
+           refill st;
+           recompute_omega st
+       | Some _ | None -> ()
+     end);
+  if id > st.omega && not (suspected st id) then set_omega st id;
+  (* Straggler repair: the sending neighbor's commit index lags ours, so
+     its first hole is an instance we have chosen — answer with that one
+     decision. One instance per heartbeat heard keeps it bounded; the
+     straggler's commit advances monotonically, so repair completes. *)
+  if commit < st.commit_index then
+    match Hashtbl.find_opt st.insts commit with
+    | Some { chosen = Some value; _ } ->
+        if not (List.mem (commit, value) st.decide_q) then
+          st.decide_q <- st.decide_q @ [ (commit, value) ]
+    | Some { chosen = None; _ } | None -> ()
+
+let on_change st ~counter ~origin =
+  st.lamport <- max st.lamport counter;
+  let stamp = (counter, origin) in
+  if stamp_compare stamp st.last_change > 0 then begin
+    st.last_change <- stamp;
+    refill st;
+    change_updateq st stamp
+  end
+
+let on_search st ~root ~hops ~sender =
+  let current = Option.value ~default:max_int (Hashtbl.find_opt st.dist root) in
+  if hops < current then begin
+    Hashtbl.replace st.dist root hops;
+    Hashtbl.replace st.parent root sender;
+    refill st;
+    st.tree_q <-
+      List.filter (fun (r, _) -> r <> root) st.tree_q @ [ (root, hops + 1) ];
+    if root = st.omega then local_change st
+  end
+
+let on_proposal st (message : proposer_msg) =
+  let pno = pno_of message in
+  st.max_tag <- max st.max_tag pno.tag;
+  if pno.proposer = st.omega && pno.proposer <> st.me then begin
+    let key = prop_key message in
+    (* Flood each of the current leader's propositions once. *)
+    if not (Hashtbl.mem st.seen_props key) then begin
+      Hashtbl.replace st.seen_props key ();
+      st.proposal_q <- st.proposal_q @ [ message ];
+      refill st
+    end;
+    (* Acceptor: respond once per proposition, routed up the leader's
+       tree. *)
+    if not (Hashtbl.mem st.responded key) then begin
+      Hashtbl.replace st.responded key ();
+      let round, positive, priors, committed = acceptor_respond st message in
+      enqueue_response st ~target:pno.proposer ~pno ~round ~positive ~count:1
+        ~priors ~committed
+    end
+  end
+
+let on_response st (r : response) =
+  if r.dest = st.me then
+    if r.target = st.me then count_response st r
+    else if r.target = st.omega then
+      enqueue_response st ~target:r.target ~pno:r.r_pno ~round:r.round
+        ~positive:r.positive ~count:r.count ~priors:r.priors
+        ~committed:r.committed
+
+(* ------------------------------------------------------------------ *)
+(* Hardened ack tick                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let hardened_tick st =
+  if has_work st && st.patience_left > 0 then begin
+    st.patience_left <- st.patience_left - 1;
+    if st.omega = st.me then begin
+      st.my_hb <- st.my_hb + 1;
+      Hashtbl.replace st.hb_seen st.me st.my_hb
+    end
+    else begin
+      st.hb_silence <- st.hb_silence + 1;
+      if st.hb_silence > st.silence_limit && not (suspected st st.omega)
+      then begin
+        Hashtbl.replace st.suspect_hb st.omega (hb_of st st.omega);
+        recompute_omega st
+      end
+    end;
+    st.leader_q <- Some st.omega;
+    st.idle_acks <- st.idle_acks + 1;
+    if st.idle_acks >= st.next_refresh then begin
+      st.idle_acks <- 0;
+      st.next_refresh <- min (2 * st.next_refresh) refresh_cap;
+      (match Hashtbl.find_opt st.dist st.omega with
+      | Some d ->
+          st.tree_q <-
+            List.filter (fun (r, _) -> r <> st.omega) st.tree_q
+            @ [ (st.omega, d + 1) ]
+      | None -> ());
+      (* Re-flood the oldest pending command: a loss window may have eaten
+         the original Forward before the leader saw it. Patience-bounded
+         like every other retransmission. *)
+      match st.cmd_pool with
+      | cmd :: _ when not (List.mem cmd st.forward_q) ->
+          st.forward_q <- st.forward_q @ [ cmd ]
+      | _ -> ()
+    end;
+    if st.omega = st.me && st.retries_left > 0 then begin
+      st.progress_silence <- st.progress_silence + 1;
+      if st.progress_silence >= st.next_retry then begin
+        st.progress_silence <- 0;
+        st.next_retry <- min (2 * st.next_retry) st.retry_cap;
+        st.retries_left <- st.retries_left - 1;
+        (* Escalate with a fresh lease: acceptors answer a new proposal
+           number exactly once, so lost Prepares/Proposes/responses are
+           all replaced without double counting. *)
+        start_prepare st
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Handle: the harness-side view of every replica's log                *)
+(* ------------------------------------------------------------------ *)
+
+type handle = {
+  registry : (int, state) Hashtbl.t;  (* node -> current incarnation state *)
+  submitted : (int, unit) Hashtbl.t;
+  mutable submitted_count : int;
+}
+
+let submit h ~node ~cmd =
+  if cmd <= noop then invalid_arg "Smr.submit: commands must be positive";
+  if not (Hashtbl.mem h.submitted cmd) then begin
+    Hashtbl.replace h.submitted cmd ();
+    h.submitted_count <- h.submitted_count + 1
+  end;
+  match Hashtbl.find_opt h.registry node with
+  | Some st -> absorb_cmd st cmd
+  | None -> invalid_arg "Smr.submit: unknown node (state not initialised)"
+
+let injector h ~now:_ ~payload (_ctx : Amac.Algorithm.ctx) st =
+  if payload <= noop then
+    invalid_arg "Smr.injector: command payloads must be positive";
+  if not (Hashtbl.mem h.submitted payload) then begin
+    Hashtbl.replace h.submitted payload ();
+    h.submitted_count <- h.submitted_count + 1
+  end;
+  absorb_cmd st payload;
+  finish st
+
+let nodes h = List.sort Int.compare (Hashtbl.fold (fun k _ l -> k :: l) h.registry [])
+
+let state_of h node =
+  match Hashtbl.find_opt h.registry node with
+  | Some st -> st
+  | None -> invalid_arg "Smr: unknown node"
+
+let log h node =
+  let st = state_of h node in
+  Hashtbl.fold
+    (fun i r acc ->
+      match r.chosen with Some v -> (i, v) :: acc | None -> acc)
+    st.insts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let commit_index h node = (state_of h node).commit_index
+
+let applied h node = List.rev (state_of h node).applied
+
+let was_submitted h cmd = Hashtbl.mem h.submitted cmd
+
+let submitted_count h = h.submitted_count
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm wiring                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let init h cfg (ctx : Amac.Algorithm.ctx) =
+  let n =
+    match ctx.n with
+    | Some n -> n
+    | None -> invalid_arg "Smr: requires knowledge of n"
+  in
+  let me = Amac.Node_id.unique_exn ctx.id in
+  let st =
+    {
+      me;
+      n;
+      cfg;
+      omega = me;
+      leader_q = Some me;
+      lamport = 0;
+      last_change = (-1, -1);
+      change_q = None;
+      dist = Hashtbl.create 16;
+      parent = Hashtbl.create 16;
+      tree_q = [ (me, 1) ];
+      insts = Hashtbl.create 64;
+      commit_index = 0;
+      max_inst_seen = 0;
+      applied = [];
+      applied_set = Hashtbl.create 64;
+      known_cmds = Hashtbl.create 64;
+      cmd_pool = [];
+      chosen_cmds = Hashtbl.create 64;
+      forward_q = [];
+      max_tag = 0;
+      lease = No_lease;
+      attempts_left = 1;
+      proposing = Hashtbl.create 8;
+      proposal_q = [];
+      seen_props = Hashtbl.create 64;
+      promised = None;
+      responded = Hashtbl.create 64;
+      response_q = [];
+      decide_q = [];
+      sending = false;
+      my_hb = 0;
+      hb_seen = Hashtbl.create 8;
+      suspect_hb = Hashtbl.create 8;
+      hb_silence = 0;
+      silence_limit = (4 * n) + 16;
+      idle_acks = 0;
+      next_refresh = refresh_start;
+      progress_silence = 0;
+      next_retry = (2 * n) + 8;
+      retry_start = (2 * n) + 8;
+      retry_cap = 16 * ((2 * n) + 8);
+      retries_left = max_retries;
+      patience_left = patience_max;
+    }
+  in
+  Hashtbl.replace st.dist me 0;
+  Hashtbl.replace st.parent me me;
+  Hashtbl.replace st.hb_seen me 0;
+  Hashtbl.replace h.registry me st;
+  local_change st;
+  (st, finish st)
+
+let on_receive _ctx st (components : msg) =
+  let rank = function
+    | Leader _ -> 0
+    | Change _ -> 1
+    | Search _ -> 2
+    | Forward _ -> 3
+    | Proposal _ -> 4
+    | Response _ -> 5
+    | Decision _ -> 6
+  in
+  let ordered =
+    List.sort (fun a b -> Int.compare (rank a) (rank b)) components
+  in
+  List.iter
+    (fun component ->
+      match component with
+      | Leader { id; hb; commit } -> on_leader st ~id ~hb ~commit
+      | Change { counter; origin } -> on_change st ~counter ~origin
+      | Search { root; hops; sender } -> on_search st ~root ~hops ~sender
+      | Forward { cmd } -> absorb_cmd st cmd
+      | Proposal p -> on_proposal st p
+      | Response r -> on_response st r
+      | Decision { inst; value } -> note_chosen st inst value)
+    ordered;
+  finish st
+
+let on_ack _ctx st =
+  st.sending <- false;
+  hardened_tick st;
+  finish st
+
+let component_ids = function
+  | Leader _ -> 1
+  | Change _ -> 1
+  | Search _ -> 2
+  | Forward _ -> 0
+  | Proposal _ -> 1
+  | Response r -> 3 + List.length r.priors + (match r.committed with None -> 0 | Some _ -> 1)
+  | Decision _ -> 0
+
+let msg_ids components =
+  List.fold_left (fun acc c -> acc + component_ids c) 0 components
+
+let pp_round = function
+  | Rprep -> "prep"
+  | Racc inst -> Printf.sprintf "acc[%d]" inst
+
+let pp_component = function
+  | Leader { id; hb; commit } ->
+      Printf.sprintf "leader(%d,hb=%d,ci=%d)" id hb commit
+  | Change { counter; origin } -> Printf.sprintf "change(%d@%d)" counter origin
+  | Search { root; hops; sender } ->
+      Printf.sprintf "search(root=%d,h=%d,from=%d)" root hops sender
+  | Forward { cmd } -> Printf.sprintf "fwd(%d)" cmd
+  | Proposal (Prepare { pno; from_inst }) ->
+      Printf.sprintf "prepare(%s,from=%d)" (pp_pno pno) from_inst
+  | Proposal (Propose { pno; inst; value }) ->
+      Printf.sprintf "propose(%s,[%d]=%d)" (pp_pno pno) inst value
+  | Response r ->
+      Printf.sprintf "resp{to=%d;tgt=%d;%s;%s;%s;x%d}" r.dest r.target
+        (pp_pno r.r_pno) (pp_round r.round)
+        (if r.positive then "yes" else "no")
+        r.count
+  | Decision { inst; value } -> Printf.sprintf "chosen([%d]=%d)" inst value
+
+let pp_msg components = String.concat "+" (List.map pp_component components)
+
+let make ?(window = 4) ?on_apply () =
+  if window < 1 then invalid_arg "Smr.make: window must be >= 1";
+  let cfg = { window; on_apply } in
+  let h =
+    {
+      registry = Hashtbl.create 8;
+      submitted = Hashtbl.create 64;
+      submitted_count = 0;
+    }
+  in
+  let algorithm =
+    {
+      Amac.Algorithm.name = Printf.sprintf "smr-wpaxos(w=%d)" window;
+      init = init h cfg;
+      on_receive;
+      on_ack;
+      msg_ids;
+      hooks = None;
+    }
+  in
+  (algorithm, h)

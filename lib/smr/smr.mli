@@ -1,0 +1,108 @@
+(** Multi-decree state-machine replication over repeated wPAXOS instances,
+    multiplexed on one abstract-MAC-layer run.
+
+    The paper's wPAXOS (Sec 4.2) decides a single value; a replicated log
+    needs one decision per log instance. This module is the standard
+    multi-Paxos construction transplanted onto the wPAXOS machinery:
+
+    - The {e shared services} — leader election Ω (max unsuspected id over
+      heartbeats), the change service (Lamport-stamped change flooding), the
+      tree-building service (parent pointers for response aggregation) and
+      the broadcast service (one component per queue per message) — are
+      carried over from [Consensus.Wpaxos], including its PR 2 hardening
+      (ack-clocked heartbeats with a patience budget, silence-based leader
+      suspicion, exponential-backoff retransmission).
+    - {e Leader lease}: one [Prepare] with a fresh proposal number covers
+      {e every} instance at or above the leader's commit index; acceptors
+      keep a single lease-wide promise and return their accepted priors per
+      instance. A majority of promises establishes the lease.
+    - {e Instance pipelining}: while the lease holds, the leader streams
+      per-instance [Propose] messages under the same number, for up to
+      [window] instances beyond the commit index, without waiting for
+      earlier instances to choose. Holes below the known log end are filled
+      with [noop]; prior-bound instances re-propose the prior's value
+      (Paxos safety).
+    - {e Commit = chosen prefix}: an instance is chosen on a majority of
+      accepts and the decision is flooded (once per node). Each replica's
+      commit index is the length of its contiguous chosen prefix; commands
+      in the prefix are applied to the state machine exactly once, in log
+      order, skipping noops. Replicas piggyback their commit index on
+      heartbeats; a neighbor that is ahead answers with the decision for
+      the straggler's first hole (log repair).
+    - {e Client commands} are positive ints, flooded network-wide
+      ([Forward] components, forward-once per node) so they reach the
+      leader in multihop topologies; any replica accepts submissions.
+
+    Crash-recovery is amnesiac (the model's semantics): a recovered replica
+    restarts with an empty log and re-learns chosen instances from its
+    neighbors' repair traffic. Exactly-once apply is per incarnation.
+
+    The algorithm never emits an engine-level [Decide]; run it with
+    [stop_when_all_decided:false] and judge the run with {!Smr_checker}. *)
+
+(** The reserved hole-filler command (0). Real commands are [> noop]. *)
+val noop : int
+
+type state
+
+type msg
+
+(** A harness-side view of every replica's log, shared by the algorithm
+    returned from {!make}. The registry always tracks each node's {e
+    current incarnation} (recovery re-registers the fresh state). *)
+type handle
+
+(** [make ?window ?on_apply ()] builds the algorithm plus its handle.
+
+    @param window how many instances beyond the commit index may be in
+      flight at once (default 4).
+    @param on_apply called at every replica, exactly once per applied
+      command, in apply (= log) order: [f ~node ~index ~cmd]. Called from
+      inside the engine's handlers — it may in turn call {!submit} for
+      [node] (closed-loop clients resubmitting on completion).
+    @raise Invalid_argument if [window < 1]. *)
+val make :
+  ?window:int ->
+  ?on_apply:(node:int -> index:int -> cmd:int -> unit) ->
+  unit ->
+  (state, msg) Amac.Algorithm.t * handle
+
+(** [submit h ~node ~cmd] hands a client command to a replica. Must be
+    called from within that node's handler context (e.g. an [on_apply]
+    callback) — the actions it triggers are emitted by the enclosing
+    handler's [finish]. For submissions at arbitrary times use engine
+    injections with {!injector}.
+    @raise Invalid_argument if [cmd <= noop] or the node is unknown. *)
+val submit : handle -> node:int -> cmd:int -> unit
+
+(** [injector h] is an [Engine.on_inject] handler: the payload is the
+    command, submitted at the injection's target node.
+    @raise Invalid_argument if a payload is [<= noop]. *)
+val injector :
+  handle ->
+  now:int ->
+  payload:int ->
+  Amac.Algorithm.ctx ->
+  state ->
+  msg Amac.Algorithm.action list
+
+(** Replica ids currently registered, sorted. *)
+val nodes : handle -> int list
+
+(** [log h node] — the node's chosen instances as sorted
+    [(instance, value)] pairs (possibly with holes). *)
+val log : handle -> int -> (int * int) list
+
+(** [commit_index h node] — length of the node's contiguous chosen
+    prefix. *)
+val commit_index : handle -> int -> int
+
+(** [applied h node] — commands applied at the node, in apply order. *)
+val applied : handle -> int -> int list
+
+(** Whether a command was ever handed to {!submit}/{!injector}. *)
+val was_submitted : handle -> int -> bool
+
+val submitted_count : handle -> int
+
+val pp_msg : msg -> string

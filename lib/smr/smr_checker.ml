@@ -1,0 +1,106 @@
+type violation =
+  | Log_disagreement of {
+      inst : int;
+      node_a : int;
+      value_a : int;
+      node_b : int;
+      value_b : int;
+    }
+  | Hole_below_commit of { node : int; inst : int }
+  | Duplicate_apply of { node : int; cmd : int }
+  | Apply_order_mismatch of {
+      node : int;
+      expected : int list;
+      actual : int list;
+    }
+  | Unknown_command of { node : int; inst : int; value : int }
+
+let pp_violation fmt = function
+  | Log_disagreement { inst; node_a; value_a; node_b; value_b } ->
+      Format.fprintf fmt
+        "log disagreement at instance %d: node %d chose %d, node %d chose %d"
+        inst node_a value_a node_b value_b
+  | Hole_below_commit { node; inst } ->
+      Format.fprintf fmt "node %d: instance %d is below commit index yet unchosen"
+        node inst
+  | Duplicate_apply { node; cmd } ->
+      Format.fprintf fmt "node %d applied command %d more than once" node cmd
+  | Apply_order_mismatch { node; expected; actual } ->
+      let render l = String.concat "," (List.map string_of_int l) in
+      Format.fprintf fmt
+        "node %d applied [%s] but its committed prefix dictates [%s]" node
+        (render actual) (render expected)
+  | Unknown_command { node; inst; value } ->
+      Format.fprintf fmt
+        "node %d chose never-submitted command %d at instance %d" node value
+        inst
+
+let to_string v = Format.asprintf "%a" pp_violation v
+
+(* The expected apply sequence from a node's own log: committed prefix, in
+   instance order, noops dropped, duplicate chosen commands applied only at
+   their first instance. *)
+let expected_applies ~commit log =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (inst, value) ->
+      if inst >= commit || value = Smr.noop || Hashtbl.mem seen value then None
+      else begin
+        Hashtbl.replace seen value ();
+        Some value
+      end)
+    log
+
+let check h =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let nodes = Smr.nodes h in
+  let logs = List.map (fun node -> (node, Smr.log h node)) nodes in
+  (* Prefix agreement: any two replicas that both chose an instance agree
+     on its value. (Logs of different lengths are fine — a straggler's log
+     is a sub-log, not a violation.) *)
+  let chosen_at : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (node, log) ->
+      List.iter
+        (fun (inst, value) ->
+          match Hashtbl.find_opt chosen_at inst with
+          | None -> Hashtbl.replace chosen_at inst (node, value)
+          | Some (node_a, value_a) ->
+              if value_a <> value then
+                add
+                  (Log_disagreement
+                     { inst; node_a; value_a; node_b = node; value_b = value }))
+        log)
+    logs;
+  List.iter
+    (fun (node, log) ->
+      let commit = Smr.commit_index h node in
+      (* No holes below the commit index. *)
+      let chosen = Hashtbl.create 16 in
+      List.iter (fun (inst, value) -> Hashtbl.replace chosen inst value) log;
+      for inst = 0 to commit - 1 do
+        if not (Hashtbl.mem chosen inst) then
+          add (Hole_below_commit { node; inst })
+      done;
+      (* Validity: every chosen non-noop value was actually submitted. *)
+      List.iter
+        (fun (inst, value) ->
+          if value <> Smr.noop && not (Smr.was_submitted h value) then
+            add (Unknown_command { node; inst; value }))
+        log;
+      (* Exactly-once apply, and applied order = log order. *)
+      let actual = Smr.applied h node in
+      let dup = Hashtbl.create 16 in
+      List.iter
+        (fun cmd ->
+          if Hashtbl.mem dup cmd then add (Duplicate_apply { node; cmd })
+          else Hashtbl.replace dup cmd ())
+        actual;
+      let expected = expected_applies ~commit log in
+      if expected <> actual then
+        add (Apply_order_mismatch { node; expected; actual }))
+    logs;
+  List.rev !violations
+
+let ok h = check h = []

@@ -1,0 +1,41 @@
+(** The SMR safety contract, checked over a {!Smr.handle} after (or during)
+    a run. All four clauses are safety properties — they must hold in every
+    schedule, under every fault plan:
+
+    - {e prefix agreement}: two replicas never choose different values for
+      the same instance (a shorter log is fine, a conflicting one is not);
+    - {e no holes below the commit index}: the commit index only covers
+      contiguously chosen instances;
+    - {e exactly-once apply}: no command reaches a replica's state machine
+      twice (within an incarnation — recovery is amnesiac by the model's
+      semantics);
+    - {e applied order = log order}: the apply sequence equals the
+      committed prefix filtered of noops and re-chosen duplicates;
+
+    plus validity: a chosen command was actually submitted by some client. *)
+
+type violation =
+  | Log_disagreement of {
+      inst : int;
+      node_a : int;
+      value_a : int;
+      node_b : int;
+      value_b : int;
+    }
+  | Hole_below_commit of { node : int; inst : int }
+  | Duplicate_apply of { node : int; cmd : int }
+  | Apply_order_mismatch of {
+      node : int;
+      expected : int list;
+      actual : int list;
+    }
+  | Unknown_command of { node : int; inst : int; value : int }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val to_string : violation -> string
+
+(** All violations, in deterministic order (empty = the contract holds). *)
+val check : Smr.handle -> violation list
+
+val ok : Smr.handle -> bool

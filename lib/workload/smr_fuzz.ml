@@ -1,0 +1,117 @@
+type config = {
+  iterations : int;
+  max_n : int;
+  max_fack : int;
+  max_crashes : int;
+  cmds : int;
+  max_time : int;
+  faults : Mcheck.Fuzz.fault_profile option;
+}
+
+let default =
+  {
+    iterations = 100;
+    max_n = 6;
+    max_fack = 6;
+    max_crashes = 2;
+    cmds = 30;
+    max_time = 400_000;
+    faults = Some Mcheck.Fuzz.default_fault_profile;
+  }
+
+type failure = {
+  iteration : int;
+  n : int;
+  fack : int;
+  window : int;
+  faults : Fault.plan;
+  crashes : (int * int) list;
+  violations : Smr_checker.violation list;
+}
+
+type outcome = {
+  iterations_run : int;
+  failure : failure option;
+}
+
+let pp_failure fmt f =
+  Format.fprintf fmt
+    "@[<v>iteration %d: n=%d fack=%d window=%d@,crashes=[%s]@,faults=%s@,%a@]"
+    f.iteration f.n f.fack f.window
+    (String.concat "; "
+       (List.map
+          (fun (node, at) -> Printf.sprintf "%d@%d" node at)
+          f.crashes))
+    (Fault.to_string f.faults)
+    (Format.pp_print_list Smr_checker.pp_violation)
+    f.violations
+
+let run_iteration config ~seed ~iteration =
+  let rng = Mcheck.Fuzz.derive ~seed ~iteration in
+  let n = Amac.Rng.int_range rng ~lo:3 ~hi:(max 3 config.max_n) in
+  let topology =
+    match Amac.Rng.int rng 3 with
+    | 0 -> Amac.Topology.clique n
+    | 1 -> Amac.Topology.line n
+    | _ -> if n >= 3 then Amac.Topology.ring n else Amac.Topology.clique n
+  in
+  let fack = Amac.Rng.int_range rng ~lo:1 ~hi:(max 1 config.max_fack) in
+  (* Crash times land in the first few broadcast windows, as in
+     Mcheck.Fuzz.generate — early crashes interfere with leader election
+     and the first Prepare, the most delicate phase. *)
+  let crash_count = Amac.Rng.int rng (config.max_crashes + 1) in
+  let crashes =
+    List.init crash_count (fun _ ->
+        ( Amac.Rng.int rng n,
+          Amac.Rng.int_range rng ~lo:0 ~hi:(((2 * fack) + 1) * 2) ))
+    |> List.sort_uniq compare
+    |> List.fold_left
+         (fun acc (node, time) ->
+           if List.mem_assoc node acc then acc else (node, time) :: acc)
+         []
+    |> List.rev
+  in
+  let faults =
+    match config.faults with
+    | None -> []
+    | Some p -> Mcheck.Fuzz.gen_fault_plan rng ~n ~fack ~crashes p
+  in
+  let crashes = if config.faults = None then crashes else [] in
+  let window = 1 + Amac.Rng.int rng 8 in
+  let mode =
+    if Amac.Rng.bool rng then
+      Workload.Open_loop { mean_gap = 1 + Amac.Rng.int rng (4 * fack) }
+    else Workload.Closed_loop { clients_per_node = 1 }
+  in
+  let scheduler = Amac.Scheduler.random (Amac.Rng.split rng) ~fack in
+  let wseed = Amac.Rng.int rng 1_000_000 in
+  let result =
+    Workload.run ~window ~faults ~crashes ~max_time:config.max_time ~topology
+      ~scheduler ~seed:wseed ~cmds:config.cmds ~mode ()
+  in
+  if result.Workload.violations = [] then None
+  else
+    Some
+      {
+        iteration;
+        n;
+        fack;
+        window;
+        faults;
+        crashes;
+        violations = result.Workload.violations;
+      }
+
+let run ?(progress = fun _ -> ()) config ~seed =
+  let rec go i =
+    if i >= config.iterations then { iterations_run = i; failure = None }
+    else
+      match run_iteration config ~seed ~iteration:i with
+      | None ->
+          progress i;
+          go (i + 1)
+      | Some f ->
+          progress i;
+          { iterations_run = i + 1; failure = Some f }
+  in
+  go 0

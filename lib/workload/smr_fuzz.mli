@@ -1,0 +1,50 @@
+(** Seeded fuzzing of the replicated log: random topology, scheduler,
+    workload shape and (optionally) fault plan per iteration, judged by
+    {!Smr_checker} — safety only, since under an adversarial plan a
+    straggler's log may legitimately end short.
+
+    Unlike {!Mcheck.Fuzz} there is no record/replay step: every stochastic
+    choice (including the scheduler's) derives from
+    [Mcheck.Fuzz.derive ~seed ~iteration], so re-running the same pair
+    regenerates the identical execution — the iteration number {e is} the
+    reproducer. No shrinking either; a failing iteration reports its drawn
+    parameters and violations. *)
+
+type config = {
+  iterations : int;
+  max_n : int;  (** nodes drawn from [\[3, max_n\]] *)
+  max_fack : int;  (** F_ack drawn from [\[1, max_fack\]] *)
+  max_crashes : int;  (** crash-pattern size drawn from [\[0, max_crashes\]] *)
+  cmds : int;  (** commands per iteration *)
+  max_time : int;
+  faults : Mcheck.Fuzz.fault_profile option;
+      (** [Some profile] turns the crashes into a full fault plan via
+          {!Mcheck.Fuzz.gen_fault_plan} (recoveries, loss windows,
+          partitions, stutters) *)
+}
+
+(** 100 iterations, n ≤ 6, F_ack ≤ 6, ≤ 2 crashes, 30 commands, fault
+    plans on (the mcheck default profile). *)
+val default : config
+
+type failure = {
+  iteration : int;
+  n : int;
+  fack : int;
+  window : int;
+  faults : Fault.plan;
+  crashes : (int * int) list;
+  violations : Smr_checker.violation list;
+}
+
+type outcome = {
+  iterations_run : int;
+  failure : failure option;  (** [None] — all iterations clean *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [run config ~seed] fuzzes until a safety violation (then stops) or
+    [config.iterations] clean iterations pass. [~progress] is called after
+    each iteration with its 0-based index. *)
+val run : ?progress:(int -> unit) -> config -> seed:int -> outcome

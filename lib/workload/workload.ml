@@ -1,0 +1,154 @@
+type mode =
+  | Open_loop of { mean_gap : int }
+  | Closed_loop of { clients_per_node : int }
+
+type result = {
+  outcome : Amac.Engine.outcome;
+  handle : Smr.handle;
+  violations : Smr_checker.violation list;
+  issued : int;
+  submitted : int;
+  committed : int;
+  commit_index_min : int;
+  commit_index_max : int;
+  latencies : int array;
+}
+
+let latency result ~q =
+  if q <= 0.0 || q > 1.0 then invalid_arg "Workload.latency: q outside (0, 1]";
+  let len = Array.length result.latencies in
+  if len = 0 then None
+  else
+    let rank = int_of_float (ceil (q *. float_of_int len)) in
+    Some result.latencies.(max 0 (min (len - 1) (rank - 1)))
+
+(* Latencies are simulation ticks, typically a few F_ack windows up to a
+   few retry epochs; the default seconds-scale buckets would lump
+   everything into +Inf. *)
+let latency_buckets =
+  [ 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000.; 20_000. ]
+
+let run ?(window = 4) ?(faults = []) ?(crashes = []) ?(max_time = 400_000)
+    ?(record_trace = false) ?obs ~topology ~scheduler ~seed ~cmds ~mode () =
+  if cmds < 0 then invalid_arg "Workload.run: cmds < 0";
+  let n = Amac.Topology.size topology in
+  let rng = Amac.Rng.create seed in
+  let clock = ref 0 in
+  let submit_time : (int, int) Hashtbl.t = Hashtbl.create ((2 * cmds) + 16) in
+  let commit_time : (int, int) Hashtbl.t = Hashtbl.create ((2 * cmds) + 16) in
+  let origin : (int, int) Hashtbl.t = Hashtbl.create ((2 * cmds) + 16) in
+  let issued = ref 0 in
+  let next_cmd () =
+    incr issued;
+    !issued
+  in
+  (* The apply callback needs the handle (to resubmit in closed loop), but
+     the handle only exists once [Smr.make] returns — hence the knot. *)
+  let handle_ref = ref None in
+  let on_apply ~node ~index:_ ~cmd =
+    if not (Hashtbl.mem commit_time cmd) then
+      Hashtbl.replace commit_time cmd !clock;
+    match mode with
+    | Open_loop _ -> ()
+    | Closed_loop _ -> (
+        (* The client attached to [cmd]'s origin replica sees completion on
+           that replica's own apply and immediately submits its next
+           command. Apply is exactly-once per node, so this fires once. *)
+        match (Hashtbl.find_opt origin cmd, !handle_ref) with
+        | Some origin_node, Some h when origin_node = node && !issued < cmds ->
+            let c = next_cmd () in
+            Hashtbl.replace origin c node;
+            Hashtbl.replace submit_time c !clock;
+            Smr.submit h ~node ~cmd:c
+        | _ -> ())
+  in
+  let algorithm, h = Smr.make ~window ~on_apply () in
+  handle_ref := Some h;
+  let injections =
+    match mode with
+    | Open_loop { mean_gap } ->
+        if mean_gap < 1 then invalid_arg "Workload.run: mean_gap < 1";
+        let t = ref 0 in
+        List.init cmds (fun _ ->
+            (* inverse-CDF exponential, floored at 1 tick *)
+            let u = Amac.Rng.float rng 1.0 in
+            let gap =
+              max 1
+                (int_of_float (-.float_of_int mean_gap *. log (1.0 -. u)))
+            in
+            t := !t + gap;
+            let node = Amac.Rng.int rng n in
+            let c = next_cmd () in
+            Hashtbl.replace origin c node;
+            (node, !t, c))
+    | Closed_loop { clients_per_node } ->
+        if clients_per_node < 1 then
+          invalid_arg "Workload.run: clients_per_node < 1";
+        let clients = min cmds (n * clients_per_node) in
+        List.init clients (fun i ->
+            let node = i mod n in
+            let c = next_cmd () in
+            Hashtbl.replace origin c node;
+            (node, 0, c))
+  in
+  (* Submit time is the injection's *pop* time (= its scheduled time unless
+     the run ends first); an injection lost to a crash never records one. *)
+  let on_inject ~now ~payload ctx st =
+    if not (Hashtbl.mem submit_time payload) then
+      Hashtbl.replace submit_time payload now;
+    Smr.injector h ~now ~payload ctx st
+  in
+  let compiled = Fault.compile ~n faults in
+  let crashes = crashes @ compiled.Fault.crashes in
+  (match obs with
+  | Some reg when faults <> [] -> Fault.record ~obs:reg faults
+  | _ -> ());
+  let inputs = Array.make n 0 in
+  let outcome =
+    Amac.Engine.run algorithm ~topology ~scheduler ~inputs ~give_n:true
+      ~crashes ~recoveries:compiled.Fault.recoveries ?drop:compiled.Fault.drop
+      ?stutter:compiled.Fault.stutter ~injections ~on_inject ~clock ~max_time
+      ~stop_when_all_decided:false ~record_trace ~pp_msg:Smr.pp_msg ?obs
+  in
+  let violations = Smr_checker.check h in
+  let nodes = Smr.nodes h in
+  let commit_indices = List.map (Smr.commit_index h) nodes in
+  let commit_index_min = List.fold_left min max_int commit_indices in
+  let commit_index_min = if commit_index_min = max_int then 0 else commit_index_min in
+  let commit_index_max = List.fold_left max 0 commit_indices in
+  let latencies =
+    Hashtbl.fold
+      (fun cmd t acc ->
+        match Hashtbl.find_opt submit_time cmd with
+        | Some s when t >= s -> (t - s) :: acc
+        | _ -> acc)
+      commit_time []
+    |> List.sort compare |> Array.of_list
+  in
+  let committed = Hashtbl.length commit_time in
+  (match obs with
+  | None -> ()
+  | Some reg ->
+      let labels = [ ("algorithm", algorithm.Amac.Algorithm.name) ] in
+      Obs.Metrics.add
+        (Obs.Metrics.counter reg ~labels "smr_submitted_total")
+        (Smr.submitted_count h);
+      Obs.Metrics.add
+        (Obs.Metrics.counter reg ~labels "smr_committed_total")
+        committed;
+      let hist =
+        Obs.Metrics.histogram reg ~labels ~buckets:latency_buckets
+          "smr_commit_latency_ticks"
+      in
+      Array.iter (fun l -> Obs.Metrics.observe hist (float_of_int l)) latencies);
+  {
+    outcome;
+    handle = h;
+    violations;
+    issued = !issued;
+    submitted = Smr.submitted_count h;
+    committed;
+    commit_index_min;
+    commit_index_max;
+    latencies;
+  }

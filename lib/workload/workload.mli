@@ -1,0 +1,70 @@
+(** Deterministic client-traffic generator for the {!Smr} replicated log.
+
+    A workload turns one seed into a full client schedule, drives it through
+    an {!Amac.Engine} run of the SMR algorithm, and measures per-command
+    commit latency against the simulation clock. Two shapes:
+
+    - {e open loop}: [cmds] commands arrive at exponentially distributed
+      gaps (mean [mean_gap] ticks, inverse-CDF over the seeded generator —
+      a Poisson process in discrete time), each at a uniformly drawn
+      replica, regardless of how the log keeps up. Arrivals are engine
+      {e injections}; one landing on a crashed replica is lost, exactly
+      like a client talking to a dead server.
+    - {e closed loop}: [clients_per_node] clients per replica each keep
+      exactly one command outstanding — the next submit happens inside the
+      {!Smr} apply callback of the previous one, at the replica the client
+      is attached to, until [cmds] commands have been issued in total.
+
+    Latency for a command is first-apply time (at {e any} replica) minus
+    submit time, both read off the engine's clock. Everything — gaps,
+    placement, the scheduler's choices — derives from explicit seeds, so a
+    run is replayable bit-for-bit. *)
+
+type mode =
+  | Open_loop of { mean_gap : int }  (** mean inter-arrival gap, ticks *)
+  | Closed_loop of { clients_per_node : int }
+
+type result = {
+  outcome : Amac.Engine.outcome;
+  handle : Smr.handle;  (** for further inspection / checking *)
+  violations : Smr_checker.violation list;  (** [] = safety held *)
+  issued : int;  (** commands the generator produced *)
+  submitted : int;  (** commands that reached a live replica *)
+  committed : int;  (** distinct commands applied at >= 1 replica *)
+  commit_index_min : int;
+  commit_index_max : int;
+  latencies : int array;  (** sorted commit latencies, one per committed *)
+}
+
+(** [latency result ~q] — the [q]-quantile (nearest-rank, [0 < q <= 1]) of
+    commit latency, or [None] when nothing committed. *)
+val latency : result -> q:float -> int option
+
+(** [run ~topology ~scheduler ~seed ~cmds ~mode ()] builds the SMR
+    algorithm, generates the client schedule from [seed], and drains the
+    engine ([stop_when_all_decided:false]).
+
+    @param window SMR pipelining window (default 4).
+    @param faults a declarative {!Fault.plan}, compiled as in
+      {!Consensus.Runner.run}; its crash/recovery schedule merges with
+      [?crashes].
+    @param obs a metrics registry: the engine self-instruments, the fault
+      plan is mirrored ({!Fault.record}), and the workload adds
+      [smr_submitted_total] / [smr_committed_total] counters and an
+      [smr_commit_latency_ticks] histogram.
+    @raise Invalid_argument on [cmds < 0], [Open_loop] with [mean_gap < 1],
+      or [Closed_loop] with [clients_per_node < 1]. *)
+val run :
+  ?window:int ->
+  ?faults:Fault.plan ->
+  ?crashes:(int * int) list ->
+  ?max_time:int ->
+  ?record_trace:bool ->
+  ?obs:Obs.Metrics.registry ->
+  topology:Amac.Topology.t ->
+  scheduler:Amac.Scheduler.t ->
+  seed:int ->
+  cmds:int ->
+  mode:mode ->
+  unit ->
+  result

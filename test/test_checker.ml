@@ -17,6 +17,7 @@ let outcome ?(extra = []) ?(crashed = [||]) decisions : Amac.Engine.outcome =
     end_time = 0;
     events_processed = 0;
     unreliable_deliveries = 0;
+    injected = 0;
     hit_max_time = false;
     causal = None;
     trace = [];

@@ -1,0 +1,147 @@
+(* Satellite: golden-trace regression corpus. Four canonical seeded runs —
+   spanning the baseline two-phase protocol, hardened wPAXOS under
+   crash-recovery, randomized Ben-Or, and the SMR replicated log — are
+   rendered (event timeline + metrics snapshot) and compared byte-for-byte
+   against committed artifacts in test/golden/.
+
+   Any change to engine event ordering, scheduler decisions, algorithm
+   message flow, or metrics instrumentation shows up as a diff here, with
+   the full before/after visible in the artifact. To regenerate after an
+   intentional change:
+
+     dune build @all && UPDATE_GOLDEN=$PWD/test/golden \
+       ./_build/default/test/test_golden.exe
+
+   then review the diff like any other code change. *)
+
+let render ~n (outcome : Amac.Engine.outcome) reg =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b (Amac.Trace.timeline ~n outcome.Amac.Engine.trace);
+  Buffer.add_string b "\n--- metrics ---\n";
+  Buffer.add_string b (Obs.Metrics.render (Obs.Metrics.snapshot reg));
+  Buffer.contents b
+
+let scenario_two_phase () =
+  let reg = Obs.Metrics.create () in
+  let result =
+    Consensus.Runner.run Consensus.Two_phase.algorithm
+      ~topology:(Amac.Topology.clique 3)
+      ~scheduler:Amac.Scheduler.synchronous ~inputs:[| 0; 1; 1 |]
+      ~record_trace:true ~obs:reg
+  in
+  render ~n:3 result.Consensus.Runner.outcome reg
+
+let scenario_wpaxos_crash_recovery () =
+  let reg = Obs.Metrics.create () in
+  let result =
+    Consensus.Runner.run (Consensus.Wpaxos.make ())
+      ~topology:(Amac.Topology.line 4)
+      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create 9) ~fack:2)
+      ~inputs:[| 1; 0; 1; 0 |]
+      ~faults:
+        [ Fault.Crash { node = 1; at = 5 }; Fault.Recover { node = 1; at = 40 } ]
+      ~record_trace:true ~obs:reg
+  in
+  render ~n:4 result.Consensus.Runner.outcome reg
+
+let scenario_ben_or () =
+  let reg = Obs.Metrics.create () in
+  let result =
+    Consensus.Runner.run
+      (Consensus.Ben_or.make ~seed:3 ())
+      ~topology:(Amac.Topology.clique 3)
+      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create 4) ~fack:1)
+      ~inputs:[| 0; 1; 0 |] ~record_trace:true ~obs:reg
+  in
+  render ~n:3 result.Consensus.Runner.outcome reg
+
+let scenario_smr_closed_loop () =
+  let reg = Obs.Metrics.create () in
+  let result =
+    Workload.run
+      ~topology:(Amac.Topology.clique 3)
+      ~scheduler:Amac.Scheduler.synchronous ~seed:21 ~cmds:6
+      ~mode:(Workload.Closed_loop { clients_per_node = 1 })
+      ~record_trace:true ~obs:reg ()
+  in
+  render ~n:3 result.Workload.outcome reg
+
+let scenarios =
+  [
+    ("two_phase_sync", scenario_two_phase);
+    ("wpaxos_crash_recovery", scenario_wpaxos_crash_recovery);
+    ("ben_or_random", scenario_ben_or);
+    ("smr_closed_loop", scenario_smr_closed_loop);
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let test_scenario (name, produce) () =
+  let actual = produce () in
+  match Sys.getenv_opt "UPDATE_GOLDEN" with
+  | Some dir ->
+      write_file (Filename.concat dir (name ^ ".txt")) actual;
+      Printf.printf "updated %s/%s.txt (%d bytes)\n" dir name
+        (String.length actual)
+  | None ->
+      let path = Filename.concat "golden" (name ^ ".txt") in
+      if not (Sys.file_exists path) then
+        Alcotest.failf
+          "missing golden artifact %s — regenerate with UPDATE_GOLDEN (see \
+           header comment)"
+          path;
+      let expected = read_file path in
+      if expected <> actual then begin
+        (* Byte-identical or bust; print a usable first-divergence pointer
+           rather than two multi-KB blobs. *)
+        let len = min (String.length expected) (String.length actual) in
+        let i = ref 0 in
+        while !i < len && expected.[!i] = actual.[!i] do
+          incr i
+        done;
+        let context s =
+          let lo = max 0 (!i - 80)
+          and hi = min (String.length s) (!i + 80) in
+          String.sub s lo (hi - lo)
+        in
+        Alcotest.failf
+          "golden mismatch for %s at byte %d (expected %d bytes, got %d)@.--- \
+           expected around divergence ---@.%s@.--- actual around divergence \
+           ---@.%s"
+          name !i
+          (String.length expected)
+          (String.length actual) (context expected) (context actual)
+      end
+
+(* The corpus must also be self-consistent: producing a scenario twice in
+   one process yields identical bytes (no hidden global state). *)
+let test_reproducible () =
+  List.iter
+    (fun (name, produce) ->
+      let a = produce () and b = produce () in
+      Alcotest.(check bool)
+        (name ^ ": render is reproducible in-process")
+        true (String.equal a b))
+    scenarios
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "corpus",
+        List.map
+          (fun ((name, _) as s) ->
+            Alcotest.test_case name `Quick (test_scenario s))
+          scenarios
+        @ [ Alcotest.test_case "in-process reproducibility" `Quick
+              test_reproducible ] );
+    ]

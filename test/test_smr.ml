@@ -1,0 +1,176 @@
+(* Tentpole: the replicated log (lib/smr) driven by the workload generator
+   (lib/workload), judged by Smr_checker.
+
+   Covers: a clean closed-loop run commits everything on every replica; the
+   ISSUE's acceptance scenario (5 nodes, bursty scheduler, loss-window fault
+   plan, >= 200 commands, deterministic from one seed); leader crash
+   mid-stream (re-election picks up the log); pipelining window extremes
+   behave identically safety-wise; injections to a crashed replica are lost,
+   not ghost-submitted; and a seeded fuzz smoke over random
+   topology/scheduler/fault draws. *)
+
+let check_clean label (r : Workload.result) =
+  Alcotest.(check (list string))
+    (label ^ ": no safety violations")
+    []
+    (List.map Smr_checker.to_string r.violations)
+
+let test_closed_loop_clean () =
+  let n = 5 and cmds = 50 in
+  let r =
+    Workload.run
+      ~topology:(Amac.Topology.clique n)
+      ~scheduler:Amac.Scheduler.synchronous ~seed:7 ~cmds
+      ~mode:(Workload.Closed_loop { clients_per_node = 1 })
+      ()
+  in
+  check_clean "clean closed loop" r;
+  Alcotest.(check int) "all commands issued" cmds r.issued;
+  Alcotest.(check int) "all commands submitted" cmds r.submitted;
+  Alcotest.(check int) "all commands committed" cmds r.committed;
+  Alcotest.(check bool)
+    "every replica's prefix covers every command" true
+    (r.commit_index_min >= cmds);
+  Alcotest.(check int)
+    "one latency sample per command" cmds
+    (Array.length r.latencies);
+  (* Quiescence: the run drained on its own, not via the time guard. *)
+  Alcotest.(check bool) "run quiesced" false r.outcome.Amac.Engine.hit_max_time
+
+let acceptance_faults =
+  [
+    Fault.Link_drop { edge = (0, 1); from_ = 40; until = 140 };
+    Fault.Link_drop { edge = (2, 3); from_ = 300; until = 420 };
+    Fault.Link_drop { edge = (1, 4); from_ = 800; until = 900 };
+  ]
+
+let acceptance_run () =
+  Workload.run ~window:4 ~faults:acceptance_faults
+    ~topology:(Amac.Topology.clique 5)
+    ~scheduler:(Amac.Scheduler.bursty ~fack:3 ~fast_len:40 ~slow_len:12)
+    ~seed:42 ~cmds:250
+    ~mode:(Workload.Closed_loop { clients_per_node = 1 })
+    ()
+
+(* The ISSUE's acceptance scenario: a 5-node log under the bursty scheduler
+   with bounded loss windows commits >= 200 commands with the checker
+   clean, deterministically from the seed. *)
+let test_acceptance_scenario () =
+  let r = acceptance_run () in
+  check_clean "acceptance" r;
+  Alcotest.(check bool)
+    (Printf.sprintf "committed %d >= 200" r.committed)
+    true (r.committed >= 200);
+  Alcotest.(check bool)
+    "min commit index >= 200" true
+    (r.commit_index_min >= 200)
+
+let test_acceptance_deterministic () =
+  let a = acceptance_run () and b = acceptance_run () in
+  Alcotest.(check int) "same committed" a.committed b.committed;
+  Alcotest.(check int)
+    "same end time" a.outcome.Amac.Engine.end_time
+    b.outcome.Amac.Engine.end_time;
+  Alcotest.(check int)
+    "same event count" a.outcome.Amac.Engine.events_processed
+    b.outcome.Amac.Engine.events_processed;
+  Alcotest.(check (array int)) "same latencies" a.latencies b.latencies;
+  Alcotest.(check int)
+    "same min commit index" a.commit_index_min b.commit_index_min
+
+(* Ω elects the highest unsuspected id, so node n-1 leads initially;
+   crashing it mid-stream forces re-election and lease re-establishment.
+   The dead leader's client stops resubmitting, but the four survivors'
+   clients keep the global budget draining. *)
+let test_leader_crash () =
+  let n = 5 and cmds = 60 in
+  let r =
+    Workload.run
+      ~crashes:[ (n - 1, 35) ]
+      ~topology:(Amac.Topology.clique n)
+      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create 11) ~fack:2)
+      ~seed:13 ~cmds
+      ~mode:(Workload.Closed_loop { clients_per_node = 1 })
+      ()
+  in
+  check_clean "leader crash" r;
+  Alcotest.(check bool)
+    (Printf.sprintf "committed %d >= issued - 1 = %d" r.committed
+       (r.issued - 1))
+    true
+    (r.committed >= r.issued - 1);
+  Alcotest.(check bool) "made real progress" true (r.committed >= 40)
+
+let test_window_extremes () =
+  List.iter
+    (fun window ->
+      let label = Printf.sprintf "window=%d" window in
+      let r =
+        Workload.run ~window
+          ~topology:(Amac.Topology.line 4)
+          ~scheduler:(Amac.Scheduler.random (Amac.Rng.create 5) ~fack:2)
+          ~seed:99 ~cmds:40
+          ~mode:(Workload.Open_loop { mean_gap = 6 })
+          ()
+      in
+      check_clean label r;
+      Alcotest.(check int) (label ^ ": all committed") 40 r.committed;
+      Alcotest.(check bool)
+        (label ^ ": prefix complete everywhere")
+        true (r.commit_index_min >= 40))
+    [ 1; 8 ]
+
+(* An injection whose target is down at pop time is lost like a client call
+   to a dead server: never submitted, never committed, no ghost latency. *)
+let test_injection_to_crashed_node_lost () =
+  let n = 3 in
+  (* Open loop, seed-chosen placement; crash node 0 for the whole run and
+     count only what reached live replicas. *)
+  let r =
+    Workload.run
+      ~crashes:[ (0, 0) ]
+      ~topology:(Amac.Topology.clique n)
+      ~scheduler:Amac.Scheduler.synchronous ~seed:3 ~cmds:30
+      ~mode:(Workload.Open_loop { mean_gap = 5 })
+      ()
+  in
+  check_clean "crashed-target injections" r;
+  Alcotest.(check int) "committed = submitted" r.submitted r.committed;
+  Alcotest.(check bool)
+    (Printf.sprintf "some injections lost (submitted %d < issued %d)"
+       r.submitted r.issued)
+    true
+    (r.submitted < r.issued);
+  Alcotest.(check int)
+    "engine handed over exactly the live-target injections" r.submitted
+    r.outcome.Amac.Engine.injected
+
+let test_fuzz_smoke () =
+  let config =
+    { Smr_fuzz.default with iterations = 25; cmds = 15; max_time = 200_000 }
+  in
+  let outcome = Smr_fuzz.run config ~seed:2026 in
+  (match outcome.Smr_fuzz.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "fuzz failure:@.%a" Smr_fuzz.pp_failure f);
+  Alcotest.(check int) "all iterations ran" 25 outcome.Smr_fuzz.iterations_run
+
+let () =
+  Alcotest.run "smr"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "closed loop, clean network" `Quick
+            test_closed_loop_clean;
+          Alcotest.test_case "acceptance: bursty + loss windows, >=200" `Quick
+            test_acceptance_scenario;
+          Alcotest.test_case "acceptance scenario is deterministic" `Quick
+            test_acceptance_deterministic;
+          Alcotest.test_case "leader crash mid-stream" `Quick test_leader_crash;
+          Alcotest.test_case "pipelining window extremes" `Quick
+            test_window_extremes;
+          Alcotest.test_case "injections to a dead replica are lost" `Quick
+            test_injection_to_crashed_node_lost;
+          Alcotest.test_case "seeded fuzz smoke" `Quick test_fuzz_smoke;
+        ] );
+    ]
