@@ -12,6 +12,11 @@ Checks, with a +/-30% tolerance on timing cells:
     files; "committed", "p50", "p99" and "safe" must match EXACTLY (the
     replicated-log run is deterministic from its seed — any drift is a
     semantic change in the SMR stack, not noise).
+  - B10: EVERY column must match EXACTLY per (n, byz) row present in both
+    files — the Byzantine-adversary cells contain no wall-clock at all, so
+    any drift in latency / broadcasts / suppressed / substituted / decided
+    / safe is a semantic change in the adversary model, the substitute
+    hook, or byz_consensus itself.
 
 Rows present in only one file (e.g. --quick runs fewer B5 cases) are
 skipped. Exit 0 = within tolerance, 1 = regression (offenders listed).
@@ -122,14 +127,38 @@ def main():
     else:
         failures.append("B9 table missing from baseline or fresh run")
 
+    b10_base, b10_fresh = table(baseline, "B10"), table(fresh, "B10")
+    if b10_base and b10_fresh:
+        base_rows = rows_by_key(b10_base, ["n", "byz"])
+        fresh_rows = rows_by_key(b10_fresh, ["n", "byz"])
+        for key in sorted(set(base_rows) & set(fresh_rows)):
+            label = f"B10 n={key[0]} byz={key[1]}"
+            for column in (
+                "latency",
+                "broadcasts",
+                "suppressed",
+                "substituted",
+                "decided",
+                "safe",
+            ):
+                base_cell = cell(b10_base, base_rows[key], column)
+                fresh_cell = cell(b10_fresh, fresh_rows[key], column)
+                if base_cell != fresh_cell:
+                    failures.append(
+                        f"{label}: {column} {fresh_cell} vs baseline "
+                        f"{base_cell} (must match exactly)"
+                    )
+    else:
+        failures.append("B10 table missing from baseline or fresh run")
+
     if failures:
         print("perf gate FAILED:")
         for failure in failures:
             print(f"  {failure}")
         return 1
     print(
-        "perf gate passed (B5 states + B9 committed/p50/p99 exact, "
-        "timing within +/-30%)"
+        "perf gate passed (B5 states + B9 committed/p50/p99 + all B10 "
+        "cells exact, timing within +/-30%)"
     )
     return 0
 

@@ -15,6 +15,15 @@
    short log is legitimate. Every stochastic choice derives from
    (seed, iteration), so a failing iteration number IS the reproducer.
 
+   MCHECK_BYZ=1 switches to Byzantine-strategy mode (lib/byz): the
+   Byzantine-tolerant protocol (byz_consensus) is gated — fuzzed with
+   generated adversary strategies capped at its tolerance f = (n-1)/3 and
+   expected to stay checker-clean over honest nodes — and the adversary is
+   self-tested: an equivocation-only campaign against two-phase must find
+   AND shrink a strategy that splits the honest decision. If MCHECK_ARTIFACT
+   names a file, the shrunk counterexample of an unexpected gate violation
+   is written there.
+
    MCHECK_FAULTS=1 switches to fault-plan mode: fuzzes two-phase and
    hardened wPAXOS under generated fault plans (crash-recovery, lossy
    links, partition-and-heal, stutter) expecting safety to hold
@@ -47,6 +56,7 @@ let seed =
 
 let fault_mode = Sys.getenv_opt "MCHECK_FAULTS" = Some "1"
 let smr_mode = Sys.getenv_opt "MCHECK_SMR" = Some "1"
+let byz_mode = Sys.getenv_opt "MCHECK_BYZ" = Some "1"
 let artifact = Sys.getenv_opt "MCHECK_ARTIFACT"
 
 let jobs, fingerprint =
@@ -248,6 +258,94 @@ let faults_mode () =
          iterations\n%!"
         iterations)
 
+let byz_mode_run () =
+  let run_byz config algorithm adapter =
+    Byz.Fuzz.run_par ~jobs config algorithm adapter ~seed
+  in
+  let byz_metrics config algorithm adapter cx =
+    let reg = Obs.Metrics.create () in
+    ignore
+      (Byz.Fuzz.run_case ~obs:reg config algorithm adapter cx.Byz.Fuzz.case);
+    Obs.Metrics.render (Obs.Metrics.snapshot reg)
+  in
+  (* Gate: the Byzantine-tolerant protocol must survive every generated
+     strategy inside its advertised tolerance. cap_f keeps the drawn
+     adversary at f = (n-1)/3; n >= 4 so the budget is never empty. *)
+  let gate_config =
+    { Byz.Fuzz.default with iterations; min_n = 4; max_n = 7; cap_f = true }
+  in
+  let started = Sys.time () in
+  (match
+     (run_byz gate_config
+        (Consensus.Byz_consensus.make ~seed:7 ())
+        Byz.Adapters.byz_consensus)
+       .Byz.Fuzz.counterexample
+   with
+  | None ->
+      Printf.printf
+        "fuzz byz-consensus %d iterations clean at f=(n-1)/3 (%.1fs)\n%!"
+        iterations
+        (Sys.time () -. started)
+  | Some cx ->
+      incr failures;
+      Format.printf "fuzz byz-consensus VIOLATION (seed %d):@.%a@." seed
+        Byz.Fuzz.pp_counterexample cx;
+      Printf.printf "--- metrics (shrunk case) ---\n%s--- end metrics ---\n%!"
+        (byz_metrics gate_config
+           (Consensus.Byz_consensus.make ~seed:7 ())
+           Byz.Adapters.byz_consensus cx);
+      (match artifact with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          let fmt = Format.formatter_of_out_channel oc in
+          Format.fprintf fmt
+            "byz-consensus violation (seed %d, iteration %d)@.%a@." seed
+            cx.Byz.Fuzz.iteration Byz.Fuzz.pp_counterexample cx;
+          close_out oc;
+          Printf.printf "wrote shrunk counterexample to %s\n%!" path));
+
+  (* Self-test: the adversary must earn its keep. An equivocation-only
+     campaign (no silence, no replay, no forgery — the strategy wins or
+     loses on per-recipient payload mutation alone) against two-phase must
+     find a strategy that splits the HONEST decision, and shrink it. *)
+  let equivocation_only =
+    {
+      Byz.Model.default_profile with
+      Byz.Model.allow_silence = false;
+      allow_replay = false;
+      allow_forge = false;
+      allow_drop_own = false;
+    }
+  in
+  let attack_config =
+    {
+      Byz.Fuzz.default with
+      iterations = max iterations 500;
+      profile = equivocation_only;
+      agreement_only = true;
+    }
+  in
+  match
+    (run_byz attack_config Consensus.Two_phase.algorithm
+       Byz.Adapters.two_phase)
+      .Byz.Fuzz.counterexample
+  with
+  | Some cx ->
+      let shrunk = cx.Byz.Fuzz.case in
+      Format.printf
+        "fuzz two-phase+byz: equivocation split caught at iteration %d, \
+         shrunk to n=%d with %d tamper(s) (expected):@.%a@."
+        cx.Byz.Fuzz.iteration shrunk.Byz.Fuzz.n
+        (List.length shrunk.Byz.Fuzz.strategy.Byz.Model.tampers)
+        Byz.Fuzz.pp_counterexample cx
+  | None ->
+      incr failures;
+      Printf.printf
+        "fuzz two-phase+byz: MISSED the expected equivocation agreement \
+         split in %d iterations\n%!"
+        attack_config.Byz.Fuzz.iterations
+
 let smr_mode_run () =
   let config = { Smr_fuzz.default with iterations } in
   let started = Sys.time () in
@@ -283,6 +381,7 @@ let () =
   Printexc.record_backtrace true;
   (try
      if smr_mode then smr_mode_run ()
+     else if byz_mode then byz_mode_run ()
      else if fault_mode then faults_mode ()
      else default_mode ()
    with exn ->
@@ -292,6 +391,7 @@ let () =
         MCHECK_ITERS=%d%s): %s\n%s\n%!"
        seed iterations
        (if smr_mode then " MCHECK_SMR=1"
+        else if byz_mode then " MCHECK_BYZ=1"
         else if fault_mode then " MCHECK_FAULTS=1"
         else "")
        (Printexc.to_string exn)

@@ -9,6 +9,8 @@ type outcome = {
   dropped : int;
   link_dropped : int;
   stuttered : int;
+  suppressed : int;
+  substituted : int;
   max_ids_per_message : int;
   unreliable_deliveries : int;
   injected : int;
@@ -152,6 +154,7 @@ type ('s, 'm) sim = {
   record_trace : bool;
   drop : (now:int -> sender:int -> receiver:int -> bool) option;
   stutter : (now:int -> node:int -> bool) option;
+  substitute : (now:int -> sender:int -> receiver:int -> 'm -> 'm option) option;
   on_inject :
     (now:int -> payload:int -> Algorithm.ctx -> 's -> 'm Algorithm.action list)
     option;
@@ -174,6 +177,8 @@ type ('s, 'm) sim = {
   mutable dropped : int;
   mutable link_dropped : int;
   mutable stuttered : int;
+  mutable suppressed : int;
+  mutable substituted : int;
   mutable max_ids : int;
   mutable unreliable_deliveries : int;
   mutable injected : int;
@@ -376,9 +381,10 @@ let validate_fault_schedule ~n ~crashes ~recoveries =
   done
 
 let create ?identities ?(give_n = true) ?(give_diameter = false)
-    ?(crashes = []) ?(recoveries = []) ?drop ?stutter ?(injections = [])
-    ?on_inject ?clock ?(max_time = 1_000_000) ?(stop_when_all_decided = true)
-    ?(track_causal = false) ?(record_trace = false) ?pp_msg ?unreliable ?obs
+    ?(crashes = []) ?(recoveries = []) ?drop ?stutter ?substitute
+    ?(injections = []) ?on_inject ?clock ?(max_time = 1_000_000)
+    ?(stop_when_all_decided = true) ?(track_causal = false)
+    ?(record_trace = false) ?pp_msg ?unreliable ?obs
     (algorithm : ('s, 'm) Algorithm.t) ~topology ~scheduler ~inputs =
   let n = Topology.size topology in
   if Array.length inputs <> n then
@@ -457,6 +463,7 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       record_trace;
       drop;
       stutter;
+      substitute;
       on_inject;
       clock;
       queue;
@@ -483,6 +490,8 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       dropped = 0;
       link_dropped = 0;
       stuttered = 0;
+      suppressed = 0;
+      substituted = 0;
       max_ids = 0;
       unreliable_deliveries = 0;
       injected = 0;
@@ -591,18 +600,47 @@ let step sim =
             log sim (Trace.Link_dropped { time = now; node; sender })
           end
           else begin
-            sim.deliveries <- sim.deliveries + 1;
-            obs_counter sim (fun i -> i.deliveries_total);
-            (match (sim.causal, influence) with
-            | Some c, Some inf -> Causal.absorb c ~node ~time:now inf
-            | Some _, None | None, _ -> ());
-            log sim
-              (Trace.Delivered
-                 { time = now; node; sender; msg = sim.render_msg msg });
-            let actions =
-              sim.algorithm.on_receive sim.ctxs.(node) sim.states.(node) msg
+            (* Adversary hook: a Byzantine sender's payload may differ per
+               recipient ([Some msg'], equivocation/forgery — physical
+               inequality is what counts as tampering, so an identity
+               substitution stays invisible) or never arrive at all ([None],
+               selective silence). Honest traffic passes through untouched.
+               The sender's ack is never affected: the MAC layer kept its
+               contract; the *transmitter* lied. *)
+            let delivered =
+              match sim.substitute with
+              | None -> Some msg
+              | Some f -> f ~now ~sender ~receiver:node msg
             in
-            apply_actions_faulted ~now sim node actions
+            match delivered with
+            | None ->
+                sim.suppressed <- sim.suppressed + 1;
+                log sim (Trace.Suppressed { time = now; node; sender })
+            | Some msg' ->
+                if not (msg' == msg) then begin
+                  sim.substituted <- sim.substituted + 1;
+                  log sim
+                    (Trace.Substituted
+                       {
+                         time = now;
+                         node;
+                         sender;
+                         msg = sim.render_msg msg';
+                       })
+                end;
+                sim.deliveries <- sim.deliveries + 1;
+                obs_counter sim (fun i -> i.deliveries_total);
+                (match (sim.causal, influence) with
+                | Some c, Some inf -> Causal.absorb c ~node ~time:now inf
+                | Some _, None | None, _ -> ());
+                log sim
+                  (Trace.Delivered
+                     { time = now; node; sender; msg = sim.render_msg msg' });
+                let actions =
+                  sim.algorithm.on_receive sim.ctxs.(node) sim.states.(node)
+                    msg'
+                in
+                apply_actions_faulted ~now sim node actions
           end
       | Ack { node; inc } ->
           if (not sim.crashed.(node)) && inc = sim.incarnation.(node) then begin
@@ -653,6 +691,8 @@ let snapshot sim =
     dropped = sim.dropped;
     link_dropped = sim.link_dropped;
     stuttered = sim.stuttered;
+    suppressed = sim.suppressed;
+    substituted = sim.substituted;
     max_ids_per_message = sim.max_ids;
     unreliable_deliveries = sim.unreliable_deliveries;
     injected = sim.injected;
@@ -664,14 +704,14 @@ let snapshot sim =
   }
 
 let run ?identities ?give_n ?give_diameter ?crashes ?recoveries ?drop ?stutter
-    ?injections ?on_inject ?clock ?max_time ?stop_when_all_decided
+    ?substitute ?injections ?on_inject ?clock ?max_time ?stop_when_all_decided
     ?track_causal ?record_trace ?pp_msg ?unreliable ?obs algorithm ~topology
     ~scheduler ~inputs =
   let sim =
     create ?identities ?give_n ?give_diameter ?crashes ?recoveries ?drop
-      ?stutter ?injections ?on_inject ?clock ?max_time ?stop_when_all_decided
-      ?track_causal ?record_trace ?pp_msg ?unreliable ?obs algorithm ~topology
-      ~scheduler ~inputs
+      ?stutter ?substitute ?injections ?on_inject ?clock ?max_time
+      ?stop_when_all_decided ?track_causal ?record_trace ?pp_msg ?unreliable
+      ?obs algorithm ~topology ~scheduler ~inputs
   in
   let continue = ref true in
   while !continue do

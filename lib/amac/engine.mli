@@ -55,6 +55,12 @@ type outcome = {
   dropped : int;  (** deliveries cancelled by crashes or stale incarnations *)
   link_dropped : int;  (** deliveries eaten by the [drop] fault hook *)
   stuttered : int;  (** actions suppressed by the [stutter] fault hook *)
+  suppressed : int;
+      (** deliveries eaten by the [substitute] adversary hook (Byzantine
+          selective silence) *)
+  substituted : int;
+      (** deliveries whose payload the [substitute] adversary hook replaced
+          (Byzantine equivocation / forgery) *)
   max_ids_per_message : int;
   unreliable_deliveries : int;
       (** deliveries the scheduler granted on unreliable edges *)
@@ -101,6 +107,7 @@ val create :
   ?recoveries:(int * int) list ->
   ?drop:(now:int -> sender:int -> receiver:int -> bool) ->
   ?stutter:(now:int -> node:int -> bool) ->
+  ?substitute:(now:int -> sender:int -> receiver:int -> 'm -> 'm option) ->
   ?injections:(int * int * int) list ->
   ?on_inject:
     (now:int -> payload:int -> Algorithm.ctx -> 's -> 'm Algorithm.action list) ->
@@ -154,6 +161,16 @@ val snapshot : ('s, 'm) sim -> outcome
     @param drop per-delivery link-fault predicate; [true] eats the delivery.
     @param stutter per-event predicate; while [true] for a node, its
       handlers run but their actions are suppressed.
+    @param substitute the Byzantine-adversary hook, consulted once per
+      otherwise-due delivery (after crash/stale/link-fault filtering):
+      [substitute ~now ~sender ~receiver msg] returns [Some msg'] to deliver
+      [msg'] in place of [msg] — returning a {e physically} different value
+      counts in [substituted] (equivocation: the hook may answer differently
+      per receiver of the same broadcast) — or [None] to silently eat the
+      delivery (counted in [suppressed], selective silence). The sender's
+      ack is never delayed or withheld: the MAC layer kept its delivery
+      contract, the {e transmitter} lied. [lib/byz] compiles Byzantine
+      strategies into this hook.
     @param injections external inputs as [(node, time, payload)] triples —
       client submits in the SMR sense. Each is scheduled as an event (after
       any delivery/ack of the same tick) and handed to [on_inject] on the
@@ -199,6 +216,7 @@ val run :
   ?recoveries:(int * int) list ->
   ?drop:(now:int -> sender:int -> receiver:int -> bool) ->
   ?stutter:(now:int -> node:int -> bool) ->
+  ?substitute:(now:int -> sender:int -> receiver:int -> 'm -> 'm option) ->
   ?injections:(int * int * int) list ->
   ?on_inject:
     (now:int -> payload:int -> Algorithm.ctx -> 's -> 'm Algorithm.action list) ->

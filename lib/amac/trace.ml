@@ -8,6 +8,8 @@ type entry =
   | Recovered of { time : int; node : int; incarnation : int }
   | Link_dropped of { time : int; node : int; sender : int }
   | Stuttered of { time : int; node : int; actions : int }
+  | Suppressed of { time : int; node : int; sender : int }
+  | Substituted of { time : int; node : int; sender : int; msg : string }
 
 let time_of = function
   | Broadcast_start { time; _ }
@@ -18,7 +20,9 @@ let time_of = function
   | Crashed { time; _ }
   | Recovered { time; _ }
   | Link_dropped { time; _ }
-  | Stuttered { time; _ } ->
+  | Stuttered { time; _ }
+  | Suppressed { time; _ }
+  | Substituted { time; _ } ->
       time
 
 let node_of = function
@@ -30,7 +34,9 @@ let node_of = function
   | Crashed { node; _ }
   | Recovered { node; _ }
   | Link_dropped { node; _ }
-  | Stuttered { node; _ } ->
+  | Stuttered { node; _ }
+  | Suppressed { node; _ }
+  | Substituted { node; _ } ->
       node
 
 let pp_entry fmt = function
@@ -57,6 +63,14 @@ let pp_entry fmt = function
   | Stuttered { time; node; actions } ->
       Format.fprintf fmt "[t=%4d] node %d stuttered (%d actions suppressed)"
         time node actions
+  | Suppressed { time; node; sender } ->
+      Format.fprintf fmt
+        "[t=%4d] node %d delivery from %d suppressed (Byzantine silence)" time
+        node sender
+  | Substituted { time; node; sender; msg } ->
+      Format.fprintf fmt
+        "[t=%4d] node %d received FORGED payload from %d: %s" time node sender
+        msg
 
 let pp fmt entries =
   List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) entries
@@ -66,7 +80,8 @@ let decisions entries =
     (function
       | Decided { time; node; value } -> Some (node, value, time)
       | Broadcast_start _ | Delivered _ | Acked _ | Discarded _ | Crashed _
-      | Recovered _ | Link_dropped _ | Stuttered _ ->
+      | Recovered _ | Link_dropped _ | Stuttered _ | Suppressed _
+      | Substituted _ ->
           None)
     entries
 
@@ -76,7 +91,7 @@ let for_node entries node = List.filter (fun e -> node_of e = node) entries
 let cell_rank = function
   | 'D' | 'X' | 'R' -> 5
   | 'B' -> 4
-  | '~' | '!' | 's' -> 3
+  | '~' | '!' | 's' | '#' | '*' -> 3
   | 'r' -> 2
   | 'a' -> 1
   | _ -> 0
@@ -91,6 +106,8 @@ let cell_of = function
   | Recovered _ -> 'R'
   | Link_dropped _ -> '!'
   | Stuttered _ -> 's'
+  | Suppressed _ -> '#'
+  | Substituted _ -> '*'
 
 let timeline ~n entries =
   let by_time = Hashtbl.create 64 in

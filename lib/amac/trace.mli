@@ -25,6 +25,13 @@ type entry =
   | Stuttered of { time : int; node : int; actions : int }
       (** [node] was inside a stutter window: it processed the event but its
           [actions] resulting actions were suppressed *)
+  | Suppressed of { time : int; node : int; sender : int }
+      (** a delivery to [node] from [sender] was eaten by the [substitute]
+          adversary hook — Byzantine selective silence *)
+  | Substituted of { time : int; node : int; sender : int; msg : string }
+      (** the [substitute] adversary hook replaced the payload delivered to
+          [node] — Byzantine equivocation or forgery; [msg] renders the
+          payload actually delivered *)
 
 val time_of : entry -> int
 
@@ -46,7 +53,8 @@ val for_node : entry list -> int -> entry list
     with an event, one column per node. Cell codes: [B] broadcast start,
     [r] message received, [a] ack, [D] decided, [X] crashed, [R] recovered,
     [~] broadcast discarded (busy), [!] delivery lost to a link fault, [s]
-    stuttered. When several events hit the same node at the same tick,
+    stuttered, [#] delivery suppressed by the adversary hook, [*] payload
+    substituted by it. When several events hit the same node at the same tick,
     decisions, crashes and recoveries win, then broadcasts, then receives,
     then acks. Intended for small runs (the examples); n is the node
     count. *)

@@ -72,7 +72,15 @@ let spans entries =
       | Trace.Stuttered { time; node; actions } ->
           emit
             (instant ~name:"stutter" ~cat:"fault" ~time ~node
-               [ ("actions", Obs.Json.Int actions) ]))
+               [ ("actions", Obs.Json.Int actions) ])
+      | Trace.Suppressed { time; node; sender } ->
+          emit
+            (instant ~name:"byz_suppress" ~cat:"adversary" ~time ~node
+               [ ("from", Obs.Json.Int sender) ])
+      | Trace.Substituted { time; node; sender; msg } ->
+          emit
+            (instant ~name:"byz_substitute" ~cat:"adversary" ~time ~node
+               [ ("from", Obs.Json.Int sender); ("msg", Obs.Json.String msg) ]))
     entries;
   (* Broadcasts still in flight when the run stopped. *)
   Hashtbl.fold (fun node _ acc -> node :: acc) open_spans []

@@ -1,0 +1,132 @@
+(** Byzantine-strategy fuzzing with counterexample shrinking.
+
+    The adversarial sibling of {!Mcheck.Fuzz}: each iteration derives a
+    generator from [(seed, iteration)] (the same {!Mcheck.Fuzz.derive}
+    convention), draws a clique size, inputs, [F_ack], an optional clean
+    crash pattern (crashes may hit honest {e or} Byzantine nodes — the
+    mixed regime), a Byzantine {!Model.strategy} sized by the config's
+    {!Model.profile}, and a recorded random schedule. The algorithm runs
+    {e wrapped} ({!Model.wrap}), with the strategy's tampers compiled into
+    the engine's [?substitute] hook and the honest mask handed to the
+    checker — so a violation means the adversary genuinely broke the
+    {e honest} nodes.
+
+    On failure the case is delta-debugged: besides {!Mcheck.Fuzz}'s passes
+    (fewer nodes, fewer crashes, truncated/flattened schedule, canonical
+    inputs) the shrinker attacks the strategy itself — dropping Byzantine
+    nodes and tampers, thinning victim sets, narrowing windows, zeroing
+    node-local behaviors — so the surviving reproducer names the minimal
+    adversary: typically one Byzantine node, one tamper window, two
+    victims. *)
+
+type case = {
+  n : int;  (** always a clique *)
+  fack : int;
+  inputs : int array;
+  crashes : (int * int) list;
+  strategy : Model.strategy;
+  plan : Amac.Scheduler.decision list;
+}
+
+val pp_case : Format.formatter -> case -> unit
+
+type config = {
+  iterations : int;
+  min_n : int;  (** nodes drawn from [\[min_n, max_n\]] *)
+  max_n : int;
+  max_fack : int;
+  max_crashes : int;  (** clean crashes on top of the strategy *)
+  profile : Model.profile;  (** sizes {!Model.gen_strategy} *)
+  cap_f : bool;
+      (** cap the drawn Byzantine count at [(n-1)/3] — the tolerance bound
+          of an f-resilient protocol; a campaign that exceeds the budget
+          finds "violations" that indict nobody. When the cap reaches 0
+          (n ≤ 3) the iteration runs Byzantine-free (pure schedule/crash
+          fuzz). *)
+  agreement_only : bool;
+      (** restrict the failure predicate to agreement violations among
+          honest nodes. Against a non-Byzantine-tolerant target,
+          honest-input validity breaks degenerately (the adversary's
+          ordinary protocol participation already injects an "invalid"
+          value — no attack needed); demanding an honest split makes the
+          found strategy earn its counterexample. *)
+  give_n : bool;
+  check_termination : bool;
+      (** when true, a completed run in which a live {e honest} node never
+          decided also counts as a failure *)
+  max_time : int;
+  max_shrink_runs : int;
+}
+
+(** 300 iterations, n ∈ [3, 6], F_ack ≤ 6, ≤ 1 crash, default profile,
+    safety-only, 2000 shrink runs. *)
+val default : config
+
+type counterexample = {
+  iteration : int;
+  case : case;  (** the shrunk reproducer *)
+  original : case;  (** as generated, before shrinking *)
+  violations : Consensus.Checker.violation list;
+  timeline : string;
+}
+
+type outcome = {
+  iterations_run : int;
+  counterexample : counterexample option;
+}
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+
+(** [violations_of config result] — the failure predicate over
+    honest-masked reports: safety violations, plus termination ones when
+    [config.check_termination] and the run was not cut off. *)
+val violations_of :
+  config -> Consensus.Runner.result -> Consensus.Checker.violation list
+
+(** [run config algorithm adapter ~seed] fuzzes until a violation is found
+    (then shrinks and stops) or [config.iterations] clean iterations
+    pass. *)
+val run :
+  config -> ('s, 'm) Amac.Algorithm.t -> 'm Model.adapter -> seed:int -> outcome
+
+(** [run_par ?pool ?jobs config algorithm adapter ~seed] — the campaign
+    over a {!Par} domain pool, in waves of contiguous chunks reporting the
+    {e minimum} failing iteration; byte-identical to {!run} at any job
+    count (same scheme and argument as {!Mcheck.Fuzz.run_par}). *)
+val run_par :
+  ?pool:Par.pool ->
+  ?jobs:int ->
+  config ->
+  ('s, 'm) Amac.Algorithm.t ->
+  'm Model.adapter ->
+  seed:int ->
+  outcome
+
+(** [generate config algorithm adapter ~seed ~iteration] regenerates one
+    iteration's case (running it to record the schedule) with its verdict —
+    how a reported seed is replayed. *)
+val generate :
+  config ->
+  ('s, 'm) Amac.Algorithm.t ->
+  'm Model.adapter ->
+  seed:int ->
+  iteration:int ->
+  case * Consensus.Runner.result
+
+(** [run_case config algorithm adapter case] replays a case through
+    {!Amac.Scheduler.replay}, wrapped and honest-masked. *)
+val run_case :
+  ?record_trace:bool ->
+  ?obs:Obs.Metrics.registry ->
+  config ->
+  ('s, 'm) Amac.Algorithm.t ->
+  'm Model.adapter ->
+  case ->
+  Consensus.Runner.result
+
+(** [shrink config algorithm adapter case] — greedy fixpoint of the
+    shrinking passes, bounded by [config.max_shrink_runs] replays. The
+    argument must currently fail ({!violations_of} non-empty); the result
+    still does. *)
+val shrink :
+  config -> ('s, 'm) Amac.Algorithm.t -> 'm Model.adapter -> case -> case

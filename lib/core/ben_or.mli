@@ -31,7 +31,15 @@
     (who can no longer assemble [n - f] votes once others stop) still
     terminate. *)
 
-type msg
+type vote =
+  | Report of { round : int; value : int }
+  | Proposal of { round : int; value : int option }  (** [None] = "?" *)
+  | Decided of int
+
+type msg = { sender : int; vote : vote }
+(** Exposed (not abstract) so the Byzantine adapter in [lib/byz] can forge
+    votes — flipped reports, fake [Decided] claims — which Ben-Or, built
+    for crash faults only, is {e not} expected to survive. *)
 
 type state
 

@@ -37,14 +37,27 @@ let is_safety = function
       true
   | Termination_violation _ -> false
 
-let check ~inputs (outcome : Amac.Engine.outcome) =
+let check ?honest ~inputs (outcome : Amac.Engine.outcome) =
   let n = Array.length outcome.decisions in
   if Array.length inputs <> n then
     invalid_arg "Checker.check: inputs length mismatches outcome";
+  (* Byzantine-aware judgment: the consensus properties quantify over
+     honest nodes only. A Byzantine node "deciding" anything — including a
+     value no honest node holds, or several values in sequence — is the
+     adversary talking, not a violation. With no mask every node is honest
+     and this is exactly the classic checker. *)
+  let honest =
+    match honest with
+    | None -> Array.make n true
+    | Some mask ->
+        if Array.length mask <> n then
+          invalid_arg "Checker.check: honest mask length mismatches outcome";
+        mask
+  in
   let violations = ref [] in
   let violation v = violations := v :: !violations in
   let decided_values =
-    Array.to_list outcome.decisions
+    List.init n (fun i -> if honest.(i) then outcome.decisions.(i) else None)
     |> List.filter_map (Option.map fst)
     |> List.sort_uniq Int.compare
   in
@@ -55,7 +68,13 @@ let check ~inputs (outcome : Amac.Engine.outcome) =
         violation (Agreement_violation { values });
         false
   in
-  let input_values = Array.to_list inputs |> List.sort_uniq Int.compare in
+  (* Validity over honest inputs only: a value planted by the adversary and
+     adopted by every honest node is a validity violation even if some
+     Byzantine node's nominal input matches it. *)
+  let input_values =
+    List.init n (fun i -> if honest.(i) then Some inputs.(i) else None)
+    |> List.filter_map Fun.id |> List.sort_uniq Int.compare
+  in
   let validity =
     let invalid =
       List.filter (fun v -> not (List.mem v input_values)) decided_values
@@ -70,7 +89,7 @@ let check ~inputs (outcome : Amac.Engine.outcome) =
     let missing = ref [] in
     Array.iteri
       (fun i decision ->
-        if (not outcome.crashed.(i)) && decision = None then
+        if honest.(i) && (not outcome.crashed.(i)) && decision = None then
           missing := i :: !missing)
       outcome.decisions;
     match !missing with
@@ -80,7 +99,9 @@ let check ~inputs (outcome : Amac.Engine.outcome) =
         false
   in
   let irrevocability =
-    match outcome.extra_decides with
+    match
+      List.filter (fun (node, _, _) -> honest.(node)) outcome.extra_decides
+    with
     | [] -> true
     | extras ->
         List.iter
@@ -135,12 +156,15 @@ type degradation = {
   max_incarnation : int;
 }
 
-let degrade ~inputs (outcome : Amac.Engine.outcome) =
-  let report = check ~inputs outcome in
+let degrade ?honest ~inputs (outcome : Amac.Engine.outcome) =
+  let report = check ?honest ~inputs outcome in
   let violations = safety_violations report in
+  let is_honest i = match honest with None -> true | Some m -> m.(i) in
+  (* Liveness is likewise measured over honest survivors: a Byzantine node
+     that never "decides" is not degradation. *)
   let correct =
     List.filter
-      (fun i -> not outcome.crashed.(i))
+      (fun i -> is_honest i && not outcome.crashed.(i))
       (List.init (Array.length outcome.decisions) (fun i -> i))
   in
   let decide_times =

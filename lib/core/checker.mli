@@ -29,9 +29,19 @@ type report = {
   problems : string list;  (** human-readable explanations, empty when ok *)
 }
 
-(** [check ~inputs outcome] — [inputs] must be the array the run started
-    with. *)
-val check : inputs:int array -> Amac.Engine.outcome -> report
+(** [check ?honest ~inputs outcome] — [inputs] must be the array the run
+    started with.
+
+    [?honest] is the Byzantine-aware switch: when given, every property
+    quantifies over honest nodes only — agreement and validity range over
+    honest decisions and honest inputs, termination excuses Byzantine nodes,
+    and irrevocability ignores their re-decides. A Byzantine node
+    "deciding" a third value is the adversary talking, not a violation; two
+    {e honest} nodes disagreeing still is (test_checker pins both
+    directions, guarding against a silently vacuous checker). Omitted, all
+    nodes are honest and this is the classic checker.
+    @raise Invalid_argument if the mask length mismatches the outcome. *)
+val check : ?honest:bool array -> inputs:int array -> Amac.Engine.outcome -> report
 
 (** [ok report] — all four properties hold. *)
 val ok : report -> bool
@@ -82,11 +92,14 @@ type degradation = {
   max_incarnation : int;  (** highest per-node recovery count *)
 }
 
-(** [degrade ~inputs outcome] — safety via {!check}, liveness as metrics.
-    Note "correct" here means up at the {e end} of the run, matching the
-    engine's [crashed] array: a crashed-then-recovered node counts as
-    correct (its incarnation is live) and is expected to decide under a
-    hardened algorithm once faults quiesce. *)
-val degrade : inputs:int array -> Amac.Engine.outcome -> degradation
+(** [degrade ?honest ~inputs outcome] — safety via {!check}, liveness as
+    metrics. Note "correct" here means up at the {e end} of the run,
+    matching the engine's [crashed] array: a crashed-then-recovered node
+    counts as correct (its incarnation is live) and is expected to decide
+    under a hardened algorithm once faults quiesce. With [?honest],
+    Byzantine nodes are excluded from [correct] — their silence is the
+    adversary's business, not degradation. *)
+val degrade :
+  ?honest:bool array -> inputs:int array -> Amac.Engine.outcome -> degradation
 
 val pp_degradation : Format.formatter -> degradation -> unit

@@ -22,9 +22,9 @@ let record_degradation ~obs ~algorithm (degradation : Checker.degradation) =
   | Some t -> Obs.Metrics.set (gauge "checker_max_decide_time") (float_of_int t)
   | None -> ()
 
-let run ?identities ?give_n ?give_diameter ?(crashes = []) ?faults ?max_time
-    ?track_causal ?record_trace ?pp_msg ?unreliable ?obs algorithm ~topology
-    ~scheduler ~inputs =
+let run ?identities ?give_n ?give_diameter ?(crashes = []) ?faults ?substitute
+    ?honest ?max_time ?track_causal ?record_trace ?pp_msg ?unreliable ?obs
+    algorithm ~topology ~scheduler ~inputs =
   (* A fault plan's crash/recovery schedule merges with the legacy
      [?crashes] list; the merged schedule is validated by the engine. *)
   let crashes, recoveries, drop, stutter =
@@ -44,10 +44,10 @@ let run ?identities ?give_n ?give_diameter ?(crashes = []) ?faults ?max_time
   | (Some _ | None), _ -> ());
   let outcome =
     Amac.Engine.run ?identities ?give_n ?give_diameter ~crashes ~recoveries
-      ?drop ?stutter ?max_time ?track_causal ?record_trace ?pp_msg ?unreliable
-      ?obs algorithm ~topology ~scheduler ~inputs
+      ?drop ?stutter ?substitute ?max_time ?track_causal ?record_trace ?pp_msg
+      ?unreliable ?obs algorithm ~topology ~scheduler ~inputs
   in
-  let degradation = Checker.degrade ~inputs outcome in
+  let degradation = Checker.degrade ?honest ~inputs outcome in
   (match obs with
   | Some reg ->
       record_degradation ~obs:reg ~algorithm:algorithm.Amac.Algorithm.name
@@ -55,18 +55,18 @@ let run ?identities ?give_n ?give_diameter ?(crashes = []) ?faults ?max_time
   | None -> ());
   {
     outcome;
-    report = Checker.check ~inputs outcome;
+    report = Checker.check ?honest ~inputs outcome;
     degradation;
     decision_time = Amac.Engine.latest_decision outcome;
   }
 
-let run_exn ?identities ?give_n ?give_diameter ?crashes ?faults ?max_time
-    ?track_causal ?record_trace ?pp_msg ?unreliable ?obs algorithm ~topology
-    ~scheduler ~inputs =
+let run_exn ?identities ?give_n ?give_diameter ?crashes ?faults ?substitute
+    ?honest ?max_time ?track_causal ?record_trace ?pp_msg ?unreliable ?obs
+    algorithm ~topology ~scheduler ~inputs =
   let result =
-    run ?identities ?give_n ?give_diameter ?crashes ?faults ?max_time
-      ?track_causal ?record_trace ?pp_msg ?unreliable ?obs algorithm ~topology
-      ~scheduler ~inputs
+    run ?identities ?give_n ?give_diameter ?crashes ?faults ?substitute ?honest
+      ?max_time ?track_causal ?record_trace ?pp_msg ?unreliable ?obs algorithm
+      ~topology ~scheduler ~inputs
   in
   if not (Checker.ok result.report) then
     failwith

@@ -19,6 +19,12 @@ type result = {
     @param faults a declarative {!Fault.plan}; it is validated and compiled
       ({!Fault.compile}) and its crash/recovery schedule merges with the
       legacy [?crashes] list. @raise Invalid_argument on a malformed plan.
+    @param substitute the engine's Byzantine-adversary hook (per-recipient
+      payload substitution / suppression, see {!Amac.Engine.run}); [Byz.wrap]
+      produces it from a strategy.
+    @param honest honest-node mask handed to {!Checker.check} /
+      {!Checker.degrade}: consensus properties and liveness metrics quantify
+      over honest nodes only.
     @param obs a metrics registry: the engine instruments itself into it
       (see {!Amac.Engine.run}), the fault plan is mirrored as
       [fault_events_total] counters ({!Fault.record}), and the checker's
@@ -31,6 +37,8 @@ val run :
   ?give_diameter:bool ->
   ?crashes:(int * int) list ->
   ?faults:Fault.plan ->
+  ?substitute:(now:int -> sender:int -> receiver:int -> 'm -> 'm option) ->
+  ?honest:bool array ->
   ?max_time:int ->
   ?track_causal:bool ->
   ?record_trace:bool ->
@@ -52,6 +60,8 @@ val run_exn :
   ?give_diameter:bool ->
   ?crashes:(int * int) list ->
   ?faults:Fault.plan ->
+  ?substitute:(now:int -> sender:int -> receiver:int -> 'm -> 'm option) ->
+  ?honest:bool array ->
   ?max_time:int ->
   ?track_causal:bool ->
   ?record_trace:bool ->

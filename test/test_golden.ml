@@ -66,12 +66,81 @@ let scenario_smr_closed_loop () =
   in
   render ~n:3 result.Workload.outcome reg
 
+let scenario_counter_race () =
+  let reg = Obs.Metrics.create () in
+  let result =
+    Consensus.Runner.run
+      (Consensus.Counter_race.make ())
+      ~topology:(Amac.Topology.clique 3)
+      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create 6) ~fack:2)
+      ~inputs:[| 0; 1; 1 |] ~record_trace:true ~obs:reg
+  in
+  render ~n:3 result.Consensus.Runner.outcome reg
+
+let scenario_byz_consensus () =
+  let reg = Obs.Metrics.create () in
+  let result =
+    Consensus.Runner.run
+      (Consensus.Byz_consensus.make ~seed:2 ())
+      ~topology:(Amac.Topology.clique 4)
+      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create 13) ~fack:2)
+      ~inputs:[| 0; 1; 1; 0 |] ~record_trace:true ~obs:reg
+  in
+  render ~n:4 result.Consensus.Runner.outcome reg
+
+(* The canonical 1-Byzantine runs: node n-1 wrapped with replay+forge
+   behaviors and an early equivocation window against the low half — the
+   adversary's suppressions ('#') and substitutions ('*') land in the
+   timeline, pinning the engine's substitute-hook event ordering. *)
+let byz_scenario algorithm adapter ~n ~seed ~inputs () =
+  let reg = Obs.Metrics.create () in
+  let strategy =
+    {
+      Byz.Model.byz =
+        [ (n - 1, { Byz.Model.replay_period = 3; forge_period = 2; drop_own = false }) ];
+      tampers =
+        [
+          {
+            Byz.Model.node = n - 1;
+            victims = List.init (n / 2) Fun.id;
+            from_ = 0;
+            until = 40;
+            kind = Byz.Model.Equivocate;
+          };
+        ];
+      seed = 77;
+    }
+  in
+  let wrapped = Byz.Model.wrap ~n ~adapter ~strategy algorithm in
+  let result =
+    Consensus.Runner.run wrapped.Byz.Model.algorithm
+      ~topology:(Amac.Topology.clique n)
+      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create seed) ~fack:2)
+      ~inputs ~substitute:wrapped.Byz.Model.substitute
+      ~honest:wrapped.Byz.Model.honest ~record_trace:true ~obs:reg
+  in
+  render ~n result.Consensus.Runner.outcome reg
+
+let scenario_counter_race_byz =
+  byz_scenario
+    (Consensus.Counter_race.make ())
+    Byz.Adapters.counter_race ~n:3 ~seed:8 ~inputs:[| 0; 1; 1 |]
+
+let scenario_byz_consensus_byz =
+  byz_scenario
+    (Consensus.Byz_consensus.make ~seed:2 ())
+    Byz.Adapters.byz_consensus ~n:4 ~seed:19 ~inputs:[| 0; 1; 1; 0 |]
+
 let scenarios =
   [
     ("two_phase_sync", scenario_two_phase);
     ("wpaxos_crash_recovery", scenario_wpaxos_crash_recovery);
     ("ben_or_random", scenario_ben_or);
     ("smr_closed_loop", scenario_smr_closed_loop);
+    ("counter_race_random", scenario_counter_race);
+    ("byz_consensus_random", scenario_byz_consensus);
+    ("counter_race_1byz", scenario_counter_race_byz);
+    ("byz_consensus_1byz", scenario_byz_consensus_byz);
   ]
 
 let read_file path =

@@ -26,6 +26,9 @@ type cell_alg =
       inputs : int array;
       crash_tolerant : bool;
           (** false = any crash regime is outside the model *)
+      adapter : 'm Byz.Model.adapter;
+          (** how the adversary axis forges/mutates this message type;
+              [generic_adapter] for abstract payloads (replay-only) *)
     }
       -> cell_alg
 
@@ -38,6 +41,7 @@ let algorithms =
         topology = Amac.Topology.clique 4;
         inputs = [| 0; 1; 0; 1 |];
         crash_tolerant = true;
+        adapter = Byz.Adapters.two_phase;
       };
     Alg
       {
@@ -46,6 +50,7 @@ let algorithms =
         topology = Amac.Topology.line 5;
         inputs = [| 1; 0; 1; 0; 1 |];
         crash_tolerant = true;
+        adapter = Byz.Model.generic_adapter ();
       };
     Alg
       {
@@ -54,6 +59,7 @@ let algorithms =
         topology = Amac.Topology.clique 3;
         inputs = [| 0; 1; 1 |];
         crash_tolerant = true;
+        adapter = Byz.Adapters.ben_or;
       };
     Alg
       {
@@ -63,6 +69,28 @@ let algorithms =
         topology = Amac.Topology.clique 4;
         inputs = [| 3; 1; 0; 2 |];
         crash_tolerant = true;
+        adapter = Byz.Model.generic_adapter ();
+      };
+    Alg
+      {
+        name = "counter_race";
+        make = (fun () -> Consensus.Counter_race.make ());
+        topology = Amac.Topology.clique 4;
+        inputs = [| 0; 1; 1; 0 |];
+        crash_tolerant = true;
+        adapter = Byz.Adapters.counter_race;
+      };
+    Alg
+      {
+        (* n = 7 so f = 2: the byzf regime is genuinely stronger than
+           byz1, and the mixed regime (1 Byzantine + 1 crash) stays inside
+           the f-budget. *)
+        name = "byz_consensus";
+        make = (fun () -> Consensus.Byz_consensus.make ~seed:23 ());
+        topology = Amac.Topology.clique 7;
+        inputs = [| 0; 1; 1; 0; 1; 0; 1 |];
+        crash_tolerant = true;
+        adapter = Byz.Adapters.byz_consensus;
       };
   ]
 
@@ -110,13 +138,106 @@ let fault_regimes =
 let expectation ~alg ~fault =
   match (alg, fault) with
   | _, "none" -> Safe_and_live
-  | ("two_phase" | "ben_or" | "multi_value"), "crash_recovery" ->
+  | ( ("two_phase" | "ben_or" | "multi_value" | "counter_race" | "byz_consensus"),
+      "crash_recovery" ) ->
       Documented_unsafe
         "crash-stop protocol: amnesiac reincarnation may double-vote"
   | ("two_phase" | "multi_value"), "loss_window" ->
       Documented_unsafe
         "no retransmission: a dropped phase message can split the decision"
   | _, _ -> Safe_only
+
+(* ------------------------------------------------------------------ *)
+(* The adversary axis: every algorithm crossed with every scheduler and
+   three Byzantine regimes, run wrapped (Byz.Model.wrap) with the
+   strategy's tampers compiled into the engine's substitute hook and the
+   honest mask handed to the checker. The canonical per-cell strategy is
+   deterministic: the highest-numbered nodes turn Byzantine, each with
+   replay+forge behaviors and an equivocation window against the low half
+   of the ring. *)
+
+let byz_regimes =
+  [
+    (* one Byzantine node *)
+    ("byz1", (fun (_n : int) -> 1), []);
+    (* the full tolerance budget f = (n-1)/3, floored at 1 *)
+    ("byzf", (fun n -> max 1 ((n - 1) / 3)), []);
+    (* mixed: one Byzantine node plus an honest crash *)
+    ("byz_crash", (fun (_n : int) -> 1), [ (0, 5) ]);
+  ]
+
+let byz_strategy ~n ~count ~seed =
+  let behavior =
+    { Byz.Model.replay_period = 3; forge_period = 2; drop_own = false }
+  in
+  let byz = List.init count (fun i -> (n - 1 - i, behavior)) in
+  let victims = List.init (max 1 (n / 2)) Fun.id in
+  let tampers =
+    List.map
+      (fun (id, _) ->
+        {
+          Byz.Model.node = id;
+          victims;
+          from_ = 0;
+          until = 40;
+          kind = Byz.Model.Equivocate;
+        })
+      byz
+  in
+  { Byz.Model.byz; tampers; seed }
+
+(* The adversary-axis expectation table, pinned empirically like the crash
+   one. Only byz_consensus (n >= 3f+1, quorum-intersection with dedup by
+   sender) is in-model against Byzantine nodes; every crash-tolerant
+   protocol is documented-unsafe here — equivocation splits two_phase,
+   forged Decided claims sink ben_or, inflated counters race counter_race,
+   and the generic replay adversary impersonates under wpaxos/multi_value's
+   unauthenticated payloads. *)
+let byz_expectation ~alg ~regime =
+  match (alg, regime) with
+  | "byz_consensus", _ -> Safe_and_live
+  | "two_phase", _ ->
+      Documented_unsafe "equivocation splits the two honest phase quorums"
+  | "ben_or", _ -> Documented_unsafe "forged Decided claims are trusted"
+  | "counter_race", _ ->
+      Documented_unsafe "forged counter values win the race"
+  | ("wpaxos" | "multi_value"), _ ->
+      Documented_unsafe "unauthenticated replay impersonates honest nodes"
+  | _, _ -> Safe_only
+
+let run_byz_cell (Alg a) (sched_name, scheduler_of) (regime_name, count_of, crashes)
+    =
+  let n = Array.length a.inputs in
+  let cell = Printf.sprintf "%s/%s/%s" a.name sched_name regime_name in
+  let seed = Hashtbl.hash cell land 0xFFFF in
+  let scheduler = scheduler_of (Amac.Rng.create seed) in
+  let strategy = byz_strategy ~n ~count:(count_of n) ~seed in
+  let wrapped = Byz.Model.wrap ~n ~adapter:a.adapter ~strategy (a.make ()) in
+  let result =
+    Consensus.Runner.run wrapped.Byz.Model.algorithm ~topology:a.topology
+      ~scheduler ~inputs:a.inputs ~crashes
+      ~substitute:wrapped.Byz.Model.substitute ~honest:wrapped.Byz.Model.honest
+      ~max_time:60_000
+  in
+  let d = result.Consensus.Runner.degradation in
+  match byz_expectation ~alg:a.name ~regime:regime_name with
+  | Safe_and_live ->
+      Alcotest.(check bool) (cell ^ ": safe") true d.Consensus.Checker.safe;
+      Alcotest.(check (float 0.0))
+        (cell ^ ": all correct honest nodes decided")
+        1.0 d.Consensus.Checker.decided_fraction
+  | Safe_only ->
+      if not d.Consensus.Checker.safe then
+        Alcotest.failf "%s: safety violated:@.%a" cell
+          (Format.pp_print_list Consensus.Checker.pp_violation)
+          d.Consensus.Checker.safety_violations
+  | Documented_unsafe _why -> ignore d.Consensus.Checker.safe
+
+let test_byz_regime regime () =
+  List.iter
+    (fun alg ->
+      List.iter (fun sched -> run_byz_cell alg sched regime) schedulers)
+    algorithms
 
 let run_cell (Alg a) (sched_name, scheduler_of) (fault_name, faults) =
   let cell = Printf.sprintf "%s/%s/%s" a.name sched_name fault_name in
@@ -161,4 +282,11 @@ let () =
               (Printf.sprintf "all algorithms x all schedulers [%s]" fault_name)
               `Quick (test_fault_regime regime))
           fault_regimes );
+      ( "adversary",
+        List.map
+          (fun ((regime_name, _, _) as regime) ->
+            Alcotest.test_case
+              (Printf.sprintf "all algorithms x all schedulers [%s]" regime_name)
+              `Quick (test_byz_regime regime))
+          byz_regimes );
     ]
