@@ -17,6 +17,11 @@ Checks, with a +/-30% tolerance on timing cells:
     any drift in latency / broadcasts / suppressed / substituted / decided
     / safe is a semantic change in the adversary model, the substitute
     hook, or byz_consensus itself.
+  - B11: EVERY column must match EXACTLY per (scenario, patience) row
+    present in both files — the lifecycle cells (failover detection
+    latency, reconfiguration / compaction commit quantiles) are seeded
+    simulation runs with no wall-clock, so any drift is a semantic change
+    in the detector, the repair path, or the reconfiguration machinery.
 
 Rows present in only one file (e.g. --quick runs fewer B5 cases) are
 skipped. Exit 0 = within tolerance, 1 = regression (offenders listed).
@@ -151,6 +156,30 @@ def main():
     else:
         failures.append("B10 table missing from baseline or fresh run")
 
+    b11_base, b11_fresh = table(baseline, "B11"), table(fresh, "B11")
+    if b11_base and b11_fresh:
+        base_rows = rows_by_key(b11_base, ["scenario", "patience"])
+        fresh_rows = rows_by_key(b11_fresh, ["scenario", "patience"])
+        for key in sorted(set(base_rows) & set(fresh_rows)):
+            label = f"B11 scenario={key[0]} patience={key[1]}"
+            for column in (
+                "detect",
+                "committed",
+                "p50",
+                "p99",
+                "end_time",
+                "safe",
+            ):
+                base_cell = cell(b11_base, base_rows[key], column)
+                fresh_cell = cell(b11_fresh, fresh_rows[key], column)
+                if base_cell != fresh_cell:
+                    failures.append(
+                        f"{label}: {column} {fresh_cell} vs baseline "
+                        f"{base_cell} (must match exactly)"
+                    )
+    else:
+        failures.append("B11 table missing from baseline or fresh run")
+
     if failures:
         print("perf gate FAILED:")
         for failure in failures:
@@ -158,7 +187,7 @@ def main():
         return 1
     print(
         "perf gate passed (B5 states + B9 committed/p50/p99 + all B10 "
-        "cells exact, timing within +/-30%)"
+        "and B11 cells exact, timing within +/-30%)"
     )
     return 0
 

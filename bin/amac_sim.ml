@@ -263,6 +263,36 @@ let smr_cmd topo sched fack seed cmds mode window gap clients fault_specs
         vs;
       1
 
+(* The lifecycle scenario suite: detector, compaction/snapshot-transfer and
+   reconfiguration runs under fire (see Workload.Lifecycle). Exit status 1
+   if any scenario violates safety or fails to re-achieve liveness. *)
+let lifecycle_cmd scenario_name seed fack max_time =
+  let scenarios =
+    if scenario_name = "all" then Lifecycle.all
+    else
+      match Lifecycle.of_name scenario_name with
+      | Some s -> [ s ]
+      | None ->
+          failwith
+            "unknown scenario; try rolling-restart scale-up crash-reconfig \
+             snapshot-restart all"
+  in
+  let failures =
+    List.filter_map
+      (fun scenario ->
+        let o = Lifecycle.run ~seed ~fack ~max_time scenario in
+        Printf.printf "%-17s %s  %s\n" (Lifecycle.name scenario)
+          (if o.Lifecycle.live then "LIVE" else "STUCK")
+          o.Lifecycle.detail;
+        List.iter
+          (fun v ->
+            Printf.printf "  VIOLATION: %s\n" (Smr_checker.to_string v))
+          o.Lifecycle.result.Workload.violations;
+        if o.Lifecycle.live then None else Some scenario)
+      scenarios
+  in
+  if failures = [] then 0 else 1
+
 (* CI's trace checker: parse the export, re-export, re-parse, and demand
    the same event multiset — the round-trip contract of Obs.Span. *)
 let validate_trace_cmd file =
@@ -386,6 +416,14 @@ let smr_term =
     $ mode_arg $ window_arg $ gap_arg $ clients_arg $ fault_arg $ metrics_arg
     $ trace_out_arg $ max_time_arg)
 
+let scenario_arg =
+  Arg.(
+    value & opt string "all"
+    & info [ "scenario" ]
+        ~doc:
+          "Lifecycle scenario: $(b,rolling-restart), $(b,scale-up), \
+           $(b,crash-reconfig), $(b,snapshot-restart) or $(b,all)")
+
 let validate_file_arg =
   Arg.(
     required
@@ -405,6 +443,15 @@ let cmds =
              "Run the replicated log under a client workload and verify it \
               with the SMR checker")
         smr_term;
+      Cmd.v
+        (Cmd.info "lifecycle"
+           ~doc:
+             "Run the production-lifecycle scenario suite (failure \
+              detection, compaction + snapshot transfer, membership \
+              reconfiguration) and verify safety + re-achieved liveness")
+        Term.(
+          const lifecycle_cmd $ scenario_arg $ seed_arg $ fack_arg
+          $ max_time_arg);
       Cmd.v
         (Cmd.info "validate-trace"
            ~doc:"Check a --trace-out export parses and round-trips")

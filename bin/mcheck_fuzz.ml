@@ -15,6 +15,13 @@
    short log is legitimate. Every stochastic choice derives from
    (seed, iteration), so a failing iteration number IS the reproducer.
 
+   MCHECK_LIFECYCLE=1 is the SMR campaign with the lifecycle surface
+   switched on — aggressive compaction watermarks, snapshot transfers and
+   mid-run joint-consensus reconfigurations drawn per iteration — plus the
+   four canonical production scenarios (rolling restart, scale-up under
+   load, crash-during-reconfig, restart-from-snapshot) gated for safety
+   AND re-achieved liveness at the fixed seed.
+
    MCHECK_BYZ=1 switches to Byzantine-strategy mode (lib/byz): the
    Byzantine-tolerant protocol (byz_consensus) is gated — fuzzed with
    generated adversary strategies capped at its tolerance f = (n-1)/3 and
@@ -57,6 +64,7 @@ let seed =
 let fault_mode = Sys.getenv_opt "MCHECK_FAULTS" = Some "1"
 let smr_mode = Sys.getenv_opt "MCHECK_SMR" = Some "1"
 let byz_mode = Sys.getenv_opt "MCHECK_BYZ" = Some "1"
+let lifecycle_mode = Sys.getenv_opt "MCHECK_LIFECYCLE" = Some "1"
 let artifact = Sys.getenv_opt "MCHECK_ARTIFACT"
 
 let jobs, fingerprint =
@@ -346,41 +354,63 @@ let byz_mode_run () =
          split in %d iterations\n%!"
         attack_config.Byz.Fuzz.iterations
 
-let smr_mode_run () =
-  let config = { Smr_fuzz.default with iterations } in
+let smr_mode_run ~lifecycle () =
+  let config = { Smr_fuzz.default with iterations; lifecycle } in
+  let name = if lifecycle then "smr-lifecycle" else "smr-log" in
   let started = Sys.time () in
   (* Progress ticks keep long CI campaigns visibly alive without drowning
      the log: one line per 25 iterations. *)
   let progress i =
     if (i + 1) mod 25 = 0 then
-      Printf.printf "fuzz smr-log       ... %d/%d (%.1fs)\n%!" (i + 1)
-        iterations
+      Printf.printf "fuzz %-14s ... %d/%d (%.1fs)\n%!" name (i + 1) iterations
         (Sys.time () -. started)
   in
   let outcome = Smr_fuzz.run ~progress config ~seed in
-  match outcome.Smr_fuzz.failure with
+  (match outcome.Smr_fuzz.failure with
   | None ->
-      Printf.printf "fuzz smr-log       %d iterations clean (%.1fs)\n%!"
+      Printf.printf "fuzz %-14s %d iterations clean (%.1fs)\n%!" name
         outcome.Smr_fuzz.iterations_run
         (Sys.time () -. started)
   | Some f ->
       incr failures;
-      Format.printf "fuzz smr-log       SAFETY VIOLATION (seed %d):@.%a@." seed
+      Format.printf "fuzz %-14s SAFETY VIOLATION (seed %d):@.%a@." name seed
         Smr_fuzz.pp_failure f;
       (match artifact with
       | None -> ()
       | Some path ->
           let oc = open_out path in
           let fmt = Format.formatter_of_out_channel oc in
-          Format.fprintf fmt "smr-log safety violation (seed %d)@.%a@." seed
+          Format.fprintf fmt "%s safety violation (seed %d)@.%a@." name seed
             Smr_fuzz.pp_failure f;
           close_out oc;
-          Printf.printf "wrote failing draw to %s\n%!" path)
+          Printf.printf "wrote failing draw to %s\n%!" path));
+  (* In lifecycle mode the canonical scenario suite runs too: each of the
+     four production runs (rolling restart, scale-up, crash-during-reconfig,
+     restart-from-snapshot) must stay safe AND re-achieve liveness at the
+     fixed seed. *)
+  if lifecycle then
+    List.iter
+      (fun scenario ->
+        let o = Lifecycle.run ~seed scenario in
+        if o.Lifecycle.live then
+          Printf.printf "scenario %-17s LIVE  %s\n%!"
+            (Lifecycle.name scenario) o.Lifecycle.detail
+        else begin
+          incr failures;
+          Printf.printf "scenario %-17s STUCK %s\n%!"
+            (Lifecycle.name scenario) o.Lifecycle.detail;
+          List.iter
+            (fun v ->
+              Printf.printf "  VIOLATION: %s\n%!" (Smr_checker.to_string v))
+            o.Lifecycle.result.Workload.violations
+        end)
+      Lifecycle.all
 
 let () =
   Printexc.record_backtrace true;
   (try
-     if smr_mode then smr_mode_run ()
+     if lifecycle_mode then smr_mode_run ~lifecycle:true ()
+     else if smr_mode then smr_mode_run ~lifecycle:false ()
      else if byz_mode then byz_mode_run ()
      else if fault_mode then faults_mode ()
      else default_mode ()
@@ -390,7 +420,8 @@ let () =
        "mcheck_fuzz: UNCAUGHT EXCEPTION (replay with MCHECK_SEED=%d \
         MCHECK_ITERS=%d%s): %s\n%s\n%!"
        seed iterations
-       (if smr_mode then " MCHECK_SMR=1"
+       (if lifecycle_mode then " MCHECK_LIFECYCLE=1"
+        else if smr_mode then " MCHECK_SMR=1"
         else if byz_mode then " MCHECK_BYZ=1"
         else if fault_mode then " MCHECK_FAULTS=1"
         else "")

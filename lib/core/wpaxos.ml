@@ -63,6 +63,8 @@ type config = {
   quorum : int option;  (* override of the majority threshold (footnote 1) *)
   instrument : Instrument.t option;
   retransmit : bool;  (* fault hardening: heartbeats, re-election, re-proposal *)
+  patience : int option;  (* detector silence budget; default 4n+16 *)
+  backoff : int;  (* detector patience multiplier on false suspicion *)
 }
 
 type proposer_phase =
@@ -131,12 +133,10 @@ type state = {
      in this model: a node that stops broadcasting stops observing time and
      can never wake itself, so an undecided hardened node keeps a heartbeat
      broadcast going — bounded by [patience_left] so that runs in which
-     consensus is genuinely impossible (majority crashed) still quiesce. *)
-  mutable my_hb : int;  (* own heartbeat counter, advanced per ack as leader *)
-  hb_seen : (int, int) Hashtbl.t;  (* candidate id -> largest heartbeat seen *)
-  suspect_hb : (int, int) Hashtbl.t;  (* id -> hb_seen at suspicion time *)
-  mutable hb_silence : int;  (* own acks since omega's heartbeat advanced *)
-  silence_limit : int;
+     consensus is genuinely impossible (majority crashed) still quiesce.
+     Heartbeat emission, silence accounting and the suspected set live in
+     the ◇P detector. *)
+  fd : Fd.t;
   mutable idle_acks : int;  (* acks since the last tree-refresh *)
   mutable next_refresh : int;  (* tree-refresh backoff, in acks *)
   mutable progress_silence : int;  (* leader acks since counted progress *)
@@ -170,9 +170,9 @@ let fail_threshold st = st.n - majority st + 1
 let stamp_compare (ca, oa) (cb, ob) =
   match Int.compare ca cb with 0 -> Int.compare oa ob | c -> c
 
-let hb_of st id = Option.value ~default:0 (Hashtbl.find_opt st.hb_seen id)
+let hb_of st id = Fd.hb st.fd id
 
-let suspected st id = Hashtbl.mem st.suspect_hb id
+let suspected st id = Fd.suspected st.fd id
 
 (* Observable protocol progress refills the heartbeat budget: as long as
    state keeps advancing somewhere, hardened nodes keep knocking. Every
@@ -497,16 +497,14 @@ let set_omega st id =
       st.proposal_q <- None
   | Some _ | None -> ());
   prune_response_q st;
-  st.hb_silence <- 0;
+  Fd.watch st.fd ~peer:id;
   refill st;
   local_change st
 
 (* Best unsuspected candidate among the ids we have heard from (we always
    know — and never suspect — ourselves). *)
 let candidate_omega st =
-  Hashtbl.fold
-    (fun id _ best -> if (not (suspected st id)) && id > best then id else best)
-    st.hb_seen st.me
+  Fd.candidate st.fd ~base:st.me ~eligible:(fun _ -> true)
 
 let recompute_omega st =
   let next = candidate_omega st in
@@ -514,23 +512,18 @@ let recompute_omega st =
 
 let on_leader st ~id ~hb =
   (if st.cfg.retransmit && id <> st.me then
-     let seen = Option.value ~default:(-1) (Hashtbl.find_opt st.hb_seen id) in
-     if hb > seen then begin
-       Hashtbl.replace st.hb_seen id hb;
-       if id = st.omega then begin
-         st.hb_silence <- 0;
+     match Fd.observe st.fd ~peer:id ~hb with
+     | Stale -> ()
+     | verdict ->
          (* Relay the fresh heartbeat so it floods network-wide. *)
-         st.leader_q <- Some id
-       end;
-       match Hashtbl.find_opt st.suspect_hb id with
-       | Some at when hb > at ->
-           (* Heartbeats advanced past the suspicion point: the candidate
-              was alive after all (e.g. a loss window ate its traffic). *)
-           Hashtbl.remove st.suspect_hb id;
-           refill st;
-           recompute_omega st
-       | Some _ | None -> ()
-     end);
+         if id = st.omega then st.leader_q <- Some id;
+         (match verdict with
+         | Fresh_cleared ->
+             (* Heartbeats advanced past the suspicion point: the candidate
+                was alive after all (e.g. a loss window ate its traffic). *)
+             refill st;
+             recompute_omega st
+         | Fresh | Stale -> ()));
   if id > st.omega && not (suspected st id) then set_omega st id
 
 let on_change st ~counter ~origin =
@@ -622,18 +615,11 @@ let on_decision st value =
 let hardened_tick st =
   if st.cfg.retransmit && st.decision = None && st.patience_left > 0 then begin
     st.patience_left <- st.patience_left - 1;
-    if st.omega = st.me then begin
-      st.my_hb <- st.my_hb + 1;
-      Hashtbl.replace st.hb_seen st.me st.my_hb
-    end
-    else begin
-      st.hb_silence <- st.hb_silence + 1;
-      if st.hb_silence > st.silence_limit && not (suspected st st.omega)
-      then begin
-        Hashtbl.replace st.suspect_hb st.omega (hb_of st st.omega);
-        recompute_omega st
-      end
-    end;
+    (if st.omega = st.me then ignore (Fd.beat st.fd)
+     else
+       match Fd.tick st.fd ~peer:st.omega with
+       | Suspect -> recompute_omega st
+       | Ok -> ());
     st.leader_q <- Some st.omega;
     st.idle_acks <- st.idle_acks + 1;
     if st.idle_acks >= st.next_refresh then begin
@@ -698,11 +684,10 @@ let init cfg (ctx : Amac.Algorithm.ctx) =
       announced = false;
       decide_q = None;
       sending = false;
-      my_hb = 0;
-      hb_seen = Hashtbl.create 8;
-      suspect_hb = Hashtbl.create 8;
-      hb_silence = 0;
-      silence_limit = (4 * n) + 16;
+      fd =
+        Fd.create
+          ~patience:(Option.value cfg.patience ~default:((4 * n) + 16))
+          ~backoff:cfg.backoff ~me ();
       idle_acks = 0;
       next_refresh = refresh_start;
       progress_silence = 0;
@@ -715,7 +700,6 @@ let init cfg (ctx : Amac.Algorithm.ctx) =
   in
   Hashtbl.replace st.dist me 0;
   Hashtbl.replace st.parent me me;
-  Hashtbl.replace st.hb_seen me 0;
   (* Initialisation counts as a change (omega and dist were just set): every
      node starts as its own leader and issues an initial proposal. *)
   local_change st;
@@ -871,8 +855,8 @@ let fingerprint st acc =
   |> F.option F.int st.decision
   |> F.bool st.announced
   |> F.option F.int st.decide_q
-  |> F.bool st.sending |> F.int st.my_hb |> fp_int_tbl st.hb_seen
-  |> fp_int_tbl st.suspect_hb |> F.int st.hb_silence |> F.int st.silence_limit
+  |> F.bool st.sending
+  |> Fd.fingerprint st.fd
   |> F.int st.idle_acks |> F.int st.next_refresh |> F.int st.progress_silence
   |> F.int st.next_retry |> F.int st.retries_left |> F.int st.patience_left
 
@@ -881,8 +865,7 @@ let clone st =
     st with
     dist = Hashtbl.copy st.dist;
     parent = Hashtbl.copy st.parent;
-    hb_seen = Hashtbl.copy st.hb_seen;
-    suspect_hb = Hashtbl.copy st.suspect_hb;
+    fd = Fd.clone st.fd;
     phase =
       (match st.phase with
       | Idle -> Idle
@@ -898,11 +881,18 @@ let clone st =
 let hooks = Some { Amac.Algorithm.fingerprint; fingerprint_msg = fp_msg; clone }
 
 let make ?(leader_priority = true) ?(aggregate = true) ?quorum ?instrument
-    ?(retransmit = true) () =
+    ?(retransmit = true) ?patience ?(backoff = 1) () =
   (match quorum with
   | Some q when q < 1 -> invalid_arg "Wpaxos.make: quorum must be >= 1"
   | Some _ | None -> ());
-  let cfg = { leader_priority; aggregate; quorum; instrument; retransmit } in
+  (match patience with
+  | Some p when p < 1 -> invalid_arg "Wpaxos.make: patience must be >= 1"
+  | Some _ | None -> ());
+  if backoff < 1 then invalid_arg "Wpaxos.make: backoff must be >= 1";
+  let cfg =
+    { leader_priority; aggregate; quorum; instrument; retransmit; patience;
+      backoff }
+  in
   {
     Amac.Algorithm.name =
       (if leader_priority && aggregate && retransmit then "wpaxos"

@@ -77,6 +77,21 @@ let correct_at_end ~n plan =
     plan;
   List.filter (fun i -> up.(i)) (List.init n (fun i -> i))
 
+(* Staggered restart of a node list: each node crashes [gap] ticks after
+   the previous one's crash and recovers [down_for] ticks later. With
+   gap > down_for at most one node is down at a time (the classic
+   one-at-a-time rolling restart); smaller gaps overlap the outages. *)
+let rolling_restart ~nodes ~start ~down_for ~gap =
+  if down_for < 1 then invalid_arg "Fault.rolling_restart: down_for < 1";
+  if gap < 1 then invalid_arg "Fault.rolling_restart: gap < 1";
+  if start < 0 then invalid_arg "Fault.rolling_restart: start < 0";
+  List.concat
+    (List.mapi
+       (fun i node ->
+         let at = start + (i * gap) in
+         [ Crash { node; at }; Recover { node; at = at + down_for } ])
+       nodes)
+
 let norm_edge (u, v) = if u <= v then (u, v) else (v, u)
 
 let overlap (a_from, a_until) (b_from, b_until) =

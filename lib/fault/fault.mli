@@ -55,6 +55,15 @@ val recoveries : plan -> (int * int) list
     played out: never crashed, or recovered after their last crash. *)
 val correct_at_end : n:int -> plan -> int list
 
+(** [rolling_restart ~nodes ~start ~down_for ~gap] — a staggered
+    crash/recover pair per node: node [i] in [nodes] crashes at
+    [start + i*gap] and recovers [down_for] ticks later. [gap > down_for]
+    keeps at most one node down at a time (the production rolling-restart
+    shape); smaller gaps overlap the outages.
+    @raise Invalid_argument if [down_for < 1], [gap < 1] or [start < 0]. *)
+val rolling_restart :
+  nodes:int list -> start:int -> down_for:int -> gap:int -> plan
+
 (** [validate ~n plan] checks the plan against an [n]-node system.
 
     @raise Invalid_argument (with a ["Fault.validate: ..."] message) on:

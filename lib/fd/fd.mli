@@ -1,0 +1,109 @@
+(** ◇P-style failure detector over the abstract MAC layer's ack clock.
+
+    The model has no wall clock: a node observes time only through its own
+    acknowledged broadcasts, so every timeout here is counted in {e own
+    acks} (~F_ack ticks each). The detector is the factored-out form of the
+    heartbeat/silence heuristic wPAXOS grew in PR 2, now a first-class,
+    tunable module shared by [Consensus.Wpaxos] and [Smr]:
+
+    - {e heartbeat emission}: the current leader advances its heartbeat
+      counter once per ack ({!beat}); every broadcast piggybacks the
+      freshest counter known for the leader, flooding it network-wide.
+    - {e timeout tracking}: a follower watches one peer at a time (the
+      leader) and counts its own acks since that peer's heartbeat last
+      advanced ({!tick}); past the patience threshold the peer joins the
+      [suspected] set, stamped with the heartbeat it stalled at.
+    - {e eventual accuracy (the ◇P part)}: a heartbeat that later advances
+      past the suspicion stamp proves the suspicion false — the peer is
+      unsuspected and, with [backoff > 1], its patience is multiplied, so
+      repeated false suspicions of a slow-but-alive peer die out. The
+      default [backoff = 1] reproduces PR 2's fixed-patience behavior
+      bit-for-bit.
+
+    Completeness holds trivially (a crashed peer's heartbeat never
+    advances); accuracy is eventual in the usual partial-synchrony sense
+    (after loss windows close, a live leader's heartbeats land within any
+    fixed patience often enough once backoff has grown it past the real
+    delay).
+
+    The detector is pure protocol state: no closures, no cumulative
+    counters (callers that want suspicion totals count the {!tick} /
+    {!observe} verdicts themselves), so states embedding a [t] stay
+    Marshal-keyable and {!fingerprint} splits exactly the states the
+    PR 2 field set split. *)
+
+type t
+
+(** What {!observe} learned from an incoming heartbeat. *)
+type verdict =
+  | Fresh  (** the heartbeat advanced *)
+  | Fresh_cleared
+      (** the heartbeat advanced past a suspicion stamp: false suspicion,
+          peer unsuspected (and its patience boosted by [backoff]) *)
+  | Stale  (** not news — at or below the largest heartbeat already seen *)
+
+(** One ack of silence accounted to the watched peer. *)
+type tick_verdict =
+  | Ok
+  | Suspect  (** silence just crossed the peer's patience: now suspected *)
+
+(** Live-readable detector gauges (no cumulative counters — see above). *)
+type stats = {
+  suspected_now : int;  (** current size of the suspected set *)
+  watched : int;  (** the peer whose silence is being timed *)
+  silence : int;  (** own acks since the watched peer's heartbeat advanced *)
+  patience_now : int;  (** current (possibly boosted) patience of watched *)
+}
+
+(** [create ~patience ~me ()] — a detector for node [me].
+
+    @param patience own-ack silence budget before suspicion (wPAXOS default
+      is [4n + 16]).
+    @param backoff patience multiplier applied to a peer on every cleared
+      (false) suspicion, capped at [patience_cap] (default [1] = fixed
+      patience, the PR 2 behavior).
+    @param patience_cap ceiling for boosted patience (default
+      [64 * patience]).
+    @raise Invalid_argument if [patience < 1] or [backoff < 1]. *)
+val create : ?backoff:int -> ?patience_cap:int -> patience:int -> me:int -> unit -> t
+
+(** Advance own heartbeat by one (leader, once per ack); returns the new
+    value. *)
+val beat : t -> int
+
+(** Largest heartbeat seen for a node (own included); 0 if never heard. *)
+val hb : t -> int -> int
+
+(** Record a relayed heartbeat observation. *)
+val observe : t -> peer:int -> hb:int -> verdict
+
+(** Start timing [peer] (the new leader): resets the silence count. *)
+val watch : t -> peer:int -> unit
+
+(** One own ack of silence against [peer]. If [peer] differs from the
+    currently watched peer, the watch moves (silence resets) first. *)
+val tick : t -> peer:int -> tick_verdict
+
+val suspected : t -> int -> bool
+
+(** Currently suspected peers, sorted. *)
+val suspects : t -> int list
+
+(** Best (largest-id) unsuspected candidate among [base] and every peer a
+    heartbeat was seen from, filtered by [eligible]. Returns [base] when no
+    heard-from peer qualifies — pass a negative [base] to detect "no
+    eligible candidate at all". *)
+val candidate : t -> base:int -> eligible:(int -> bool) -> int
+
+val stats : t -> stats
+
+(** Mirror the current gauges into a metrics registry
+    ([fd_suspected_now], [fd_silence_acks], [fd_patience_acks], labelled
+    as given). *)
+val record : obs:Obs.Metrics.registry -> labels:(string * string) list -> t -> unit
+
+(** Fingerprint/clone hooks, for embedding in an algorithm state's own
+    [Algorithm.hooks] (see {!Amac.Fingerprint}). *)
+val fingerprint : t -> Amac.Fingerprint.t -> Amac.Fingerprint.t
+
+val clone : t -> t

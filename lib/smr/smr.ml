@@ -11,9 +11,51 @@ open Consensus.Paxos_types
    instances beyond the commit index (instance pipelining). A value is
    chosen at an instance once a majority accepts it; the commit index is
    the length of the chosen prefix, and commands are applied to the state
-   machine exactly once, in log order, skipping noops. *)
+   machine exactly once, in log order, skipping noops.
+
+   Production-lifecycle layer (PR 7):
+   - leader suspicion lives in the shared ◇P detector ([Fd]);
+   - the log is compacted at a watermark: a snapshot of the applied state
+     machine replaces the prefix below [snap_floor], and the snapshot is
+     transferred to stragglers whose commit index lags the floor;
+   - membership changes are decided through the log itself, joint-consensus
+     style: a joint command opens a transition during which proposals need
+     majorities of BOTH the old and the new configuration; the matching
+     final command (auto-staged by every replica that applies the joint)
+     closes it and bumps the epoch. *)
 
 let noop = 0
+
+(* --------------------------------------------------------------------- *)
+(* Reconfiguration commands are ordinary log values with reserved bits:    *)
+(* bits 0..29 carry the membership mask, bits 30..39 a uid (so repeated    *)
+(* reconfigs to the same membership stay distinct values), bit 40 marks    *)
+(* the joint (transition-opening) command and bit 41 the final             *)
+(* (transition-closing) one.                                               *)
+(* --------------------------------------------------------------------- *)
+
+let joint_bit = 1 lsl 40
+
+let final_bit = 1 lsl 41
+
+let member_mask = 0x3FFFFFFF
+
+let uid_shift = 30
+
+let is_reconfig c = c land (joint_bit lor final_bit) <> 0
+
+let is_joint_reconfig c = c land joint_bit <> 0
+
+let reconfig_mask c = c land member_mask
+
+let final_of_joint c = c land lnot joint_bit lor final_bit
+
+let mask_of_list ms = List.fold_left (fun m i -> m lor (1 lsl i)) 0 ms
+
+let list_of_mask m =
+  List.filter (fun i -> m land (1 lsl i) <> 0) (List.init 30 Fun.id)
+
+let reconfig_members c = list_of_mask (reconfig_mask c)
 
 type proposer_msg =
   | Prepare of { pno : pno; from_inst : int }
@@ -32,7 +74,9 @@ type resp_round = Rprep | Racc of int
 
 (* A (possibly tree-aggregated) acceptor response. Prepare responses carry
    the responders' accepted priors per instance — the constraint set the
-   new lease holder must respect; Propose responses just count. *)
+   new lease holder must respect; Propose responses just count. [count]
+   weighs votes in the current configuration, [count2] in the incoming one
+   during a joint transition (0 outside transitions). *)
 type response = {
   dest : int;
   target : int;
@@ -40,17 +84,29 @@ type response = {
   round : resp_round;
   positive : bool;
   count : int;
+  count2 : int;
   priors : (int * prior) list;
   committed : pno option;
 }
 
 type component =
-  | Leader of { id : int; hb : int; commit : int }
+  | Leader of { id : int; hb : int; commit : int; sender : int }
+      (* [id]/[hb]: the heartbeat being carried (possibly a relay);
+         [commit]/[sender]: the relaying node's own commit index — the
+         straggler-repair signal. *)
       (* heartbeat; [commit] is stamped by the relaying sender at send time,
          so receivers can repair a straggling neighbor (see [on_leader]) *)
   | Change of { counter : int; origin : int }
   | Search of { root : int; hops : int; sender : int }
   | Forward of { cmd : int }  (* client command flooding *)
+  | Snapshot of {
+      floor : int;
+      s_applied : int list;  (* applied prefix, oldest first *)
+      s_configs : (int * int) list;  (* (index, cmd), oldest first *)
+      s_members : int;  (* membership mask at the floor *)
+      s_joint : int;  (* incoming-config mask mid-transition; 0 = none *)
+      s_epoch : int;
+    }
   | Proposal of proposer_msg
   | Response of response
   | Decision of { inst : int; value : int }
@@ -66,11 +122,19 @@ type lease =
       from_inst : int;
       mutable yes : int;
       mutable no : int;
+      mutable yes2 : int;
+      mutable no2 : int;
       priors : (int, prior) Hashtbl.t;
     }
   | Ready of { pno : pno; priors : (int, prior) Hashtbl.t }
 
-type flight = { f_value : int; mutable f_yes : int; mutable f_no : int }
+type flight = {
+  f_value : int;
+  mutable f_yes : int;
+  mutable f_no : int;
+  mutable f_yes2 : int;
+  mutable f_no2 : int;
+}
 
 type inst = { mutable accepted : prior option; mutable chosen : int option }
 
@@ -80,6 +144,7 @@ type pending_response = {
   q_round : resp_round;
   q_positive : bool;
   mutable q_count : int;
+  mutable q_count2 : int;
   mutable q_priors : (int * prior) list;
   mutable q_committed : pno option;
 }
@@ -87,6 +152,12 @@ type pending_response = {
 type config = {
   window : int;
   on_apply : (node:int -> index:int -> cmd:int -> unit) option;
+  on_suspect : (node:int -> suspect:int -> unit) option;
+  patience : int option;
+  backoff : int;
+  compact_every : int option;
+  repair_retries : int;
+  members : int list option;
 }
 
 type state = {
@@ -110,6 +181,19 @@ type state = {
   mutable max_inst_seen : int;  (* 1 + highest instance heard of *)
   mutable applied : int list;  (* applied commands, newest first *)
   applied_set : (int, unit) Hashtbl.t;
+  (* membership (joint consensus) *)
+  mutable members : int list;  (* current voters, sorted *)
+  mutable joint : int list option;  (* incoming voters mid-transition *)
+  mutable epoch : int;  (* completed reconfigurations *)
+  mutable configs : (int * int) list;  (* (index, cmd), newest first *)
+  (* compaction *)
+  mutable snap_floor : int;  (* log truncated below this index *)
+  mutable snap_applied : int list;  (* applied prefix at floor, newest 1st *)
+  mutable snap_configs : (int * int) list;  (* configs at floor, newest 1st *)
+  mutable snap_members : int list;
+  mutable snap_joint : int list option;
+  mutable snap_epoch : int;
+  mutable snap_q : bool;  (* a snapshot transfer is queued *)
   (* client commands *)
   known_cmds : (int, unit) Hashtbl.t;
   mutable cmd_pool : int list;  (* submitted, not yet known chosen; FIFO *)
@@ -131,13 +215,9 @@ type state = {
   (* transport *)
   mutable sending : bool;
   (* hardening, as in Wpaxos (always on: a replicated log only makes sense
-     with retransmission; the paper's one-shot no-retransmit variant is a
-     single-instance concern) *)
-  mutable my_hb : int;
-  hb_seen : (int, int) Hashtbl.t;
-  suspect_hb : (int, int) Hashtbl.t;
-  mutable hb_silence : int;
-  silence_limit : int;
+     with retransmission). Heartbeats, silence accounting and the suspected
+     set live in the shared ◇P detector. *)
+  fd : Fd.t;
   mutable idle_acks : int;
   mutable next_refresh : int;
   mutable progress_silence : int;
@@ -146,6 +226,18 @@ type state = {
   retry_cap : int;
   mutable retries_left : int;
   mutable patience_left : int;
+  (* responder-side straggler-repair retry (a single lost repair message
+     must not stall a restarter forever; see [on_leader]) *)
+  mutable repair_node : int;  (* the straggler the hole belongs to; -1 = none *)
+  mutable repair_hole : int;  (* lowest lagging commit heard; -1 = none *)
+  mutable repair_left : int;  (* retry budget for the current hole *)
+  mutable repair_wait : int;
+  mutable repair_next : int;
+  (* lifecycle counters (observability; not protocol state) *)
+  mutable fd_suspicions : int;
+  mutable fd_clears : int;
+  mutable snapshots_taken : int;
+  mutable snapshots_installed : int;
 }
 
 let refresh_start = 4
@@ -156,18 +248,45 @@ let patience_max = 512
 
 let max_retries = 8
 
-let majority st = (st.n / 2) + 1
-
-let fail_threshold st = st.n - majority st + 1
-
 let stamp_compare (ca, oa) (cb, ob) =
   match Int.compare ca cb with 0 -> Int.compare oa ob | c -> c
 
-let hb_of st id = Option.value ~default:0 (Hashtbl.find_opt st.hb_seen id)
+let hb_of st id = Fd.hb st.fd id
 
-let suspected st id = Hashtbl.mem st.suspect_hb id
+let suspected st id = Fd.suspected st.fd id
 
 let refill st = st.patience_left <- patience_max
+
+(* ------------------------------------------------------------------ *)
+(* Quorums: a majority of the current configuration, AND — during a    *)
+(* joint transition — a majority of the incoming one.                  *)
+(* ------------------------------------------------------------------ *)
+
+let maj k = (k / 2) + 1
+
+let is_voter st id =
+  List.mem id st.members
+  || (match st.joint with Some t -> List.mem id t | None -> false)
+
+(* This node's vote weight in the current / incoming configuration. *)
+let weight1 st = if List.mem st.me st.members then 1 else 0
+
+let weight2 st =
+  match st.joint with
+  | Some t -> if List.mem st.me t then 1 else 0
+  | None -> 0
+
+let quorum_reached st y1 y2 =
+  y1 >= maj (List.length st.members)
+  && match st.joint with None -> true | Some t -> y2 >= maj (List.length t)
+
+(* Once this many voters of either group rejected, yes can no longer reach
+   the corresponding majority. *)
+let lost_in k n = n >= k - maj k + 1
+
+let quorum_lost st n1 n2 =
+  lost_in (List.length st.members) n1
+  || match st.joint with None -> false | Some t -> lost_in (List.length t) n2
 
 let get_inst st i =
   match Hashtbl.find_opt st.insts i with
@@ -181,12 +300,15 @@ let note_inst st i =
   if i + 1 > st.max_inst_seen then st.max_inst_seen <- i + 1
 
 (* A node is complete when its chosen prefix covers everything it has heard
-   of and no command it holds is still waiting for a slot. Complete nodes
-   stop heartbeating (the network quiesces); incomplete ones keep the
-   ack-clock ticking, patience-bounded. *)
+   of, no command it holds is still waiting for a slot, and no repair or
+   snapshot transfer is pending. Complete nodes stop heartbeating (the
+   network quiesces); incomplete ones keep the ack-clock ticking,
+   patience-bounded. *)
 let has_work st =
   st.commit_index < st.max_inst_seen
   || st.cmd_pool <> []
+  || st.snap_q
+  || (st.repair_hole >= 0 && st.repair_left > 0)
   || (st.omega = st.me
      && (Hashtbl.length st.proposing > 0
         || match st.lease with Preparing _ -> true | _ -> false))
@@ -224,6 +346,7 @@ let dequeue_response st =
                    round = entry.q_round;
                    positive = entry.q_positive;
                    count = entry.q_count;
+                   count2 = entry.q_count2;
                    priors = entry.q_priors;
                    committed = entry.q_committed;
                  })
@@ -238,6 +361,24 @@ let compose st =
       st.decide_q <- rest;
       components := Decision { inst; value } :: !components
   | [] -> ());
+  (if st.snap_q && st.snap_floor > 0 then begin
+     st.snap_q <- false;
+     components :=
+       Snapshot
+         {
+           floor = st.snap_floor;
+           s_applied = List.rev st.snap_applied;
+           s_configs = List.rev st.snap_configs;
+           s_members = mask_of_list st.snap_members;
+           s_joint =
+             (match st.snap_joint with
+             | Some t -> mask_of_list t
+             | None -> 0);
+           s_epoch = st.snap_epoch;
+         }
+       :: !components
+   end
+   else st.snap_q <- false);
   (match dequeue_response st with
   | Some c -> components := c :: !components
   | None -> ());
@@ -266,7 +407,7 @@ let compose st =
          the freshest count they know, and [commit] always describes the
          sender itself (the straggler-repair signal). *)
       components :=
-        Leader { id; hb = hb_of st id; commit = st.commit_index }
+        Leader { id; hb = hb_of st id; commit = st.commit_index; sender = st.me }
         :: !components
   | None -> ());
   !components
@@ -283,7 +424,7 @@ let maybe_send st =
 let finish st = maybe_send st
 
 (* ------------------------------------------------------------------ *)
-(* The log: choosing, committing, applying                             *)
+(* Response queue plumbing                                             *)
 (* ------------------------------------------------------------------ *)
 
 let prune_response_q st =
@@ -317,8 +458,8 @@ let merge_priors existing extra =
       upd acc)
     existing extra
 
-let enqueue_response st ~target ~pno ~round ~positive ~count ~priors ~committed
-    =
+let enqueue_response st ~target ~pno ~round ~positive ~count ~count2 ~priors
+    ~committed =
   let entry =
     {
       q_target = target;
@@ -326,6 +467,7 @@ let enqueue_response st ~target ~pno ~round ~positive ~count ~priors ~committed
       q_round = round;
       q_positive = positive;
       q_count = count;
+      q_count2 = count2;
       q_priors = priors;
       q_committed = committed;
     }
@@ -339,24 +481,81 @@ let enqueue_response st ~target ~pno ~round ~positive ~count ~priors ~committed
   (match List.find_opt mergeable st.response_q with
   | Some existing ->
       existing.q_count <- existing.q_count + entry.q_count;
+      existing.q_count2 <- existing.q_count2 + entry.q_count2;
       existing.q_priors <- merge_priors existing.q_priors entry.q_priors;
       existing.q_committed <-
         max_committed existing.q_committed entry.q_committed
   | None -> st.response_q <- st.response_q @ [ entry ]);
   prune_response_q st
 
-(* Apply the chosen prefix: every newly covered instance with a real
-   command (not noop) applies exactly once — re-chosen duplicates (a
-   command salvaged by a new lease after the old one already drove it to
-   a decision) are skipped via [applied_set]. *)
-let advance_commit st =
+(* Acceptor: a single lease-wide promise (multi-Paxos), per-instance
+   accepted values. Prepare responses return every accepted prior at or
+   above the requested instance — the new leader's constraint set. A
+   proposition reaching below our compaction floor cannot be answered
+   soundly (the priors are gone): reject it and queue a snapshot transfer
+   so the lagging proposer catches up instead. *)
+let acceptor_respond st (message : proposer_msg) =
+  let pno = pno_of message in
+  let ok = match st.promised with None -> true | Some p -> pno_le p pno in
+  match message with
+  | Prepare { from_inst; _ } ->
+      if from_inst < st.snap_floor then begin
+        st.snap_q <- true;
+        (Rprep, false, [], st.promised)
+      end
+      else if ok then begin
+        st.promised <- Some pno;
+        let priors =
+          Hashtbl.fold
+            (fun i r acc ->
+              if i < from_inst then acc
+              else
+                match (r.chosen, r.accepted) with
+                | Some value, _ ->
+                    (* A value we know is CHOSEN — possibly learned via a
+                       repair decision, with no accepted record behind it
+                       (amnesiac restart) — is an unbeatable constraint.
+                       Report it with a top-ranked ballot so no new lease
+                       can steer the instance to a noop over our head. *)
+                    (i, { pno = { tag = max_int; proposer = 0 }; value })
+                    :: acc
+                | None, Some prior -> (i, prior) :: acc
+                | None, None -> acc)
+            st.insts []
+        in
+        let priors = List.sort (fun (a, _) (b, _) -> Int.compare a b) priors in
+        (Rprep, true, priors, None)
+      end
+      else (Rprep, false, [], st.promised)
+  | Propose { inst; value; _ } ->
+      if inst < st.snap_floor then begin
+        st.snap_q <- true;
+        (Racc inst, false, [], st.promised)
+      end
+      else begin
+        note_inst st inst;
+        if ok then begin
+          st.promised <- Some pno;
+          (get_inst st inst).accepted <- Some { pno; value };
+          (Racc inst, true, [], None)
+        end
+        else (Racc inst, false, [], st.promised)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* The log: choosing, committing, applying, compacting, reconfiguring  *)
+(* ------------------------------------------------------------------ *)
+
+let rec advance_commit st =
   let continue = ref true in
   while !continue do
     match Hashtbl.find_opt st.insts st.commit_index with
     | Some { chosen = Some value; _ } ->
         let index = st.commit_index in
         st.commit_index <- st.commit_index + 1;
-        if value <> noop && not (Hashtbl.mem st.applied_set value) then begin
+        if is_reconfig value then apply_reconfig st ~index ~value
+        else if value <> noop && not (Hashtbl.mem st.applied_set value)
+        then begin
           Hashtbl.replace st.applied_set value ();
           st.applied <- value :: st.applied;
           match st.cfg.on_apply with
@@ -364,23 +563,143 @@ let advance_commit st =
           | None -> ()
         end
     | Some { chosen = None; _ } | None -> continue := false
-  done
+  done;
+  maybe_compact st
 
-let rec note_chosen st i value =
-  let r = get_inst st i in
-  match r.chosen with
-  | Some _ -> ()  (* first choice wins locally; cross-node agreement is the
-                     checker's business *)
-  | None ->
-      r.chosen <- Some value;
-      note_inst st i;
-      if value <> noop then Hashtbl.replace st.chosen_cmds value ();
-      st.cmd_pool <- List.filter (fun c -> c <> value) st.cmd_pool;
-      (* Flood the decision exactly once per node. *)
-      st.decide_q <- st.decide_q @ [ (i, value) ];
-      refill st;
-      advance_commit st;
-      if st.omega = st.me then fill_window st
+(* A reconfiguration command reached the committed prefix. Joint: open the
+   transition (dual quorums from here on) and stage the matching final
+   command — at EVERY replica, so the transition completes even if the
+   leader that proposed the joint dies. Final: adopt the new configuration
+   and bump the epoch. Both restart the leader's lease, because the quorum
+   rule its in-flight counts were accumulated under just changed. *)
+and apply_reconfig st ~index ~value =
+  st.configs <- (index, value) :: st.configs;
+  let changed =
+    if is_joint_reconfig value then (
+      match st.joint with
+      | None ->
+          st.joint <- Some (reconfig_members value);
+          absorb_cmd st (final_of_joint value);
+          true
+      | Some _ -> false)
+    else
+      match st.joint with
+      | Some t when mask_of_list t = reconfig_mask value ->
+          st.members <- t;
+          st.joint <- None;
+          st.epoch <- st.epoch + 1;
+          recompute_omega st;
+          true
+      | Some _ | None ->
+          (* the transition this final closes was completed already (a
+             salvaged duplicate) — or never seen; adopt monotonically *)
+          if st.joint = None && st.members <> reconfig_members value then begin
+            st.members <- reconfig_members value;
+            st.epoch <- st.epoch + 1;
+            recompute_omega st;
+            true
+          end
+          else false
+  in
+  if changed && st.omega = st.me then start_prepare st
+
+and maybe_compact st =
+  match st.cfg.compact_every with
+  | Some k when st.commit_index - st.snap_floor >= k ->
+      (* Snapshot the applied state machine at the commit watermark and
+         drop the log prefix it covers. Everything an installer needs to
+         take over from here travels with the snapshot: the applied
+         prefix, the configuration history, and the membership/epoch. *)
+      st.snap_floor <- st.commit_index;
+      st.snap_applied <- st.applied;
+      st.snap_configs <- st.configs;
+      st.snap_members <- st.members;
+      st.snap_joint <- st.joint;
+      st.snap_epoch <- st.epoch;
+      let below =
+        Hashtbl.fold
+          (fun i _ acc -> if i < st.snap_floor then i :: acc else acc)
+          st.insts []
+      in
+      List.iter (Hashtbl.remove st.insts) below;
+      st.snapshots_taken <- st.snapshots_taken + 1
+  | Some _ | None -> ()
+
+and note_chosen st i value =
+  if i >= st.snap_floor then
+    let r = get_inst st i in
+    match r.chosen with
+    | Some _ -> ()  (* first choice wins locally; cross-node agreement is
+                       the checker's business *)
+    | None ->
+        r.chosen <- Some value;
+        note_inst st i;
+        if value <> noop then Hashtbl.replace st.chosen_cmds value ();
+        st.cmd_pool <- List.filter (fun c -> c <> value) st.cmd_pool;
+        (* Flood the decision exactly once per node. *)
+        st.decide_q <- st.decide_q @ [ (i, value) ];
+        refill st;
+        advance_commit st;
+        if st.omega = st.me then fill_window st
+
+(* A snapshot from a peer whose floor is ahead of our commit index: adopt
+   it wholesale. The applied prefix replaces ours (the commands it covers
+   are NOT replayed through on_apply — the snapshot IS the applied state),
+   the log below the floor is dropped, and the leader re-prepares from the
+   new commit index. *)
+and install_snapshot st ~floor ~s_applied ~s_configs ~s_members ~s_joint
+    ~s_epoch =
+  if floor > st.commit_index then begin
+    let applied_new = List.rev s_applied in
+    st.snap_floor <- floor;
+    st.snap_applied <- applied_new;
+    st.snap_configs <- List.rev s_configs;
+    st.snap_members <- s_members;
+    st.snap_joint <- s_joint;
+    st.snap_epoch <- s_epoch;
+    st.applied <- applied_new;
+    Hashtbl.reset st.applied_set;
+    List.iter (fun c -> Hashtbl.replace st.applied_set c ()) applied_new;
+    st.configs <- st.snap_configs;
+    st.members <- s_members;
+    st.joint <- s_joint;
+    st.epoch <- s_epoch;
+    st.commit_index <- floor;
+    note_inst st (floor - 1);
+    let below =
+      Hashtbl.fold
+        (fun i _ acc -> if i < floor then i :: acc else acc)
+        st.insts []
+    in
+    List.iter (Hashtbl.remove st.insts) below;
+    (* Commands the snapshot proves chosen must not be proposed again. *)
+    List.iter
+      (fun c ->
+        Hashtbl.replace st.chosen_cmds c ();
+        Hashtbl.replace st.known_cmds c ())
+      applied_new;
+    List.iter
+      (fun (_, c) ->
+        Hashtbl.replace st.chosen_cmds c ();
+        Hashtbl.replace st.known_cmds c ())
+      st.snap_configs;
+    st.cmd_pool <-
+      List.filter (fun c -> not (Hashtbl.mem st.chosen_cmds c)) st.cmd_pool;
+    (* Mid-transition snapshot: stage the closing final command here too. *)
+    (match st.joint with
+    | Some _ -> (
+        match List.find_opt (fun (_, c) -> is_joint_reconfig c) st.configs with
+        | Some (_, jc) -> absorb_cmd st (final_of_joint jc)
+        | None -> ())
+    | None -> ());
+    st.lease <- No_lease;
+    Hashtbl.reset st.proposing;
+    st.snapshots_installed <- st.snapshots_installed + 1;
+    refill st;
+    advance_commit st;
+    recompute_omega st;
+    if st.omega = st.me then start_prepare st
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Proposer: lease acquisition and window filling                      *)
@@ -392,7 +711,17 @@ and start_prepare st =
     let pno = { tag = st.max_tag; proposer = st.me } in
     let from_inst = st.commit_index in
     Hashtbl.reset st.proposing;
-    st.lease <- Preparing { pno; from_inst; yes = 0; no = 0; priors = Hashtbl.create 8 };
+    st.lease <-
+      Preparing
+        {
+          pno;
+          from_inst;
+          yes = 0;
+          no = 0;
+          yes2 = 0;
+          no2 = 0;
+          priors = Hashtbl.create 8;
+        };
     let message = Prepare { pno; from_inst } in
     st.proposal_q <- st.proposal_q @ [ message ];
     Hashtbl.replace st.seen_props (prop_key message) ();
@@ -400,16 +729,27 @@ and start_prepare st =
   end
 
 (* The next command this leader should put at the log end: the first pooled
-   command not already chosen and not in flight at another instance. *)
+   command not already chosen and not in flight at another instance.
+   Reconfiguration commands are serialised: a joint only proposes outside a
+   transition, a final only for the transition it closes. *)
 and pick_cmd st =
   let inflight value =
     Hashtbl.fold
       (fun _ f acc -> acc || f.f_value = value)
       st.proposing false
   in
-  List.find_opt
-    (fun c -> (not (Hashtbl.mem st.chosen_cmds c)) && not (inflight c))
-    st.cmd_pool
+  let eligible c =
+    (not (Hashtbl.mem st.chosen_cmds c))
+    && (not (inflight c))
+    &&
+    if is_joint_reconfig c then st.joint = None
+    else if is_reconfig c then
+      match st.joint with
+      | Some t -> reconfig_mask c = mask_of_list t
+      | None -> false
+    else true
+  in
+  List.find_opt eligible st.cmd_pool
 
 and choose_value st priors i =
   match Hashtbl.find_opt priors i with
@@ -431,7 +771,7 @@ and fill_window st =
            match choose_value st priors inst with
            | Some value ->
                Hashtbl.replace st.proposing inst
-                 { f_value = value; f_yes = 0; f_no = 0 };
+                 { f_value = value; f_yes = 0; f_no = 0; f_yes2 = 0; f_no2 = 0 };
                note_inst st inst;
                let message = Propose { pno; inst; value } in
                st.proposal_q <- st.proposal_q @ [ message ];
@@ -478,6 +818,7 @@ and count_response st (r : response) =
       refill st;
       if r.positive then begin
         p.yes <- p.yes + r.count;
+        p.yes2 <- p.yes2 + r.count2;
         List.iter
           (fun (i, prior) ->
             note_inst st i;
@@ -488,17 +829,18 @@ and count_response st (r : response) =
             | Some best -> Hashtbl.replace p.priors i best
             | None -> ())
           r.priors;
-        if p.yes >= majority st then begin
+        if quorum_reached st p.yes p.yes2 then begin
           st.lease <- Ready { pno = p.pno; priors = p.priors };
           fill_window st
         end
       end
       else begin
         p.no <- p.no + r.count;
+        p.no2 <- p.no2 + r.count2;
         (match r.committed with
         | Some committed -> st.max_tag <- max st.max_tag committed.tag
         | None -> ());
-        if p.no >= fail_threshold st then lease_failed st
+        if quorum_lost st p.no p.no2 then lease_failed st
       end
   | Ready rd, Racc inst when compare_pno rd.pno r.r_pno = 0 -> (
       match Hashtbl.find_opt st.proposing inst with
@@ -507,48 +849,19 @@ and count_response st (r : response) =
           refill st;
           if r.positive then begin
             f.f_yes <- f.f_yes + r.count;
-            if f.f_yes >= majority st then begin
+            f.f_yes2 <- f.f_yes2 + r.count2;
+            if quorum_reached st f.f_yes f.f_yes2 then begin
               Hashtbl.remove st.proposing inst;
               note_chosen st inst f.f_value
             end
           end
           else begin
             f.f_no <- f.f_no + r.count;
-            if f.f_no >= fail_threshold st then lease_failed st
+            f.f_no2 <- f.f_no2 + r.count2;
+            if quorum_lost st f.f_no f.f_no2 then lease_failed st
           end
       | None -> ())
   | (No_lease | Preparing _ | Ready _), _ -> ()
-
-(* Acceptor: a single lease-wide promise (multi-Paxos), per-instance
-   accepted values. Prepare responses return every accepted prior at or
-   above the requested instance — the new leader's constraint set. *)
-and acceptor_respond st (message : proposer_msg) =
-  let pno = pno_of message in
-  let ok = match st.promised with None -> true | Some p -> pno_le p pno in
-  match message with
-  | Prepare { from_inst; _ } ->
-      if ok then begin
-        st.promised <- Some pno;
-        let priors =
-          Hashtbl.fold
-            (fun i r acc ->
-              match r.accepted with
-              | Some prior when i >= from_inst -> (i, prior) :: acc
-              | Some _ | None -> acc)
-            st.insts []
-        in
-        let priors = List.sort (fun (a, _) (b, _) -> Int.compare a b) priors in
-        (Rprep, true, priors, None)
-      end
-      else (Rprep, false, [], st.promised)
-  | Propose { inst; value; _ } ->
-      note_inst st inst;
-      if ok then begin
-        st.promised <- Some pno;
-        (get_inst st inst).accepted <- Some { pno; value };
-        (Racc inst, true, [], None)
-      end
-      else (Racc inst, false, [], st.promised)
 
 and self_respond st (message : proposer_msg) =
   let pno = pno_of message in
@@ -561,7 +874,8 @@ and self_respond st (message : proposer_msg) =
       r_pno = pno;
       round;
       positive;
-      count = 1;
+      count = weight1 st;
+      count2 = weight2 st;
       priors;
       committed;
     }
@@ -571,7 +885,8 @@ and self_respond st (message : proposer_msg) =
 (* ------------------------------------------------------------------ *)
 
 (* First sight of a command: remember it, queue it for the leader, and
-   re-flood it once so it reaches the leader in multihop networks. *)
+   re-flood it once so it reaches the leader in multihop networks.
+   Reconfiguration commands travel the same path. *)
 and absorb_cmd st cmd =
   if cmd <> noop && not (Hashtbl.mem st.known_cmds cmd) then begin
     Hashtbl.replace st.known_cmds cmd ();
@@ -588,10 +903,10 @@ and absorb_cmd st cmd =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Component handlers                                                  *)
+(* Leader election (member-aware)                                      *)
 (* ------------------------------------------------------------------ *)
 
-let set_omega st id =
+and set_omega st id =
   st.omega <- id;
   st.leader_q <- Some id;
   st.lease <- No_lease;
@@ -599,46 +914,84 @@ let set_omega st id =
   st.proposal_q <-
     List.filter (fun p -> (pno_of p).proposer = st.omega) st.proposal_q;
   prune_response_q st;
-  st.hb_silence <- 0;
+  Fd.watch st.fd ~peer:id;
   refill st;
   local_change st
 
-let candidate_omega st =
-  Hashtbl.fold
-    (fun id _ best -> if (not (suspected st id)) && id > best then id else best)
-    st.hb_seen st.me
+(* Best unsuspected VOTER among the ids we have heard from; non-voters
+   (fresh learners awaiting a scale-up, removed replicas) never lead. *)
+and candidate_omega st =
+  Fd.candidate st.fd ~base:st.me ~eligible:(fun id -> is_voter st id)
 
-let recompute_omega st =
+and recompute_omega st =
   let next = candidate_omega st in
   if next <> st.omega then set_omega st next
 
-let on_leader st ~id ~hb ~commit =
+(* Answer a straggling neighbor: the decision at its first hole — or, if
+   that instance fell below our compaction floor, the snapshot itself. *)
+let queue_repair st ~lag_commit =
+  if lag_commit < st.commit_index then
+    if lag_commit < st.snap_floor then st.snap_q <- true
+    else
+      match Hashtbl.find_opt st.insts lag_commit with
+      | Some { chosen = Some value; _ } ->
+          if not (List.mem (lag_commit, value) st.decide_q) then
+            st.decide_q <- st.decide_q @ [ (lag_commit, value) ]
+      | Some { chosen = None; _ } | None -> ()
+
+let clear_repair st =
+  st.repair_node <- -1;
+  st.repair_hole <- -1;
+  st.repair_left <- 0;
+  st.repair_wait <- 0
+
+let on_leader st ~id ~hb ~commit ~sender =
   (if id <> st.me then
-     let seen = Option.value ~default:(-1) (Hashtbl.find_opt st.hb_seen id) in
-     if hb > seen then begin
-       Hashtbl.replace st.hb_seen id hb;
-       if id = st.omega then begin
-         st.hb_silence <- 0;
-         st.leader_q <- Some id
-       end;
-       match Hashtbl.find_opt st.suspect_hb id with
-       | Some at when hb > at ->
-           Hashtbl.remove st.suspect_hb id;
-           refill st;
-           recompute_omega st
-       | Some _ | None -> ()
-     end);
-  if id > st.omega && not (suspected st id) then set_omega st id;
+     match Fd.observe st.fd ~peer:id ~hb with
+     | Stale -> ()
+     | verdict ->
+         (* Relay the fresh heartbeat so it floods network-wide. *)
+         if id = st.omega then st.leader_q <- Some id;
+         (match verdict with
+         | Fresh_cleared ->
+             st.fd_clears <- st.fd_clears + 1;
+             refill st;
+             recompute_omega st
+         | Fresh | Stale -> ()));
+  if id > st.omega && is_voter st id && not (suspected st id) then
+    set_omega st id;
   (* Straggler repair: the sending neighbor's commit index lags ours, so
      its first hole is an instance we have chosen — answer with that one
-     decision. One instance per heartbeat heard keeps it bounded; the
-     straggler's commit advances monotonically, so repair completes. *)
-  if commit < st.commit_index then
-    match Hashtbl.find_opt st.insts commit with
-    | Some { chosen = Some value; _ } ->
-        if not (List.mem (commit, value) st.decide_q) then
-          st.decide_q <- st.decide_q @ [ (commit, value) ]
-    | Some { chosen = None; _ } | None -> ()
+     decision (or the snapshot, if the hole was compacted away). One
+     repair per heartbeat heard, PLUS a bounded retry schedule: repair
+     answers ride the lossy channel like everything else, and a straggler
+     that has nothing left to say goes silent — if its recovery broadcast
+     is the last we hear and our answer is lost, no later heartbeat would
+     retrigger repair and the straggler stalls forever. The retry budget
+     resets whenever the straggler's commit moves (progress), so the
+     schedule is message-bounded — and it stops the moment the straggler
+     itself announces a caught-up commit index (the repair slot tracks
+     whose hole it is; an announcement from a DIFFERENT caught-up node
+     says nothing about the straggler and must not cancel its repair). *)
+  (* An announced commit index c is proof that instances 0..c-1 are chosen
+     somewhere: count them as heard-of. This is what keeps a silently
+     recovering straggler in the echo loop — hearing a fresh announcement
+     ahead of its own commit re-opens [has_work], so it keeps broadcasting
+     (and thereby announcing its lagging commit) until fully repaired,
+     instead of going quiet the moment its local decisions run out. *)
+  if commit > st.max_inst_seen then st.max_inst_seen <- commit;
+  if sender <> st.me then
+    if commit < st.commit_index then begin
+      queue_repair st ~lag_commit:commit;
+      if st.repair_node <> sender || st.repair_hole <> commit then begin
+        st.repair_node <- sender;
+        st.repair_hole <- commit;
+        st.repair_left <- st.cfg.repair_retries;
+        st.repair_wait <- 0;
+        st.repair_next <- st.retry_start
+      end
+    end
+    else if sender = st.repair_node then clear_repair st
 
 let on_change st ~counter ~origin =
   st.lamport <- max st.lamport counter;
@@ -672,12 +1025,16 @@ let on_proposal st (message : proposer_msg) =
       refill st
     end;
     (* Acceptor: respond once per proposition, routed up the leader's
-       tree. *)
+       tree. Pure learners (zero weight in both configurations) still
+       update their acceptor state but send nothing — their votes cannot
+       count. *)
     if not (Hashtbl.mem st.responded key) then begin
       Hashtbl.replace st.responded key ();
       let round, positive, priors, committed = acceptor_respond st message in
-      enqueue_response st ~target:pno.proposer ~pno ~round ~positive ~count:1
-        ~priors ~committed
+      let count = weight1 st and count2 = weight2 st in
+      if count + count2 > 0 then
+        enqueue_response st ~target:pno.proposer ~pno ~round ~positive ~count
+          ~count2 ~priors ~committed
     end
   end
 
@@ -686,8 +1043,14 @@ let on_response st (r : response) =
     if r.target = st.me then count_response st r
     else if r.target = st.omega then
       enqueue_response st ~target:r.target ~pno:r.r_pno ~round:r.round
-        ~positive:r.positive ~count:r.count ~priors:r.priors
+        ~positive:r.positive ~count:r.count ~count2:r.count2 ~priors:r.priors
         ~committed:r.committed
+
+let on_snapshot st ~floor ~s_applied ~s_configs ~s_members ~s_joint ~s_epoch =
+  install_snapshot st ~floor ~s_applied ~s_configs
+    ~s_members:(list_of_mask s_members)
+    ~s_joint:(if s_joint = 0 then None else Some (list_of_mask s_joint))
+    ~s_epoch
 
 (* ------------------------------------------------------------------ *)
 (* Hardened ack tick                                                   *)
@@ -696,18 +1059,16 @@ let on_response st (r : response) =
 let hardened_tick st =
   if has_work st && st.patience_left > 0 then begin
     st.patience_left <- st.patience_left - 1;
-    if st.omega = st.me then begin
-      st.my_hb <- st.my_hb + 1;
-      Hashtbl.replace st.hb_seen st.me st.my_hb
-    end
-    else begin
-      st.hb_silence <- st.hb_silence + 1;
-      if st.hb_silence > st.silence_limit && not (suspected st st.omega)
-      then begin
-        Hashtbl.replace st.suspect_hb st.omega (hb_of st st.omega);
-        recompute_omega st
-      end
-    end;
+    (if st.omega = st.me then ignore (Fd.beat st.fd)
+     else
+       match Fd.tick st.fd ~peer:st.omega with
+       | Suspect ->
+           st.fd_suspicions <- st.fd_suspicions + 1;
+           (match st.cfg.on_suspect with
+           | Some f -> f ~node:st.me ~suspect:st.omega
+           | None -> ());
+           recompute_omega st
+       | Ok -> ());
     st.leader_q <- Some st.omega;
     st.idle_acks <- st.idle_acks + 1;
     if st.idle_acks >= st.next_refresh then begin
@@ -727,6 +1088,20 @@ let hardened_tick st =
           st.forward_q <- st.forward_q @ [ cmd ]
       | _ -> ()
     end;
+    (* Straggler-repair retry: while a known hole stays put, re-answer it
+       on an exponential backoff, [repair_retries] times. *)
+    (if st.repair_hole >= 0 then
+       if st.repair_hole >= st.commit_index then clear_repair st
+       else if st.repair_left > 0 then begin
+         st.repair_wait <- st.repair_wait + 1;
+         if st.repair_wait >= st.repair_next then begin
+           st.repair_wait <- 0;
+           st.repair_next <- min (2 * st.repair_next) st.retry_cap;
+           st.repair_left <- st.repair_left - 1;
+           queue_repair st ~lag_commit:st.repair_hole;
+           refill st
+         end
+       end);
     if st.omega = st.me && st.retries_left > 0 then begin
       st.progress_silence <- st.progress_silence + 1;
       if st.progress_silence >= st.next_retry then begin
@@ -749,10 +1124,31 @@ type handle = {
   registry : (int, state) Hashtbl.t;  (* node -> current incarnation state *)
   submitted : (int, unit) Hashtbl.t;
   mutable submitted_count : int;
+  reconfig_cmds : (int, unit) Hashtbl.t;
+  mutable reconfig_seq : int;
 }
+
+let reconfig_cmd h ~members =
+  let ms = List.sort_uniq Int.compare members in
+  if ms = [] then invalid_arg "Smr.reconfig_cmd: members must be non-empty";
+  List.iter
+    (fun i ->
+      if i < 0 || i > 29 then
+        invalid_arg "Smr.reconfig_cmd: node ids must be in 0..29")
+    ms;
+  if h.reconfig_seq > 1023 then
+    invalid_arg "Smr.reconfig_cmd: reconfiguration uid space exhausted";
+  let uid = h.reconfig_seq in
+  h.reconfig_seq <- h.reconfig_seq + 1;
+  let base = mask_of_list ms lor (uid lsl uid_shift) in
+  Hashtbl.replace h.reconfig_cmds (base lor joint_bit) ();
+  Hashtbl.replace h.reconfig_cmds (base lor final_bit) ();
+  base lor joint_bit
 
 let submit h ~node ~cmd =
   if cmd <= noop then invalid_arg "Smr.submit: commands must be positive";
+  if is_reconfig cmd then
+    invalid_arg "Smr.submit: use reconfigure for membership changes";
   if not (Hashtbl.mem h.submitted cmd) then begin
     Hashtbl.replace h.submitted cmd ();
     h.submitted_count <- h.submitted_count + 1
@@ -761,14 +1157,29 @@ let submit h ~node ~cmd =
   | Some st -> absorb_cmd st cmd
   | None -> invalid_arg "Smr.submit: unknown node (state not initialised)"
 
+let reconfigure h ~node ~members =
+  let cmd = reconfig_cmd h ~members in
+  match Hashtbl.find_opt h.registry node with
+  | Some st ->
+      absorb_cmd st cmd;
+      cmd
+  | None -> invalid_arg "Smr.reconfigure: unknown node"
+
 let injector h ~now:_ ~payload (_ctx : Amac.Algorithm.ctx) st =
   if payload <= noop then
     invalid_arg "Smr.injector: command payloads must be positive";
-  if not (Hashtbl.mem h.submitted payload) then begin
-    Hashtbl.replace h.submitted payload ();
-    h.submitted_count <- h.submitted_count + 1
+  if is_reconfig payload then begin
+    if not (Hashtbl.mem h.reconfig_cmds payload) then
+      invalid_arg "Smr.injector: unregistered reconfiguration command";
+    absorb_cmd st payload
+  end
+  else begin
+    if not (Hashtbl.mem h.submitted payload) then begin
+      Hashtbl.replace h.submitted payload ();
+      h.submitted_count <- h.submitted_count + 1
+    end;
+    absorb_cmd st payload
   end;
-  absorb_cmd st payload;
   finish st
 
 let nodes h = List.sort Int.compare (Hashtbl.fold (fun k _ l -> k :: l) h.registry [])
@@ -792,26 +1203,96 @@ let applied h node = List.rev (state_of h node).applied
 
 let was_submitted h cmd = Hashtbl.mem h.submitted cmd
 
+let was_reconfig h cmd = Hashtbl.mem h.reconfig_cmds cmd
+
 let submitted_count h = h.submitted_count
+
+let members h node = (state_of h node).members
+
+let joint h node = (state_of h node).joint
+
+let epoch h node = (state_of h node).epoch
+
+let configs h node =
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) (state_of h node).configs
+
+type snapshot_info = {
+  floor : int;
+  s_applied : int list;  (* oldest first *)
+  s_configs : (int * int) list;  (* oldest first *)
+  s_members : int list;
+  s_joint : int list option;
+  s_epoch : int;
+}
+
+let snapshot h node =
+  let st = state_of h node in
+  if st.snap_floor > 0 then
+    Some
+      {
+        floor = st.snap_floor;
+        s_applied = List.rev st.snap_applied;
+        s_configs = List.rev st.snap_configs;
+        s_members = st.snap_members;
+        s_joint = st.snap_joint;
+        s_epoch = st.snap_epoch;
+      }
+  else None
+
+let fd_stats h node = Fd.stats (state_of h node).fd
+
+type lifecycle = {
+  fd_suspicions : int;
+  fd_clears : int;
+  snapshots_taken : int;
+  snapshots_installed : int;
+}
+
+let lifecycle h node =
+  let st = state_of h node in
+  {
+    fd_suspicions = st.fd_suspicions;
+    fd_clears = st.fd_clears;
+    snapshots_taken = st.snapshots_taken;
+    snapshots_installed = st.snapshots_installed;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Algorithm wiring                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let init h cfg (ctx : Amac.Algorithm.ctx) =
+let init h (cfg : config) (ctx : Amac.Algorithm.ctx) =
   let n =
     match ctx.n with
     | Some n -> n
     | None -> invalid_arg "Smr: requires knowledge of n"
   in
   let me = Amac.Node_id.unique_exn ctx.id in
+  let members0 =
+    match cfg.members with
+    | Some ms -> List.sort_uniq Int.compare ms
+    | None -> List.init n Fun.id
+  in
+  (* A voter starts as its own leader candidate; a learner (present in the
+     engine but outside the initial configuration, awaiting a scale-up)
+     starts from the largest initial voter instead — it must never lead. *)
+  let omega0 =
+    if List.mem me members0 then me
+    else List.fold_left max (List.hd members0) members0
+  in
+  let fd =
+    Fd.create
+      ~patience:(Option.value cfg.patience ~default:((4 * n) + 16))
+      ~backoff:cfg.backoff ~me ()
+  in
+  if omega0 <> me then Fd.watch fd ~peer:omega0;
   let st =
     {
       me;
       n;
       cfg;
-      omega = me;
-      leader_q = Some me;
+      omega = omega0;
+      leader_q = Some omega0;
       lamport = 0;
       last_change = (-1, -1);
       change_q = None;
@@ -823,6 +1304,17 @@ let init h cfg (ctx : Amac.Algorithm.ctx) =
       max_inst_seen = 0;
       applied = [];
       applied_set = Hashtbl.create 64;
+      members = members0;
+      joint = None;
+      epoch = 0;
+      configs = [];
+      snap_floor = 0;
+      snap_applied = [];
+      snap_configs = [];
+      snap_members = members0;
+      snap_joint = None;
+      snap_epoch = 0;
+      snap_q = false;
       known_cmds = Hashtbl.create 64;
       cmd_pool = [];
       chosen_cmds = Hashtbl.create 64;
@@ -838,11 +1330,7 @@ let init h cfg (ctx : Amac.Algorithm.ctx) =
       response_q = [];
       decide_q = [];
       sending = false;
-      my_hb = 0;
-      hb_seen = Hashtbl.create 8;
-      suspect_hb = Hashtbl.create 8;
-      hb_silence = 0;
-      silence_limit = (4 * n) + 16;
+      fd;
       idle_acks = 0;
       next_refresh = refresh_start;
       progress_silence = 0;
@@ -851,24 +1339,38 @@ let init h cfg (ctx : Amac.Algorithm.ctx) =
       retry_cap = 16 * ((2 * n) + 8);
       retries_left = max_retries;
       patience_left = patience_max;
+      repair_node = -1;
+      repair_hole = -1;
+      repair_left = 0;
+      repair_wait = 0;
+      repair_next = (2 * n) + 8;
+      fd_suspicions = 0;
+      fd_clears = 0;
+      snapshots_taken = 0;
+      snapshots_installed = 0;
     }
   in
   Hashtbl.replace st.dist me 0;
   Hashtbl.replace st.parent me me;
-  Hashtbl.replace st.hb_seen me 0;
   Hashtbl.replace h.registry me st;
   local_change st;
   (st, finish st)
 
 let on_receive _ctx st (components : msg) =
+  (* Leader updates first so later components in the same broadcast are
+     judged against the freshest omega; snapshots and decisions before
+     proposals, so an acceptor answers a Prepare with its freshest
+     configuration and commit index (a reconfiguring leader packs the
+     closing Decision and the re-Prepare into one broadcast). *)
   let rank = function
     | Leader _ -> 0
     | Change _ -> 1
     | Search _ -> 2
     | Forward _ -> 3
-    | Proposal _ -> 4
-    | Response _ -> 5
-    | Decision _ -> 6
+    | Snapshot _ -> 4
+    | Decision _ -> 5
+    | Proposal _ -> 6
+    | Response _ -> 7
   in
   let ordered =
     List.sort (fun a b -> Int.compare (rank a) (rank b)) components
@@ -876,13 +1378,17 @@ let on_receive _ctx st (components : msg) =
   List.iter
     (fun component ->
       match component with
-      | Leader { id; hb; commit } -> on_leader st ~id ~hb ~commit
+      | Leader { id; hb; commit; sender } -> on_leader st ~id ~hb ~commit ~sender
       | Change { counter; origin } -> on_change st ~counter ~origin
       | Search { root; hops; sender } -> on_search st ~root ~hops ~sender
       | Forward { cmd } -> absorb_cmd st cmd
+      | Snapshot { floor; s_applied; s_configs; s_members; s_joint; s_epoch }
+        ->
+          on_snapshot st ~floor ~s_applied ~s_configs ~s_members ~s_joint
+            ~s_epoch
+      | Decision { inst; value } -> note_chosen st inst value
       | Proposal p -> on_proposal st p
-      | Response r -> on_response st r
-      | Decision { inst; value } -> note_chosen st inst value)
+      | Response r -> on_response st r)
     ordered;
   finish st
 
@@ -896,6 +1402,8 @@ let component_ids = function
   | Change _ -> 1
   | Search _ -> 2
   | Forward _ -> 0
+  | Snapshot { s_applied; s_configs; _ } ->
+      4 + List.length s_applied + List.length s_configs
   | Proposal _ -> 1
   | Response r -> 3 + List.length r.priors + (match r.committed with None -> 0 | Some _ -> 1)
   | Decision _ -> 0
@@ -908,12 +1416,16 @@ let pp_round = function
   | Racc inst -> Printf.sprintf "acc[%d]" inst
 
 let pp_component = function
-  | Leader { id; hb; commit } ->
-      Printf.sprintf "leader(%d,hb=%d,ci=%d)" id hb commit
+  | Leader { id; hb; commit; sender } ->
+      Printf.sprintf "leader(%d,hb=%d,ci=%d@%d)" id hb commit sender
   | Change { counter; origin } -> Printf.sprintf "change(%d@%d)" counter origin
   | Search { root; hops; sender } ->
       Printf.sprintf "search(root=%d,h=%d,from=%d)" root hops sender
   | Forward { cmd } -> Printf.sprintf "fwd(%d)" cmd
+  | Snapshot { floor; s_applied; s_members; s_joint; s_epoch; _ } ->
+      Printf.sprintf "snap(floor=%d,app=[%s],m=%d,j=%d,e=%d)" floor
+        (String.concat "," (List.map string_of_int s_applied))
+        s_members s_joint s_epoch
   | Proposal (Prepare { pno; from_inst }) ->
       Printf.sprintf "prepare(%s,from=%d)" (pp_pno pno) from_inst
   | Proposal (Propose { pno; inst; value }) ->
@@ -927,14 +1439,46 @@ let pp_component = function
 
 let pp_msg components = String.concat "+" (List.map pp_component components)
 
-let make ?(window = 4) ?on_apply () =
+let make ?(window = 4) ?on_apply ?on_suspect ?members ?compact_every ?patience
+    ?(backoff = 1) ?(repair_retries = 8) () =
   if window < 1 then invalid_arg "Smr.make: window must be >= 1";
-  let cfg = { window; on_apply } in
+  (match compact_every with
+  | Some k when k < 1 -> invalid_arg "Smr.make: compact_every must be >= 1"
+  | Some _ | None -> ());
+  (match patience with
+  | Some p when p < 1 -> invalid_arg "Smr.make: patience must be >= 1"
+  | Some _ | None -> ());
+  if backoff < 1 then invalid_arg "Smr.make: backoff must be >= 1";
+  if repair_retries < 0 then
+    invalid_arg "Smr.make: repair_retries must be >= 0";
+  (match members with
+  | Some [] -> invalid_arg "Smr.make: members must be non-empty"
+  | Some ms ->
+      List.iter
+        (fun i ->
+          if i < 0 || i > 29 then
+            invalid_arg "Smr.make: member ids must be in 0..29")
+        ms
+  | None -> ());
+  let cfg =
+    {
+      window;
+      on_apply;
+      on_suspect;
+      patience;
+      backoff;
+      compact_every;
+      repair_retries;
+      members;
+    }
+  in
   let h =
     {
       registry = Hashtbl.create 8;
       submitted = Hashtbl.create 64;
       submitted_count = 0;
+      reconfig_cmds = Hashtbl.create 8;
+      reconfig_seq = 0;
     }
   in
   let algorithm =

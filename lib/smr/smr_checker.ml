@@ -1,3 +1,14 @@
+type view = {
+  v_node : int;
+  v_log : (int * int) list;
+  v_commit : int;
+  v_applied : int list;
+  v_floor : int;
+  v_snap_applied : int list;
+  v_configs : (int * int) list;
+  v_epoch : int;
+}
+
 type violation =
   | Log_disagreement of {
       inst : int;
@@ -14,6 +25,14 @@ type violation =
       actual : int list;
     }
   | Unknown_command of { node : int; inst : int; value : int }
+  | Snapshot_divergence of { node : int; peer : int; floor : int }
+  | Epoch_divergence of {
+      inst : int;
+      node_a : int;
+      cmd_a : int;
+      node_b : int;
+      cmd_b : int;
+    }
 
 let pp_violation fmt = function
   | Log_disagreement { inst; node_a; value_a; node_b; value_b } ->
@@ -31,76 +50,183 @@ let pp_violation fmt = function
         "node %d applied [%s] but its committed prefix dictates [%s]" node
         (render actual) (render expected)
   | Unknown_command { node; inst; value } ->
+      if inst < 0 then
+        Format.fprintf fmt
+          "node %d holds never-submitted command %d in its snapshot" node value
+      else
+        Format.fprintf fmt
+          "node %d chose never-submitted command %d at instance %d" node value
+          inst
+  | Snapshot_divergence { node; peer; floor } ->
       Format.fprintf fmt
-        "node %d chose never-submitted command %d at instance %d" node value
-        inst
+        "node %d's snapshot at floor %d is not a prefix of node %d's applied \
+         sequence"
+        node floor peer
+  | Epoch_divergence { inst; node_a; cmd_a; node_b; cmd_b } ->
+      Format.fprintf fmt
+        "configuration disagreement at instance %d: node %d committed \
+         reconfig %d, node %d committed reconfig %d"
+        inst node_a cmd_a node_b cmd_b
 
 let to_string v = Format.asprintf "%a" pp_violation v
 
-(* The expected apply sequence from a node's own log: committed prefix, in
-   instance order, noops dropped, duplicate chosen commands applied only at
-   their first instance. *)
-let expected_applies ~commit log =
+(* The expected apply sequence from a node's own retained log: committed
+   prefix above the compaction floor, in instance order, noops and
+   reconfiguration commands dropped, duplicate chosen commands applied only
+   at their first instance — all appended after the snapshot-inherited
+   prefix (whose commands must not be applied again). *)
+let expected_applies v =
   let seen = Hashtbl.create 16 in
-  List.filter_map
-    (fun (inst, value) ->
-      if inst >= commit || value = Smr.noop || Hashtbl.mem seen value then None
-      else begin
-        Hashtbl.replace seen value ();
-        Some value
-      end)
-    log
+  List.iter (fun cmd -> Hashtbl.replace seen cmd ()) v.v_snap_applied;
+  let tail =
+    List.filter_map
+      (fun (inst, value) ->
+        if
+          inst < v.v_floor || inst >= v.v_commit || value = Smr.noop
+          || Smr.is_reconfig value
+          || Hashtbl.mem seen value
+        then None
+        else begin
+          Hashtbl.replace seen value ();
+          Some value
+        end)
+      v.v_log
+  in
+  v.v_snap_applied @ tail
 
-let check h =
+let rec is_prefix prefix l =
+  match (prefix, l) with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: pa, b :: pb -> a = b && is_prefix pa pb
+
+let check_views ~submitted views =
   let violations = ref [] in
   let add v = violations := v :: !violations in
-  let nodes = Smr.nodes h in
-  let logs = List.map (fun node -> (node, Smr.log h node)) nodes in
   (* Prefix agreement: any two replicas that both chose an instance agree
      on its value. (Logs of different lengths are fine — a straggler's log
      is a sub-log, not a violation.) *)
   let chosen_at : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
   List.iter
-    (fun (node, log) ->
+    (fun v ->
       List.iter
         (fun (inst, value) ->
           match Hashtbl.find_opt chosen_at inst with
-          | None -> Hashtbl.replace chosen_at inst (node, value)
+          | None -> Hashtbl.replace chosen_at inst (v.v_node, value)
           | Some (node_a, value_a) ->
               if value_a <> value then
                 add
                   (Log_disagreement
-                     { inst; node_a; value_a; node_b = node; value_b = value }))
-        log)
-    logs;
+                     {
+                       inst;
+                       node_a;
+                       value_a;
+                       node_b = v.v_node;
+                       value_b = value;
+                     }))
+        v.v_log)
+    views;
+  (* Configuration agreement, including configs inherited through
+     snapshots after the log entries were truncated: any two replicas that
+     committed a reconfiguration at an instance agree on which one. A
+     divergence here means replicas crossed into different epochs — quorum
+     rules silently forked. *)
+  let configs_at : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
   List.iter
-    (fun (node, log) ->
-      let commit = Smr.commit_index h node in
-      (* No holes below the commit index. *)
+    (fun v ->
+      List.iter
+        (fun (inst, cmd) ->
+          match Hashtbl.find_opt configs_at inst with
+          | None -> Hashtbl.replace configs_at inst (v.v_node, cmd)
+          | Some (node_a, cmd_a) ->
+              if cmd_a <> cmd then
+                add
+                  (Epoch_divergence
+                     { inst; node_a; cmd_a; node_b = v.v_node; cmd_b = cmd }))
+        v.v_configs)
+    views;
+  List.iter
+    (fun v ->
+      (* No holes in the retained committed region. *)
       let chosen = Hashtbl.create 16 in
-      List.iter (fun (inst, value) -> Hashtbl.replace chosen inst value) log;
-      for inst = 0 to commit - 1 do
+      List.iter (fun (inst, value) -> Hashtbl.replace chosen inst value) v.v_log;
+      for inst = v.v_floor to v.v_commit - 1 do
         if not (Hashtbl.mem chosen inst) then
-          add (Hole_below_commit { node; inst })
+          add (Hole_below_commit { node = v.v_node; inst })
       done;
-      (* Validity: every chosen non-noop value was actually submitted. *)
+      (* Validity: every chosen non-noop value — retained, snapshot-covered
+         or configuration — was actually submitted (or registered as a
+         reconfiguration). *)
       List.iter
         (fun (inst, value) ->
-          if value <> Smr.noop && not (Smr.was_submitted h value) then
-            add (Unknown_command { node; inst; value }))
-        log;
-      (* Exactly-once apply, and applied order = log order. *)
-      let actual = Smr.applied h node in
+          if value <> Smr.noop && not (submitted value) then
+            add (Unknown_command { node = v.v_node; inst; value }))
+        v.v_log;
+      List.iter
+        (fun value ->
+          if not (submitted value) then
+            add (Unknown_command { node = v.v_node; inst = -1; value }))
+        v.v_snap_applied;
+      List.iter
+        (fun (inst, cmd) ->
+          if not (Smr.is_reconfig cmd && submitted cmd) then
+            add (Unknown_command { node = v.v_node; inst; value = cmd }))
+        v.v_configs;
+      (* Exactly-once apply — across snapshot installs too: the inherited
+         prefix and the live tail must not overlap. *)
       let dup = Hashtbl.create 16 in
       List.iter
         (fun cmd ->
-          if Hashtbl.mem dup cmd then add (Duplicate_apply { node; cmd })
+          if Hashtbl.mem dup cmd then
+            add (Duplicate_apply { node = v.v_node; cmd })
           else Hashtbl.replace dup cmd ())
-        actual;
-      let expected = expected_applies ~commit log in
-      if expected <> actual then
-        add (Apply_order_mismatch { node; expected; actual }))
-    logs;
+        v.v_applied;
+      (* Applied order = snapshot prefix + retained log order. *)
+      let expected = expected_applies v in
+      if expected <> v.v_applied then
+        add
+          (Apply_order_mismatch
+             { node = v.v_node; expected; actual = v.v_applied }))
+    views;
+  (* Snapshot prefix agreement: a snapshot taken at floor f packages the
+     apply sequence of the prefix [0, f). Any replica whose commit index
+     reaches f applied that same prefix first — so the snapshot must be a
+     prefix of every such replica's applied sequence (its own included). *)
+  List.iter
+    (fun a ->
+      if a.v_floor > 0 then
+        List.iter
+          (fun b ->
+            if
+              b.v_commit >= a.v_floor
+              && not (is_prefix a.v_snap_applied b.v_applied)
+            then
+              add
+                (Snapshot_divergence
+                   { node = a.v_node; peer = b.v_node; floor = a.v_floor }))
+          views)
+    views;
   List.rev !violations
+
+let view_of h node =
+  let floor, snap_applied =
+    match Smr.snapshot h node with
+    | Some s -> (s.Smr.floor, s.Smr.s_applied)
+    | None -> (0, [])
+  in
+  {
+    v_node = node;
+    v_log = Smr.log h node;
+    v_commit = Smr.commit_index h node;
+    v_applied = Smr.applied h node;
+    v_floor = floor;
+    v_snap_applied = snap_applied;
+    v_configs = Smr.configs h node;
+    v_epoch = Smr.epoch h node;
+  }
+
+let check h =
+  let submitted cmd = Smr.was_submitted h cmd || Smr.was_reconfig h cmd in
+  check_views ~submitted (List.map (view_of h) (Smr.nodes h))
 
 let ok h = check h = []

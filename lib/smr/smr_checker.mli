@@ -1,18 +1,50 @@
 (** The SMR safety contract, checked over a {!Smr.handle} after (or during)
-    a run. All four clauses are safety properties — they must hold in every
+    a run. All clauses are safety properties — they must hold in every
     schedule, under every fault plan:
 
     - {e prefix agreement}: two replicas never choose different values for
       the same instance (a shorter log is fine, a conflicting one is not);
-    - {e no holes below the commit index}: the commit index only covers
-      contiguously chosen instances;
+    - {e configuration agreement}: two replicas never commit different
+      reconfigurations at the same instance — checked over the
+      configuration history, which survives log compaction, so a fork in
+      quorum rules (an "epoch crossing") is caught even after the log
+      entries that caused it were truncated;
+    - {e no holes in the retained committed region}: the commit index only
+      covers contiguously chosen instances, down to the compaction floor;
     - {e exactly-once apply}: no command reaches a replica's state machine
-      twice (within an incarnation — recovery is amnesiac by the model's
-      semantics);
+      twice — {e across snapshot installs too}: a snapshot-inherited prefix
+      and the live tail must not overlap (within an incarnation — recovery
+      is amnesiac by the model's semantics);
     - {e applied order = log order}: the apply sequence equals the
-      committed prefix filtered of noops and re-chosen duplicates;
+      snapshot-inherited prefix followed by the retained committed prefix,
+      filtered of noops, reconfiguration commands and re-chosen duplicates;
+    - {e snapshot prefix agreement}: a snapshot at floor [f] packages the
+      apply sequence of [[0, f)]; it must be a prefix of the applied
+      sequence of every replica whose commit index reaches [f];
 
-    plus validity: a chosen command was actually submitted by some client. *)
+    plus validity: every chosen, snapshot-covered or configuration command
+    was actually submitted (or registered as a reconfiguration).
+
+    {!check} reads the live handle; {!check_views} runs the same contract
+    over explicit {!view} values, which is what the negative tests use to
+    prove the checker actually flags each violation class. *)
+
+(** One replica's checkable state. [v_log] is the retained chosen log
+    (sorted); [v_applied] the full apply sequence, oldest first, including
+    any snapshot-inherited prefix; [v_floor]/[v_snap_applied] the
+    compaction floor and the snapshot's apply prefix ([0]/[[]] when the
+    replica never compacted); [v_configs] the committed reconfigurations
+    (sorted, snapshot-inherited ones included). *)
+type view = {
+  v_node : int;
+  v_log : (int * int) list;
+  v_commit : int;
+  v_applied : int list;
+  v_floor : int;
+  v_snap_applied : int list;
+  v_configs : (int * int) list;
+  v_epoch : int;
+}
 
 type violation =
   | Log_disagreement of {
@@ -30,10 +62,27 @@ type violation =
       actual : int list;
     }
   | Unknown_command of { node : int; inst : int; value : int }
+      (** [inst = -1] marks a never-submitted command inside a snapshot. *)
+  | Snapshot_divergence of { node : int; peer : int; floor : int }
+  | Epoch_divergence of {
+      inst : int;
+      node_a : int;
+      cmd_a : int;
+      node_b : int;
+      cmd_b : int;
+    }
 
 val pp_violation : Format.formatter -> violation -> unit
 
 val to_string : violation -> string
+
+(** [check_views ~submitted views] — the full contract over explicit
+    views; [submitted] is the validity oracle (client submissions and
+    registered reconfigurations). Deterministic order; empty = holds. *)
+val check_views : submitted:(int -> bool) -> view list -> violation list
+
+(** [view_of h node] — the node's current checkable state. *)
+val view_of : Smr.handle -> int -> view
 
 (** All violations, in deterministic order (empty = the contract holds). *)
 val check : Smr.handle -> violation list

@@ -1,0 +1,51 @@
+(** Production-lifecycle scenarios for the replicated log: canonical runs
+    that exercise the ◇P detector, log compaction + snapshot transfer and
+    joint-consensus reconfiguration {e under open-loop traffic}, each with
+    a liveness verdict ("the system re-achieved steady state").
+
+    Four scenarios, each fully determined by [(seed, fack)]:
+
+    - {e rolling-restart}: all five replicas restart one at a time with
+      compaction on; every restarter re-learns amnesiacally while the next
+      outage is already scheduled.
+    - {e scale-up}: membership 3 → 5 → 7 decided through the log while
+      commands keep arriving at every node, learners included.
+    - {e crash-reconfig}: scale 5 → 3 with the initial leader crashing as
+      the transition opens — the auto-staged final command must close the
+      transition without it.
+    - {e snapshot-restart}: a replica stays down until the cluster's
+      compaction floor has moved past everything it missed; only a
+      snapshot transfer can catch it up.
+
+    Safety is always asserted via the embedded {!Smr_checker} run
+    ([result.violations]); [live] additionally demands full convergence
+    (all commands committed, all commit indices equal) plus the scenario's
+    own lifecycle clause (epochs reached, snapshots taken/installed).
+
+    These runs double as test-matrix rows ([test_matrix.ml]), CLI
+    subcommands ([amac_sim lifecycle]) and fuzz targets
+    ([MCHECK_LIFECYCLE=1]). *)
+
+type scenario =
+  | Rolling_restart
+  | Scale_up
+  | Crash_reconfig
+  | Snapshot_restart
+
+val all : scenario list
+
+val name : scenario -> string
+
+val of_name : string -> scenario option
+
+type outcome = {
+  scenario : scenario;
+  result : Workload.result;  (** the full run, for further inspection *)
+  live : bool;  (** converged + scenario-specific lifecycle clause *)
+  detail : string;  (** one-line human summary *)
+}
+
+(** [run scenario] — build the scenario's topology, fault plan, reconfig
+    schedule and traffic from [seed]/[fack] and drive it through
+    {!Workload.run}. Deterministic per [(seed, fack, max_time)]. *)
+val run : ?seed:int -> ?fack:int -> ?max_time:int -> scenario -> outcome

@@ -21,10 +21,14 @@ type config = {
       (** [Some profile] turns the crashes into a full fault plan via
           {!Mcheck.Fuzz.gen_fault_plan} (recoveries, loss windows,
           partitions, stutters) *)
+  lifecycle : bool;
+      (** additionally draw aggressive compaction watermarks and mid-run
+          joint-consensus reconfigurations to arbitrary membership subsets
+          (off by default, keeping the baseline corpus bit-for-bit) *)
 }
 
 (** 100 iterations, n ≤ 6, F_ack ≤ 6, ≤ 2 crashes, 30 commands, fault
-    plans on (the mcheck default profile). *)
+    plans on (the mcheck default profile), lifecycle draws off. *)
 val default : config
 
 type failure = {
@@ -34,6 +38,8 @@ type failure = {
   window : int;
   faults : Fault.plan;
   crashes : (int * int) list;
+  compact_every : int option;
+  reconfigs : (int * int * int list) list;
   violations : Smr_checker.violation list;
 }
 

@@ -12,6 +12,11 @@ type result = {
   commit_index_min : int;
   commit_index_max : int;
   latencies : int array;
+  epoch_min : int;
+  epoch_max : int;
+  suspicions : int;
+  snapshots_taken : int;
+  snapshots_installed : int;
 }
 
 let latency result ~q =
@@ -29,7 +34,9 @@ let latency_buckets =
   [ 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000.; 20_000. ]
 
 let run ?(window = 4) ?(faults = []) ?(crashes = []) ?(max_time = 400_000)
-    ?(record_trace = false) ?obs ~topology ~scheduler ~seed ~cmds ~mode () =
+    ?(record_trace = false) ?obs ?members ?(reconfigs = []) ?compact_every
+    ?patience ?backoff ?repair_retries ?on_suspect ~topology ~scheduler ~seed
+    ~cmds ~mode () =
   if cmds < 0 then invalid_arg "Workload.run: cmds < 0";
   let n = Amac.Topology.size topology in
   let rng = Amac.Rng.create seed in
@@ -62,8 +69,26 @@ let run ?(window = 4) ?(faults = []) ?(crashes = []) ?(max_time = 400_000)
             Smr.submit h ~node ~cmd:c
         | _ -> ())
   in
-  let algorithm, h = Smr.make ~window ~on_apply () in
+  let on_suspect =
+    Option.map
+      (fun f ~node ~suspect -> f ~now:!clock ~node ~suspect)
+      on_suspect
+  in
+  let algorithm, h =
+    Smr.make ~window ~on_apply ?on_suspect ?members ?compact_every ?patience
+      ?backoff ?repair_retries ()
+  in
   handle_ref := Some h;
+  (* Reconfigurations ride the injection stream like client commands: the
+     joint command is registered on the handle up front (so the injector
+     recognises it) and lands at its target replica at its scheduled time.
+     One landing on a crashed replica is lost, like any client request. *)
+  let reconfig_injections =
+    List.map
+      (fun (node, at, members) ->
+        (node, at, Smr.reconfig_cmd h ~members))
+      reconfigs
+  in
   let injections =
     match mode with
     | Open_loop { mean_gap } ->
@@ -107,7 +132,9 @@ let run ?(window = 4) ?(faults = []) ?(crashes = []) ?(max_time = 400_000)
   let outcome =
     Amac.Engine.run algorithm ~topology ~scheduler ~inputs ~give_n:true
       ~crashes ~recoveries:compiled.Fault.recoveries ?drop:compiled.Fault.drop
-      ?stutter:compiled.Fault.stutter ~injections ~on_inject ~clock ~max_time
+      ?stutter:compiled.Fault.stutter
+      ~injections:(injections @ reconfig_injections)
+      ~on_inject ~clock ~max_time
       ~stop_when_all_decided:false ~record_trace ~pp_msg:Smr.pp_msg ?obs
   in
   let violations = Smr_checker.check h in
@@ -126,6 +153,15 @@ let run ?(window = 4) ?(faults = []) ?(crashes = []) ?(max_time = 400_000)
     |> List.sort compare |> Array.of_list
   in
   let committed = Hashtbl.length commit_time in
+  let epochs = List.map (Smr.epoch h) nodes in
+  let epoch_min = List.fold_left min max_int epochs in
+  let epoch_min = if epoch_min = max_int then 0 else epoch_min in
+  let epoch_max = List.fold_left max 0 epochs in
+  let lifecycles = List.map (Smr.lifecycle h) nodes in
+  let sum f = List.fold_left (fun acc l -> acc + f l) 0 lifecycles in
+  let suspicions = sum (fun l -> l.Smr.fd_suspicions) in
+  let snapshots_taken = sum (fun l -> l.Smr.snapshots_taken) in
+  let snapshots_installed = sum (fun l -> l.Smr.snapshots_installed) in
   (match obs with
   | None -> ()
   | Some reg ->
@@ -140,7 +176,30 @@ let run ?(window = 4) ?(faults = []) ?(crashes = []) ?(max_time = 400_000)
         Obs.Metrics.histogram reg ~labels ~buckets:latency_buckets
           "smr_commit_latency_ticks"
       in
-      Array.iter (fun l -> Obs.Metrics.observe hist (float_of_int l)) latencies);
+      Array.iter (fun l -> Obs.Metrics.observe hist (float_of_int l)) latencies;
+      Obs.Metrics.add
+        (Obs.Metrics.counter reg ~labels "smr_fd_suspicions_total")
+        suspicions;
+      Obs.Metrics.add
+        (Obs.Metrics.counter reg ~labels "smr_snapshots_taken_total")
+        snapshots_taken;
+      Obs.Metrics.add
+        (Obs.Metrics.counter reg ~labels "smr_snapshots_installed_total")
+        snapshots_installed;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge reg ~labels "smr_epoch_max")
+        (float_of_int epoch_max);
+      List.iter
+        (fun node ->
+          let s = Smr.fd_stats h node in
+          let node_labels = ("node", string_of_int node) :: labels in
+          Obs.Metrics.set
+            (Obs.Metrics.gauge reg ~labels:node_labels "fd_suspected_now")
+            (float_of_int s.Fd.suspected_now);
+          Obs.Metrics.set
+            (Obs.Metrics.gauge reg ~labels:node_labels "fd_patience_acks")
+            (float_of_int s.Fd.patience_now))
+        nodes);
   {
     outcome;
     handle = h;
@@ -151,4 +210,9 @@ let run ?(window = 4) ?(faults = []) ?(crashes = []) ?(max_time = 400_000)
     commit_index_min;
     commit_index_max;
     latencies;
+    epoch_min;
+    epoch_max;
+    suspicions;
+    snapshots_taken;
+    snapshots_installed;
   }

@@ -34,6 +34,11 @@ type result = {
   commit_index_min : int;
   commit_index_max : int;
   latencies : int array;  (** sorted commit latencies, one per committed *)
+  epoch_min : int;  (** fewest completed reconfigurations at any replica *)
+  epoch_max : int;
+  suspicions : int;  (** leader suspicions raised, summed over replicas *)
+  snapshots_taken : int;
+  snapshots_installed : int;
 }
 
 (** [latency result ~q] — the [q]-quantile (nearest-rank, [0 < q <= 1]) of
@@ -50,8 +55,23 @@ val latency : result -> q:float -> int option
       [?crashes].
     @param obs a metrics registry: the engine self-instruments, the fault
       plan is mirrored ({!Fault.record}), and the workload adds
-      [smr_submitted_total] / [smr_committed_total] counters and an
-      [smr_commit_latency_ticks] histogram.
+      [smr_submitted_total] / [smr_committed_total] counters, an
+      [smr_commit_latency_ticks] histogram, lifecycle counters
+      ([smr_fd_suspicions_total], [smr_snapshots_taken_total],
+      [smr_snapshots_installed_total], [smr_epoch_max]) and per-node
+      detector gauges.
+    @param members initial voting configuration (see {!Smr.make}).
+    @param reconfigs scheduled membership changes, one [(node, at, members)]
+      triple each: the joint command is injected at [node] at time [at] and
+      decided through the log (joint consensus). An injection landing on a
+      crashed replica is lost, like any client request.
+    @param compact_every log compaction watermark interval (see
+      {!Smr.make}; default: never compact).
+    @param patience / backoff / repair_retries — ◇P detector and repair
+      tuning, passed through to {!Smr.make}.
+    @param on_suspect called whenever a replica's detector suspects its
+      current leader, with the engine clock — B11 measures detection
+      latency with it.
     @raise Invalid_argument on [cmds < 0], [Open_loop] with [mean_gap < 1],
       or [Closed_loop] with [clients_per_node < 1]. *)
 val run :
@@ -61,6 +81,13 @@ val run :
   ?max_time:int ->
   ?record_trace:bool ->
   ?obs:Obs.Metrics.registry ->
+  ?members:int list ->
+  ?reconfigs:(int * int * int list) list ->
+  ?compact_every:int ->
+  ?patience:int ->
+  ?backoff:int ->
+  ?repair_retries:int ->
+  ?on_suspect:(now:int -> node:int -> suspect:int -> unit) ->
   topology:Amac.Topology.t ->
   scheduler:Amac.Scheduler.t ->
   seed:int ->

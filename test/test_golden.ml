@@ -66,6 +66,41 @@ let scenario_smr_closed_loop () =
   in
   render ~n:3 result.Workload.outcome reg
 
+(* Lifecycle goldens. Compaction: an aggressive watermark plus a mid-run
+   crash long enough that the floor moves past the dead replica's log, so
+   recovery MUST go through a snapshot transfer — the snap component, the
+   install, and the post-install repair tail all land in the timeline.
+   Reconfiguration: a 3-voter cluster (two learners) scales to 5 through
+   the joint command mid-traffic; the Change floods, the lease restarts
+   and the epoch bump are all pinned. Both tiny enough to review as text. *)
+let scenario_smr_compaction () =
+  let reg = Obs.Metrics.create () in
+  let result =
+    Workload.run ~compact_every:4
+      ~faults:
+        [
+          Fault.Crash { node = 0; at = 30 };
+          Fault.Recover { node = 0; at = 160 };
+        ]
+      ~topology:(Amac.Topology.clique 3)
+      ~scheduler:Amac.Scheduler.synchronous ~seed:15 ~cmds:12
+      ~mode:(Workload.Open_loop { mean_gap = 4 })
+      ~record_trace:true ~obs:reg ()
+  in
+  render ~n:3 result.Workload.outcome reg
+
+let scenario_smr_reconfig () =
+  let reg = Obs.Metrics.create () in
+  let result =
+    Workload.run ~members:[ 0; 1; 2 ]
+      ~reconfigs:[ (0, 40, [ 0; 1; 2; 3; 4 ]) ]
+      ~topology:(Amac.Topology.clique 5)
+      ~scheduler:Amac.Scheduler.synchronous ~seed:27 ~cmds:8
+      ~mode:(Workload.Open_loop { mean_gap = 6 })
+      ~record_trace:true ~obs:reg ()
+  in
+  render ~n:5 result.Workload.outcome reg
+
 let scenario_counter_race () =
   let reg = Obs.Metrics.create () in
   let result =
@@ -137,6 +172,8 @@ let scenarios =
     ("wpaxos_crash_recovery", scenario_wpaxos_crash_recovery);
     ("ben_or_random", scenario_ben_or);
     ("smr_closed_loop", scenario_smr_closed_loop);
+    ("smr_compaction_transfer", scenario_smr_compaction);
+    ("smr_reconfig_3to5", scenario_smr_reconfig);
     ("counter_race_random", scenario_counter_race);
     ("byz_consensus_random", scenario_byz_consensus);
     ("counter_race_1byz", scenario_counter_race_byz);
