@@ -76,7 +76,15 @@ type resp_round = Rprep | Racc of int
    the responders' accepted priors per instance — the constraint set the
    new lease holder must respect; Propose responses just count. [count]
    weighs votes in the current configuration, [count2] in the incoming one
-   during a joint transition (0 outside transitions). *)
+   during a joint transition (0 outside transitions). [r_cfg] is the
+   responder's configuration tag (members mask + shifted joint mask): a
+   vote self-weighed under one configuration must only ever be counted
+   against quorum denominators of the SAME configuration — a lagging
+   pre-transition acceptor's weight-1 vote is meaningless to a
+   post-transition leader, and counting it can assemble a "quorum" that no
+   later prepare majority intersects. Responses are merged along the
+   aggregation tree only within one tag; the proposer discards tags other
+   than its own. *)
 type response = {
   dest : int;
   target : int;
@@ -85,6 +93,7 @@ type response = {
   positive : bool;
   count : int;
   count2 : int;
+  r_cfg : int;
   priors : (int * prior) list;
   committed : pno option;
 }
@@ -143,6 +152,7 @@ type pending_response = {
   q_pno : pno;
   q_round : resp_round;
   q_positive : bool;
+  q_cfg : int;
   mutable q_count : int;
   mutable q_count2 : int;
   mutable q_priors : (int * prior) list;
@@ -186,6 +196,12 @@ type state = {
   mutable joint : int list option;  (* incoming voters mid-transition *)
   mutable epoch : int;  (* completed reconfigurations *)
   mutable configs : (int * int) list;  (* (index, cmd), newest first *)
+  mutable pending_joints : int list;
+      (* joints superseded by an already-open transition, re-minted with a
+         fresh uid, awaiting re-proposal once the transition closes; FIFO *)
+  register_reconfig : int -> unit;
+      (* registers a replica-minted (salvaged) reconfiguration command on
+         the shared handle, so checker validity and injectors accept it *)
   (* compaction *)
   mutable snap_floor : int;  (* log truncated below this index *)
   mutable snap_applied : int list;  (* applied prefix at floor, newest 1st *)
@@ -208,6 +224,21 @@ type state = {
   seen_props : (int * int * int, unit) Hashtbl.t;  (* forward-once *)
   (* acceptor *)
   mutable promised : pno option;
+  vote_floor : int;
+      (* Recovery safety watermark. Crash-recovery is amnesiac for the log
+         and the per-instance acceptor slots, but a recovered incarnation
+         that re-votes on an instance its predecessor may already have
+         voted in breaks quorum intersection (two choosing quorums can
+         pivot on the two incarnations of the same node and choose
+         different values). A fresh incarnation therefore inherits the
+         minimal durable footprint — [promised], [max_tag] and this floor,
+         the previous incarnation's log end — and abstains from every
+         acceptor action until its chosen prefix covers the floor. From
+         then on all instances below the floor are decided (reported to
+         prepares as unbeatable chosen priors) and all instances at or
+         above it are ones no earlier incarnation ever voted in, so normal
+         participation is sound. This mirrors the watermark Raft persists
+         (term + vote) without persisting the log itself. *)
   responded : (int * int * int, unit) Hashtbl.t;  (* respond-once *)
   mutable response_q : pending_response list;
   (* decision flooding *)
@@ -238,6 +269,8 @@ type state = {
   mutable fd_clears : int;
   mutable snapshots_taken : int;
   mutable snapshots_installed : int;
+  mutable stale_cfg_votes : int;
+  mutable reconfigs_superseded : int;
 }
 
 let refresh_start = 4
@@ -275,6 +308,20 @@ let weight2 st =
   match st.joint with
   | Some t -> if List.mem st.me t then 1 else 0
   | None -> 0
+
+(* The configuration a vote was weighed under, packed into one int: the
+   members mask in the low 30 bits, the joint (incoming) mask — 0 outside a
+   transition — in the next 30. A proposer only counts votes carrying its
+   own tag (see [count_response]). *)
+let cfg_tag st =
+  mask_of_list st.members
+  lor ((match st.joint with Some t -> mask_of_list t | None -> 0)
+      lsl 30)
+
+(* Whether this incarnation may act as an acceptor yet (see [vote_floor]).
+   Abstention is indistinguishable from a crashed voter: safe, and live as
+   long as the rest of the configuration can still assemble quorums. *)
+let can_vote st = st.commit_index >= st.vote_floor
 
 let quorum_reached st y1 y2 =
   y1 >= maj (List.length st.members)
@@ -347,6 +394,7 @@ let dequeue_response st =
                    positive = entry.q_positive;
                    count = entry.q_count;
                    count2 = entry.q_count2;
+                   r_cfg = entry.q_cfg;
                    priors = entry.q_priors;
                    committed = entry.q_committed;
                  })
@@ -458,25 +506,29 @@ let merge_priors existing extra =
       upd acc)
     existing extra
 
-let enqueue_response st ~target ~pno ~round ~positive ~count ~count2 ~priors
-    ~committed =
+let enqueue_response st ~target ~pno ~round ~positive ~count ~count2 ~cfg
+    ~priors ~committed =
   let entry =
     {
       q_target = target;
       q_pno = pno;
       q_round = round;
       q_positive = positive;
+      q_cfg = cfg;
       q_count = count;
       q_count2 = count2;
       q_priors = priors;
       q_committed = committed;
     }
   in
+  (* Votes self-weighed under different configurations must never be summed
+     — the tag equality below keeps each aggregate homogeneous. *)
   let mergeable existing =
     existing.q_target = entry.q_target
     && compare_pno existing.q_pno entry.q_pno = 0
     && existing.q_round = entry.q_round
     && existing.q_positive = entry.q_positive
+    && existing.q_cfg = entry.q_cfg
   in
   (match List.find_opt mergeable st.response_q with
   | Some existing ->
@@ -546,6 +598,31 @@ let acceptor_respond st (message : proposer_msg) =
 (* The log: choosing, committing, applying, compacting, reconfiguring  *)
 (* ------------------------------------------------------------------ *)
 
+(* How many joints in a committed configuration history were superseded
+   (committed while another transition was already open), mirroring
+   [apply_reconfig]'s transition state machine. Every replica evaluates
+   this over the same committed prefix, so the count — and the salvage uid
+   minted from it — is identical cluster-wide. *)
+let superseded_seq configs =
+  let ordered = List.sort (fun (a, _) (b, _) -> Int.compare a b) configs in
+  List.fold_left
+    (fun (open_, n) (_, c) ->
+      if is_joint_reconfig c then
+        match open_ with
+        | None -> (Some (reconfig_mask c), n)
+        | Some _ -> (open_, n + 1)
+      else
+        match open_ with
+        | Some m when m = reconfig_mask c -> (None, n)
+        | Some _ | None -> (open_, n))
+    (None, 0) ordered
+  |> snd
+
+(* Salvaged joints re-mint the superseded membership under a fresh uid,
+   counted down from the top of the 10-bit uid space so replica-minted
+   commands cannot collide with handle-allocated ones (which count up). *)
+let salvage_uid seq = 1023 - (seq - 1)
+
 let rec advance_commit st =
   let continue = ref true in
   while !continue do
@@ -581,7 +658,23 @@ and apply_reconfig st ~index ~value =
           st.joint <- Some (reconfig_members value);
           absorb_cmd st (final_of_joint value);
           true
-      | Some _ -> false)
+      | Some _ ->
+          (* A second joint committed while a transition is already open
+             (a racing stale-view leader got it chosen): it cannot open
+             now, but the requested membership change must not be silently
+             dropped — its command value is spent (chosen at this
+             instance), so re-mint it under a fresh deterministic uid and
+             queue it for re-proposal once the open transition closes. *)
+          st.reconfigs_superseded <- st.reconfigs_superseded + 1;
+          let uid = salvage_uid (superseded_seq st.configs) in
+          if uid >= 0 then begin
+            let jc =
+              reconfig_mask value lor (uid lsl uid_shift) lor joint_bit
+            in
+            st.register_reconfig jc;
+            st.pending_joints <- st.pending_joints @ [ jc ]
+          end;
+          false)
     else
       match st.joint with
       | Some t when mask_of_list t = reconfig_mask value ->
@@ -601,7 +694,19 @@ and apply_reconfig st ~index ~value =
           end
           else false
   in
-  if changed && st.omega = st.me then start_prepare st
+  if changed && st.omega = st.me then start_prepare st;
+  if changed then flush_pending_joints st
+
+(* A transition just closed: resurrect the oldest salvaged joint whose
+   membership is still news. (Queued at every replica that applied the
+   superseded joint — the same value everywhere, so flooding dedups.) *)
+and flush_pending_joints st =
+  match st.pending_joints with
+  | jc :: rest when st.joint = None ->
+      st.pending_joints <- rest;
+      if reconfig_mask jc <> mask_of_list st.members then absorb_cmd st jc
+      else flush_pending_joints st
+  | _ :: _ | [] -> ()
 
 and maybe_compact st =
   match st.cfg.compact_every with
@@ -698,7 +803,8 @@ and install_snapshot st ~floor ~s_applied ~s_configs ~s_members ~s_joint
     refill st;
     advance_commit st;
     recompute_omega st;
-    if st.omega = st.me then start_prepare st
+    if st.omega = st.me then start_prepare st;
+    flush_pending_joints st
   end
 
 (* ------------------------------------------------------------------ *)
@@ -812,6 +918,16 @@ and local_change st =
   change_updateq st stamp
 
 and count_response st (r : response) =
+  (* Only votes weighed under THIS proposer's exact configuration count:
+     the yes/no tallies are checked against our members/joint denominators
+     ([quorum_reached]/[quorum_lost]), and a leader restarts its lease
+     whenever its configuration changes, so every counted vote and the
+     quorum rule agree on what a majority means. A mismatched tag is a
+     lagging (or leading) replica's vote — discard it; the retry schedule
+     re-solicits once the straggler catches up via decisions/snapshots. *)
+  if r.r_cfg <> cfg_tag st then
+    st.stale_cfg_votes <- st.stale_cfg_votes + r.count + r.count2
+  else
   match (st.lease, r.round) with
   | Preparing p, Rprep when compare_pno p.pno r.r_pno = 0 ->
       st.progress_silence <- 0;
@@ -864,21 +980,26 @@ and count_response st (r : response) =
   | (No_lease | Preparing _ | Ready _), _ -> ()
 
 and self_respond st (message : proposer_msg) =
-  let pno = pno_of message in
-  Hashtbl.replace st.responded (prop_key message) ();
-  let round, positive, priors, committed = acceptor_respond st message in
-  count_response st
-    {
-      dest = st.me;
-      target = st.me;
-      r_pno = pno;
-      round;
-      positive;
-      count = weight1 st;
-      count2 = weight2 st;
-      priors;
-      committed;
-    }
+  (* A recovering leader below its vote floor casts no self-vote (its own
+     acceptor is muted); it can still assemble quorums from its peers. *)
+  if can_vote st then begin
+    let pno = pno_of message in
+    Hashtbl.replace st.responded (prop_key message) ();
+    let round, positive, priors, committed = acceptor_respond st message in
+    count_response st
+      {
+        dest = st.me;
+        target = st.me;
+        r_pno = pno;
+        round;
+        positive;
+        count = weight1 st;
+        count2 = weight2 st;
+        r_cfg = cfg_tag st;
+        priors;
+        committed;
+      }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Client commands                                                     *)
@@ -919,9 +1040,22 @@ and set_omega st id =
   local_change st
 
 (* Best unsuspected VOTER among the ids we have heard from; non-voters
-   (fresh learners awaiting a scale-up, removed replicas) never lead. *)
+   (fresh learners awaiting a scale-up, removed replicas) never lead. The
+   fold starts from an ineligible sentinel, NOT [st.me]: a learner whose
+   id exceeds every voter must not elect itself the moment all voters look
+   suspect (it would heartbeat and re-prepare as a phantom leader until
+   promoted). With no eligible candidate at all, keep the current omega if
+   it is still a voter, else fall back to the smallest voter. *)
 and candidate_omega st =
-  Fd.candidate st.fd ~base:st.me ~eligible:(fun id -> is_voter st id)
+  let next =
+    Fd.candidate st.fd ~base:(-1) ~eligible:(fun id -> is_voter st id)
+  in
+  if next >= 0 then next
+  else if is_voter st st.omega && not (suspected st st.omega) then st.omega
+  else
+    match List.find_opt (fun m -> not (suspected st m)) st.members with
+    | Some m -> m
+    | None -> st.omega
 
 and recompute_omega st =
   let next = candidate_omega st in
@@ -957,7 +1091,12 @@ let on_leader st ~id ~hb ~commit ~sender =
              st.fd_clears <- st.fd_clears + 1;
              refill st;
              recompute_omega st
-         | Fresh | Stale -> ()));
+         | Fresh ->
+             (* A live heartbeat while omega points outside the voter set
+                (every candidate looked suspect when we last recomputed):
+                re-run the election so an eligible leader is re-adopted. *)
+             if not (is_voter st st.omega) then recompute_omega st
+         | Stale -> ()));
   if id > st.omega && is_voter st id && not (suspected st id) then
     set_omega st id;
   (* Straggler repair: the sending neighbor's commit index lags ours, so
@@ -1027,14 +1166,17 @@ let on_proposal st (message : proposer_msg) =
     (* Acceptor: respond once per proposition, routed up the leader's
        tree. Pure learners (zero weight in both configurations) still
        update their acceptor state but send nothing — their votes cannot
-       count. *)
-    if not (Hashtbl.mem st.responded key) then begin
+       count. A recovering incarnation below its vote floor abstains
+       entirely — and is deliberately NOT marked as having responded, so
+       a later retransmission of the same proposition gets a real answer
+       once the chosen prefix has caught up. *)
+    if can_vote st && not (Hashtbl.mem st.responded key) then begin
       Hashtbl.replace st.responded key ();
       let round, positive, priors, committed = acceptor_respond st message in
       let count = weight1 st and count2 = weight2 st in
       if count + count2 > 0 then
         enqueue_response st ~target:pno.proposer ~pno ~round ~positive ~count
-          ~count2 ~priors ~committed
+          ~count2 ~cfg:(cfg_tag st) ~priors ~committed
     end
   end
 
@@ -1043,8 +1185,8 @@ let on_response st (r : response) =
     if r.target = st.me then count_response st r
     else if r.target = st.omega then
       enqueue_response st ~target:r.target ~pno:r.r_pno ~round:r.round
-        ~positive:r.positive ~count:r.count ~count2:r.count2 ~priors:r.priors
-        ~committed:r.committed
+        ~positive:r.positive ~count:r.count ~count2:r.count2 ~cfg:r.r_cfg
+        ~priors:r.priors ~committed:r.committed
 
 let on_snapshot st ~floor ~s_applied ~s_configs ~s_members ~s_joint ~s_epoch =
   install_snapshot st ~floor ~s_applied ~s_configs
@@ -1207,6 +1349,8 @@ let was_reconfig h cmd = Hashtbl.mem h.reconfig_cmds cmd
 
 let submitted_count h = h.submitted_count
 
+let leader h node = (state_of h node).omega
+
 let members h node = (state_of h node).members
 
 let joint h node = (state_of h node).joint
@@ -1246,6 +1390,8 @@ type lifecycle = {
   fd_clears : int;
   snapshots_taken : int;
   snapshots_installed : int;
+  stale_cfg_votes : int;
+  reconfigs_superseded : int;
 }
 
 let lifecycle h node =
@@ -1255,6 +1401,8 @@ let lifecycle h node =
     fd_clears = st.fd_clears;
     snapshots_taken = st.snapshots_taken;
     snapshots_installed = st.snapshots_installed;
+    stale_cfg_votes = st.stale_cfg_votes;
+    reconfigs_superseded = st.reconfigs_superseded;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -1279,6 +1427,19 @@ let init h (cfg : config) (ctx : Amac.Algorithm.ctx) =
   let omega0 =
     if List.mem me members0 then me
     else List.fold_left max (List.hd members0) members0
+  in
+  (* Amnesiac recovery: the registry still holds the crashed incarnation.
+     Inherit its durable watermarks — promise, proposal tag, and a vote
+     floor covering every instance ANY earlier incarnation may have voted
+     in (max over the chain, since a crashed incarnation that never caught
+     up past its own floor has a short log end of its own). Everything
+     else — log, applied state, acceptor slots — is genuinely forgotten
+     and re-learned from repair traffic or a snapshot transfer. *)
+  let prior = Hashtbl.find_opt h.registry me in
+  let floor0 =
+    match prior with
+    | Some old -> max old.vote_floor old.max_inst_seen
+    | None -> 0
   in
   let fd =
     Fd.create
@@ -1308,6 +1469,11 @@ let init h (cfg : config) (ctx : Amac.Algorithm.ctx) =
       joint = None;
       epoch = 0;
       configs = [];
+      pending_joints = [];
+      register_reconfig =
+        (fun jc ->
+          Hashtbl.replace h.reconfig_cmds jc ();
+          Hashtbl.replace h.reconfig_cmds (final_of_joint jc) ());
       snap_floor = 0;
       snap_applied = [];
       snap_configs = [];
@@ -1319,13 +1485,14 @@ let init h (cfg : config) (ctx : Amac.Algorithm.ctx) =
       cmd_pool = [];
       chosen_cmds = Hashtbl.create 64;
       forward_q = [];
-      max_tag = 0;
+      max_tag = (match prior with Some old -> old.max_tag | None -> 0);
       lease = No_lease;
       attempts_left = 1;
       proposing = Hashtbl.create 8;
       proposal_q = [];
       seen_props = Hashtbl.create 64;
-      promised = None;
+      promised = (match prior with Some old -> old.promised | None -> None);
+      vote_floor = floor0;
       responded = Hashtbl.create 64;
       response_q = [];
       decide_q = [];
@@ -1348,6 +1515,8 @@ let init h (cfg : config) (ctx : Amac.Algorithm.ctx) =
       fd_clears = 0;
       snapshots_taken = 0;
       snapshots_installed = 0;
+      stale_cfg_votes = 0;
+      reconfigs_superseded = 0;
     }
   in
   Hashtbl.replace st.dist me 0;
@@ -1405,7 +1574,7 @@ let component_ids = function
   | Snapshot { s_applied; s_configs; _ } ->
       4 + List.length s_applied + List.length s_configs
   | Proposal _ -> 1
-  | Response r -> 3 + List.length r.priors + (match r.committed with None -> 0 | Some _ -> 1)
+  | Response r -> 4 + List.length r.priors + (match r.committed with None -> 0 | Some _ -> 1)
   | Decision _ -> 0
 
 let msg_ids components =
@@ -1492,3 +1661,4 @@ let make ?(window = 4) ?on_apply ?on_suspect ?members ?compact_every ?patience
     }
   in
   (algorithm, h)
+

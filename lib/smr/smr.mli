@@ -61,10 +61,24 @@
     {e learners}: they accept, apply and repair, but their votes carry no
     weight and they never lead.
 
-    Crash-recovery is amnesiac (the model's semantics): a recovered replica
-    restarts with an empty log and re-learns chosen instances from its
-    neighbors' repair traffic — or, past the compaction floor, from a
-    snapshot transfer. Exactly-once apply is per incarnation.
+    Crash-recovery is amnesiac for the log and the applied state (the
+    model's semantics): a recovered replica restarts with an empty log and
+    re-learns chosen instances from its neighbors' repair traffic — or,
+    past the compaction floor, from a snapshot transfer. Exactly-once
+    apply is per incarnation. The {e acceptor} role, however, cannot be
+    amnesiac: a fresh incarnation that re-votes on an instance its
+    predecessor already voted in lets two choosing quorums pivot on the
+    two incarnations of one node and choose different values. A recovered
+    incarnation therefore inherits a minimal durable footprint — its
+    promise, its proposal-number watermark, and a {e vote floor} at the
+    previous incarnation's log end — and abstains from every acceptor
+    action (promises, accepts, its own self-vote as leader) until its
+    chosen prefix covers the floor; below the floor it then reports only
+    decided values, above it no earlier incarnation ever voted. This is
+    the watermark Raft persists (term + vote) without persisting the log;
+    until catch-up the replica weighs like a crashed voter, so a run
+    whose fault plan starves the remaining quorum can legitimately stall
+    where an unsafe re-vote would have "progressed".
 
     The algorithm never emits an engine-level [Decide]; run it with
     [stop_when_all_decided:false] and judge the run with {!Smr_checker}. *)
@@ -172,6 +186,11 @@ val is_joint_reconfig : int -> bool
 (** The membership a reconfiguration command carries, sorted. *)
 val reconfig_members : int -> int list
 
+(** [leader h node] — the node's current Ω leader estimate. Always a voter
+    while the configuration has one: learners and removed replicas never
+    elect themselves (see [test_smr.ml]'s phantom-leader regression). *)
+val leader : handle -> int -> int
+
 (** [members h node] — the node's current voting configuration, sorted. *)
 val members : handle -> int -> int list
 
@@ -233,9 +252,18 @@ type lifecycle = {
   fd_clears : int;  (** suspicions cleared as false (peer was alive) *)
   snapshots_taken : int;
   snapshots_installed : int;
+  stale_cfg_votes : int;
+      (** vote weight this node discarded as a proposer because the
+          responder weighed it under a different configuration than the
+          quorum rule in force (see the configuration-tag rule) *)
+  reconfigs_superseded : int;
+      (** joints that committed while another transition was open; each is
+          re-minted under a fresh uid and re-proposed once the open
+          transition closes *)
 }
 
 (** Per-incarnation lifecycle counters for the node. *)
 val lifecycle : handle -> int -> lifecycle
 
 val pp_msg : msg -> string
+

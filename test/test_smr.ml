@@ -318,6 +318,107 @@ let test_reconfig_scale_down_with_learner_tail () =
         [ 0; 1; 2 ] (Smr.members h node))
     (Smr.nodes h)
 
+(* Review regression: a learner whose id exceeds every voter must not
+   elect ITSELF when it suspects the leader (it used to: Fd.candidate
+   folded from base:me without the eligibility check, and nothing ever
+   re-adopted a real leader with a smaller id — the learner heartbeated
+   and re-prepared as a phantom leader forever). Voters {0,1,2} with
+   learners 3 and 4 awaiting a scale-up that never comes; crashing leader
+   2 forces every survivor — learners included — through re-election. *)
+let test_learner_never_self_elects () =
+  let n = 5 and cmds = 20 in
+  let r =
+    Workload.run ~members:[ 0; 1; 2 ]
+      ~faults:[ Fault.Crash { node = 2; at = 100 } ]
+      ~topology:(Amac.Topology.clique n)
+      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create 71) ~fack:2)
+      ~seed:73 ~cmds
+      ~mode:(Workload.Open_loop { mean_gap = 8 })
+      ()
+  in
+  check_clean "learner election" r;
+  Alcotest.(check bool) "made progress past the crash" true (r.committed > 0);
+  let h = r.handle in
+  List.iter
+    (fun node ->
+      let omega = Smr.leader h node in
+      if node >= 3 then
+        Alcotest.(check bool)
+          (Printf.sprintf "learner %d's omega %d is not itself" node omega)
+          true (omega <> node);
+      if node <> 2 then
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d's omega %d is a voter" node omega)
+          true
+          (List.mem omega (Smr.members h node)))
+    (Smr.nodes h)
+
+(* Review regression: a joint that commits while another transition is
+   already open used to be consumed and silently dropped — the requested
+   membership change just never happened. Now it is re-minted under a
+   fresh (deterministic, replica-agreed) uid and re-proposed once the open
+   transition closes: BOTH overlapping reconfigurations must eventually
+   take effect, back to back. *)
+let test_overlapping_reconfigs_both_apply () =
+  let n = 5 and cmds = 20 in
+  let r =
+    Workload.run ~members:[ 0; 1; 2 ]
+      ~reconfigs:[ (0, 200, [ 0; 1; 2; 3 ]); (0, 200, [ 0; 1; 2; 3; 4 ]) ]
+      ~topology:(Amac.Topology.clique n)
+      ~scheduler:Amac.Scheduler.synchronous ~seed:79 ~cmds
+      ~mode:(Workload.Open_loop { mean_gap = 10 })
+      ()
+  in
+  check_clean "overlapping reconfigs" r;
+  let h = r.handle in
+  let superseded =
+    List.fold_left
+      (fun acc node -> acc + (Smr.lifecycle h node).Smr.reconfigs_superseded)
+      0 (Smr.nodes h)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "the second joint was superseded (count=%d)" superseded)
+    true (superseded > 0);
+  Alcotest.(check int) "both transitions completed everywhere" 2 r.epoch_min;
+  Alcotest.(check int) "no spurious extra epochs" 2 r.epoch_max;
+  List.iter
+    (fun node ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "node %d ended on the second membership" node)
+        [ 0; 1; 2; 3; 4 ] (Smr.members h node);
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d left the transition" node)
+        true
+        (Smr.joint h node = None))
+    (Smr.nodes h);
+  Alcotest.(check int) "all commands still committed" r.submitted r.committed;
+  Alcotest.(check int) "converged" r.commit_index_max r.commit_index_min
+
+(* Review regression (vote/quorum configuration mismatch): quorum tallies
+   used to sum votes self-weighed under the RESPONDER's configuration but
+   check them against the PROPOSER's — after a scale-down, a post-final
+   leader plus lagging pre-joint voters could "choose" a value no new-config
+   quorum ever accepted (log disagreement under message loss alone).
+   Votes now carry a configuration tag and mismatches are discarded. The
+   seeded lifecycle fuzz draws reconfigurations to arbitrary subsets,
+   aggressive compaction, crash/recovery and loss windows — the schedule
+   family of the original finding — and must stay violation-free. *)
+let test_lifecycle_fuzz_smoke () =
+  let config =
+    {
+      Smr_fuzz.default with
+      iterations = 20;
+      cmds = 12;
+      max_time = 200_000;
+      lifecycle = true;
+    }
+  in
+  let outcome = Smr_fuzz.run config ~seed:4242 in
+  (match outcome.Smr_fuzz.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "lifecycle fuzz failure:@.%a" Smr_fuzz.pp_failure f);
+  Alcotest.(check int) "all iterations ran" 20 outcome.Smr_fuzz.iterations_run
+
 let test_reconfig_cmd_structure () =
   let _alg, h = Smr.make () in
   let joint = Smr.reconfig_cmd h ~members:[ 2; 0; 1 ] in
@@ -482,6 +583,12 @@ let () =
             test_reconfig_scale_down_with_learner_tail;
           Alcotest.test_case "reconfig command structure" `Quick
             test_reconfig_cmd_structure;
+          Alcotest.test_case "learner never elects itself" `Quick
+            test_learner_never_self_elects;
+          Alcotest.test_case "overlapping reconfigs both apply" `Quick
+            test_overlapping_reconfigs_both_apply;
+          Alcotest.test_case "lifecycle fuzz: reconfig+loss stays safe"
+            `Quick test_lifecycle_fuzz_smoke;
         ] );
       ( "checker-negative",
         [
