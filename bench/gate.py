@@ -4,8 +4,10 @@
 Usage: gate.py BASELINE.json FRESH.json
 
 Checks, with a +/-30% tolerance on timing cells:
-  - B5: the "states/sec" column, per (n, crashes) row present in both files;
-    the "states" column must match EXACTLY (state counts are deterministic,
+  - B5: the "states/sec" column, per (n, crashes) row present in both files
+    — skipped for tiny explorations (< 10k states, where the wall-clock
+    window is microseconds and the ratio is pure noise); the "states"
+    column must match EXACTLY on every row (state counts are deterministic,
     a drift there is a semantic regression in the explorer, not noise).
   - B7: the "ns/state" column, per primitive row present in both files.
   - B9: the "cmds/sec" column, per (n, loss width) row present in both
@@ -22,6 +24,11 @@ Checks, with a +/-30% tolerance on timing cells:
     latency, reconfiguration / compaction commit quantiles) are seeded
     simulation runs with no wall-clock, so any drift is a semantic change
     in the detector, the repair path, or the reconfiguration machinery.
+  - B12: EVERY column must match EXACTLY per (algo, topo) row present in
+    both files (critical paths and energy segments are pure functions of
+    the schedule), AND — within the fresh file alone — the wpaxos line
+    rows' hop counts must grow strictly monotonically with the diameter:
+    the O(D*F_ack) shape is an acceptance criterion, not just a baseline.
 
 Rows present in only one file (e.g. --quick runs fewer B5 cases) are
 skipped. Exit 0 = within tolerance, 1 = regression (offenders listed).
@@ -83,13 +90,14 @@ def main():
                     f"{label}: states {states_fresh} vs baseline "
                     f"{states_base} (must match exactly)"
                 )
-            check_ratio(
-                failures,
-                f"{label} states/sec",
-                cell(b5_base, base_rows[key], "states/sec"),
-                cell(b5_fresh, fresh_rows[key], "states/sec"),
-                higher_is_better=True,
-            )
+            if int(states_base) >= 10_000:
+                check_ratio(
+                    failures,
+                    f"{label} states/sec",
+                    cell(b5_base, base_rows[key], "states/sec"),
+                    cell(b5_fresh, fresh_rows[key], "states/sec"),
+                    higher_is_better=True,
+                )
     else:
         failures.append("B5 table missing from baseline or fresh run")
 
@@ -180,14 +188,49 @@ def main():
     else:
         failures.append("B11 table missing from baseline or fresh run")
 
+    b12_base, b12_fresh = table(baseline, "B12"), table(fresh, "B12")
+    if b12_base and b12_fresh:
+        base_rows = rows_by_key(b12_base, ["algo", "topo"])
+        fresh_rows = rows_by_key(b12_fresh, ["algo", "topo"])
+        for key in sorted(set(base_rows) & set(fresh_rows)):
+            label = f"B12 algo={key[0]} topo={key[1]}"
+            for column in b12_base["columns"]:
+                base_cell = cell(b12_base, base_rows[key], column)
+                fresh_cell = cell(b12_fresh, fresh_rows[key], column)
+                if base_cell != fresh_cell:
+                    failures.append(
+                        f"{label}: {column} {fresh_cell} vs baseline "
+                        f"{base_cell} (must match exactly)"
+                    )
+        # Shape check on the fresh run alone: wpaxos critical-path hops
+        # strictly increase with line diameter.
+        line_rows = sorted(
+            (
+                int(cell(b12_fresh, row, "D")),
+                int(cell(b12_fresh, row, "hops")),
+                key[1],
+            )
+            for key, row in fresh_rows.items()
+            if key[0] == "wpaxos" and key[1].startswith("line:")
+        )
+        for (d1, h1, t1), (d2, h2, t2) in zip(line_rows, line_rows[1:]):
+            if d2 > d1 and h2 <= h1:
+                failures.append(
+                    f"B12 hops not monotone in diameter: {t1} (D={d1}) has "
+                    f"{h1} hops but {t2} (D={d2}) has {h2}"
+                )
+    else:
+        failures.append("B12 table missing from baseline or fresh run")
+
     if failures:
         print("perf gate FAILED:")
         for failure in failures:
             print(f"  {failure}")
         return 1
     print(
-        "perf gate passed (B5 states + B9 committed/p50/p99 + all B10 "
-        "and B11 cells exact, timing within +/-30%)"
+        "perf gate passed (B5 states + B9 committed/p50/p99 + all B10, "
+        "B11 and B12 cells exact, B12 hops monotone in D, timing within "
+        "+/-30%)"
     )
     return 0
 

@@ -293,6 +293,126 @@ let lifecycle_cmd scenario_name seed fack max_time =
   in
   if failures = [] then 0 else 1
 
+(* Profiling: one run with the causal-provenance DAG collected, folded into
+   critical paths (consensus mode) and energy/waiting segments, as a
+   human-readable report plus a deterministic JSON export (same seed =>
+   byte-identical bytes — what the CI observability job diffs). *)
+let write_file file s =
+  let oc = open_out_bin file in
+  output_string oc s;
+  close_out oc
+
+(* Nearest-rank quantile of a sorted latency array, as Workload.latency. *)
+let quantile arr q =
+  let len = Array.length arr in
+  if len = 0 then Obs.Json.Null
+  else
+    let rank = int_of_float (ceil (q *. float_of_int len)) in
+    Obs.Json.Int arr.(max 0 (min (len - 1) (rank - 1)))
+
+let quantiles arr =
+  Obs.Json.Obj
+    [
+      ("p50", quantile arr 0.50);
+      ("p90", quantile arr 0.90);
+      ("p99", quantile arr 0.99);
+      ("max", quantile arr 1.0);
+    ]
+
+let profile_cmd algo topo sched fack seed inputs_spec smr cmds mode window gap
+    clients json_out dag_out max_time =
+  let rng = Amac.Rng.create seed in
+  let topology = parse_topology topo (Amac.Rng.split rng) in
+  let n = Amac.Topology.size topology in
+  let scheduler = parse_scheduler sched ~fack (Amac.Rng.split rng) in
+  let provenance = Obs.Provenance.create () in
+  let meta_base =
+    [
+      ("topology", Obs.Json.String topo);
+      ("scheduler", Obs.Json.String scheduler.Amac.Scheduler.name);
+      ("fack", Obs.Json.Int fack);
+      ("seed", Obs.Json.Int seed);
+      ("n", Obs.Json.Int n);
+    ]
+  in
+  let report, ok =
+    if smr then begin
+      let mode =
+        match mode with
+        | "open" -> Workload.Open_loop { mean_gap = gap }
+        | "closed" -> Workload.Closed_loop { clients_per_node = clients }
+        | _ -> failwith "mode: open|closed"
+      in
+      let result =
+        Workload.run ~window ~max_time ~record_trace:true ~provenance
+          ~topology ~scheduler
+          ~seed:(Amac.Rng.int rng 1_000_000)
+          ~cmds ~mode ()
+      in
+      let outcome = result.Workload.outcome in
+      let energy =
+        Obs.Energy.account ~n ~duration:outcome.Amac.Engine.end_time
+          (Amac.Trace_export.spans outcome.Amac.Engine.trace)
+      in
+      let extra =
+        [
+          ( "commit_latency",
+            Obs.Json.Obj
+              [
+                ("total", quantiles result.Workload.latencies);
+                ("queue", quantiles result.Workload.queue_latencies);
+                ("replicate", quantiles result.Workload.replicate_latencies);
+              ] );
+        ]
+      in
+      ( Obs.Profile.make ~provenance ~committed:result.Workload.committed
+          ~extra
+          ~meta:
+            (( "algorithm",
+               Obs.Json.String "smr" )
+            :: ("cmds", Obs.Json.Int cmds)
+            :: meta_base)
+          ~energy (),
+        result.Workload.violations = [] )
+    end
+    else begin
+      let inputs = parse_inputs inputs_spec ~n (Amac.Rng.split rng) in
+      let (Packed (algorithm, pp_msg)) = parse_algorithm algo in
+      let result =
+        Consensus.Runner.run algorithm ~topology ~scheduler ~inputs
+          ~record_trace:true ~provenance ~pp_msg ~max_time
+      in
+      let outcome = result.Consensus.Runner.outcome in
+      let energy =
+        Obs.Energy.account ~n ~duration:outcome.Amac.Engine.end_time
+          (Amac.Trace_export.spans outcome.Amac.Engine.trace)
+      in
+      ( Obs.Profile.make ~provenance
+          ~meta:
+            (( "algorithm",
+               Obs.Json.String algorithm.Amac.Algorithm.name )
+            :: ("inputs", Obs.Json.String inputs_spec)
+            :: meta_base)
+          ~energy (),
+        Consensus.Checker.ok result.Consensus.Runner.report )
+    end
+  in
+  print_string (Obs.Profile.render report);
+  (match json_out with
+  | None -> ()
+  | Some file ->
+      write_file file (Obs.Json.to_string (Obs.Profile.to_json report) ^ "\n");
+      Printf.printf "profile: JSON report written to %s\n" file);
+  (match dag_out with
+  | None -> ()
+  | Some file ->
+      write_file file
+        (Obs.Json.to_string (Obs.Provenance.to_json provenance) ^ "\n");
+      Printf.printf "profile: causal DAG (%d vertices) written to %s\n"
+        (Obs.Provenance.length provenance)
+        file);
+  if ok then 0 else 1
+
 (* CI's trace checker: parse the export, re-export, re-parse, and demand
    the same event multiset — the round-trip contract of Obs.Span. *)
 let validate_trace_cmd file =
@@ -416,6 +536,37 @@ let smr_term =
     $ mode_arg $ window_arg $ gap_arg $ clients_arg $ fault_arg $ metrics_arg
     $ trace_out_arg $ max_time_arg)
 
+let smr_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "smr" ]
+        ~doc:
+          "Profile the replicated log under a workload (energy + commit \
+           latency breakdown) instead of a single-decree consensus run")
+
+let json_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ]
+        ~doc:
+          "Write the deterministic JSON report to $(docv) (same seed => \
+           byte-identical bytes)"
+        ~docv:"FILE")
+
+let dag_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dag" ] ~doc:"Write the causal provenance DAG JSON to $(docv)"
+        ~docv:"FILE")
+
+let profile_term =
+  Term.(
+    const profile_cmd $ algo_arg $ topo_arg $ sched_arg $ fack_arg $ seed_arg
+    $ inputs_arg $ smr_flag_arg $ cmds_arg $ mode_arg $ window_arg $ gap_arg
+    $ clients_arg $ json_out_arg $ dag_out_arg $ max_time_arg)
+
 let scenario_arg =
   Arg.(
     value & opt string "all"
@@ -452,6 +603,14 @@ let cmds =
         Term.(
           const lifecycle_cmd $ scenario_arg $ seed_arg $ fack_arg
           $ max_time_arg);
+      Cmd.v
+        (Cmd.info "profile"
+           ~doc:
+             "Run once with causal provenance collected and report critical \
+              paths (hops vs the O(D*F_ack) bound, per-edge latency, leader \
+              attribution) and energy/waiting accounting; --json emits a \
+              deterministic report, --smr profiles the replicated log")
+        profile_term;
       Cmd.v
         (Cmd.info "validate-trace"
            ~doc:"Check a --trace-out export parses and round-trips")

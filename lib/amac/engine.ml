@@ -18,6 +18,7 @@ type outcome = {
   events_processed : int;
   hit_max_time : bool;
   causal : Causal.t option;
+  provenance : Obs.Provenance.t option;
   trace : Trace.entry list;
 }
 
@@ -66,8 +67,10 @@ type 'm event =
       sender_inc : int;
       msg : 'm;
       influence : Bitset.t option;
+      cause : int;
+          (* provenance vertex id of the broadcast; -1 when tracking is off *)
     }
-  | Ack of { node : int; inc : int }
+  | Ack of { node : int; inc : int; cause : int }
   | Inject of { node : int; payload : int }
       (* external input (a client submit) handed to [on_inject]; carries no
          incarnation — it targets whichever incarnation is up at pop time,
@@ -106,6 +109,11 @@ type instruments = {
   end_time_gauge : Obs.Metrics.gauge;
   ack_latency : Obs.Metrics.histogram;
   decide_latency : Obs.Metrics.histogram;
+  (* Per-node variants of the two latency histograms (same metric name, a
+     [node] label added), so leader and follower distributions separate in
+     snapshots — the global, unlabelled pair keeps its aggregate view. *)
+  ack_latency_by_node : Obs.Metrics.histogram array;
+  decide_latency_by_node : Obs.Metrics.histogram array;
 }
 
 let make_instruments reg ~algorithm ~scheduler ~n =
@@ -138,6 +146,16 @@ let make_instruments reg ~algorithm ~scheduler ~n =
     ack_latency = Obs.Metrics.histogram reg ~labels "engine_ack_latency_ticks";
     decide_latency =
       Obs.Metrics.histogram reg ~labels "engine_decide_latency_ticks";
+    ack_latency_by_node =
+      Array.init n (fun i ->
+          Obs.Metrics.histogram reg
+            ~labels:(("node", string_of_int i) :: labels)
+            "engine_ack_latency_ticks");
+    decide_latency_by_node =
+      Array.init n (fun i ->
+          Obs.Metrics.histogram reg
+            ~labels:(("node", string_of_int i) :: labels)
+            "engine_decide_latency_ticks");
   }
 
 (* A resumable simulation: all the run state, advanced one event per [step].
@@ -163,6 +181,16 @@ type ('s, 'm) sim = {
   states : 's array;
   ctxs : Algorithm.ctx array;
   causal : Causal.t option;
+  prov : Obs.Provenance.t option;
+  last_info : int array;
+      (* per node, the vertex id of its latest *informational* event (Boot,
+         Inject or Deliver) — the Lamport-style predecessor any Broadcast or
+         Decide the node emits is attributed to. Attributing to information
+         rather than to the literal triggering event (often the Ack that
+         drained an algorithm-side send queue) keeps critical paths tracking
+         message relays across nodes; the serialization wait surfaces as
+         latency on the info->Broadcast edge instead. All -1 when [prov] is
+         off. *)
   crashed : bool array;
   crash_time : int array;
   incarnation : int array;
@@ -200,6 +228,20 @@ let obs_hist sim pick v =
   | Some i -> Obs.Metrics.observe (pick i) (float_of_int v)
   | None -> ()
 
+(* Append a provenance vertex. Purely observational: no recording ever
+   changes scheduling, handler inputs or the trace-entry sequence, so the
+   determinism contract is unaffected by whether a DAG is being collected. *)
+let prov_record sim ~kind ~node ~time ~cause =
+  match sim.prov with
+  | Some p -> Obs.Provenance.record p ~kind ~node ~time ~cause
+  | None -> -1
+
+(* Append a root vertex (Boot/Inject) and make it the node's latest
+   informational event. *)
+let prov_root sim ~kind ~node ~time =
+  if sim.prov <> None then
+    sim.last_info.(node) <- prov_record sim ~kind ~node ~time ~cause:(-1)
+
 let do_broadcast ~now sim sender msg =
   if sim.busy.(sender) then begin
     sim.discarded <- sim.discarded + 1;
@@ -214,6 +256,14 @@ let do_broadcast ~now sim sender msg =
     obs_counter sim (fun i -> i.broadcasts_by_node.(sender));
     let ids = sim.algorithm.msg_ids msg in
     if ids > sim.max_ids then sim.max_ids <- ids;
+    (* Discarded broadcasts (the busy branch above) get no vertex: the MAC
+       layer never accepted them, so nothing downstream can be caused by
+       one. An accepted one is caused by the sender's latest informational
+       event — what its content can depend on. *)
+    let bid =
+      prov_record sim ~kind:Obs.Provenance.Broadcast ~node:sender ~time:now
+        ~cause:sim.last_info.(sender)
+    in
     log sim
       (Trace.Broadcast_start
          { time = now; node = sender; ids; msg = sim.render_msg msg });
@@ -253,6 +303,7 @@ let do_broadcast ~now sim sender msg =
             sender_inc = sim.incarnation.(sender);
             msg;
             influence;
+            cause = bid;
           }
       in
       Pqueue.add sim.queue ~key:(key_of ~time event) event
@@ -280,7 +331,7 @@ let do_broadcast ~now sim sender msg =
             chosen
         end
     | None, _ | _, None -> ());
-    let ack = Ack { node = sender; inc = sim.incarnation.(sender) } in
+    let ack = Ack { node = sender; inc = sim.incarnation.(sender); cause = bid } in
     Pqueue.add sim.queue ~key:(key_of ~time:plan.Scheduler.ack_at ack) ack
   end
 
@@ -290,6 +341,11 @@ let handle_decide ~now sim node value =
       sim.decisions.(node) <- Some (value, now);
       sim.live_undecided <- sim.live_undecided - 1;
       obs_hist sim (fun i -> i.decide_latency) now;
+      obs_hist sim (fun i -> i.decide_latency_by_node.(node)) now;
+      ignore
+        (prov_record sim
+           ~kind:(Obs.Provenance.Decide { value })
+           ~node ~time:now ~cause:sim.last_info.(node));
       log sim (Trace.Decided { time = now; node; value })
   | Some (prior, _) ->
       if prior <> value then
@@ -383,7 +439,7 @@ let validate_fault_schedule ~n ~crashes ~recoveries =
 let create ?identities ?(give_n = true) ?(give_diameter = false)
     ?(crashes = []) ?(recoveries = []) ?drop ?stutter ?substitute
     ?(injections = []) ?on_inject ?clock ?(max_time = 1_000_000)
-    ?(stop_when_all_decided = true) ?(track_causal = false)
+    ?(stop_when_all_decided = true) ?(track_causal = false) ?provenance
     ?(record_trace = false) ?pp_msg ?unreliable ?obs
     (algorithm : ('s, 'm) Algorithm.t) ~topology ~scheduler ~inputs =
   let n = Topology.size topology in
@@ -470,6 +526,8 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       states = [||];
       ctxs;
       causal;
+      prov = provenance;
+      last_info = Array.make n (-1);
       crashed = Array.make n false;
       crash_time = Array.make n max_int;
       incarnation = Array.make n 0;
@@ -511,6 +569,9 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
      functional update below copies the field values. *)
   let states =
     Array.init n (fun i ->
+        prov_root sim
+          ~kind:(Obs.Provenance.Boot { incarnation = 0 })
+          ~node:i ~time:0;
         let state, actions = algorithm.init ctxs.(i) in
         apply_actions_faulted ~now:0 sim i actions;
         state)
@@ -572,11 +633,18 @@ let step sim =
             log sim
               (Trace.Recovered
                  { time = now; node; incarnation = sim.incarnation.(node) });
+            (* The reborn incarnation's [init] is a fresh causal root: its
+               amnesiac state owes nothing to pre-crash events. *)
+            prov_root sim
+              ~kind:
+                (Obs.Provenance.Boot { incarnation = sim.incarnation.(node) })
+              ~node ~time:now;
             let state, actions = sim.algorithm.init sim.ctxs.(node) in
             sim.states.(node) <- state;
             apply_actions_faulted ~now sim node actions
           end
-      | Receive { node; receiver_inc; sender; sender_inc; msg; influence } ->
+      | Receive { node; receiver_inc; sender; sender_inc; msg; influence; cause }
+        ->
           if sim.crashed.(node) || receiver_inc <> sim.incarnation.(node) then begin
             sim.dropped <- sim.dropped + 1;
             obs_counter sim (fun i -> i.drops_stale)
@@ -633,20 +701,42 @@ let step sim =
                 (match (sim.causal, influence) with
                 | Some c, Some inf -> Causal.absorb c ~node ~time:now inf
                 | Some _, None | None, _ -> ());
+                (* The Deliver vertex is caused by the broadcast that put it
+                   on the wire, and becomes the receiver's latest
+                   informational event. The trace entry carries the
+                   *broadcast's* vertex id: what caused this delivery. *)
+                (if sim.prov <> None then
+                   let did =
+                     prov_record sim
+                       ~kind:(Obs.Provenance.Deliver { sender })
+                       ~node ~time:now ~cause
+                   in
+                   sim.last_info.(node) <- did);
                 log sim
                   (Trace.Delivered
-                     { time = now; node; sender; msg = sim.render_msg msg' });
+                     {
+                       time = now;
+                       node;
+                       sender;
+                       msg = sim.render_msg msg';
+                       cause;
+                     });
                 let actions =
                   sim.algorithm.on_receive sim.ctxs.(node) sim.states.(node)
                     msg'
                 in
                 apply_actions_faulted ~now sim node actions
           end
-      | Ack { node; inc } ->
+      | Ack { node; inc; cause } ->
           if (not sim.crashed.(node)) && inc = sim.incarnation.(node) then begin
             sim.busy.(node) <- false;
             obs_counter sim (fun i -> i.acks_total);
             obs_hist sim (fun i -> i.ack_latency) (now - sim.busy_since.(node));
+            obs_hist sim
+              (fun i -> i.ack_latency_by_node.(node))
+              (now - sim.busy_since.(node));
+            ignore
+              (prov_record sim ~kind:Obs.Provenance.Ack ~node ~time:now ~cause);
             log sim (Trace.Acked { time = now; node });
             let actions = sim.algorithm.on_ack sim.ctxs.(node) sim.states.(node) in
             apply_actions_faulted ~now sim node actions
@@ -664,6 +754,9 @@ let step sim =
             | None -> ()
             | Some f ->
                 sim.injected <- sim.injected + 1;
+                prov_root sim
+                  ~kind:(Obs.Provenance.Inject { payload })
+                  ~node ~time:now;
                 let actions =
                   f ~now ~payload sim.ctxs.(node) sim.states.(node)
                 in
@@ -700,18 +793,19 @@ let snapshot sim =
     events_processed = sim.events_processed;
     hit_max_time = sim.hit_max_time;
     causal = sim.causal;
+    provenance = sim.prov;
     trace = List.rev sim.trace;
   }
 
 let run ?identities ?give_n ?give_diameter ?crashes ?recoveries ?drop ?stutter
     ?substitute ?injections ?on_inject ?clock ?max_time ?stop_when_all_decided
-    ?track_causal ?record_trace ?pp_msg ?unreliable ?obs algorithm ~topology
-    ~scheduler ~inputs =
+    ?track_causal ?provenance ?record_trace ?pp_msg ?unreliable ?obs algorithm
+    ~topology ~scheduler ~inputs =
   let sim =
     create ?identities ?give_n ?give_diameter ?crashes ?recoveries ?drop
       ?stutter ?substitute ?injections ?on_inject ?clock ?max_time
-      ?stop_when_all_decided ?track_causal ?record_trace ?pp_msg ?unreliable
-      ?obs algorithm ~topology ~scheduler ~inputs
+      ?stop_when_all_decided ?track_causal ?provenance ?record_trace ?pp_msg
+      ?unreliable ?obs algorithm ~topology ~scheduler ~inputs
   in
   let continue = ref true in
   while !continue do

@@ -71,6 +71,9 @@ type outcome = {
   events_processed : int;
   hit_max_time : bool;  (** true when stopped by the [max_time] guard *)
   causal : Causal.t option;
+  provenance : Obs.Provenance.t option;
+      (** the causal DAG handed in via [?provenance] (shared, not copied:
+          the caller's object, echoed for convenience) *)
   trace : Trace.entry list;  (** empty unless [record_trace] *)
 }
 
@@ -115,6 +118,7 @@ val create :
   ?max_time:int ->
   ?stop_when_all_decided:bool ->
   ?track_causal:bool ->
+  ?provenance:Obs.Provenance.t ->
   ?record_trace:bool ->
   ?pp_msg:('m -> string) ->
   ?unreliable:Topology.t ->
@@ -189,6 +193,20 @@ val snapshot : ('s, 'm) sim -> outcome
       (default [true]; set [false] to let protocols drain, e.g. to observe
       post-decision message complexity).
     @param track_causal enable {!Causal} influence tracking.
+    @param provenance a caller-owned {!Obs.Provenance} DAG the run appends
+      its causal vertices to (mirrors [obs]): one [Boot] root per node init
+      (time 0 and again on every recovery), one [Inject] root per handled
+      injection, one [Broadcast] per MAC-accepted broadcast (busy discards
+      get none) caused by the sender's latest {e informational} event (its
+      most recent [Boot]/[Inject]/[Deliver] — Lamport-style attribution;
+      see {!Obs.Provenance}), one [Deliver] per actual delivery and one
+      [Ack] per live ack — both caused by their broadcast — and one
+      [Decide] per node's first decision, caused by the node's latest
+      informational event. Recording is purely observational (never
+      changes scheduling or handler inputs), so identical seeded runs append
+      identical DAGs whether or not anything observes them. The same object
+      is echoed in [outcome.provenance]; [Trace.Delivered] entries carry
+      their broadcast's vertex id while a DAG is collected.
     @param record_trace keep a {!Trace}; [pp_msg] renders payloads.
     @param unreliable a second graph of {e unreliable} edges (disjoint from
       the reliable topology): the scheduler's [unreliable_plan] may deliver a
@@ -200,7 +218,9 @@ val snapshot : ('s, 'm) sim -> outcome
       delivery, ack, drop (labelled by reason: [stale] vs [link]), discard,
       stutter, crash, recovery and unreliable-delivery counters; per-node
       broadcast counters; the event-queue depth high-water mark; and
-      ack-latency and decide-latency histograms. All instruments carry
+      ack-latency and decide-latency histograms — the latter two both as a
+      global aggregate and per node (a [node] label), so leader and
+      follower latency distributions separate. All instruments carry
       [algorithm] and [scheduler] labels. Identical seeded runs write
       identical metrics (see {!Obs.Metrics.snapshot}).
     @raise Invalid_argument if [inputs] length mismatches the topology, if an
@@ -224,6 +244,7 @@ val run :
   ?max_time:int ->
   ?stop_when_all_decided:bool ->
   ?track_causal:bool ->
+  ?provenance:Obs.Provenance.t ->
   ?record_trace:bool ->
   ?pp_msg:('m -> string) ->
   ?unreliable:Topology.t ->

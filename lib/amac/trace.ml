@@ -1,6 +1,12 @@
 type entry =
   | Broadcast_start of { time : int; node : int; ids : int; msg : string }
-  | Delivered of { time : int; node : int; sender : int; msg : string }
+  | Delivered of {
+      time : int;
+      node : int;
+      sender : int;
+      msg : string;
+      cause : int;
+    }
   | Acked of { time : int; node : int }
   | Decided of { time : int; node : int; value : int }
   | Discarded of { time : int; node : int; msg : string }
@@ -43,9 +49,13 @@ let pp_entry fmt = function
   | Broadcast_start { time; node; ids; msg } ->
       Format.fprintf fmt "[t=%4d] node %d broadcast (%d ids): %s" time node ids
         msg
-  | Delivered { time; node; sender; msg } ->
-      Format.fprintf fmt "[t=%4d] node %d received from %d: %s" time node
-        sender msg
+  | Delivered { time; node; sender; msg; cause } ->
+      if cause >= 0 then
+        Format.fprintf fmt "[t=%4d] node %d received from %d (cause #%d): %s"
+          time node sender cause msg
+      else
+        Format.fprintf fmt "[t=%4d] node %d received from %d: %s" time node
+          sender msg
   | Acked { time; node } ->
       Format.fprintf fmt "[t=%4d] node %d acked" time node
   | Decided { time; node; value } ->

@@ -8,8 +8,16 @@ type entry =
   | Broadcast_start of { time : int; node : int; ids : int; msg : string }
       (** a broadcast was handed to the MAC layer ([ids] = unique ids it
           carries) *)
-  | Delivered of { time : int; node : int; sender : int; msg : string }
-      (** a message from [sender] was delivered at [node] *)
+  | Delivered of {
+      time : int;
+      node : int;
+      sender : int;
+      msg : string;
+      cause : int;
+          (** provenance vertex id of the broadcast this delivery belongs
+              to, when the run collects a {!Obs.Provenance} DAG; [-1]
+              otherwise *)
+    }  (** a message from [sender] was delivered at [node] *)
   | Acked of { time : int; node : int }
       (** [node]'s in-flight broadcast completed *)
   | Decided of { time : int; node : int; value : int }

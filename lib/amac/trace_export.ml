@@ -44,12 +44,13 @@ let spans entries =
           | None ->
               (* Hand-built or truncated trace: keep the ack visible. *)
               emit (instant ~name:"ack" ~cat:"mac" ~time ~node []))
-      | Trace.Delivered { time; node; sender; msg } ->
+      | Trace.Delivered { time; node; sender; msg; cause } ->
           emit
             (instant ~name:"deliver" ~cat:"mac" ~time ~node
-               [
-                 ("from", Obs.Json.Int sender); ("msg", Obs.Json.String msg);
-               ])
+               (("from", Obs.Json.Int sender)
+               :: ("msg", Obs.Json.String msg)
+               ::
+               (if cause >= 0 then [ ("cause", Obs.Json.Int cause) ] else [])))
       | Trace.Decided { time; node; value } ->
           emit
             (instant ~name:"decide" ~cat:"consensus" ~time ~node

@@ -23,8 +23,8 @@ let record_degradation ~obs ~algorithm (degradation : Checker.degradation) =
   | None -> ()
 
 let run ?identities ?give_n ?give_diameter ?(crashes = []) ?faults ?substitute
-    ?honest ?max_time ?track_causal ?record_trace ?pp_msg ?unreliable ?obs
-    algorithm ~topology ~scheduler ~inputs =
+    ?honest ?max_time ?track_causal ?provenance ?record_trace ?pp_msg
+    ?unreliable ?obs algorithm ~topology ~scheduler ~inputs =
   (* A fault plan's crash/recovery schedule merges with the legacy
      [?crashes] list; the merged schedule is validated by the engine. *)
   let crashes, recoveries, drop, stutter =
@@ -44,8 +44,9 @@ let run ?identities ?give_n ?give_diameter ?(crashes = []) ?faults ?substitute
   | (Some _ | None), _ -> ());
   let outcome =
     Amac.Engine.run ?identities ?give_n ?give_diameter ~crashes ~recoveries
-      ?drop ?stutter ?substitute ?max_time ?track_causal ?record_trace ?pp_msg
-      ?unreliable ?obs algorithm ~topology ~scheduler ~inputs
+      ?drop ?stutter ?substitute ?max_time ?track_causal ?provenance
+      ?record_trace ?pp_msg ?unreliable ?obs algorithm ~topology ~scheduler
+      ~inputs
   in
   let degradation = Checker.degrade ?honest ~inputs outcome in
   (match obs with
@@ -61,12 +62,12 @@ let run ?identities ?give_n ?give_diameter ?(crashes = []) ?faults ?substitute
   }
 
 let run_exn ?identities ?give_n ?give_diameter ?crashes ?faults ?substitute
-    ?honest ?max_time ?track_causal ?record_trace ?pp_msg ?unreliable ?obs
-    algorithm ~topology ~scheduler ~inputs =
+    ?honest ?max_time ?track_causal ?provenance ?record_trace ?pp_msg
+    ?unreliable ?obs algorithm ~topology ~scheduler ~inputs =
   let result =
     run ?identities ?give_n ?give_diameter ?crashes ?faults ?substitute ?honest
-      ?max_time ?track_causal ?record_trace ?pp_msg ?unreliable ?obs algorithm
-      ~topology ~scheduler ~inputs
+      ?max_time ?track_causal ?provenance ?record_trace ?pp_msg ?unreliable
+      ?obs algorithm ~topology ~scheduler ~inputs
   in
   if not (Checker.ok result.report) then
     failwith

@@ -41,6 +41,7 @@ val run :
   ?honest:bool array ->
   ?max_time:int ->
   ?track_causal:bool ->
+  ?provenance:Obs.Provenance.t ->
   ?record_trace:bool ->
   ?pp_msg:('m -> string) ->
   ?unreliable:Amac.Topology.t ->
@@ -64,6 +65,7 @@ val run_exn :
   ?honest:bool array ->
   ?max_time:int ->
   ?track_causal:bool ->
+  ?provenance:Obs.Provenance.t ->
   ?record_trace:bool ->
   ?pp_msg:('m -> string) ->
   ?unreliable:Amac.Topology.t ->

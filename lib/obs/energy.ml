@@ -1,0 +1,128 @@
+type segments = { active : int; idle : int; crashed : int }
+
+type t = { duration : int; per_node : segments array }
+
+(* Interval-union arithmetic on half-open [lo, hi) tick ranges. *)
+
+let clamp ~duration (lo, hi) = (max 0 lo, min duration hi)
+
+let union ivs =
+  let ivs =
+    List.filter (fun (lo, hi) -> hi > lo) ivs |> List.sort compare
+  in
+  let rec merge = function
+    | (a, b) :: (c, d) :: rest when c <= b -> merge ((a, max b d) :: rest)
+    | iv :: rest -> iv :: merge rest
+    | [] -> []
+  in
+  merge ivs
+
+let measure ivs = List.fold_left (fun acc (lo, hi) -> acc + hi - lo) 0 ivs
+
+(* |a \ b| for unioned (sorted, disjoint) interval lists. *)
+let measure_minus a b =
+  let overlap (a1, a2) (b1, b2) = max 0 (min a2 b2 - max a1 b1) in
+  List.fold_left
+    (fun acc ia ->
+      acc + (snd ia - fst ia)
+      - List.fold_left (fun o ib -> o + overlap ia ib) 0 b)
+    0 a
+
+let account ~n ~duration spans =
+  let active_ivs = Array.make n [] in
+  let crash_at = Array.make n [] in
+  let recover_at = Array.make n [] in
+  List.iter
+    (fun (ev : Span.event) ->
+      match ev with
+      | Span.Complete { name = "broadcast"; start_time; duration = d; node; _ }
+        when node >= 0 && node < n ->
+        active_ivs.(node) <-
+          clamp ~duration (start_time, start_time + d) :: active_ivs.(node)
+      | Span.Instant { name = "crash"; time; node; _ }
+        when node >= 0 && node < n ->
+        crash_at.(node) <- time :: crash_at.(node)
+      | Span.Instant { name = "recover"; time; node; _ }
+        when node >= 0 && node < n ->
+        recover_at.(node) <- time :: recover_at.(node)
+      | _ -> ())
+    spans;
+  let per_node =
+    Array.init n (fun node ->
+        (* Pair each crash with the first later recovery; an unmatched
+           crash extends to the end of the run. *)
+        let crashes = List.sort compare crash_at.(node) in
+        let recovers = ref (List.sort compare recover_at.(node)) in
+        let crashed_ivs =
+          List.map
+            (fun c ->
+              let rec next () =
+                match !recovers with
+                | r :: rest when r <= c ->
+                  recovers := rest;
+                  next ()
+                | r :: rest ->
+                  recovers := rest;
+                  r
+                | [] -> duration
+              in
+              clamp ~duration (c, next ()))
+            crashes
+          |> union
+        in
+        let active_u = union active_ivs.(node) in
+        let active = measure_minus active_u crashed_ivs in
+        let crashed = measure crashed_ivs in
+        { active; crashed; idle = duration - active - crashed })
+  in
+  { duration; per_node }
+
+let totals t =
+  Array.fold_left
+    (fun acc s ->
+      {
+        active = acc.active + s.active;
+        idle = acc.idle + s.idle;
+        crashed = acc.crashed + s.crashed;
+      })
+    { active = 0; idle = 0; crashed = 0 }
+    t.per_node
+
+let waiting_fraction t =
+  let { active; idle; _ } = totals t in
+  let up = active + idle in
+  if up = 0 then 0. else float_of_int idle /. float_of_int up
+
+let active_per_command t ~committed =
+  if committed <= 0 then None
+  else Some (float_of_int (totals t).active /. float_of_int committed)
+
+let seg_json s =
+  Json.Obj
+    [
+      ("active", Json.Int s.active);
+      ("idle", Json.Int s.idle);
+      ("crashed", Json.Int s.crashed);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("duration", Json.Int t.duration);
+      ("totals", seg_json (totals t));
+      ("waiting_fraction", Json.Float (waiting_fraction t));
+      ("per_node", Json.List (Array.to_list (Array.map seg_json t.per_node)));
+    ]
+
+let render t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "duration %d ticks, waiting fraction %.3f\n" t.duration
+       (waiting_fraction t));
+  Array.iteri
+    (fun node s ->
+      Buffer.add_string b
+        (Printf.sprintf "  node %d: active %d, idle %d, crashed %d\n" node
+           s.active s.idle s.crashed))
+    t.per_node;
+  Buffer.contents b

@@ -1,0 +1,82 @@
+type t = {
+  meta : (string * Json.t) list;
+  provenance : Provenance.t option;
+  paths : Critpath.path list;
+  energy : Energy.t;
+  committed : int option;
+  extra : (string * Json.t) list;
+}
+
+let make ?provenance ?committed ?(extra = []) ~meta ~energy () =
+  let paths =
+    match provenance with Some p -> Critpath.paths p | None -> []
+  in
+  { meta; provenance; paths; energy; committed; extra }
+
+let to_json t =
+  let dag =
+    match t.provenance with
+    | None -> Json.Null
+    | Some p ->
+      Json.Obj
+        [
+          ("vertices", Json.Int (Provenance.length p));
+          ("ok", Json.Bool (Provenance.check p = []));
+        ]
+  in
+  let critical_paths =
+    match t.provenance with
+    | None -> Json.Null
+    | Some _ -> Critpath.to_json t.paths
+  in
+  let epc =
+    match t.committed with
+    | None -> Json.Null
+    | Some c -> (
+      match Energy.active_per_command t.energy ~committed:c with
+      | None -> Json.Null
+      | Some x -> Json.Float x)
+  in
+  Json.Obj
+    ([
+       ("meta", Json.Obj t.meta);
+       ("dag", dag);
+       ("critical_paths", critical_paths);
+       ("energy", Energy.to_json t.energy);
+       ("committed", match t.committed with None -> Json.Null | Some c -> Json.Int c);
+       ("energy_per_command", epc);
+     ]
+    @ t.extra)
+
+let render t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "=== profile ===\n";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b (Printf.sprintf "%s: %s\n" k (Json.to_string v)))
+    t.meta;
+  (match t.provenance with
+  | None -> ()
+  | Some p ->
+    Buffer.add_string b
+      (Printf.sprintf "--- causal DAG: %d vertices (%s) ---\n"
+         (Provenance.length p)
+         (if Provenance.check p = [] then "ok" else "INVARIANT VIOLATIONS"));
+    Buffer.add_string b "--- critical paths ---\n";
+    Buffer.add_string b (Critpath.render t.paths));
+  Buffer.add_string b "--- energy ---\n";
+  Buffer.add_string b (Energy.render t.energy);
+  (match t.committed with
+  | None -> ()
+  | Some c ->
+    Buffer.add_string b (Printf.sprintf "committed commands: %d\n" c);
+    (match Energy.active_per_command t.energy ~committed:c with
+    | Some x ->
+      Buffer.add_string b
+        (Printf.sprintf "active ticks per committed command: %.2f\n" x)
+    | None -> ()));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b (Printf.sprintf "%s: %s\n" k (Json.to_string v)))
+    t.extra;
+  Buffer.contents b

@@ -1,0 +1,29 @@
+(** One run's profiling report: critical paths + energy accounting, with a
+    human-readable rendering and a deterministic JSON export (same seed ⇒
+    byte-identical bytes — the contract [amac_sim profile] and the CI
+    observability job rely on).
+
+    The report is assembled from parts the caller already has — a
+    {!Provenance} DAG (optional: SMR runs profile energy/latency without
+    engine-level decides), an {!Energy} account, and free-form [meta] /
+    [extra] sections (algorithm, topology, seed; SMR commit-latency
+    breakdowns). *)
+
+type t
+
+val make :
+  ?provenance:Provenance.t ->
+  ?committed:int ->
+  (* for energy-per-command *)
+  ?extra:(string * Json.t) list ->
+  meta:(string * Json.t) list ->
+  energy:Energy.t ->
+  unit ->
+  t
+
+(** [{"meta":{...},"dag":{"vertices":N,"ok":bool}|null,
+    "critical_paths":{...}|null,"energy":{...},
+    "energy_per_command":x|null, <extra fields>}] — deterministic. *)
+val to_json : t -> Json.t
+
+val render : t -> string

@@ -1,0 +1,107 @@
+type kind =
+  | Boot of { incarnation : int }
+  | Inject of { payload : int }
+  | Broadcast
+  | Deliver of { sender : int }
+  | Ack
+  | Decide of { value : int }
+
+type vertex = { id : int; kind : kind; node : int; time : int; cause : int }
+
+type t = { mutable data : vertex array; mutable len : int }
+
+let dummy = { id = -1; kind = Broadcast; node = -1; time = -1; cause = -1 }
+
+let create () = { data = Array.make 64 dummy; len = 0 }
+
+let length t = t.len
+
+let record t ~kind ~node ~time ~cause =
+  if cause < -1 || cause >= t.len then
+    invalid_arg
+      (Printf.sprintf "Provenance.record: cause %d not in [-1, %d)" cause
+         t.len);
+  let id = t.len in
+  if id = Array.length t.data then begin
+    let grown = Array.make (2 * id) dummy in
+    Array.blit t.data 0 grown 0 id;
+    t.data <- grown
+  end;
+  t.data.(id) <- { id; kind; node; time; cause };
+  t.len <- id + 1;
+  id
+
+let get t id =
+  if id < 0 || id >= t.len then
+    invalid_arg (Printf.sprintf "Provenance.get: no vertex %d" id);
+  t.data.(id)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let to_list t =
+  List.init t.len (fun i -> t.data.(i))
+
+let check t =
+  let bad = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> bad := s :: !bad) fmt in
+  iter
+    (fun v ->
+      if v.cause >= v.id then err "vertex %d: cause %d not earlier" v.id v.cause;
+      if v.cause < -1 then err "vertex %d: cause %d malformed" v.id v.cause;
+      if v.cause = -1 then begin
+        match v.kind with
+        | Boot _ | Inject _ -> ()
+        | Broadcast | Deliver _ | Ack | Decide _ ->
+          err "vertex %d: non-root kind has no cause" v.id
+      end
+      else begin
+        let c = t.data.(v.cause) in
+        if c.time > v.time then
+          err "vertex %d at t=%d: cause %d is later (t=%d)" v.id v.time c.id
+            c.time;
+        match v.kind with
+        | Deliver _ | Ack -> (
+          match c.kind with
+          | Broadcast -> ()
+          | _ -> err "vertex %d: delivery/ack not caused by a broadcast" v.id)
+        | Boot _ | Inject _ ->
+          err "vertex %d: root kind has a cause" v.id
+        | Broadcast | Decide _ -> (
+          match c.kind with
+          | Boot _ | Inject _ | Deliver _ -> ()
+          | Broadcast | Ack | Decide _ ->
+            err "vertex %d: broadcast/decide not caused by an informational \
+                 event" v.id)
+      end)
+    t;
+  List.rev !bad
+
+let kind_fields = function
+  | Boot { incarnation } ->
+    [ ("kind", Json.String "boot"); ("inc", Json.Int incarnation) ]
+  | Inject { payload } ->
+    [ ("kind", Json.String "inject"); ("payload", Json.Int payload) ]
+  | Broadcast -> [ ("kind", Json.String "broadcast") ]
+  | Deliver { sender } ->
+    [ ("kind", Json.String "deliver"); ("from", Json.Int sender) ]
+  | Ack -> [ ("kind", Json.String "ack") ]
+  | Decide { value } ->
+    [ ("kind", Json.String "decide"); ("value", Json.Int value) ]
+
+let to_json t =
+  let vs =
+    List.map
+      (fun v ->
+        Json.Obj
+          (( ("id", Json.Int v.id) :: kind_fields v.kind )
+          @ [
+              ("node", Json.Int v.node);
+              ("t", Json.Int v.time);
+              ("cause", Json.Int v.cause);
+            ]))
+      (to_list t)
+  in
+  Json.Obj [ ("vertices", Json.List vs) ]

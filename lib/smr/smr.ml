@@ -168,6 +168,12 @@ type config = {
   compact_every : int option;
   repair_retries : int;
   members : int list option;
+  clock : int ref option;
+      (* the engine's clock cell, when the harness wants latency breakdowns *)
+  propose_times : (int, int) Hashtbl.t;
+      (* cmd -> time of its first Propose anywhere (shared with the handle);
+         splits commit latency into queueing (submit -> first propose) and
+         replication (first propose -> commit) *)
 }
 
 type state = {
@@ -879,6 +885,13 @@ and fill_window st =
                Hashtbl.replace st.proposing inst
                  { f_value = value; f_yes = 0; f_no = 0; f_yes2 = 0; f_no2 = 0 };
                note_inst st inst;
+               (match st.cfg.clock with
+               | Some clk
+                 when value > noop
+                      && (not (is_reconfig value))
+                      && not (Hashtbl.mem st.cfg.propose_times value) ->
+                   Hashtbl.replace st.cfg.propose_times value !clk
+               | Some _ | None -> ());
                let message = Propose { pno; inst; value } in
                st.proposal_q <- st.proposal_q @ [ message ];
                Hashtbl.replace st.seen_props (prop_key message) ();
@@ -1268,6 +1281,7 @@ type handle = {
   mutable submitted_count : int;
   reconfig_cmds : (int, unit) Hashtbl.t;
   mutable reconfig_seq : int;
+  h_propose_times : (int, int) Hashtbl.t;  (* the cfg's table, shared *)
 }
 
 let reconfig_cmd h ~members =
@@ -1348,6 +1362,8 @@ let was_submitted h cmd = Hashtbl.mem h.submitted cmd
 let was_reconfig h cmd = Hashtbl.mem h.reconfig_cmds cmd
 
 let submitted_count h = h.submitted_count
+
+let propose_time h ~cmd = Hashtbl.find_opt h.h_propose_times cmd
 
 let leader h node = (state_of h node).omega
 
@@ -1609,7 +1625,7 @@ let pp_component = function
 let pp_msg components = String.concat "+" (List.map pp_component components)
 
 let make ?(window = 4) ?on_apply ?on_suspect ?members ?compact_every ?patience
-    ?(backoff = 1) ?(repair_retries = 8) () =
+    ?(backoff = 1) ?(repair_retries = 8) ?clock () =
   if window < 1 then invalid_arg "Smr.make: window must be >= 1";
   (match compact_every with
   | Some k when k < 1 -> invalid_arg "Smr.make: compact_every must be >= 1"
@@ -1629,6 +1645,7 @@ let make ?(window = 4) ?on_apply ?on_suspect ?members ?compact_every ?patience
             invalid_arg "Smr.make: member ids must be in 0..29")
         ms
   | None -> ());
+  let propose_times = Hashtbl.create 64 in
   let cfg =
     {
       window;
@@ -1639,6 +1656,8 @@ let make ?(window = 4) ?on_apply ?on_suspect ?members ?compact_every ?patience
       compact_every;
       repair_retries;
       members;
+      clock;
+      propose_times;
     }
   in
   let h =
@@ -1648,6 +1667,7 @@ let make ?(window = 4) ?on_apply ?on_suspect ?members ?compact_every ?patience
       submitted_count = 0;
       reconfig_cmds = Hashtbl.create 8;
       reconfig_seq = 0;
+      h_propose_times = propose_times;
     }
   in
   let algorithm =

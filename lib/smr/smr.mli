@@ -121,6 +121,14 @@ type handle
       whose commit index stays put (default 8; [0] = answer only when a
       heartbeat is heard, the pre-PR 7 behavior — a single lost repair can
       then stall a silent straggler forever, see [test_smr.ml]).
+    @param clock the engine's clock cell (the same [ref] handed to
+      [Engine.run ?clock]). When present, the algorithm timestamps each
+      client command's {e first} [Propose] anywhere in the cluster
+      (readable via {!propose_time}), splitting commit latency into a
+      queueing phase (submit → first propose: forwarding, leader election,
+      window waits) and a replication phase (first propose → commit).
+      Purely observational — proposing behaviour is identical with or
+      without it.
     @raise Invalid_argument on out-of-range parameters ([window < 1],
       [compact_every < 1], [patience < 1], [backoff < 1],
       [repair_retries < 0], empty [members], member ids outside 0..29). *)
@@ -133,6 +141,7 @@ val make :
   ?patience:int ->
   ?backoff:int ->
   ?repair_retries:int ->
+  ?clock:int ref ->
   unit ->
   (state, msg) Amac.Algorithm.t * handle
 
@@ -228,6 +237,11 @@ val applied : handle -> int -> int list
 val was_submitted : handle -> int -> bool
 
 val submitted_count : handle -> int
+
+(** [propose_time h ~cmd] — the tick of [cmd]'s first [Propose] anywhere in
+    the cluster. [None] if never proposed, or if {!make} ran without
+    [?clock]. *)
+val propose_time : handle -> cmd:int -> int option
 
 (** {2 Compaction and lifecycle observability} *)
 

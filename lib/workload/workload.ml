@@ -12,6 +12,8 @@ type result = {
   commit_index_min : int;
   commit_index_max : int;
   latencies : int array;
+  queue_latencies : int array;
+  replicate_latencies : int array;
   epoch_min : int;
   epoch_max : int;
   suspicions : int;
@@ -34,9 +36,9 @@ let latency_buckets =
   [ 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000.; 20_000. ]
 
 let run ?(window = 4) ?(faults = []) ?(crashes = []) ?(max_time = 400_000)
-    ?(record_trace = false) ?obs ?members ?(reconfigs = []) ?compact_every
-    ?patience ?backoff ?repair_retries ?on_suspect ~topology ~scheduler ~seed
-    ~cmds ~mode () =
+    ?(record_trace = false) ?obs ?provenance ?members ?(reconfigs = [])
+    ?compact_every ?patience ?backoff ?repair_retries ?on_suspect ~topology
+    ~scheduler ~seed ~cmds ~mode () =
   if cmds < 0 then invalid_arg "Workload.run: cmds < 0";
   let n = Amac.Topology.size topology in
   let rng = Amac.Rng.create seed in
@@ -76,7 +78,7 @@ let run ?(window = 4) ?(faults = []) ?(crashes = []) ?(max_time = 400_000)
   in
   let algorithm, h =
     Smr.make ~window ~on_apply ?on_suspect ?members ?compact_every ?patience
-      ?backoff ?repair_retries ()
+      ?backoff ?repair_retries ~clock ()
   in
   handle_ref := Some h;
   (* Reconfigurations ride the injection stream like client commands: the
@@ -134,8 +136,8 @@ let run ?(window = 4) ?(faults = []) ?(crashes = []) ?(max_time = 400_000)
       ~crashes ~recoveries:compiled.Fault.recoveries ?drop:compiled.Fault.drop
       ?stutter:compiled.Fault.stutter
       ~injections:(injections @ reconfig_injections)
-      ~on_inject ~clock ~max_time
-      ~stop_when_all_decided:false ~record_trace ~pp_msg:Smr.pp_msg ?obs
+      ~on_inject ~clock ~max_time ~stop_when_all_decided:false ~record_trace
+      ~pp_msg:Smr.pp_msg ?provenance ?obs
   in
   let violations = Smr_checker.check h in
   let nodes = Smr.nodes h in
@@ -151,6 +153,23 @@ let run ?(window = 4) ?(faults = []) ?(crashes = []) ?(max_time = 400_000)
         | _ -> acc)
       commit_time []
     |> List.sort compare |> Array.of_list
+  in
+  (* Commit latency split at the command's first Propose: queueing
+     (forwarding, leader election, window waits) vs replication (the
+     Paxos round trips). Commands committed without an observed propose
+     (none in practice) fall out of the breakdown only. *)
+  let queue_latencies, replicate_latencies =
+    Hashtbl.fold
+      (fun cmd t acc ->
+        match (Hashtbl.find_opt submit_time cmd, Smr.propose_time h ~cmd) with
+        | Some s, Some p when t >= s && p >= s && t >= p ->
+            let q, r = acc in
+            ((p - s) :: q, (t - p) :: r)
+        | _ -> acc)
+      commit_time ([], [])
+    |> fun (q, r) ->
+    ( Array.of_list (List.sort compare q),
+      Array.of_list (List.sort compare r) )
   in
   let committed = Hashtbl.length commit_time in
   let epochs = List.map (Smr.epoch h) nodes in
@@ -177,6 +196,20 @@ let run ?(window = 4) ?(faults = []) ?(crashes = []) ?(max_time = 400_000)
           "smr_commit_latency_ticks"
       in
       Array.iter (fun l -> Obs.Metrics.observe hist (float_of_int l)) latencies;
+      let queue_hist =
+        Obs.Metrics.histogram reg ~labels ~buckets:latency_buckets
+          "smr_queue_latency_ticks"
+      in
+      Array.iter
+        (fun l -> Obs.Metrics.observe queue_hist (float_of_int l))
+        queue_latencies;
+      let repl_hist =
+        Obs.Metrics.histogram reg ~labels ~buckets:latency_buckets
+          "smr_replicate_latency_ticks"
+      in
+      Array.iter
+        (fun l -> Obs.Metrics.observe repl_hist (float_of_int l))
+        replicate_latencies;
       Obs.Metrics.add
         (Obs.Metrics.counter reg ~labels "smr_fd_suspicions_total")
         suspicions;
@@ -210,6 +243,8 @@ let run ?(window = 4) ?(faults = []) ?(crashes = []) ?(max_time = 400_000)
     commit_index_min;
     commit_index_max;
     latencies;
+    queue_latencies;
+    replicate_latencies;
     epoch_min;
     epoch_max;
     suspicions;

@@ -34,6 +34,13 @@ type result = {
   commit_index_min : int;
   commit_index_max : int;
   latencies : int array;  (** sorted commit latencies, one per committed *)
+  queue_latencies : int array;
+      (** sorted queueing phases (submit to the command's first [Propose]
+          anywhere: forwarding, leader election, pipeline-window waits),
+          one per committed command *)
+  replicate_latencies : int array;
+      (** sorted replication phases (first [Propose] to first apply: the
+          Paxos round trips), one per committed command *)
   epoch_min : int;  (** fewest completed reconfigurations at any replica *)
   epoch_max : int;
   suspicions : int;  (** leader suspicions raised, summed over replicas *)
@@ -56,7 +63,9 @@ val latency : result -> q:float -> int option
     @param obs a metrics registry: the engine self-instruments, the fault
       plan is mirrored ({!Fault.record}), and the workload adds
       [smr_submitted_total] / [smr_committed_total] counters, an
-      [smr_commit_latency_ticks] histogram, lifecycle counters
+      [smr_commit_latency_ticks] histogram plus its
+      [smr_queue_latency_ticks] / [smr_replicate_latency_ticks] breakdown
+      (split at each command's first [Propose]), lifecycle counters
       ([smr_fd_suspicions_total], [smr_snapshots_taken_total],
       [smr_snapshots_installed_total], [smr_epoch_max]) and per-node
       detector gauges.
@@ -72,6 +81,10 @@ val latency : result -> q:float -> int option
     @param on_suspect called whenever a replica's detector suspects its
       current leader, with the engine clock — B11 measures detection
       latency with it.
+    @param provenance a caller-owned causal DAG the engine appends to (see
+      {!Amac.Engine.run}); SMR runs produce no engine-level decides, so the
+      DAG holds boot/inject/broadcast/deliver/ack vertices — the raw
+      material for energy accounting and [amac_sim profile --smr].
     @raise Invalid_argument on [cmds < 0], [Open_loop] with [mean_gap < 1],
       or [Closed_loop] with [clients_per_node < 1]. *)
 val run :
@@ -81,6 +94,7 @@ val run :
   ?max_time:int ->
   ?record_trace:bool ->
   ?obs:Obs.Metrics.registry ->
+  ?provenance:Obs.Provenance.t ->
   ?members:int list ->
   ?reconfigs:(int * int * int list) list ->
   ?compact_every:int ->

@@ -22,6 +22,7 @@ let outcome ?(extra = []) ?(crashed = [||]) decisions : Amac.Engine.outcome =
     injected = 0;
     hit_max_time = false;
     causal = None;
+    provenance = None;
     trace = [];
   }
 

@@ -31,8 +31,12 @@ let scenario_two_phase () =
   in
   render ~n:3 result.Consensus.Runner.outcome reg
 
+(* The wPAXOS scenario also pins the causal provenance DAG: the exact
+   vertex/cause structure under crash-recovery (Boot roots for both
+   incarnations of node 1) is part of the golden contract. *)
 let scenario_wpaxos_crash_recovery () =
   let reg = Obs.Metrics.create () in
+  let prov = Obs.Provenance.create () in
   let result =
     Consensus.Runner.run (Consensus.Wpaxos.make ())
       ~topology:(Amac.Topology.line 4)
@@ -40,9 +44,12 @@ let scenario_wpaxos_crash_recovery () =
       ~inputs:[| 1; 0; 1; 0 |]
       ~faults:
         [ Fault.Crash { node = 1; at = 5 }; Fault.Recover { node = 1; at = 40 } ]
-      ~record_trace:true ~obs:reg
+      ~record_trace:true ~obs:reg ~provenance:prov
   in
   render ~n:4 result.Consensus.Runner.outcome reg
+  ^ "\n--- provenance ---\n"
+  ^ Obs.Json.to_string (Obs.Provenance.to_json prov)
+  ^ "\n"
 
 let scenario_ben_or () =
   let reg = Obs.Metrics.create () in

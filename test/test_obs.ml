@@ -220,7 +220,7 @@ let test_trace_export_spans () =
     Amac.Trace.
       [
         Broadcast_start { time = 0; node = 0; ids = 1; msg = "m0" };
-        Delivered { time = 2; node = 1; sender = 0; msg = "m0" };
+        Delivered { time = 2; node = 1; sender = 0; msg = "m0"; cause = -1 };
         Acked { time = 5; node = 0 };
         Broadcast_start { time = 6; node = 1; ids = 1; msg = "m1" };
         Crashed { time = 8; node = 1 };

@@ -1,0 +1,204 @@
+(* Critical-path extraction and energy accounting (PR 8): the telescoping
+   path-sum identity, hops growing with line diameter (the O(D·F_ack)
+   comparison B12 gates), bottleneck sanity, the per-node segment identity
+   active + idle + crashed = duration (including under crash/recovery),
+   and profile JSON determinism. *)
+
+module P = Obs.Provenance
+
+(* Fixed ack delay for the clean O(D·F_ack) geometry; [seed] feeds the
+   random scheduler in the runs that want schedule variety. *)
+let run_line ?faults ?(random = false) ~seed ~n () =
+  let prov = P.create () in
+  let scheduler =
+    if random then Amac.Scheduler.random (Amac.Rng.create seed) ~fack:3
+    else Amac.Scheduler.fixed ~delay:3
+  in
+  let result =
+    Consensus.Runner.run ?faults (Consensus.Wpaxos.make ())
+      ~topology:(Amac.Topology.line n)
+      ~scheduler
+      ~inputs:(Array.init n (fun i -> i mod 2))
+      ~record_trace:true ~provenance:prov
+  in
+  (prov, result.Consensus.Runner.outcome)
+
+(* ---------- critical paths ---------- *)
+
+let test_path_sum_identity () =
+  let prov, _ = run_line ~seed:3 ~n:5 () in
+  let paths = Obs.Critpath.paths prov in
+  Alcotest.(check bool) "at least one decide path" true (paths <> []);
+  List.iter
+    (fun (p : Obs.Critpath.path) ->
+      let edge_sum =
+        List.fold_left
+          (fun acc (e : Obs.Critpath.edge) -> acc + e.Obs.Critpath.e_latency)
+          0 p.Obs.Critpath.edges
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "node %d: edges telescope to total" p.Obs.Critpath.node)
+        p.Obs.Critpath.total edge_sum;
+      Alcotest.(check int)
+        (Printf.sprintf "node %d: total = decided_at - root_time"
+           p.Obs.Critpath.node)
+        (p.Obs.Critpath.decided_at - p.Obs.Critpath.root_time)
+        p.Obs.Critpath.total;
+      let share_sum =
+        List.fold_left (fun acc (_, s) -> acc + s) 0 p.Obs.Critpath.shares
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "node %d: shares partition the total"
+           p.Obs.Critpath.node)
+        p.Obs.Critpath.total share_sum)
+    paths
+
+let max_hops prov =
+  List.fold_left
+    (fun acc (p : Obs.Critpath.path) -> max acc p.Obs.Critpath.hops)
+    0
+    (Obs.Critpath.paths prov)
+
+let test_hops_grow_with_diameter () =
+  (* The acceptance criterion behind bench B12: on a line, information
+     must relay hop by hop, so wPAXOS decide paths lengthen with the
+     diameter — strictly, at every doubling. *)
+  let h5 = max_hops (fst (run_line ~seed:3 ~n:5 ()))
+  and h9 = max_hops (fst (run_line ~seed:3 ~n:9 ()))
+  and h17 = max_hops (fst (run_line ~seed:3 ~n:17 ())) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hops strictly increase: %d < %d < %d" h5 h9 h17)
+    true
+    (h5 > 0 && h5 < h9 && h9 < h17);
+  (* ...and linearly in the increments (the paths carry a constant setup
+     offset, so compare slopes, not ratios): doubling the diameter step
+     must double the hop growth, within a small slack. *)
+  let d1 = h9 - h5 and d2 = h17 - h9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "hop growth doubles with the diameter step: %d vs 2*%d" d2
+       d1)
+    true
+    (d2 >= (2 * d1) - 4 && d2 <= (2 * d1) + 4)
+
+let test_bottleneck_sane () =
+  let prov, _ = run_line ~seed:3 ~n:5 () in
+  List.iter
+    (fun (p : Obs.Critpath.path) ->
+      match Obs.Critpath.bottleneck p with
+      | None -> Alcotest.fail "non-degenerate path has a bottleneck"
+      | Some (node, frac) ->
+          Alcotest.(check bool) "bottleneck node on the path" true
+            (List.mem_assoc node p.Obs.Critpath.shares);
+          Alcotest.(check bool)
+            (Printf.sprintf "fraction %f in (0, 1]" frac)
+            true
+            (frac > 0.0 && frac <= 1.0))
+    (Obs.Critpath.paths prov)
+
+(* ---------- energy ---------- *)
+
+let energy_of ?faults ~seed ~n () =
+  let _, outcome = run_line ?faults ~seed ~n () in
+  let spans = Amac.Trace_export.spans outcome.Amac.Engine.trace in
+  ( Obs.Energy.account ~n ~duration:outcome.Amac.Engine.end_time spans,
+    outcome )
+
+let check_segment_identity (e : Obs.Energy.t) =
+  Array.iteri
+    (fun i (s : Obs.Energy.segments) ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d: active+idle+crashed = duration" i)
+        e.Obs.Energy.duration
+        (s.Obs.Energy.active + s.Obs.Energy.idle + s.Obs.Energy.crashed);
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d: segments non-negative" i)
+        true
+        (s.Obs.Energy.active >= 0 && s.Obs.Energy.idle >= 0
+       && s.Obs.Energy.crashed >= 0))
+    e.Obs.Energy.per_node
+
+let test_energy_identity () =
+  let e, _ = energy_of ~seed:3 ~n:5 () in
+  check_segment_identity e;
+  let f = Obs.Energy.waiting_fraction e in
+  Alcotest.(check bool) "waiting fraction in [0,1]" true (f >= 0.0 && f <= 1.0)
+
+let test_energy_identity_crash_recovery () =
+  let faults =
+    [ Fault.Crash { node = 2; at = 10 }; Fault.Recover { node = 2; at = 50 } ]
+  in
+  let e, outcome = energy_of ~faults ~seed:7 ~n:5 () in
+  check_segment_identity e;
+  Alcotest.(check bool) "fixture recovered" true
+    (outcome.Amac.Engine.incarnations.(2) = 1);
+  let crashed = e.Obs.Energy.per_node.(2).Obs.Energy.crashed in
+  Alcotest.(check int) "crashed window measured exactly" 40 crashed;
+  Array.iteri
+    (fun i (s : Obs.Energy.segments) ->
+      if i <> 2 then
+        Alcotest.(check int)
+          (Printf.sprintf "node %d never crashed" i)
+          0 s.Obs.Energy.crashed)
+    e.Obs.Energy.per_node
+
+let test_energy_unclosed_crash () =
+  (* A crash with no recovery: crashed runs to the end of the run, and the
+     identity still holds. *)
+  let faults = [ Fault.Crash { node = 4; at = 15 } ] in
+  let e, outcome = energy_of ~faults ~seed:5 ~n:5 () in
+  check_segment_identity e;
+  Alcotest.(check int) "crashed till the end"
+    (e.Obs.Energy.duration - 15)
+    e.Obs.Energy.per_node.(4).Obs.Energy.crashed;
+  Alcotest.(check bool) "fixture stayed down" true
+    outcome.Amac.Engine.crashed.(4)
+
+(* ---------- profile export determinism ---------- *)
+
+let profile_bytes seed =
+  let prov, outcome = run_line ~random:true ~seed ~n:5 () in
+  let spans = Amac.Trace_export.spans outcome.Amac.Engine.trace in
+  let energy =
+    Obs.Energy.account ~n:5 ~duration:outcome.Amac.Engine.end_time spans
+  in
+  let profile =
+    Obs.Profile.make ~provenance:prov
+      ~meta:[ ("seed", Obs.Json.Int seed); ("n", Obs.Json.Int 5) ]
+      ~energy ()
+  in
+  Obs.Json.to_string (Obs.Profile.to_json profile)
+
+let test_profile_deterministic () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: byte-identical" seed)
+        true
+        (String.equal (profile_bytes seed) (profile_bytes seed)))
+    [ 1; 9; 42 ]
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "critical paths",
+        [
+          Alcotest.test_case "edge latencies telescope" `Quick
+            test_path_sum_identity;
+          Alcotest.test_case "hops grow with diameter" `Quick
+            test_hops_grow_with_diameter;
+          Alcotest.test_case "bottleneck is sane" `Quick test_bottleneck_sane;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "segment identity" `Quick test_energy_identity;
+          Alcotest.test_case "segment identity under crash-recovery" `Quick
+            test_energy_identity_crash_recovery;
+          Alcotest.test_case "unclosed crash window" `Quick
+            test_energy_unclosed_crash;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "profile JSON deterministic" `Quick
+            test_profile_deterministic;
+        ] );
+    ]

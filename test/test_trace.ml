@@ -10,8 +10,8 @@ let entries =
     [
       Broadcast_start { time = 0; node = 0; ids = 1; msg = "m0" };
       Broadcast_start { time = 0; node = 1; ids = 1; msg = "m1" };
-      Delivered { time = 1; node = 1; sender = 0; msg = "m0" };
-      Delivered { time = 1; node = 0; sender = 1; msg = "m1" };
+      Delivered { time = 1; node = 1; sender = 0; msg = "m0"; cause = -1 };
+      Delivered { time = 1; node = 0; sender = 1; msg = "m1"; cause = -1 };
       Acked { time = 1; node = 0 };
       Acked { time = 1; node = 1 };
       Discarded { time = 2; node = 0; msg = "m2" };
@@ -85,7 +85,7 @@ let check_collision name expected entries =
 
 let test_timeline_collisions () =
   let open Amac.Trace in
-  let deliver = Delivered { time = 7; node = 0; sender = 0; msg = "m" } in
+  let deliver = Delivered { time = 7; node = 0; sender = 0; msg = "m"; cause = -1 } in
   let ack = Acked { time = 7; node = 0 } in
   let broadcast = Broadcast_start { time = 7; node = 0; ids = 1; msg = "m" } in
   let decide = Decided { time = 7; node = 0; value = 1 } in
