@@ -29,6 +29,14 @@ Checks, with a +/-30% tolerance on timing cells:
     the schedule), AND — within the fresh file alone — the wpaxos line
     rows' hop counts must grow strictly monotonically with the diameter:
     the O(D*F_ack) shape is an acceptance criterion, not just a baseline.
+  - B13: "committed", "batches", "last_commit", "end_time", "p50", "p99"
+    and "safe" must match EXACTLY per G row present in both files (the
+    sharded run is deterministic from its seed); "cmds/sec" carries the
+    +/-30% wall-clock tolerance. AND — within the fresh file alone — the
+    deterministic throughput column must scale: cmds/ktick at G=4 must be
+    >= 2.5x cmds/ktick at G=1. A flat slope means sharding stopped
+    multiplying the per-node MAC channel and is a regression even if
+    every cell matches some (equally flat) baseline.
 
 Rows present in only one file (e.g. --quick runs fewer B5 cases) are
 skipped. Exit 0 = within tolerance, 1 = regression (offenders listed).
@@ -222,6 +230,51 @@ def main():
     else:
         failures.append("B12 table missing from baseline or fresh run")
 
+    b13_base, b13_fresh = table(baseline, "B13"), table(fresh, "B13")
+    if b13_base and b13_fresh:
+        base_rows = rows_by_key(b13_base, ["G"])
+        fresh_rows = rows_by_key(b13_fresh, ["G"])
+        for key in sorted(set(base_rows) & set(fresh_rows), key=lambda k: int(k[0])):
+            label = f"B13 G={key[0]}"
+            for column in (
+                "committed",
+                "batches",
+                "last_commit",
+                "end_time",
+                "p50",
+                "p99",
+                "safe",
+            ):
+                base_cell = cell(b13_base, base_rows[key], column)
+                fresh_cell = cell(b13_fresh, fresh_rows[key], column)
+                if base_cell != fresh_cell:
+                    failures.append(
+                        f"{label}: {column} {fresh_cell} vs baseline "
+                        f"{base_cell} (must match exactly)"
+                    )
+            check_ratio(
+                failures,
+                f"{label} cmds/sec",
+                cell(b13_base, base_rows[key], "cmds/sec"),
+                cell(b13_fresh, fresh_rows[key], "cmds/sec"),
+                higher_is_better=True,
+            )
+        # Shape check on the fresh run alone: the deterministic aggregate
+        # throughput must actually scale with the group count, or sharding
+        # has regressed to time-slicing the MAC channel.
+        if ("1",) in fresh_rows and ("4",) in fresh_rows:
+            kt1 = float(cell(b13_fresh, fresh_rows[("1",)], "cmds/ktick"))
+            kt4 = float(cell(b13_fresh, fresh_rows[("4",)], "cmds/ktick"))
+            if kt1 > 0 and kt4 < 2.5 * kt1:
+                failures.append(
+                    f"B13 scaling slope collapsed: G=4 cmds/ktick {kt4:.2f} "
+                    f"is only {kt4 / kt1:.2f}x G=1 ({kt1:.2f}), need >= 2.5x"
+                )
+        else:
+            failures.append("B13 fresh run missing the G=1 or G=4 row")
+    else:
+        failures.append("B13 table missing from baseline or fresh run")
+
     if failures:
         print("perf gate FAILED:")
         for failure in failures:
@@ -229,7 +282,8 @@ def main():
         return 1
     print(
         "perf gate passed (B5 states + B9 committed/p50/p99 + all B10, "
-        "B11 and B12 cells exact, B12 hops monotone in D, timing within "
+        "B11 and B12 cells + B13 deterministic cells exact, B12 hops "
+        "monotone in D, B13 G=4 >= 2.5x G=1 on cmds/ktick, timing within "
         "+/-30%)"
     )
     return 0

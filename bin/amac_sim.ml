@@ -263,6 +263,83 @@ let smr_cmd topo sched fack seed cmds mode window gap clients fault_specs
         vs;
       1
 
+(* Sharded multi-group SMR: Zipf-keyed open-loop workload over G groups
+   multiplexed on one engine run (see Shard / Shard_workload). Exit
+   status 1 on any violation of the sharded contract — per-group prefix
+   agreement, cross-group exactly-once, batch atomicity. *)
+let shard_cmd topo sched fack seed cmds groups batch window gap burst affinity
+    zipf fault_specs metrics trace_out max_time =
+  let rng = Amac.Rng.create seed in
+  let topology = parse_topology topo (Amac.Rng.split rng) in
+  let n = Amac.Topology.size topology in
+  let scheduler = parse_scheduler sched ~fack (Amac.Rng.split rng) in
+  let faults = List.map parse_fault fault_specs in
+  let obs = if metrics then Some (Obs.Metrics.create ()) else None in
+  let result =
+    Shard_workload.run ~window ~batch ~mean_gap:gap ~burst ~affinity
+      ~theta:zipf ~faults ~max_time
+      ~record_trace:(trace_out <> None)
+      ?obs ~topology ~scheduler
+      ~seed:(Amac.Rng.int rng 1_000_000)
+      ~cmds ~groups ()
+  in
+  Printf.printf
+    "shard: topology=%s (n=%d) scheduler=%s groups=%d batch=%d window=%d \
+     cmds=%d zipf=%.2f faults=%d\n"
+    topo n scheduler.Amac.Scheduler.name groups batch window cmds zipf
+    (List.length faults);
+  Printf.printf
+    "issued=%d submitted=%d committed=%d batches=%d last_commit=%d \
+     end_time=%d events=%d broadcasts=%d\n"
+    result.Shard_workload.issued result.Shard_workload.submitted
+    result.Shard_workload.committed result.Shard_workload.batches
+    result.Shard_workload.last_commit
+    result.Shard_workload.outcome.Amac.Engine.end_time
+    result.Shard_workload.outcome.Amac.Engine.events_processed
+    result.Shard_workload.outcome.Amac.Engine.broadcasts;
+  Printf.printf "group commit indexes: [%s]\n"
+    (String.concat "; "
+       (Array.to_list
+          (Array.map string_of_int result.Shard_workload.group_commits)));
+  let q label qv =
+    match Shard_workload.latency result ~q:qv with
+    | Some l -> Printf.printf "%s=%d " label l
+    | None -> Printf.printf "%s=- " label
+  in
+  Printf.printf "commit latency (ticks): ";
+  q "p50" 0.50;
+  q "p90" 0.90;
+  q "p99" 0.99;
+  print_newline ();
+  (match trace_out with
+  | None -> ()
+  | Some file ->
+      let events =
+        Amac.Trace_export.spans result.Shard_workload.outcome.Amac.Engine.trace
+      in
+      let oc = open_out_bin file in
+      output_string oc (export_for file events);
+      close_out oc;
+      Printf.printf "trace: %d span events written to %s\n"
+        (List.length events) file);
+  (match obs with
+  | None -> ()
+  | Some reg ->
+      Printf.printf "--- metrics ---\n%s--- end metrics ---\n"
+        (Obs.Metrics.render (Obs.Metrics.snapshot reg)));
+  match result.Shard_workload.violations with
+  | [] ->
+      Printf.printf
+        "shard checker: ok (per-group prefix agreement, cross-group \
+         exactly-once, batch atomicity)\n";
+      0
+  | vs ->
+      List.iter
+        (fun v ->
+          Printf.printf "VIOLATION: %s\n" (Smr_checker.shard_to_string v))
+        vs;
+      1
+
 (* The lifecycle scenario suite: detector, compaction/snapshot-transfer and
    reconfiguration runs under fire (see Workload.Lifecycle). Exit status 1
    if any scenario violates safety or fails to re-achieve liveness. *)
@@ -536,6 +613,41 @@ let smr_term =
     $ mode_arg $ window_arg $ gap_arg $ clients_arg $ fault_arg $ metrics_arg
     $ trace_out_arg $ max_time_arg)
 
+let groups_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "groups"; "g" ] ~doc:"Number of SMR groups (keyspace shards)")
+
+let batch_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "batch" ]
+        ~doc:"Command batching threshold per (node, group); 1 disables")
+
+let burst_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "burst" ] ~doc:"Commands sharing each open-loop arrival")
+
+let affinity_arg =
+  Arg.(
+    value & flag
+    & info [ "affinity" ]
+        ~doc:
+          "Shard-aware clients: each command lands at a replica of its \
+           owning group instead of a uniform node")
+
+let zipf_arg =
+  Arg.(
+    value & opt float 0.99
+    & info [ "zipf" ] ~doc:"Zipf skew theta for the key distribution")
+
+let shard_term =
+  Term.(
+    const shard_cmd $ topo_arg $ sched_arg $ fack_arg $ seed_arg $ cmds_arg
+    $ groups_arg $ batch_arg $ window_arg $ gap_arg $ burst_arg $ affinity_arg
+    $ zipf_arg $ fault_arg $ metrics_arg $ trace_out_arg $ max_time_arg)
+
 let smr_flag_arg =
   Arg.(
     value & flag
@@ -594,6 +706,15 @@ let cmds =
              "Run the replicated log under a client workload and verify it \
               with the SMR checker")
         smr_term;
+      Cmd.v
+        (Cmd.info "shard"
+           ~doc:
+             "Run sharded multi-group SMR (keyspace partitioned across \
+              --groups batching --batch commands per Propose) under a \
+              Zipf-keyed open-loop workload and verify the sharded \
+              contract: per-group prefix agreement, cross-group \
+              exactly-once, batch atomicity")
+        shard_term;
       Cmd.v
         (Cmd.info "lifecycle"
            ~doc:

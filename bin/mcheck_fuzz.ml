@@ -22,6 +22,14 @@
    load, crash-during-reconfig, restart-from-snapshot) gated for safety
    AND re-achieved liveness at the fixed seed.
 
+   MCHECK_SHARD=1 switches to the sharded multi-group campaign: each
+   iteration draws a topology, scheduler, group count, batch threshold and
+   crash pattern, drives the sharded log (lib/shard) open-loop with Zipf
+   keys and judges it with the sharded contract — per-group prefix
+   agreement, cross-group exactly-once per client command, batch
+   atomicity. Safety only, same (seed, iteration) reproducibility story as
+   MCHECK_SMR.
+
    MCHECK_BYZ=1 switches to Byzantine-strategy mode (lib/byz): the
    Byzantine-tolerant protocol (byz_consensus) is gated — fuzzed with
    generated adversary strategies capped at its tolerance f = (n-1)/3 and
@@ -65,6 +73,7 @@ let fault_mode = Sys.getenv_opt "MCHECK_FAULTS" = Some "1"
 let smr_mode = Sys.getenv_opt "MCHECK_SMR" = Some "1"
 let byz_mode = Sys.getenv_opt "MCHECK_BYZ" = Some "1"
 let lifecycle_mode = Sys.getenv_opt "MCHECK_LIFECYCLE" = Some "1"
+let shard_mode = Sys.getenv_opt "MCHECK_SHARD" = Some "1"
 let artifact = Sys.getenv_opt "MCHECK_ARTIFACT"
 
 let jobs, fingerprint =
@@ -406,10 +415,40 @@ let smr_mode_run ~lifecycle () =
         end)
       Lifecycle.all
 
+let shard_mode_run () =
+  let config = { Shard_fuzz.default with iterations } in
+  let started = Sys.time () in
+  let progress i =
+    if (i + 1) mod 25 = 0 then
+      Printf.printf "fuzz %-14s ... %d/%d (%.1fs)\n%!" "smr-shard" (i + 1)
+        iterations
+        (Sys.time () -. started)
+  in
+  let outcome = Shard_fuzz.run ~progress config ~seed in
+  match outcome.Shard_fuzz.failure with
+  | None ->
+      Printf.printf "fuzz %-14s %d iterations clean (%.1fs)\n%!" "smr-shard"
+        outcome.Shard_fuzz.iterations_run
+        (Sys.time () -. started)
+  | Some f ->
+      incr failures;
+      Format.printf "fuzz %-14s SAFETY VIOLATION (seed %d):@.%a@." "smr-shard"
+        seed Shard_fuzz.pp_failure f;
+      (match artifact with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          let fmt = Format.formatter_of_out_channel oc in
+          Format.fprintf fmt "smr-shard safety violation (seed %d)@.%a@." seed
+            Shard_fuzz.pp_failure f;
+          close_out oc;
+          Printf.printf "wrote failing draw to %s\n%!" path)
+
 let () =
   Printexc.record_backtrace true;
   (try
      if lifecycle_mode then smr_mode_run ~lifecycle:true ()
+     else if shard_mode then shard_mode_run ()
      else if smr_mode then smr_mode_run ~lifecycle:false ()
      else if byz_mode then byz_mode_run ()
      else if fault_mode then faults_mode ()
@@ -421,6 +460,7 @@ let () =
         MCHECK_ITERS=%d%s): %s\n%s\n%!"
        seed iterations
        (if lifecycle_mode then " MCHECK_LIFECYCLE=1"
+        else if shard_mode then " MCHECK_SHARD=1"
         else if smr_mode then " MCHECK_SMR=1"
         else if byz_mode then " MCHECK_BYZ=1"
         else if fault_mode then " MCHECK_FAULTS=1"

@@ -196,6 +196,10 @@ type ('s, 'm) sim = {
   incarnation : int array;
   busy : bool array;
   busy_since : int array;  (* broadcast start time while busy; for ack latency *)
+  plan_scratch : bool array;
+      (* preallocated per-node marks for scheduler-plan validation: the
+         neighbor set is marked and consumed in O(degree) per broadcast
+         instead of allocating and sorting a receiver list each time *)
   obs : instruments option;
   decisions : (int * int) option array;
   mutable extra_decides : (int * int * int) list;  (* newest first *)
@@ -246,8 +250,9 @@ let do_broadcast ~now sim sender msg =
   if sim.busy.(sender) then begin
     sim.discarded <- sim.discarded + 1;
     obs_counter sim (fun i -> i.discards_total);
-    log sim
-      (Trace.Discarded { time = now; node = sender; msg = sim.render_msg msg })
+    if sim.record_trace then
+      log sim
+        (Trace.Discarded { time = now; node = sender; msg = sim.render_msg msg })
   end
   else begin
     sim.busy.(sender) <- true;
@@ -264,9 +269,10 @@ let do_broadcast ~now sim sender msg =
       prov_record sim ~kind:Obs.Provenance.Broadcast ~node:sender ~time:now
         ~cause:sim.last_info.(sender)
     in
-    log sim
-      (Trace.Broadcast_start
-         { time = now; node = sender; ids; msg = sim.render_msg msg });
+    if sim.record_trace then
+      log sim
+        (Trace.Broadcast_start
+           { time = now; node = sender; ids; msg = sim.render_msg msg });
     let neighbors = Topology.neighbors sim.topology sender in
     let plan = sim.scheduler.Scheduler.plan ~now ~sender ~neighbors in
     (* Assert the scheduler respects the MAC layer contract. *)
@@ -279,10 +285,37 @@ let do_broadcast ~now sim sender msg =
            sim.scheduler.Scheduler.fack);
     if plan.Scheduler.ack_at <= now then
       invalid_arg "Engine.run: ack must be strictly after the broadcast";
-    let planned = List.map fst plan.Scheduler.receives in
-    if List.sort Int.compare planned <> neighbors then
+    (* Set-equality check against the neighbor set over the preallocated
+       scratch marks: mark every neighbor, consume one mark per planned
+       delivery. Duplicates and non-neighbors hit an unmarked slot, a
+       missing neighbor leaves the consumed count short — O(degree) with
+       no per-broadcast list or sort allocation. *)
+    let marked =
+      List.fold_left
+        (fun acc v ->
+          sim.plan_scratch.(v) <- true;
+          acc + 1)
+        0 neighbors
+    in
+    let consumed =
+      List.fold_left
+        (fun acc (receiver, _) ->
+          if
+            receiver < 0
+            || receiver >= Array.length sim.plan_scratch
+            || not sim.plan_scratch.(receiver)
+          then
+            invalid_arg
+              "Engine.run: scheduler must deliver to exactly the neighbor set";
+          sim.plan_scratch.(receiver) <- false;
+          acc + 1)
+        0 plan.Scheduler.receives
+    in
+    if consumed <> marked then begin
+      List.iter (fun v -> sim.plan_scratch.(v) <- false) neighbors;
       invalid_arg
-        "Engine.run: scheduler must deliver to exactly the neighbor set";
+        "Engine.run: scheduler must deliver to exactly the neighbor set"
+    end;
     let influence =
       match sim.causal with
       | Some c -> Some (Causal.snapshot c sender)
@@ -533,6 +566,7 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       incarnation = Array.make n 0;
       busy = Array.make n false;
       busy_since = Array.make n 0;
+      plan_scratch = Array.make n false;
       obs =
         (match obs with
         | Some reg ->
@@ -687,14 +721,15 @@ let step sim =
             | Some msg' ->
                 if not (msg' == msg) then begin
                   sim.substituted <- sim.substituted + 1;
-                  log sim
-                    (Trace.Substituted
-                       {
-                         time = now;
-                         node;
-                         sender;
-                         msg = sim.render_msg msg';
-                       })
+                  if sim.record_trace then
+                    log sim
+                      (Trace.Substituted
+                         {
+                           time = now;
+                           node;
+                           sender;
+                           msg = sim.render_msg msg';
+                         })
                 end;
                 sim.deliveries <- sim.deliveries + 1;
                 obs_counter sim (fun i -> i.deliveries_total);
@@ -712,15 +747,16 @@ let step sim =
                        ~node ~time:now ~cause
                    in
                    sim.last_info.(node) <- did);
-                log sim
-                  (Trace.Delivered
-                     {
-                       time = now;
-                       node;
-                       sender;
-                       msg = sim.render_msg msg';
-                       cause;
-                     });
+                if sim.record_trace then
+                  log sim
+                    (Trace.Delivered
+                       {
+                         time = now;
+                         node;
+                         sender;
+                         msg = sim.render_msg msg';
+                         cause;
+                       });
                 let actions =
                   sim.algorithm.on_receive sim.ctxs.(node) sim.states.(node)
                     msg'
@@ -737,7 +773,7 @@ let step sim =
               (now - sim.busy_since.(node));
             ignore
               (prov_record sim ~kind:Obs.Provenance.Ack ~node ~time:now ~cause);
-            log sim (Trace.Acked { time = now; node });
+            if sim.record_trace then log sim (Trace.Acked { time = now; node });
             let actions = sim.algorithm.on_ack sim.ctxs.(node) sim.states.(node) in
             apply_actions_faulted ~now sim node actions
           end

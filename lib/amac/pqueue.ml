@@ -19,7 +19,7 @@ let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 (* One growth path for every add: the incoming entry doubles as the fill
    value, so the empty heap needs no dummy (the old code read [q.heap.(0)]
    and had to special-case length 0). *)
-let ensure_capacity q filler =
+let grow_if_full q filler =
   if q.size = Array.length q.heap then begin
     let heap = Array.make (max 16 (2 * Array.length q.heap)) filler in
     Array.blit q.heap 0 heap 0 q.size;
@@ -29,7 +29,7 @@ let ensure_capacity q filler =
 let add q ~key value =
   let entry = { key; seq = q.next_seq; value } in
   q.next_seq <- q.next_seq + 1;
-  ensure_capacity q entry;
+  grow_if_full q entry;
   q.heap.(q.size) <- entry;
   q.size <- q.size + 1;
   (* Sift the new entry up to its place. *)
@@ -77,6 +77,17 @@ let pop q =
   (top.key, top.value)
 
 let clear q = q.size <- 0
+
+(* Pre-size the backing array so a reused queue (cleared between runs or
+   between per-group transport rounds) never regrows through the doubling
+   path. [dummy] only fills slots beyond [size]; it is never returned. *)
+let ensure_capacity q capacity ~dummy =
+  if capacity > Array.length q.heap then begin
+    let filler = { key = 0; seq = 0; value = dummy } in
+    let heap = Array.make capacity filler in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end
 
 let of_list entries =
   let q = create () in

@@ -30,6 +30,14 @@ val peek : 'a t -> int * 'a
 (** [clear q] removes every entry. *)
 val clear : 'a t -> unit
 
+(** [ensure_capacity q n ~dummy] grows the backing array to hold at least
+    [n] entries without further allocation. [dummy] fills the unused slots
+    and is never returned by {!pop}/{!peek}. Together with {!clear} this is
+    the reuse path for pooled queues (e.g. the sharded transport's
+    per-group outboxes): clear + ensure_capacity instead of reallocating a
+    fresh queue per group or per incarnation. *)
+val ensure_capacity : 'a t -> int -> dummy:'a -> unit
+
 (** [of_list entries] is a queue holding every (key, value) pair, with
     insertion order (and so FIFO tie-breaking) following the list — what
     engine reset paths use instead of rebuilding element-by-element. *)

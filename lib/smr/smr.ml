@@ -1624,6 +1624,192 @@ let pp_component = function
 
 let pp_msg components = String.concat "+" (List.map pp_component components)
 
+(* ------------------------------------------------------------------ *)
+(* Fingerprint / clone (the PR 4 hook discipline). [hooks] on the bare *)
+(* algorithm stays [None] — single-group fuzz baselines are pinned on   *)
+(* the Marshal-free replay path — but wrappers that multiplex several   *)
+(* instances (the sharded transport) compose these per group.          *)
+(* ------------------------------------------------------------------ *)
+
+module F = Amac.Fingerprint
+
+let fp_pno (p : pno) acc = acc |> F.int p.tag |> F.int p.proposer
+
+let fp_prior (p : prior) acc = acc |> fp_pno p.pno |> F.int p.value
+
+let fp_pair f g (a, b) acc = acc |> f a |> g b
+
+let fp_tbl fp_key fp_val tbl acc =
+  (* Sorted bindings: hash tables with the same contents in different
+     internal layouts fold equal, which only improves deduplication. *)
+  let bindings = Hashtbl.fold (fun k v l -> (k, v) :: l) tbl [] in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) bindings in
+  F.list (fp_pair fp_key fp_val) sorted acc
+
+let fp_unit () acc = F.int 0 acc
+
+let fp_lease lease acc =
+  match lease with
+  | No_lease -> F.int 0 acc
+  | Preparing { pno; from_inst; yes; no; yes2; no2; priors } ->
+      acc |> F.int 1 |> fp_pno pno |> F.int from_inst |> F.int yes |> F.int no
+      |> F.int yes2 |> F.int no2
+      |> fp_tbl F.int fp_prior priors
+  | Ready { pno; priors } ->
+      acc |> F.int 2 |> fp_pno pno |> fp_tbl F.int fp_prior priors
+
+let fp_proposer_msg m acc =
+  match m with
+  | Prepare { pno; from_inst } -> acc |> F.int 0 |> fp_pno pno |> F.int from_inst
+  | Propose { pno; inst; value } ->
+      acc |> F.int 1 |> fp_pno pno |> F.int inst |> F.int value
+
+let fp_resp_round r acc =
+  match r with Rprep -> F.int (-1) acc | Racc inst -> F.int inst acc
+
+let fingerprint_state st acc =
+  acc |> F.int st.me |> F.int st.n |> F.int st.omega
+  |> F.option F.int st.leader_q
+  |> F.int st.lamport
+  |> fp_pair F.int F.int st.last_change
+  |> F.option (fp_pair F.int F.int) st.change_q
+  |> fp_tbl F.int F.int st.dist
+  |> fp_tbl F.int F.int st.parent
+  |> F.list (fp_pair F.int F.int) st.tree_q
+  |> fp_tbl F.int
+       (fun (r : inst) acc ->
+         acc |> F.option fp_prior r.accepted |> F.option F.int r.chosen)
+       st.insts
+  |> F.int st.commit_index |> F.int st.max_inst_seen
+  |> F.list F.int st.applied
+  |> F.list F.int st.members
+  |> F.option (F.list F.int) st.joint
+  |> F.int st.epoch
+  |> F.list (fp_pair F.int F.int) st.configs
+  |> F.list F.int st.pending_joints
+  |> F.int st.snap_floor
+  |> F.list F.int st.snap_applied
+  |> F.list (fp_pair F.int F.int) st.snap_configs
+  |> F.list F.int st.snap_members
+  |> F.option (F.list F.int) st.snap_joint
+  |> F.int st.snap_epoch |> F.bool st.snap_q
+  |> fp_tbl F.int fp_unit st.known_cmds
+  |> F.list F.int st.cmd_pool
+  |> fp_tbl F.int fp_unit st.chosen_cmds
+  |> F.list F.int st.forward_q
+  |> F.int st.max_tag |> fp_lease st.lease |> F.int st.attempts_left
+  |> fp_tbl F.int
+       (fun (f : flight) acc ->
+         acc |> F.int f.f_value |> F.int f.f_yes |> F.int f.f_no
+         |> F.int f.f_yes2 |> F.int f.f_no2)
+       st.proposing
+  |> F.list fp_proposer_msg st.proposal_q
+  |> fp_tbl (fun (a, b, c) acc -> acc |> F.int a |> F.int b |> F.int c) fp_unit
+       st.seen_props
+  |> F.option fp_pno st.promised
+  |> F.int st.vote_floor
+  |> fp_tbl (fun (a, b, c) acc -> acc |> F.int a |> F.int b |> F.int c) fp_unit
+       st.responded
+  |> F.list
+       (fun (q : pending_response) acc ->
+         acc |> F.int q.q_target |> fp_pno q.q_pno |> fp_resp_round q.q_round
+         |> F.bool q.q_positive |> F.int q.q_cfg |> F.int q.q_count
+         |> F.int q.q_count2
+         |> F.list (fp_pair F.int fp_prior) q.q_priors
+         |> F.option fp_pno q.q_committed)
+       st.response_q
+  |> F.list (fp_pair F.int F.int) st.decide_q
+  |> F.bool st.sending |> Fd.fingerprint st.fd |> F.int st.idle_acks
+  |> F.int st.next_refresh |> F.int st.progress_silence |> F.int st.next_retry
+  |> F.int st.retries_left |> F.int st.patience_left |> F.int st.repair_node
+  |> F.int st.repair_hole |> F.int st.repair_left |> F.int st.repair_wait
+  |> F.int st.repair_next
+(* Lifecycle counters are observability, not protocol state: states that
+   differ only there are equivalent, so they are deliberately not folded. *)
+
+let fp_component c acc =
+  match c with
+  | Leader { id; hb; commit; sender } ->
+      acc |> F.int 0 |> F.int id |> F.int hb |> F.int commit |> F.int sender
+  | Change { counter; origin } -> acc |> F.int 1 |> F.int counter |> F.int origin
+  | Search { root; hops; sender } ->
+      acc |> F.int 2 |> F.int root |> F.int hops |> F.int sender
+  | Forward { cmd } -> acc |> F.int 3 |> F.int cmd
+  | Snapshot { floor; s_applied; s_configs; s_members; s_joint; s_epoch } ->
+      acc |> F.int 4 |> F.int floor
+      |> F.list F.int s_applied
+      |> F.list (fp_pair F.int F.int) s_configs
+      |> F.int s_members |> F.int s_joint |> F.int s_epoch
+  | Proposal p -> acc |> F.int 5 |> fp_proposer_msg p
+  | Response r ->
+      acc |> F.int 6 |> F.int r.dest |> F.int r.target |> fp_pno r.r_pno
+      |> fp_resp_round r.round |> F.bool r.positive |> F.int r.count
+      |> F.int r.count2 |> F.int r.r_cfg
+      |> F.list (fp_pair F.int fp_prior) r.priors
+      |> F.option fp_pno r.committed
+  | Decision { inst; value } -> acc |> F.int 7 |> F.int inst |> F.int value
+
+let fingerprint_msg (components : msg) acc = F.list fp_component components acc
+
+let clone_state st =
+  let clone_insts tbl =
+    let fresh = Hashtbl.create (Hashtbl.length tbl) in
+    Hashtbl.iter
+      (fun k (r : inst) ->
+        Hashtbl.replace fresh k { accepted = r.accepted; chosen = r.chosen })
+      tbl;
+    fresh
+  in
+  let clone_flights tbl =
+    let fresh = Hashtbl.create (max 8 (Hashtbl.length tbl)) in
+    Hashtbl.iter
+      (fun k (f : flight) ->
+        Hashtbl.replace fresh k
+          {
+            f_value = f.f_value;
+            f_yes = f.f_yes;
+            f_no = f.f_no;
+            f_yes2 = f.f_yes2;
+            f_no2 = f.f_no2;
+          })
+      tbl;
+    fresh
+  in
+  let clone_lease = function
+    | No_lease -> No_lease
+    | Preparing p -> Preparing { p with priors = Hashtbl.copy p.priors }
+    | Ready r -> Ready { r with priors = Hashtbl.copy r.priors }
+  in
+  {
+    st with
+    dist = Hashtbl.copy st.dist;
+    parent = Hashtbl.copy st.parent;
+    insts = clone_insts st.insts;
+    applied_set = Hashtbl.copy st.applied_set;
+    known_cmds = Hashtbl.copy st.known_cmds;
+    chosen_cmds = Hashtbl.copy st.chosen_cmds;
+    lease = clone_lease st.lease;
+    proposing = clone_flights st.proposing;
+    seen_props = Hashtbl.copy st.seen_props;
+    responded = Hashtbl.copy st.responded;
+    response_q =
+      List.map
+        (fun (q : pending_response) ->
+          {
+            q_target = q.q_target;
+            q_pno = q.q_pno;
+            q_round = q.q_round;
+            q_positive = q.q_positive;
+            q_cfg = q.q_cfg;
+            q_count = q.q_count;
+            q_count2 = q.q_count2;
+            q_priors = q.q_priors;
+            q_committed = q.q_committed;
+          })
+        st.response_q;
+    fd = Fd.clone st.fd;
+  }
+
 let make ?(window = 4) ?on_apply ?on_suspect ?members ?compact_every ?patience
     ?(backoff = 1) ?(repair_retries = 8) ?clock () =
   if window < 1 then invalid_arg "Smr.make: window must be >= 1";

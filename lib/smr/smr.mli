@@ -281,3 +281,25 @@ val lifecycle : handle -> int -> lifecycle
 
 val pp_msg : msg -> string
 
+(** {2 Fingerprint / clone}
+
+    The PR 4 hook discipline, exposed so wrappers that multiplex several
+    SMR instances (the {e sharded} transport in [lib/shard]) can compose a
+    sound {!Amac.Algorithm.hooks} from per-group pieces. [hooks] on the
+    algorithm returned by {!make} itself stays [None] (the single-group
+    fuzz baselines are pinned on that path).
+
+    - {!fingerprint_state} folds the {e protocol} content (hash tables as
+      sorted bindings, so layout differences never split states; lifecycle
+      counters, which are observability only, are not folded);
+    - {!fingerprint_msg} folds an in-flight message;
+    - {!clone_state} deep-copies everything mutable; the shared handle
+      plumbing ([cfg], the reconfiguration registrar) is shared, as the
+      hook contract treats harness-side tables as global. *)
+
+val fingerprint_state : state -> Amac.Fingerprint.t -> Amac.Fingerprint.t
+
+val fingerprint_msg : msg -> Amac.Fingerprint.t -> Amac.Fingerprint.t
+
+val clone_state : state -> state
+

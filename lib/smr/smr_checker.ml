@@ -230,3 +230,195 @@ let check h =
   check_views ~submitted (List.map (view_of h) (Smr.nodes h))
 
 let ok h = check h = []
+
+(* ------------------------------------------------------------------ *)
+(* Sharded (multi-group) extension. A sharded deployment multiplexes   *)
+(* G independent SMR groups; the contract grows three clauses on top   *)
+(* of the per-group one:                                               *)
+(*   - per-group prefix agreement: the full single-group contract      *)
+(*     holds inside every group independently;                         *)
+(*   - cross-group exactly-once: a client command is chosen by at      *)
+(*     most one group (the keyspace partition routed it there), and    *)
+(*     applied at most once per replica even across distinct batches;  *)
+(*   - batch atomicity: a batch's commands reach each replica's        *)
+(*     flattened apply stream contiguously, in batch order, all or     *)
+(*     nothing (nothing = the batch was covered by a snapshot          *)
+(*     install, which bypasses per-command apply by design).           *)
+(* ------------------------------------------------------------------ *)
+
+type shard_view = {
+  sv_group : int;
+  sv_views : view list;
+  sv_applied_cmds : (int * int list) list;
+      (* node -> flattened client-command apply stream, oldest first *)
+}
+
+type shard_violation =
+  | Group_violation of { group : int; violation : violation }
+  | Cross_group_duplicate of {
+      cmd : int;
+      group_a : int;
+      node_a : int;
+      group_b : int;
+      node_b : int;
+    }
+  | Batch_split of {
+      group : int;
+      node : int;
+      batch : int;
+      expected : int list;
+      actual : int list;
+    }
+
+let pp_shard_violation fmt = function
+  | Group_violation { group; violation } ->
+      Format.fprintf fmt "group %d: %a" group pp_violation violation
+  | Cross_group_duplicate { cmd; group_a; node_a; group_b; node_b } ->
+      if group_a = group_b && node_a = node_b then
+        Format.fprintf fmt
+          "command %d applied twice at node %d of group %d (distinct batches)"
+          cmd node_a group_a
+      else
+        Format.fprintf fmt
+          "command %d escaped its shard: chosen by group %d (node %d) and \
+           group %d (node %d)"
+          cmd group_a node_a group_b node_b
+  | Batch_split { group; node; batch; expected; actual } ->
+      let render l = String.concat "," (List.map string_of_int l) in
+      Format.fprintf fmt
+        "group %d node %d split batch %d: commands [%s] did not apply \
+         contiguously in order (stream fragment [%s])"
+        group node batch (render expected) (render actual)
+
+let shard_to_string v = Format.asprintf "%a" pp_shard_violation v
+
+(* First index of [c] in [arr], or -1. *)
+let index_of arr c =
+  let n = Array.length arr in
+  let rec go i = if i >= n then -1 else if arr.(i) = c then i else go (i + 1) in
+  go 0
+
+let check_shard_views ~submitted ~expand shard_views =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (* Per-group: the full single-group contract, group by group. *)
+  List.iter
+    (fun sv ->
+      List.iter
+        (fun violation -> add (Group_violation { group = sv.sv_group; violation }))
+        (check_views ~submitted:(submitted sv.sv_group) sv.sv_views))
+    shard_views;
+  (* Batch atomicity, judged against each replica's flattened client-command
+     stream: every batch value the replica applied must land in the stream
+     contiguously and in batch order — or not at all (snapshot installs
+     inherit applied state without replaying per-command). *)
+  List.iter
+    (fun sv ->
+      List.iter
+        (fun v ->
+          let flat =
+            match List.assoc_opt v.v_node sv.sv_applied_cmds with
+            | Some l -> l
+            | None -> []
+          in
+          let flat_arr = Array.of_list flat in
+          List.iter
+            (fun value ->
+              match expand value with
+              | None | Some [] -> ()
+              | Some (first :: _ as cmds) -> (
+                  let k = List.length cmds in
+                  match index_of flat_arr first with
+                  | -1 ->
+                      (* All-or-nothing: the head is absent, so no other
+                         member of the batch may have landed either. *)
+                      if List.exists (fun c -> index_of flat_arr c >= 0) cmds
+                      then
+                        add
+                          (Batch_split
+                             {
+                               group = sv.sv_group;
+                               node = v.v_node;
+                               batch = value;
+                               expected = cmds;
+                               actual = [];
+                             })
+                  | i ->
+                      let avail = Array.length flat_arr - i in
+                      let actual =
+                        Array.to_list (Array.sub flat_arr i (min k avail))
+                      in
+                      if actual <> cmds then
+                        add
+                          (Batch_split
+                             {
+                               group = sv.sv_group;
+                               node = v.v_node;
+                               batch = value;
+                               expected = cmds;
+                               actual;
+                             })))
+            v.v_applied)
+        sv.sv_views)
+    shard_views;
+  (* Cross-group exactly-once, judged over chosen logs (replication inside
+     a group is expected; the same client command chosen by two different
+     groups means the keyspace routing forked). Noops and reconfiguration
+     commands are not client commands. *)
+  let witness : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun sv ->
+      List.iter
+        (fun v ->
+          List.iter
+            (fun (_inst, value) ->
+              if value <> Smr.noop && not (Smr.is_reconfig value) then
+                let cmds =
+                  match expand value with Some l -> l | None -> [ value ]
+                in
+                List.iter
+                  (fun cmd ->
+                    match Hashtbl.find_opt witness cmd with
+                    | None -> Hashtbl.replace witness cmd (sv.sv_group, v.v_node)
+                    | Some (group_a, node_a) ->
+                        if group_a <> sv.sv_group then
+                          add
+                            (Cross_group_duplicate
+                               {
+                                 cmd;
+                                 group_a;
+                                 node_a;
+                                 group_b = sv.sv_group;
+                                 node_b = v.v_node;
+                               }))
+                  cmds)
+            v.v_log)
+        sv.sv_views)
+    shard_views;
+  (* Exactly-once per replica across batches: the flattened stream of one
+     node must not apply the same client command twice, even when the two
+     occurrences hide inside two different (distinct-valued) batches —
+     which the per-group Duplicate_apply clause, working on batch values,
+     cannot see. *)
+  List.iter
+    (fun sv ->
+      List.iter
+        (fun (node, flat) ->
+          let seen = Hashtbl.create 16 in
+          List.iter
+            (fun cmd ->
+              if Hashtbl.mem seen cmd then
+                add
+                  (Cross_group_duplicate
+                     {
+                       cmd;
+                       group_a = sv.sv_group;
+                       node_a = node;
+                       group_b = sv.sv_group;
+                       node_b = node;
+                     })
+              else Hashtbl.replace seen cmd ())
+            flat)
+        sv.sv_applied_cmds)
+    shard_views;
+  List.rev !violations

@@ -88,3 +88,61 @@ val view_of : Smr.handle -> int -> view
 val check : Smr.handle -> violation list
 
 val ok : Smr.handle -> bool
+
+(** {2 Sharded (multi-group) contract}
+
+    A sharded deployment multiplexes G independent SMR groups over one
+    MAC layer, with client commands carried in batches. Three clauses on
+    top of the per-group contract:
+
+    - {e per-group prefix agreement}: the full single-group contract
+      holds inside every group independently;
+    - {e cross-group exactly-once}: a client command is chosen by at
+      most one group, and applied at most once per replica even when the
+      two occurrences hide in distinct batches;
+    - {e batch atomicity}: a batch's commands land in each replica's
+      flattened apply stream contiguously, in batch order, all or
+      nothing (nothing = covered by a snapshot install, which inherits
+      applied state without replaying per-command). *)
+
+(** One group's checkable state: the per-replica {!view}s plus each
+    replica's flattened client-command apply stream (batches expanded,
+    oldest first). *)
+type shard_view = {
+  sv_group : int;
+  sv_views : view list;
+  sv_applied_cmds : (int * int list) list;
+}
+
+type shard_violation =
+  | Group_violation of { group : int; violation : violation }
+  | Cross_group_duplicate of {
+      cmd : int;
+      group_a : int;
+      node_a : int;
+      group_b : int;
+      node_b : int;
+    }  (** [group_a = group_b] flags a same-replica duplicate hidden in
+           two distinct batches. *)
+  | Batch_split of {
+      group : int;
+      node : int;
+      batch : int;
+      expected : int list;
+      actual : int list;
+    }
+
+val pp_shard_violation : Format.formatter -> shard_violation -> unit
+
+val shard_to_string : shard_violation -> string
+
+(** [check_shard_views ~submitted ~expand svs] — the sharded contract
+    over explicit views. [submitted group cmd] is group-local validity;
+    [expand value] returns [Some cmds] iff [value] is a batch (oldest
+    first), [None] for a plain command. Deterministic order; empty =
+    holds. *)
+val check_shard_views :
+  submitted:(int -> int -> bool) ->
+  expand:(int -> int list option) ->
+  shard_view list ->
+  shard_violation list

@@ -1,0 +1,111 @@
+type config = {
+  iterations : int;
+  max_n : int;
+  max_fack : int;
+  max_groups : int;
+  max_batch : int;
+  max_crashes : int;
+  cmds : int;
+  max_time : int;
+}
+
+let default =
+  {
+    iterations = 100;
+    max_n = 6;
+    max_fack = 6;
+    max_groups = 4;
+    max_batch = 6;
+    max_crashes = 2;
+    cmds = 40;
+    max_time = 400_000;
+  }
+
+type failure = {
+  iteration : int;
+  n : int;
+  fack : int;
+  groups : int;
+  batch : int;
+  window : int;
+  crashes : (int * int) list;
+  violations : Smr_checker.shard_violation list;
+}
+
+type outcome = {
+  iterations_run : int;
+  failure : failure option;
+}
+
+let pp_failure fmt f =
+  Format.fprintf fmt
+    "@[<v>iteration %d: n=%d fack=%d groups=%d batch=%d window=%d@,\
+     crashes=[%s]@,%a@]"
+    f.iteration f.n f.fack f.groups f.batch f.window
+    (String.concat "; "
+       (List.map
+          (fun (node, at) -> Printf.sprintf "%d@%d" node at)
+          f.crashes))
+    (Format.pp_print_list Smr_checker.pp_shard_violation)
+    f.violations
+
+let run_iteration config ~seed ~iteration =
+  let rng = Mcheck.Fuzz.derive ~seed ~iteration in
+  let n = Amac.Rng.int_range rng ~lo:3 ~hi:(max 3 config.max_n) in
+  let topology =
+    match Amac.Rng.int rng 3 with
+    | 0 -> Amac.Topology.clique n
+    | 1 -> Amac.Topology.line n
+    | _ -> if n >= 3 then Amac.Topology.ring n else Amac.Topology.clique n
+  in
+  let fack = Amac.Rng.int_range rng ~lo:1 ~hi:(max 1 config.max_fack) in
+  let groups = Amac.Rng.int_range rng ~lo:1 ~hi:(max 1 config.max_groups) in
+  let batch = Amac.Rng.int_range rng ~lo:1 ~hi:(max 1 config.max_batch) in
+  let window = 1 + Amac.Rng.int rng 8 in
+  let crash_count = Amac.Rng.int rng (config.max_crashes + 1) in
+  let crashes =
+    List.init crash_count (fun _ ->
+        ( Amac.Rng.int rng n,
+          Amac.Rng.int_range rng ~lo:0 ~hi:(((2 * fack) + 1) * 2) ))
+    |> List.sort_uniq compare
+    |> List.fold_left
+         (fun acc (node, time) ->
+           if List.mem_assoc node acc then acc else (node, time) :: acc)
+         []
+    |> List.rev
+  in
+  let scheduler = Amac.Scheduler.random (Amac.Rng.split rng) ~fack in
+  let wseed = Amac.Rng.int rng 1_000_000 in
+  let result =
+    Shard_workload.run ~window ~batch ~crashes ~max_time:config.max_time
+      ~mean_gap:(1 + Amac.Rng.int rng (4 * fack))
+      ~key_space:(8 * groups)
+      ~topology ~scheduler ~seed:wseed ~cmds:config.cmds ~groups ()
+  in
+  if result.Shard_workload.violations = [] then None
+  else
+    Some
+      {
+        iteration;
+        n;
+        fack;
+        groups;
+        batch;
+        window;
+        crashes;
+        violations = result.Shard_workload.violations;
+      }
+
+let run ?(progress = fun _ -> ()) config ~seed =
+  let rec go i =
+    if i >= config.iterations then { iterations_run = i; failure = None }
+    else
+      match run_iteration config ~seed ~iteration:i with
+      | None ->
+          progress i;
+          go (i + 1)
+      | Some f ->
+          progress i;
+          { iterations_run = i + 1; failure = Some f }
+  in
+  go 0

@@ -1,0 +1,46 @@
+(** Seeded fuzzing of the sharded multi-group log: random topology,
+    scheduler, group count, batch threshold and crash pattern per
+    iteration, driven open-loop with Zipf keys and judged by the
+    sharded safety contract ({!Shard.check}) — per-group prefix
+    agreement, cross-group exactly-once, batch atomicity.
+
+    Same reproducibility story as {!Smr_fuzz}: every stochastic choice
+    derives from [Mcheck.Fuzz.derive ~seed ~iteration], so the
+    iteration number is the reproducer. *)
+
+type config = {
+  iterations : int;
+  max_n : int;  (** nodes drawn from [\[3, max_n\]] *)
+  max_fack : int;  (** F_ack drawn from [\[1, max_fack\]] *)
+  max_groups : int;  (** groups drawn from [\[1, max_groups\]] *)
+  max_batch : int;  (** batch threshold drawn from [\[1, max_batch\]] *)
+  max_crashes : int;
+  cmds : int;
+  max_time : int;
+}
+
+(** 100 iterations, n ≤ 6, F_ack ≤ 6, ≤ 4 groups, batch ≤ 6,
+    ≤ 2 crashes, 40 commands. *)
+val default : config
+
+type failure = {
+  iteration : int;
+  n : int;
+  fack : int;
+  groups : int;
+  batch : int;
+  window : int;
+  crashes : (int * int) list;
+  violations : Smr_checker.shard_violation list;
+}
+
+type outcome = {
+  iterations_run : int;
+  failure : failure option;  (** [None] — all iterations clean *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [run config ~seed] fuzzes until a safety violation (then stops) or
+    [config.iterations] clean iterations pass. *)
+val run : ?progress:(int -> unit) -> config -> seed:int -> outcome

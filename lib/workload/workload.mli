@@ -52,6 +52,10 @@ type result = {
     commit latency, or [None] when nothing committed. *)
 val latency : result -> q:float -> int option
 
+(** Histogram buckets sized for tick-scale commit latencies (shared with
+    the sharded driver, {!Shard_workload}). *)
+val latency_buckets : float list
+
 (** [run ~topology ~scheduler ~seed ~cmds ~mode ()] builds the SMR
     algorithm, generates the client schedule from [seed], and drains the
     engine ([stop_when_all_decided:false]).

@@ -1,0 +1,30 @@
+type t = { cdf : float array; rng : Amac.Rng.t }
+
+let make ?(theta = 0.99) ~support ~seed () =
+  if support < 1 then invalid_arg "Zipf.make: support < 1";
+  if theta < 0.0 then invalid_arg "Zipf.make: theta < 0";
+  let weights =
+    Array.init support (fun i ->
+        1.0 /. Float.pow (float_of_int (i + 1)) theta)
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make support 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  (* Guard the top against rounding so search never falls off the end. *)
+  cdf.(support - 1) <- 1.0;
+  { cdf; rng = Amac.Rng.create seed }
+
+let next t =
+  let u = Amac.Rng.float t.rng 1.0 in
+  (* Smallest index with cdf.(i) >= u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1

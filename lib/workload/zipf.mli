@@ -1,0 +1,22 @@
+(** Deterministic Zipf-distributed key sampler.
+
+    Skewed key popularity is what makes sharding interesting: under a
+    uniform keyspace every group sees the same load, under Zipf a few
+    hot keys concentrate traffic on their owning groups — the sharded
+    benchmarks (B13) and fuzz modes sample keys from this distribution
+    to exercise the imbalanced case.
+
+    P(k) is proportional to 1/k^theta over k in [1, support], sampled
+    by inverse transform over a precomputed CDF (O(log support) per
+    draw). Fully deterministic: the same [seed] yields the same key
+    stream, draw for draw — the property [test_shard.ml] pins down. *)
+
+type t
+
+(** [make ~support ~seed ()] — [theta] defaults to 0.99 (the YCSB
+    convention; [theta = 0] degenerates to uniform).
+    @raise Invalid_argument if [support < 1] or [theta < 0]. *)
+val make : ?theta:float -> support:int -> seed:int -> unit -> t
+
+(** The next key, in [1, support]. *)
+val next : t -> int

@@ -108,6 +108,19 @@ let scenario_smr_reconfig () =
   in
   render ~n:5 result.Workload.outcome reg
 
+(* Sharded golden: two groups multiplexed over one 3-node MAC run with
+   batch = 2 — group-tagged bundle broadcasts, the shared wire slot and
+   the batch flush/expansion cycle are all visible in the timeline. *)
+let scenario_smr_sharded () =
+  let reg = Obs.Metrics.create () in
+  let result =
+    Shard_workload.run
+      ~topology:(Amac.Topology.clique 3)
+      ~scheduler:Amac.Scheduler.synchronous ~seed:33 ~cmds:8 ~groups:2
+      ~batch:2 ~mean_gap:4 ~key_space:16 ~record_trace:true ~obs:reg ()
+  in
+  render ~n:3 result.Shard_workload.outcome reg
+
 let scenario_counter_race () =
   let reg = Obs.Metrics.create () in
   let result =
@@ -181,6 +194,7 @@ let scenarios =
     ("smr_closed_loop", scenario_smr_closed_loop);
     ("smr_compaction_transfer", scenario_smr_compaction);
     ("smr_reconfig_3to5", scenario_smr_reconfig);
+    ("smr_sharded_2groups", scenario_smr_sharded);
     ("counter_race_random", scenario_counter_race);
     ("byz_consensus_random", scenario_byz_consensus);
     ("counter_race_1byz", scenario_counter_race_byz);

@@ -332,6 +332,46 @@ let test_lifecycle_scenario scenario () =
         lifecycle_seeds)
     lifecycle_envs
 
+(* ------------------------------------------------------------------ *)
+(* The sharded axis: multi-group SMR with batching under the crash
+   fault regime, crossed with the same three ack-latency environments,
+   two seeds each. Safety is the sharded contract (per-group prefix
+   agreement, cross-group exactly-once, batch atomicity) in EVERY cell;
+   crashes land inside the first broadcast windows — leader election
+   per group, the most delicate phase — so the cells where a crashed
+   node led several groups at once are exactly the ones that would
+   expose ack misrouting or a batch applied across the amnesia gap. *)
+
+let run_shard_cell (env_name, fack) seed =
+  let cell = Printf.sprintf "sharded-smr/crash/%s/seed=%d" env_name fack in
+  let scheduler =
+    if fack = 1 then Amac.Scheduler.synchronous
+    else Amac.Scheduler.bursty ~fack ~fast_len:40 ~slow_len:12
+  in
+  let r =
+    Shard_workload.run
+      ~topology:(Amac.Topology.clique 5)
+      ~scheduler
+      ~crashes:[ ((seed mod 2) + 1, 2 * fack); (3 + (seed mod 2), (6 * fack) + 1) ]
+      ~seed ~cmds:50 ~groups:4 ~batch:3 ()
+  in
+  Alcotest.(check (list string))
+    (cell ^ ": no sharded safety violations")
+    []
+    (List.map Smr_checker.shard_to_string r.Shard_workload.violations);
+  (* Three of five replicas stay up: a majority in every group, so the
+     run must still make progress even with both crashed nodes leading
+     groups at crash time. *)
+  Alcotest.(check bool)
+    (cell ^ ": surviving majority keeps committing")
+    true
+    (r.Shard_workload.committed > 0)
+
+let test_shard_regime () =
+  List.iter
+    (fun env -> List.iter (fun seed -> run_shard_cell env seed) lifecycle_seeds)
+    lifecycle_envs
+
 let () =
   Alcotest.run "matrix"
     [
@@ -358,4 +398,9 @@ let () =
               `Quick
               (test_lifecycle_scenario scenario))
           Lifecycle.all );
+      ( "sharded",
+        [
+          Alcotest.test_case "all environments [sharded-smr, crash]" `Quick
+            test_shard_regime;
+        ] );
     ]
