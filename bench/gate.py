@@ -38,6 +38,16 @@ Checks, with a +/-30% tolerance on timing cells:
     multiplying the per-node MAC channel and is a regression even if
     every cell matches some (equally flat) baseline.
 
+  - B14: EVERY column must match EXACTLY per (topo, alpha) row present in
+    both files — the multi-hop scale cells (fixed-delay scheduler plus the
+    deterministic contention stretch, seeded topology generators) contain
+    no wall-clock at all. AND — within the fresh file alone — three shape
+    checks: a 1000-node row must be present and safe (the tentpole scale
+    claim), the grid rows' hop counts at alpha=2 must grow strictly
+    monotonically with the diameter, and every row's hops must stay within
+    [D, 8*D] — the O(D*F_ack) shape at generator scale is an acceptance
+    criterion, not just a baseline.
+
 Rows present in only one file (e.g. --quick runs fewer B5 cases) are
 skipped. Exit 0 = within tolerance, 1 = regression (offenders listed).
 """
@@ -275,6 +285,57 @@ def main():
     else:
         failures.append("B13 table missing from baseline or fresh run")
 
+    b14_base, b14_fresh = table(baseline, "B14"), table(fresh, "B14")
+    if b14_base and b14_fresh:
+        base_rows = rows_by_key(b14_base, ["topo", "alpha"])
+        fresh_rows = rows_by_key(b14_fresh, ["topo", "alpha"])
+        for key in sorted(set(base_rows) & set(fresh_rows)):
+            label = f"B14 topo={key[0]} alpha={key[1]}"
+            for column in b14_base["columns"]:
+                base_cell = cell(b14_base, base_rows[key], column)
+                fresh_cell = cell(b14_fresh, fresh_rows[key], column)
+                if base_cell != fresh_cell:
+                    failures.append(
+                        f"{label}: {column} {fresh_cell} vs baseline "
+                        f"{base_cell} (must match exactly)"
+                    )
+        # Shape checks on the fresh run alone. (a) The tentpole scale
+        # claim: a 1000-node topology must run to a safe decision.
+        if not any(
+            cell(b14_fresh, row, "n") == "1000"
+            and cell(b14_fresh, row, "safe") == "yes"
+            for row in fresh_rows.values()
+        ):
+            failures.append("B14 fresh run has no safe 1000-node row")
+        # (b) Grid hop counts at alpha=2 strictly increase with diameter,
+        # and (c) every row's hops stay within [D, 8*D]: the decide path
+        # must cross the diameter but only a constant factor more often.
+        grid_rows = sorted(
+            (
+                int(cell(b14_fresh, row, "D")),
+                int(cell(b14_fresh, row, "hops")),
+                key[0],
+            )
+            for key, row in fresh_rows.items()
+            if key[0].startswith("grid:") and key[1] == "2"
+        )
+        for (d1, h1, t1), (d2, h2, t2) in zip(grid_rows, grid_rows[1:]):
+            if d2 > d1 and h2 <= h1:
+                failures.append(
+                    f"B14 hops not monotone in diameter: {t1} (D={d1}) has "
+                    f"{h1} hops but {t2} (D={d2}) has {h2}"
+                )
+        for key, row in fresh_rows.items():
+            d = int(cell(b14_fresh, row, "D"))
+            hops = int(cell(b14_fresh, row, "hops"))
+            if not d <= hops <= 8 * d:
+                failures.append(
+                    f"B14 topo={key[0]} alpha={key[1]}: hops {hops} outside "
+                    f"[D, 8*D] = [{d}, {8 * d}]"
+                )
+    else:
+        failures.append("B14 table missing from baseline or fresh run")
+
     if failures:
         print("perf gate FAILED:")
         for failure in failures:
@@ -282,9 +343,9 @@ def main():
         return 1
     print(
         "perf gate passed (B5 states + B9 committed/p50/p99 + all B10, "
-        "B11 and B12 cells + B13 deterministic cells exact, B12 hops "
-        "monotone in D, B13 G=4 >= 2.5x G=1 on cmds/ktick, timing within "
-        "+/-30%)"
+        "B11, B12 and B14 cells + B13 deterministic cells exact, B12/B14 "
+        "hops monotone in D, B14 1000-node row safe with hops in [D, 8D], "
+        "B13 G=4 >= 2.5x G=1 on cmds/ktick, timing within +/-30%)"
     )
     return 0
 

@@ -340,6 +340,115 @@ let shard_cmd topo sched fack seed cmds groups batch window gap burst affinity
         vs;
       1
 
+(* Multi-hop interference runs: a topo_gen topology (seeded grid / RGG /
+   clustered mesh), the contention-stretching scheduler wrapper and an
+   optional churn or mobility schedule — the paper's O(D*F_ack) latency
+   story at generator scale. Deterministic per (topo-seed, seed). Exit
+   status 1 on any checker failure when fault-free, or on a safety
+   violation when a fault plan is injected (liveness is then
+   conditional). *)
+let parse_topo_gen_spec spec ~radius =
+  let fail () = failwith "multihop topology: grid:WxH rgg:N cluster:CxS+B" in
+  match String.split_on_char ':' spec with
+  | [ "grid"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ w; h ] ->
+          Topo_gen.Grid { width = int_of_string w; height = int_of_string h }
+      | _ -> fail ())
+  | [ "rgg"; n ] ->
+      let n = int_of_string n in
+      let radius =
+        if radius > 0.0 then radius else Topo_gen.connectivity_radius ~n
+      in
+      Topo_gen.Rgg { n; radius }
+  | [ "cluster"; dims ] -> (
+      match String.split_on_char '+' dims with
+      | [ cxs; b ] -> (
+          match String.split_on_char 'x' cxs with
+          | [ c; s ] ->
+              Topo_gen.Cluster
+                {
+                  clusters = int_of_string c;
+                  size = int_of_string s;
+                  extra_bridges = int_of_string b;
+                }
+          | _ -> fail ())
+      | _ -> fail ())
+  | _ -> fail ()
+
+let multihop_cmd algo topo topo_seed radius sched fack seed inputs_spec alpha
+    cap churn mobility delta_start delta_gap fault_specs metrics trace_out
+    max_time =
+  if churn > 0 && mobility > 0 then
+    failwith
+      "--churn and --mobility are exclusive (both schedules are computed \
+       against the initial topology)";
+  let rng = Amac.Rng.create seed in
+  let spec = parse_topo_gen_spec topo ~radius in
+  let topology = Topo_gen.generate ~seed:topo_seed spec in
+  let n = Amac.Topology.size topology in
+  let diameter = Amac.Topology.diameter topology in
+  let scheduler =
+    Amac.Scheduler.interference ~alpha ?cap
+      (parse_scheduler sched ~fack (Amac.Rng.split rng))
+  in
+  let inputs = parse_inputs inputs_spec ~n (Amac.Rng.split rng) in
+  let faults = List.map parse_fault fault_specs in
+  let topo_deltas =
+    if churn > 0 then
+      Topo_gen.churn ~seed:topo_seed topology ~events:churn ~start:delta_start
+        ~gap:delta_gap
+    else if mobility > 0 then
+      Topo_gen.mobility ~seed:topo_seed topology ~moves:mobility
+        ~start:delta_start ~gap:delta_gap
+    else []
+  in
+  let (Packed (algorithm, pp_msg)) = parse_algorithm algo in
+  let obs = if metrics then Some (Obs.Metrics.create ()) else None in
+  let result =
+    Consensus.Runner.run algorithm ~topology ~scheduler ~inputs ~faults
+      ~topo_deltas
+      ~record_trace:(trace_out <> None)
+      ~pp_msg ~max_time ?obs
+  in
+  Printf.printf
+    "multihop: algorithm=%s topology=%s topo-seed=%d n=%d diameter=%d \
+     scheduler=%s deltas=%d faults=%d\n"
+    algorithm.Amac.Algorithm.name (Topo_gen.name spec) topo_seed n diameter
+    scheduler.Amac.Scheduler.name
+    (List.length topo_deltas)
+    (List.length faults);
+  Printf.printf "%s\n" (Format.asprintf "%a" Consensus.Checker.pp result.report);
+  let d = result.Consensus.Runner.degradation in
+  Printf.printf "decided=%d/%d latency=%s bound(D*F_ack)=%d\n"
+    d.Consensus.Checker.decided_correct d.Consensus.Checker.correct_total
+    (match result.decision_time with
+    | Some t -> string_of_int t
+    | None -> "-")
+    (diameter * fack);
+  Printf.printf
+    "broadcasts=%d deliveries=%d topo_changes=%d events=%d end_time=%d\n"
+    result.outcome.broadcasts result.outcome.deliveries
+    result.outcome.topo_changes result.outcome.events_processed
+    result.outcome.end_time;
+  (match trace_out with
+  | None -> ()
+  | Some file ->
+      let events = Amac.Trace_export.spans result.outcome.trace in
+      let oc = open_out_bin file in
+      output_string oc (export_for file events);
+      close_out oc;
+      Printf.printf "trace: %d span events written to %s\n"
+        (List.length events) file);
+  (match obs with
+  | None -> ()
+  | Some reg ->
+      Printf.printf "--- metrics ---\n%s--- end metrics ---\n"
+        (Obs.Metrics.render (Obs.Metrics.snapshot reg)));
+  if faults = [] then if Consensus.Checker.ok result.report then 0 else 1
+  else if Consensus.Checker.safety_violations result.report = [] then 0
+  else 1
+
 (* The lifecycle scenario suite: detector, compaction/snapshot-transfer and
    reconfiguration runs under fire (see Workload.Lifecycle). Exit status 1
    if any scenario violates safety or fails to re-achieve liveness. *)
@@ -648,6 +757,67 @@ let shard_term =
     $ groups_arg $ batch_arg $ window_arg $ gap_arg $ burst_arg $ affinity_arg
     $ zipf_arg $ fault_arg $ metrics_arg $ trace_out_arg $ max_time_arg)
 
+let topo_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "topo-seed" ]
+        ~doc:
+          "Topology generator seed (same spec + seed => byte-identical \
+           graph)")
+
+let radius_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "radius" ]
+        ~doc:
+          "RGG connection radius; 0 picks the connectivity radius \
+           sqrt(3 ln n / n)")
+
+let alpha_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "alpha" ]
+        ~doc:
+          "Interference strength: each on-air neighbor stretches the ack \
+           bound by $(docv) ticks; 0 is the degenerate no-interference mode"
+        ~docv:"TICKS")
+
+let cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cap" ]
+        ~doc:"Ack-stretch cap in ticks (default 4*F_ack)" ~docv:"TICKS")
+
+let churn_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "churn" ]
+        ~doc:"Churn events (alternating edge removals/insertions) to apply")
+
+let mobility_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "mobility" ]
+        ~doc:"Node-movement bursts to apply (exclusive with --churn)")
+
+let delta_start_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "delta-start" ] ~doc:"First churn/mobility event time")
+
+let delta_gap_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "delta-gap" ] ~doc:"Gap between churn/mobility events")
+
+let multihop_term =
+  Term.(
+    const multihop_cmd $ algo_arg $ topo_arg $ topo_seed_arg $ radius_arg
+    $ sched_arg $ fack_arg $ seed_arg $ inputs_arg $ alpha_arg $ cap_arg
+    $ churn_arg $ mobility_arg $ delta_start_arg $ delta_gap_arg $ fault_arg
+    $ metrics_arg $ trace_out_arg $ max_time_arg)
+
 let smr_flag_arg =
   Arg.(
     value & flag
@@ -715,6 +885,15 @@ let cmds =
               contract: per-group prefix agreement, cross-group \
               exactly-once, batch atomicity")
         shard_term;
+      Cmd.v
+        (Cmd.info "multihop"
+           ~doc:
+             "Run on a generated multi-hop topology (grid:WxH rgg:N \
+              cluster:CxS+B) under the interference-aware scheduler \
+              (--alpha/--cap ack stretch per on-air neighbor), with \
+              optional --churn/--mobility delta schedules and fault \
+              events, and verify against the O(D*F_ack) story")
+        multihop_term;
       Cmd.v
         (Cmd.info "lifecycle"
            ~doc:

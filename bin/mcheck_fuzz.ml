@@ -39,6 +39,16 @@
    names a file, the shrunk counterexample of an unexpected gate violation
    is written there.
 
+   MCHECK_MULTIHOP=1 switches to the multi-hop interference campaign: each
+   iteration draws a topo_gen topology (grid / RGG / clustered mesh) and
+   seed, an interference strength (alpha, optional cap) for the
+   contention-stretching scheduler, a churn or mobility schedule and a full
+   fault plan, then gates hardened wPAXOS for unconditional safety.
+   Safety only — with contention-stretched acks and adversarial plans
+   termination is conditional. Same (seed, iteration) reproducibility
+   story as MCHECK_SMR. On failure the drawn parameters and violations are
+   written to MCHECK_ARTIFACT if set.
+
    MCHECK_FAULTS=1 switches to fault-plan mode: fuzzes two-phase and
    hardened wPAXOS under generated fault plans (crash-recovery, lossy
    links, partition-and-heal, stutter) expecting safety to hold
@@ -74,6 +84,7 @@ let smr_mode = Sys.getenv_opt "MCHECK_SMR" = Some "1"
 let byz_mode = Sys.getenv_opt "MCHECK_BYZ" = Some "1"
 let lifecycle_mode = Sys.getenv_opt "MCHECK_LIFECYCLE" = Some "1"
 let shard_mode = Sys.getenv_opt "MCHECK_SHARD" = Some "1"
+let multihop_mode = Sys.getenv_opt "MCHECK_MULTIHOP" = Some "1"
 let artifact = Sys.getenv_opt "MCHECK_ARTIFACT"
 
 let jobs, fingerprint =
@@ -444,10 +455,40 @@ let shard_mode_run () =
           close_out oc;
           Printf.printf "wrote failing draw to %s\n%!" path)
 
+let multihop_mode_run () =
+  let config = { Multihop_fuzz.default with iterations } in
+  let started = Sys.time () in
+  let progress i =
+    if (i + 1) mod 25 = 0 then
+      Printf.printf "fuzz %-14s ... %d/%d (%.1fs)\n%!" "multihop" (i + 1)
+        iterations
+        (Sys.time () -. started)
+  in
+  let outcome = Multihop_fuzz.run ~progress config ~seed in
+  match outcome.Multihop_fuzz.failure with
+  | None ->
+      Printf.printf "fuzz %-14s %d iterations clean (%.1fs)\n%!" "multihop"
+        outcome.Multihop_fuzz.iterations_run
+        (Sys.time () -. started)
+  | Some f ->
+      incr failures;
+      Format.printf "fuzz %-14s SAFETY VIOLATION (seed %d):@.%a@." "multihop"
+        seed Multihop_fuzz.pp_failure f;
+      (match artifact with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          let fmt = Format.formatter_of_out_channel oc in
+          Format.fprintf fmt "multihop safety violation (seed %d)@.%a@." seed
+            Multihop_fuzz.pp_failure f;
+          close_out oc;
+          Printf.printf "wrote failing draw to %s\n%!" path)
+
 let () =
   Printexc.record_backtrace true;
   (try
      if lifecycle_mode then smr_mode_run ~lifecycle:true ()
+     else if multihop_mode then multihop_mode_run ()
      else if shard_mode then shard_mode_run ()
      else if smr_mode then smr_mode_run ~lifecycle:false ()
      else if byz_mode then byz_mode_run ()
@@ -460,6 +501,7 @@ let () =
         MCHECK_ITERS=%d%s): %s\n%s\n%!"
        seed iterations
        (if lifecycle_mode then " MCHECK_LIFECYCLE=1"
+        else if multihop_mode then " MCHECK_MULTIHOP=1"
         else if shard_mode then " MCHECK_SHARD=1"
         else if smr_mode then " MCHECK_SMR=1"
         else if byz_mode then " MCHECK_BYZ=1"

@@ -14,6 +14,7 @@ type outcome = {
   max_ids_per_message : int;
   unreliable_deliveries : int;
   injected : int;
+  topo_changes : int;
   end_time : int;
   events_processed : int;
   hit_max_time : bool;
@@ -75,6 +76,10 @@ type 'm event =
       (* external input (a client submit) handed to [on_inject]; carries no
          incarnation — it targets whichever incarnation is up at pop time,
          and is lost if the node is down. *)
+  | Topo of { delta : Topology.delta }
+      (* churn/mobility: an edge delta applied in place to the engine's
+         private topology copy. Priority 5 slots after every pre-existing
+         kind, so runs without deltas keep their exact event order. *)
 
 let kind_priority = function
   | Crash _ -> 0
@@ -82,6 +87,7 @@ let kind_priority = function
   | Receive _ -> 2
   | Ack _ -> 3
   | Inject _ -> 4
+  | Topo _ -> 5
 
 (* Event-queue keys encode (time, kind priority); Pqueue breaks remaining
    ties by insertion order, making runs bit-for-bit deterministic. *)
@@ -158,6 +164,33 @@ let make_instruments reg ~algorithm ~scheduler ~n =
             "engine_decide_latency_ticks");
   }
 
+(* Interference-mode instruments, registered only when the scheduler
+   carries a [contention_stretch] hook: runs in the contention-free model
+   must keep byte-identical metrics snapshots, so these families never
+   exist there. One contention observation and one stretch observation per
+   accepted broadcast; per-node stretch histograms separate hot spots. *)
+type contention_instruments = {
+  contention_hist : Obs.Metrics.histogram;
+  contention_max : Obs.Metrics.gauge;
+  stretch_hist : Obs.Metrics.histogram;
+  stretch_by_node : Obs.Metrics.histogram array;
+}
+
+let make_contention_instruments reg ~algorithm ~scheduler ~n =
+  let labels = [ ("algorithm", algorithm); ("scheduler", scheduler) ] in
+  {
+    contention_hist =
+      Obs.Metrics.histogram reg ~labels "engine_contention_neighbors";
+    contention_max = Obs.Metrics.gauge reg ~labels "engine_contention_max";
+    stretch_hist =
+      Obs.Metrics.histogram reg ~labels "engine_ack_stretch_ticks";
+    stretch_by_node =
+      Array.init n (fun i ->
+          Obs.Metrics.histogram reg
+            ~labels:(("node", string_of_int i) :: labels)
+            "engine_ack_stretch_ticks");
+  }
+
 (* A resumable simulation: all the run state, advanced one event per [step].
    [run] drains it in a loop; the model checker uses [step] directly to
    interleave execution with budget checks and state observation. *)
@@ -200,7 +233,21 @@ type ('s, 'm) sim = {
       (* preallocated per-node marks for scheduler-plan validation: the
          neighbor set is marked and consumed in O(degree) per broadcast
          instead of allocating and sorting a receiver list each time *)
+  track_contention : bool;
+      (* = the scheduler carries [contention_stretch]; gates all
+         interference bookkeeping so contention-free runs execute the
+         exact pre-existing hot path *)
+  on_air : bool array;
+      (* node currently counted as transmitting for contention purposes:
+         set at broadcast accept, cleared at the ack — or at a crash, a
+         dead radio stops jamming its neighborhood *)
+  air_neighbors : int array;
+      (* per node, how many of its *current* neighbors are on air — the
+         local contention read in O(1) at each broadcast. Maintained
+         incrementally (O(degree) per transmission start/end, and
+         adjusted by topology deltas), never by scanning. *)
   obs : instruments option;
+  cobs : contention_instruments option;
   decisions : (int * int) option array;
   mutable extra_decides : (int * int * int) list;  (* newest first *)
   mutable broadcasts : int;
@@ -214,6 +261,7 @@ type ('s, 'm) sim = {
   mutable max_ids : int;
   mutable unreliable_deliveries : int;
   mutable injected : int;
+  mutable topo_changes : int;
   mutable events_processed : int;
   mutable end_time : int;
   mutable hit_max_time : bool;
@@ -246,6 +294,20 @@ let prov_root sim ~kind ~node ~time =
   if sim.prov <> None then
     sim.last_info.(node) <- prov_record sim ~kind ~node ~time ~cause:(-1)
 
+(* End of a transmission for contention purposes: the ack arrived, or the
+   sender crashed mid-broadcast (a dead radio stops loading the channel;
+   its already-scheduled deliveries at or after the crash are dropped by
+   the stale-sender check anyway). Decrementing over the *current* neighbor
+   set is exact even under topology deltas, because delta application
+   adjusts [air_neighbors] for on-air endpoints (see the [Topo] case). *)
+let end_transmission sim node =
+  if sim.track_contention && sim.on_air.(node) then begin
+    sim.on_air.(node) <- false;
+    List.iter
+      (fun w -> sim.air_neighbors.(w) <- sim.air_neighbors.(w) - 1)
+      (Topology.neighbors sim.topology node)
+  end
+
 let do_broadcast ~now sim sender msg =
   if sim.busy.(sender) then begin
     sim.discarded <- sim.discarded + 1;
@@ -274,8 +336,39 @@ let do_broadcast ~now sim sender msg =
         (Trace.Broadcast_start
            { time = now; node = sender; ids; msg = sim.render_msg msg });
     let neighbors = Topology.neighbors sim.topology sender in
+    (* Interference mode: read the sender's local contention (its own
+       transmission excluded — it starts only below), derive the stretch,
+       then mark the sender on air so concurrent neighbors see it. *)
+    let stretch =
+      if not sim.track_contention then 0
+      else begin
+        let contention = sim.air_neighbors.(sender) in
+        let s =
+          match sim.scheduler.Scheduler.contention_stretch with
+          | Some f -> f ~contention
+          | None -> 0
+        in
+        if s < 0 then
+          invalid_arg "Engine.run: contention stretch must be >= 0";
+        (match sim.cobs with
+        | Some ci ->
+            Obs.Metrics.observe ci.contention_hist (float_of_int contention);
+            Obs.Metrics.observe_max ci.contention_max
+              (float_of_int contention);
+            Obs.Metrics.observe ci.stretch_hist (float_of_int s);
+            Obs.Metrics.observe ci.stretch_by_node.(sender) (float_of_int s)
+        | None -> ());
+        sim.on_air.(sender) <- true;
+        List.iter
+          (fun w -> sim.air_neighbors.(w) <- sim.air_neighbors.(w) + 1)
+          neighbors;
+        s
+      end
+    in
     let plan = sim.scheduler.Scheduler.plan ~now ~sender ~neighbors in
-    (* Assert the scheduler respects the MAC layer contract. *)
+    (* Assert the scheduler respects the MAC layer contract. The base plan
+       is checked against F_ack *before* any contention stretch: in
+       interference mode the effective bound is F_ack + stretch. *)
     if plan.Scheduler.ack_at > now + sim.scheduler.Scheduler.fack then
       invalid_arg
         (Printf.sprintf
@@ -285,6 +378,15 @@ let do_broadcast ~now sim sender msg =
            sim.scheduler.Scheduler.fack);
     if plan.Scheduler.ack_at <= now then
       invalid_arg "Engine.run: ack must be strictly after the broadcast";
+    let plan =
+      if stretch = 0 then plan
+      else
+        {
+          Scheduler.receives =
+            List.map (fun (v, t) -> (v, t + stretch)) plan.Scheduler.receives;
+          ack_at = plan.Scheduler.ack_at + stretch;
+        }
+    in
     (* Set-equality check against the neighbor set over the preallocated
        scratch marks: mark every neighbor, consume one mark per planned
        delivery. Duplicates and non-neighbors hit an unmarked slot, a
@@ -353,15 +455,30 @@ let do_broadcast ~now sim sender msg =
             unreliable_plan ~now ~sender ~candidates
               ~ack_at:plan.Scheduler.ack_at
           in
-          List.iter
-            (fun (receiver, time) ->
-              if not (List.mem receiver candidates) then
-                invalid_arg
-                  "Engine.run: unreliable delivery to a non-candidate";
-              deliver (receiver, time);
-              sim.unreliable_deliveries <- sim.unreliable_deliveries + 1;
-              obs_counter sim (fun i -> i.unreliable_total))
-            chosen
+          (* Candidate membership via the scratch marks (marks are not
+             consumed: the plan may legitimately deliver twice to one
+             candidate), so validating the chosen list is O(candidates +
+             chosen) instead of the quadratic List.mem scan the 1000-node
+             allocation audit flagged. *)
+          List.iter (fun v -> sim.plan_scratch.(v) <- true) candidates;
+          (try
+             List.iter
+               (fun (receiver, time) ->
+                 if
+                   receiver < 0
+                   || receiver >= Array.length sim.plan_scratch
+                   || not sim.plan_scratch.(receiver)
+                 then
+                   invalid_arg
+                     "Engine.run: unreliable delivery to a non-candidate";
+                 deliver (receiver, time);
+                 sim.unreliable_deliveries <- sim.unreliable_deliveries + 1;
+                 obs_counter sim (fun i -> i.unreliable_total))
+               chosen
+           with e ->
+             List.iter (fun v -> sim.plan_scratch.(v) <- false) candidates;
+             raise e);
+          List.iter (fun v -> sim.plan_scratch.(v) <- false) candidates
         end
     | None, _ | _, None -> ());
     let ack = Ack { node = sender; inc = sim.incarnation.(sender); cause = bid } in
@@ -432,16 +549,24 @@ let validate_fault_schedule ~n ~crashes ~recoveries =
   in
   List.iter (check "crash") crashes;
   List.iter (check "recovery") recoveries;
+  (* Bucket the schedule per node in one pass: the per-node filter this
+     replaces rescanned the full crash and recovery lists n times — an
+     O(n * faults) = O(n^2) wall at 1000 nodes under dense fault plans.
+     Prepend-then-reverse keeps each bucket in input order (crashes before
+     recoveries), and the sort is stable, so tie handling and error
+     messages are unchanged. *)
+  let buckets = Array.make n [] in
+  List.iter
+    (fun (node, time) -> buckets.(node) <- (time, `Crash) :: buckets.(node))
+    crashes;
+  List.iter
+    (fun (node, time) -> buckets.(node) <- (time, `Recover) :: buckets.(node))
+    recoveries;
   for node = 0 to n - 1 do
-    let tagged tag entries =
-      List.filter_map
-        (fun (v, time) -> if v = node then Some (time, tag) else None)
-        entries
-    in
     let events =
       List.sort
         (fun (ta, _) (tb, _) -> Int.compare ta tb)
-        (tagged `Crash crashes @ tagged `Recover recoveries)
+        (List.rev buckets.(node))
     in
     let rec walk state last = function
       | [] -> ()
@@ -471,11 +596,24 @@ let validate_fault_schedule ~n ~crashes ~recoveries =
 
 let create ?identities ?(give_n = true) ?(give_diameter = false)
     ?(crashes = []) ?(recoveries = []) ?drop ?stutter ?substitute
-    ?(injections = []) ?on_inject ?clock ?(max_time = 1_000_000)
-    ?(stop_when_all_decided = true) ?(track_causal = false) ?provenance
-    ?(record_trace = false) ?pp_msg ?unreliable ?obs
-    (algorithm : ('s, 'm) Algorithm.t) ~topology ~scheduler ~inputs =
+    ?(injections = []) ?on_inject ?(topo_deltas = []) ?clock
+    ?(max_time = 1_000_000) ?(stop_when_all_decided = true)
+    ?(track_causal = false) ?provenance ?(record_trace = false) ?pp_msg
+    ?unreliable ?obs (algorithm : ('s, 'm) Algorithm.t) ~topology ~scheduler
+    ~inputs =
   let n = Topology.size topology in
+  (* Deltas mutate the graph in place; the engine works on a private copy
+     so the caller's topology (and any sibling run sharing it) is never
+     changed under them. ctx.degree and ctx.diameter snapshot the initial
+     graph — churn is invisible to algorithms except through traffic. *)
+  let topology =
+    if topo_deltas = [] then topology else Topology.copy topology
+  in
+  List.iter
+    (fun (time, _delta) ->
+      if time < 0 then
+        invalid_arg "Engine.run: negative topology delta time")
+    topo_deltas;
   if Array.length inputs <> n then
     invalid_arg "Engine.run: inputs length mismatches topology size";
   (match unreliable with
@@ -538,8 +676,13 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       @ List.map
           (fun (node, time, payload) ->
             (key_of ~time (Inject { node; payload }), Inject { node; payload }))
-          injections)
+          injections
+      @ List.map
+          (fun (time, delta) ->
+            (key_of ~time (Topo { delta }), Topo { delta }))
+          topo_deltas)
   in
+  let track_contention = scheduler.Scheduler.contention_stretch <> None in
   let sim =
     {
       algorithm;
@@ -567,6 +710,9 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       busy = Array.make n false;
       busy_since = Array.make n 0;
       plan_scratch = Array.make n false;
+      track_contention;
+      on_air = Array.make (if track_contention then n else 0) false;
+      air_neighbors = Array.make (if track_contention then n else 0) 0;
       obs =
         (match obs with
         | Some reg ->
@@ -574,6 +720,14 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
               (make_instruments reg ~algorithm:algorithm.Algorithm.name
                  ~scheduler:scheduler.Scheduler.name ~n)
         | None -> None);
+      cobs =
+        (match obs with
+        | Some reg when track_contention ->
+            Some
+              (make_contention_instruments reg
+                 ~algorithm:algorithm.Algorithm.name
+                 ~scheduler:scheduler.Scheduler.name ~n)
+        | Some _ | None -> None);
       decisions = Array.make n None;
       extra_decides = [];
       broadcasts = 0;
@@ -587,6 +741,7 @@ let create ?identities ?(give_n = true) ?(give_diameter = false)
       max_ids = 0;
       unreliable_deliveries = 0;
       injected = 0;
+      topo_changes = 0;
       events_processed = 0;
       end_time = 0;
       hit_max_time = false;
@@ -642,6 +797,7 @@ let step sim =
       (match event with
       | Crash { node } ->
           if not sim.crashed.(node) then begin
+            end_transmission sim node;
             sim.crashed.(node) <- true;
             sim.crash_time.(node) <- now;
             if sim.decisions.(node) = None then
@@ -765,6 +921,7 @@ let step sim =
           end
       | Ack { node; inc; cause } ->
           if (not sim.crashed.(node)) && inc = sim.incarnation.(node) then begin
+            end_transmission sim node;
             sim.busy.(node) <- false;
             obs_counter sim (fun i -> i.acks_total);
             obs_hist sim (fun i -> i.ack_latency) (now - sim.busy_since.(node));
@@ -797,7 +954,27 @@ let step sim =
                   f ~now ~payload sim.ctxs.(node) sim.states.(node)
                 in
                 apply_actions_faulted ~now sim node actions
-          end);
+          end
+      | Topo { delta } ->
+          (* Keep the air_neighbors invariant exact under mutation: an
+             endpoint already on air starts (or stops) loading the other
+             endpoint the instant the edge appears (or vanishes). In-flight
+             deliveries over a removed edge still land — the message was
+             already on the wire. *)
+          Topology.apply_delta sim.topology delta;
+          (if sim.track_contention then
+             match delta with
+             | Topology.Add_edge (u, v) ->
+                 if sim.on_air.(u) then
+                   sim.air_neighbors.(v) <- sim.air_neighbors.(v) + 1;
+                 if sim.on_air.(v) then
+                   sim.air_neighbors.(u) <- sim.air_neighbors.(u) + 1
+             | Topology.Remove_edge (u, v) ->
+                 if sim.on_air.(u) then
+                   sim.air_neighbors.(v) <- sim.air_neighbors.(v) - 1;
+                 if sim.on_air.(v) then
+                   sim.air_neighbors.(u) <- sim.air_neighbors.(u) - 1);
+          sim.topo_changes <- sim.topo_changes + 1);
       if sim.stop_when_all_decided && sim.live_undecided = 0 then
         sim.stopped <- true;
       `Stepped
@@ -825,6 +1002,7 @@ let snapshot sim =
     max_ids_per_message = sim.max_ids;
     unreliable_deliveries = sim.unreliable_deliveries;
     injected = sim.injected;
+    topo_changes = sim.topo_changes;
     end_time = sim.end_time;
     events_processed = sim.events_processed;
     hit_max_time = sim.hit_max_time;
@@ -834,14 +1012,14 @@ let snapshot sim =
   }
 
 let run ?identities ?give_n ?give_diameter ?crashes ?recoveries ?drop ?stutter
-    ?substitute ?injections ?on_inject ?clock ?max_time ?stop_when_all_decided
-    ?track_causal ?provenance ?record_trace ?pp_msg ?unreliable ?obs algorithm
-    ~topology ~scheduler ~inputs =
+    ?substitute ?injections ?on_inject ?topo_deltas ?clock ?max_time
+    ?stop_when_all_decided ?track_causal ?provenance ?record_trace ?pp_msg
+    ?unreliable ?obs algorithm ~topology ~scheduler ~inputs =
   let sim =
     create ?identities ?give_n ?give_diameter ?crashes ?recoveries ?drop
-      ?stutter ?substitute ?injections ?on_inject ?clock ?max_time
-      ?stop_when_all_decided ?track_causal ?provenance ?record_trace ?pp_msg
-      ?unreliable ?obs algorithm ~topology ~scheduler ~inputs
+      ?stutter ?substitute ?injections ?on_inject ?topo_deltas ?clock
+      ?max_time ?stop_when_all_decided ?track_causal ?provenance ?record_trace
+      ?pp_msg ?unreliable ?obs algorithm ~topology ~scheduler ~inputs
   in
   let continue = ref true in
   while !continue do

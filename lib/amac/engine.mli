@@ -34,6 +34,21 @@
       (lib/fault) compiles declarative plans into these hooks.
     - {b Zero-time local computation}: handlers run at the event's timestamp;
       all elapsed time comes from the scheduler.
+    - {b Interference mode} (scheduler with [contention_stretch]): the
+      engine tracks, incrementally, how many of each node's neighbors are
+      mid-broadcast, and shifts every plan by the scheduler's stretch of
+      the sender's local contention — the effective ack bound becomes
+      [F_ack + stretch]. Tracking is O(degree) per transmission start/end
+      and O(1) per read; with the hook absent the pre-existing hot path
+      runs unchanged, and a hook returning 0 (zero contention, or
+      [interference ~alpha:0]) leaves every event byte-identical to the
+      base scheduler's run. When [?obs] is given, interference runs
+      additionally register a contention histogram/high-water gauge and
+      global + per-node ack-stretch histograms — contention-free runs
+      never register these families, keeping their snapshots unchanged.
+    - {b Topology deltas} ([topo_deltas]): churn/mobility events applied
+      in place to a private copy of the graph (priority 5, after every
+      other kind of the tick).
     - Simultaneous events are processed deterministically: crashes, then
       recoveries, then deliveries, then acks; FIFO within a class.
 
@@ -67,6 +82,9 @@ type outcome = {
   injected : int;
       (** injection events handed to [on_inject] (scheduled injections whose
           node was down at pop time are counted in [dropped] instead) *)
+  topo_changes : int;
+      (** topology deltas applied (churn/mobility events from
+          [?topo_deltas]) *)
   end_time : int;  (** time of the last processed event *)
   events_processed : int;
   hit_max_time : bool;  (** true when stopped by the [max_time] guard *)
@@ -114,6 +132,7 @@ val create :
   ?injections:(int * int * int) list ->
   ?on_inject:
     (now:int -> payload:int -> Algorithm.ctx -> 's -> 'm Algorithm.action list) ->
+  ?topo_deltas:(int * Topology.delta) list ->
   ?clock:int ref ->
   ?max_time:int ->
   ?stop_when_all_decided:bool ->
@@ -184,6 +203,17 @@ val snapshot : ('s, 'm) sim -> outcome
       injections are inert.
     @param on_inject handler for injection payloads, running in the target
       node's context like any other handler.
+    @param topo_deltas churn/mobility schedule as [(time, delta)] pairs:
+      each delta is applied {e in place} at its timestamp (after every
+      delivery, ack and injection of the tick — event priority 5, so runs
+      without deltas keep their exact event order). The engine works on a
+      private {!Topology.copy} whenever the schedule is non-empty, so the
+      caller's topology is never mutated. Deliveries already scheduled
+      over a removed edge still land (the message was on the wire);
+      subsequent broadcasts see the new neighbor set. [ctx.degree] and
+      [ctx.diameter] snapshot the initial graph. A malformed delta
+      (adding a present edge, removing an absent one) raises at
+      application time.
     @param clock a cell the engine keeps equal to the current event time —
       lets callbacks buried inside the algorithm (e.g. an SMR apply hook)
       timestamp occurrences without threading [now] through every layer.
@@ -240,6 +270,7 @@ val run :
   ?injections:(int * int * int) list ->
   ?on_inject:
     (now:int -> payload:int -> Algorithm.ctx -> 's -> 'm Algorithm.action list) ->
+  ?topo_deltas:(int * Topology.delta) list ->
   ?clock:int ref ->
   ?max_time:int ->
   ?stop_when_all_decided:bool ->

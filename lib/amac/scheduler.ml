@@ -8,11 +8,24 @@ type t = {
     (now:int -> sender:int -> candidates:int list -> ack_at:int ->
      (int * int) list)
     option;
+  contention_stretch : (contention:int -> int) option;
 }
 
 let make ~name ~fack plan =
   if fack < 1 then invalid_arg "Scheduler.make: fack must be >= 1";
-  { name; fack; plan; unreliable_plan = None }
+  { name; fack; plan; unreliable_plan = None; contention_stretch = None }
+
+let interference ?name ?cap ~alpha t =
+  if alpha < 0 then invalid_arg "Scheduler.interference: alpha must be >= 0";
+  let cap = match cap with Some c -> c | None -> 4 * t.fack in
+  if cap < 0 then invalid_arg "Scheduler.interference: cap must be >= 0";
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "%s+sinr(a=%d,cap=%d)" t.name alpha cap
+  in
+  let stretch ~contention = min cap (alpha * max 0 contention) in
+  { t with name; contention_stretch = Some stretch }
 
 let with_unreliable t ~plan = { t with unreliable_plan = Some plan }
 

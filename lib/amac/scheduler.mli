@@ -35,6 +35,20 @@ type t = {
           and when (times must lie in [(now, ack_at\]]). [None] (the
           default) delivers on no unreliable edge, the adversary's
           prerogative. *)
+  contention_stretch : (contention:int -> int) option;
+      (** Interference-aware mode (the SINR-realization setting of
+          Halldórsson–Holzer–Lynch, arXiv:1505.04514): when present, the
+          engine measures the sender's {e local contention} — how many of
+          its neighbors are mid-broadcast at the instant it transmits —
+          and shifts every delivery and the ack of the plan by
+          [contention_stretch ~contention] ticks. The base plan is still
+          asserted against [fack] {e before} the shift, so the effective
+          ack bound in this mode is [fack + stretch]: the MAC layer's
+          ack guarantee degrades gracefully with channel load instead of
+          being a load-independent constant. Must be non-negative, and 0
+          at zero contention for the degenerate mode to coincide with the
+          base scheduler. [None] (the default) is the paper's
+          contention-free abstract MAC layer. *)
 }
 
 (** [make ~name ~fack plan] wraps an arbitrary planning function (with no
@@ -44,6 +58,16 @@ val make :
   fack:int ->
   (now:int -> sender:int -> neighbors:int list -> plan) ->
   t
+
+(** [interference ?name ?cap ~alpha t] attaches the linear contention
+    stretch [min cap (alpha * contention)] to [t]: each concurrently
+    transmitting neighbor of a sender delays its deliveries and ack by
+    [alpha] further ticks, up to [cap] (default [4 * fack]). [alpha = 0]
+    is the degenerate mode: the engine's contention tracking runs but
+    every plan is byte-identical to [t]'s. [?name] overrides the derived
+    ["<base>+sinr(a=..,cap=..)"] display name (labels in metrics snapshots
+    follow it). @raise Invalid_argument if [alpha < 0] or [cap < 0]. *)
+val interference : ?name:string -> ?cap:int -> alpha:int -> t -> t
 
 (** [with_unreliable t ~plan] attaches an unreliable-edge delivery policy. *)
 val with_unreliable :

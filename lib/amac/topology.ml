@@ -150,6 +150,43 @@ let random_connected rng ~n ~extra_edges =
   done;
   of_edges ~n !edge_list
 
+type delta = Add_edge of int * int | Remove_edge of int * int
+
+let pp_delta fmt = function
+  | Add_edge (u, v) -> Format.fprintf fmt "+(%d,%d)" u v
+  | Remove_edge (u, v) -> Format.fprintf fmt "-(%d,%d)" u v
+
+let copy t = { adj = Array.copy t.adj }
+
+(* Neighbor lists are sorted increasing; insertion keeps them that way so
+   a mutated topology is indistinguishable from one built by [of_edges]. *)
+let rec insert_sorted v = function
+  | [] -> [ v ]
+  | x :: rest as l ->
+      if v < x then v :: l
+      else if v = x then invalid_arg "Topology: duplicate edge"
+      else x :: insert_sorted v rest
+
+let add_edge t u v =
+  validate_edge ~n:(Array.length t.adj) (u, v);
+  if List.mem v t.adj.(u) then
+    invalid_arg (Printf.sprintf "Topology.add_edge: edge (%d,%d) exists" u v);
+  t.adj.(u) <- insert_sorted v t.adj.(u);
+  t.adj.(v) <- insert_sorted u t.adj.(v)
+
+let remove_edge t u v =
+  validate_edge ~n:(Array.length t.adj) (u, v);
+  if not (List.mem v t.adj.(u)) then
+    invalid_arg (Printf.sprintf "Topology.remove_edge: no edge (%d,%d)" u v);
+  t.adj.(u) <- List.filter (fun w -> w <> v) t.adj.(u);
+  t.adj.(v) <- List.filter (fun w -> w <> u) t.adj.(v)
+
+let apply_delta t = function
+  | Add_edge (u, v) -> add_edge t u v
+  | Remove_edge (u, v) -> remove_edge t u v
+
+let apply_deltas t deltas = List.iter (apply_delta t) deltas
+
 let edges t =
   let acc = ref [] in
   Array.iteri

@@ -73,6 +73,40 @@ val disjoint_union : t -> t -> t
     @raise Invalid_argument on invalid or duplicate edges. *)
 val add_edges : t -> (int * int) list -> t
 
+(** {1 In-place deltas}
+
+    Churn and mobility are expressed as edge deltas applied {e in place}
+    (O(degree) each, no rebuild), so a 1000-node graph under churn never
+    re-allocates its adjacency structure. A topology is a mutable value once
+    deltas are in play: callers that need the original intact should
+    {!copy} first (the engine does exactly that when given a delta
+    schedule). *)
+
+type delta =
+  | Add_edge of int * int  (** endpoints unordered; edge must be absent *)
+  | Remove_edge of int * int  (** edge must be present *)
+
+val pp_delta : Format.formatter -> delta -> unit
+
+(** [copy t] is an independent topology; deltas applied to either side are
+    invisible to the other. *)
+val copy : t -> t
+
+(** [add_edge t u v] inserts the edge in place, keeping neighbor lists
+    sorted. @raise Invalid_argument if invalid or already present. *)
+val add_edge : t -> int -> int -> unit
+
+(** [remove_edge t u v] deletes the edge in place.
+    @raise Invalid_argument if invalid or absent. *)
+val remove_edge : t -> int -> int -> unit
+
+(** [apply_delta t d] is [add_edge] or [remove_edge] per the delta. *)
+val apply_delta : t -> delta -> unit
+
+(** [apply_deltas t ds] applies in list order; equivalent to rebuilding via
+    [of_edges] from the resulting edge set. *)
+val apply_deltas : t -> delta list -> unit
+
 (** {1 Queries} *)
 
 (** [size t] is the number of nodes [n]. *)

@@ -24,7 +24,7 @@ let record_degradation ~obs ~algorithm (degradation : Checker.degradation) =
 
 let run ?identities ?give_n ?give_diameter ?(crashes = []) ?faults ?substitute
     ?honest ?max_time ?track_causal ?provenance ?record_trace ?pp_msg
-    ?unreliable ?obs algorithm ~topology ~scheduler ~inputs =
+    ?unreliable ?topo_deltas ?obs algorithm ~topology ~scheduler ~inputs =
   (* A fault plan's crash/recovery schedule merges with the legacy
      [?crashes] list; the merged schedule is validated by the engine. *)
   let crashes, recoveries, drop, stutter =
@@ -45,8 +45,8 @@ let run ?identities ?give_n ?give_diameter ?(crashes = []) ?faults ?substitute
   let outcome =
     Amac.Engine.run ?identities ?give_n ?give_diameter ~crashes ~recoveries
       ?drop ?stutter ?substitute ?max_time ?track_causal ?provenance
-      ?record_trace ?pp_msg ?unreliable ?obs algorithm ~topology ~scheduler
-      ~inputs
+      ?record_trace ?pp_msg ?unreliable ?topo_deltas ?obs algorithm ~topology
+      ~scheduler ~inputs
   in
   let degradation = Checker.degrade ?honest ~inputs outcome in
   (match obs with
@@ -63,11 +63,11 @@ let run ?identities ?give_n ?give_diameter ?(crashes = []) ?faults ?substitute
 
 let run_exn ?identities ?give_n ?give_diameter ?crashes ?faults ?substitute
     ?honest ?max_time ?track_causal ?provenance ?record_trace ?pp_msg
-    ?unreliable ?obs algorithm ~topology ~scheduler ~inputs =
+    ?unreliable ?topo_deltas ?obs algorithm ~topology ~scheduler ~inputs =
   let result =
     run ?identities ?give_n ?give_diameter ?crashes ?faults ?substitute ?honest
       ?max_time ?track_causal ?provenance ?record_trace ?pp_msg ?unreliable
-      ?obs algorithm ~topology ~scheduler ~inputs
+      ?topo_deltas ?obs algorithm ~topology ~scheduler ~inputs
   in
   if not (Checker.ok result.report) then
     failwith

@@ -25,6 +25,8 @@ type result = {
     @param honest honest-node mask handed to {!Checker.check} /
       {!Checker.degrade}: consensus properties and liveness metrics quantify
       over honest nodes only.
+    @param topo_deltas a churn/mobility schedule applied mid-run (see
+      {!Amac.Engine.run}); {!Topo_gen} produces well-formed schedules.
     @param obs a metrics registry: the engine instruments itself into it
       (see {!Amac.Engine.run}), the fault plan is mirrored as
       [fault_events_total] counters ({!Fault.record}), and the checker's
@@ -45,6 +47,7 @@ val run :
   ?record_trace:bool ->
   ?pp_msg:('m -> string) ->
   ?unreliable:Amac.Topology.t ->
+  ?topo_deltas:(int * Amac.Topology.delta) list ->
   ?obs:Obs.Metrics.registry ->
   ('s, 'm) Amac.Algorithm.t ->
   topology:Amac.Topology.t ->
@@ -69,6 +72,7 @@ val run_exn :
   ?record_trace:bool ->
   ?pp_msg:('m -> string) ->
   ?unreliable:Amac.Topology.t ->
+  ?topo_deltas:(int * Amac.Topology.delta) list ->
   ?obs:Obs.Metrics.registry ->
   ('s, 'm) Amac.Algorithm.t ->
   topology:Amac.Topology.t ->

@@ -1,0 +1,319 @@
+type spec =
+  | Grid of { width : int; height : int }
+  | Rgg of { n : int; radius : float }
+  | Cluster of { clusters : int; size : int; extra_bridges : int }
+
+let name = function
+  | Grid { width; height } -> Printf.sprintf "grid:%dx%d" width height
+  | Rgg { n; _ } -> Printf.sprintf "rgg:%d" n
+  | Cluster { clusters; size; extra_bridges } ->
+      Printf.sprintf "cluster:%dx%d+%d" clusters size extra_bridges
+
+let size = function
+  | Grid { width; height } -> width * height
+  | Rgg { n; _ } -> n
+  | Cluster { clusters; size; _ } -> clusters * size
+
+let connectivity_radius ~n =
+  if n < 2 then invalid_arg "Topo_gen.connectivity_radius: need n >= 2";
+  sqrt (3.0 *. log (float_of_int n) /. float_of_int n)
+
+let validate = function
+  | Grid { width; height } ->
+      if width < 1 || height < 1 || width * height < 2 then
+        invalid_arg "Topo_gen: grid needs width*height >= 2"
+  | Rgg { n; radius } ->
+      if n < 2 then invalid_arg "Topo_gen: rgg needs n >= 2";
+      if radius <= 0.0 then invalid_arg "Topo_gen: rgg needs radius > 0"
+  | Cluster { clusters; size; extra_bridges } ->
+      if clusters < 1 then invalid_arg "Topo_gen: need clusters >= 1";
+      if size < 2 then invalid_arg "Topo_gen: need cluster size >= 2";
+      if extra_bridges < 0 then invalid_arg "Topo_gen: negative extra_bridges"
+
+let rgg_points rng n =
+  Array.init n (fun _ ->
+      let x = Amac.Rng.float rng 1.0 in
+      let y = Amac.Rng.float rng 1.0 in
+      (x, y))
+
+let dist2 (x1, y1) (x2, y2) =
+  let dx = x1 -. x2 and dy = y1 -. y2 in
+  (dx *. dx) +. (dy *. dy)
+
+(* Connect every pair within [radius] using cell bucketing: points land in
+   a grid of radius-sized cells, so only the 3x3 cell neighborhood of each
+   point is scanned — O(n * local density) instead of the naive O(n^2). *)
+let rgg_edges points radius =
+  let n = Array.length points in
+  let r2 = radius *. radius in
+  let cells = max 1 (min n (int_of_float (1.0 /. radius))) in
+  let cell_of (x, y) =
+    let clamp c = max 0 (min (cells - 1) c) in
+    ( clamp (int_of_float (x *. float_of_int cells)),
+      clamp (int_of_float (y *. float_of_int cells)) )
+  in
+  let bucket = Array.make (cells * cells) [] in
+  (* Iterate downward so each bucket list ends up in ascending node order. *)
+  for u = n - 1 downto 0 do
+    let cx, cy = cell_of points.(u) in
+    let i = (cy * cells) + cx in
+    bucket.(i) <- u :: bucket.(i)
+  done;
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    let cx, cy = cell_of points.(u) in
+    for dy = -1 to 1 do
+      for dx = -1 to 1 do
+        let bx = cx + dx and by = cy + dy in
+        if bx >= 0 && bx < cells && by >= 0 && by < cells then
+          List.iter
+            (fun v ->
+              if v > u && dist2 points.(u) points.(v) <= r2 then
+                edges := (u, v) :: !edges)
+            bucket.((by * cells) + bx)
+      done
+    done
+  done;
+  !edges
+
+(* Deterministic connectivity patch: grow the component of node 0 by
+   repeatedly bridging it to the nearest outside point (ties broken by the
+   lower (u, v) pair), so a sub-threshold draw still yields a connected,
+   geometrically plausible graph. *)
+let patch_components points edges =
+  let n = Array.length points in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union u v =
+    let ru = find u and rv = find v in
+    if ru <> rv then parent.(ru) <- rv
+  in
+  List.iter (fun (u, v) -> union u v) edges;
+  let patched = ref [] in
+  let continue = ref true in
+  while !continue do
+    let root0 = find 0 in
+    let best = ref None in
+    for u = 0 to n - 1 do
+      if find u = root0 then
+        for v = 0 to n - 1 do
+          if find v <> root0 then begin
+            let d = dist2 points.(u) points.(v) in
+            match !best with
+            | Some (bd, _, _) when bd <= d -> ()
+            | _ -> best := Some (d, u, v)
+          end
+        done
+    done;
+    match !best with
+    | None -> continue := false
+    | Some (_, u, v) ->
+        patched := (min u v, max u v) :: !patched;
+        union u v
+  done;
+  edges @ List.rev !patched
+
+let generate ~seed spec =
+  validate spec;
+  match spec with
+  | Grid { width; height } -> Amac.Topology.grid ~width ~height
+  | Rgg { n; radius } ->
+      let rng = Amac.Rng.create seed in
+      let points = rgg_points rng n in
+      let edges = patch_components points (rgg_edges points radius) in
+      Amac.Topology.of_edges ~n edges
+  | Cluster { clusters; size; extra_bridges } ->
+      let rng = Amac.Rng.create seed in
+      let n = clusters * size in
+      let present = Hashtbl.create (4 * n) in
+      let edges = ref [] in
+      let add u v =
+        let key = (min u v, max u v) in
+        if u <> v && not (Hashtbl.mem present key) then begin
+          Hashtbl.add present key ();
+          edges := key :: !edges;
+          true
+        end
+        else false
+      in
+      for c = 0 to clusters - 1 do
+        let base = c * size in
+        for u = base to base + size - 1 do
+          for v = u + 1 to base + size - 1 do
+            ignore (add u v)
+          done
+        done
+      done;
+      (* Bridge the clusters in a ring through random gateway nodes. *)
+      if clusters > 1 then
+        for c = 0 to clusters - 1 do
+          let u = (c * size) + Amac.Rng.int rng size in
+          let v = ((c + 1) mod clusters * size) + Amac.Rng.int rng size in
+          ignore (add u v)
+        done;
+      let added = ref 0 in
+      let attempts = ref 0 in
+      let max_attempts = 50 * (extra_bridges + 1) in
+      while !added < extra_bridges && !attempts < max_attempts do
+        incr attempts;
+        if clusters > 1 then begin
+          let cu = Amac.Rng.int rng clusters in
+          let cv = Amac.Rng.int rng clusters in
+          if cu <> cv then begin
+            let u = (cu * size) + Amac.Rng.int rng size in
+            let v = (cv * size) + Amac.Rng.int rng size in
+            if add u v then incr added
+          end
+        end
+        else added := extra_bridges (* single clique: nothing to bridge *)
+      done;
+      Amac.Topology.of_edges ~n !edges
+
+let positions ~seed spec =
+  validate spec;
+  match spec with
+  | Rgg { n; _ } ->
+      let rng = Amac.Rng.create seed in
+      Some (rgg_points rng n)
+  | Grid _ | Cluster _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Churn and mobility schedules                                         *)
+(* ------------------------------------------------------------------ *)
+
+let validate_schedule ~what ~events ~start ~gap =
+  if events < 0 then invalid_arg (Printf.sprintf "Topo_gen.%s: events < 0" what);
+  if start < 0 then invalid_arg (Printf.sprintf "Topo_gen.%s: start < 0" what);
+  if gap < 1 then invalid_arg (Printf.sprintf "Topo_gen.%s: gap < 1" what)
+
+(* Pick an edge whose removal keeps the graph connected; [None] when the
+   sampled candidates are all bridges (e.g. on a tree). *)
+let removable_edge rng work =
+  let edges = Array.of_list (Amac.Topology.edges work) in
+  let m = Array.length edges in
+  if m = 0 then None
+  else begin
+    let found = ref None in
+    let attempts = ref 0 in
+    while !found = None && !attempts < 20 do
+      incr attempts;
+      let u, v = edges.(Amac.Rng.int rng m) in
+      Amac.Topology.remove_edge work u v;
+      if Amac.Topology.is_connected work then found := Some (u, v)
+      else Amac.Topology.add_edge work u v
+    done;
+    !found
+  end
+
+let absent_pair rng work =
+  let n = Amac.Topology.size work in
+  let found = ref None in
+  let attempts = ref 0 in
+  while !found = None && !attempts < 50 do
+    incr attempts;
+    let u = Amac.Rng.int rng n in
+    let v = Amac.Rng.int rng n in
+    if u <> v && not (Amac.Topology.has_edge work u v) then
+      found := Some (min u v, max u v)
+  done;
+  !found
+
+let churn ~seed topology ~events ~start ~gap =
+  validate_schedule ~what:"churn" ~events ~start ~gap;
+  let rng = Amac.Rng.create seed in
+  let work = Amac.Topology.copy topology in
+  let out = ref [] in
+  for k = 0 to events - 1 do
+    let time = start + (k * gap) in
+    let removal_first = Amac.Rng.bool rng in
+    let try_remove () =
+      match removable_edge rng work with
+      | Some (u, v) ->
+          (* [removable_edge] already removed it from [work]. *)
+          out := (time, Amac.Topology.Remove_edge (u, v)) :: !out;
+          true
+      | None -> false
+    in
+    let try_add () =
+      match absent_pair rng work with
+      | Some (u, v) ->
+          Amac.Topology.add_edge work u v;
+          out := (time, Amac.Topology.Add_edge (u, v)) :: !out;
+          true
+      | None -> false
+    in
+    if removal_first then (if not (try_remove ()) then ignore (try_add ()))
+    else if not (try_add ()) then ignore (try_remove ())
+  done;
+  List.rev !out
+
+(* A node is movable when the rest of the graph stays connected without
+   it: BFS from any other node, ignoring [u], must reach all n-1 others. *)
+let movable work u =
+  let n = Amac.Topology.size work in
+  n >= 3
+  &&
+  let seen = Array.make n false in
+  seen.(u) <- true;
+  let source = if u = 0 then 1 else 0 in
+  let queue = Queue.create () in
+  seen.(source) <- true;
+  Queue.add source queue;
+  let visited = ref 1 in
+  while not (Queue.is_empty queue) do
+    let w = Queue.pop queue in
+    List.iter
+      (fun x ->
+        if not seen.(x) then begin
+          seen.(x) <- true;
+          incr visited;
+          Queue.add x queue
+        end)
+      (Amac.Topology.neighbors work w)
+  done;
+  !visited = n - 1
+
+let mobility ~seed topology ~moves ~start ~gap =
+  validate_schedule ~what:"mobility" ~events:moves ~start ~gap;
+  let rng = Amac.Rng.create seed in
+  let work = Amac.Topology.copy topology in
+  let n = Amac.Topology.size work in
+  let out = ref [] in
+  for k = 0 to moves - 1 do
+    let time = start + (k * gap) in
+    let u = ref None in
+    let attempts = ref 0 in
+    while !u = None && !attempts < 20 do
+      incr attempts;
+      let candidate = Amac.Rng.int rng n in
+      if movable work candidate then u := Some candidate
+    done;
+    match !u with
+    | None -> ()
+    | Some u ->
+        let old = Amac.Topology.neighbors work u in
+        List.iter
+          (fun w ->
+            Amac.Topology.remove_edge work u w;
+            out := (time, Amac.Topology.Remove_edge (u, w)) :: !out)
+          old;
+        let anchor = ref (Amac.Rng.int rng n) in
+        while !anchor = u do
+          anchor := Amac.Rng.int rng n
+        done;
+        let anchor = !anchor in
+        let attach w =
+          if w <> u && not (Amac.Topology.has_edge work u w) then begin
+            Amac.Topology.add_edge work u w;
+            out := (time, Amac.Topology.Add_edge (u, w)) :: !out
+          end
+        in
+        attach anchor;
+        let near =
+          Array.of_list
+            (List.filter (fun w -> w <> u) (Amac.Topology.neighbors work anchor))
+        in
+        Amac.Rng.shuffle rng near;
+        Array.iteri (fun i w -> if i < 2 then attach w) near
+  done;
+  List.rev !out

@@ -1,0 +1,83 @@
+(** Seeded generators for large multi-hop topologies, plus churn and
+    mobility expressed as {!Amac.Topology.delta} schedules.
+
+    Every generator is a pure function of its spec and an integer seed:
+    the same (spec, seed) pair produces a byte-identical edge set on every
+    run and platform, so 1000-node experiments stay replayable from one
+    integer. Generated graphs are always connected — a disconnected draw
+    (possible for a sub-threshold RGG radius) is patched deterministically
+    by bridging components along their closest point pairs.
+
+    The random geometric graph follows the SINR-motivated setting of
+    Halldórsson–Holzer–Lynch (arXiv:1505.04514): nodes are points in the
+    unit square, and two nodes are neighbors iff they lie within the
+    connection radius. {!connectivity_radius} is a radius comfortably above
+    the [sqrt (ln n / n)] connectivity threshold. *)
+
+type spec =
+  | Grid of { width : int; height : int }
+      (** the 2-D mesh (delegates to {!Amac.Topology.grid}) *)
+  | Rgg of { n : int; radius : float }
+      (** [n] uniform points in the unit square, edges within [radius] *)
+  | Cluster of { clusters : int; size : int; extra_bridges : int }
+      (** [clusters] cliques of [size] nodes bridged in a ring, plus
+          [extra_bridges] distinct random inter-cluster chords *)
+
+(** Stable short name ("grid:20x20", "rgg:1000", "cluster:8x12+4") used as
+    a row key in benches and the test matrix. *)
+val name : spec -> string
+
+(** Node count of the generated graph. *)
+val size : spec -> int
+
+(** [connectivity_radius ~n] = [sqrt (3 ln n / n)] — above the RGG
+    connectivity threshold, so patching is rare and local. *)
+val connectivity_radius : n:int -> float
+
+(** [generate ~seed spec] — deterministic in [(spec, seed)]; always
+    connected. @raise Invalid_argument on degenerate dimensions
+    ([n < 2], [width*height < 2], [clusters < 1], [size < 2],
+    non-positive radius). *)
+val generate : seed:int -> spec -> Amac.Topology.t
+
+(** [positions ~seed spec] — the point set an [Rgg] spec embeds ([None]
+    for the combinatorial specs). Exposed so tests can check the radius
+    semantics against the generated edge set. *)
+val positions : seed:int -> spec -> (float * float) array option
+
+(** {1 Churn and mobility}
+
+    Both return a time-stamped delta schedule (sorted by time) that keeps
+    the graph {e connected after every delta} — apply them in order to a
+    {!Amac.Topology.copy} of the generated graph, or hand them to the
+    engine's [topo_deltas]. Deterministic in [(topology, seed)]. *)
+
+(** [churn ~seed t ~events ~start ~gap] alternates edge removals and
+    insertions: each removal picks a random non-bridge edge (connectivity
+    is re-checked), each insertion a random absent pair. Events land at
+    times [start, start+gap, ...]. Fewer than [events] deltas are returned
+    when no legal candidate is found (e.g. a tree has no removable edge).
+    @raise Invalid_argument if [events < 0], [start < 0] or [gap < 1]. *)
+val churn :
+  seed:int ->
+  Amac.Topology.t ->
+  events:int ->
+  start:int ->
+  gap:int ->
+  (int * Amac.Topology.delta) list
+
+(** [mobility ~seed t ~moves ~start ~gap] models node movement: each move
+    detaches one node from all its neighbors and re-attaches it near a
+    randomly chosen anchor node (to the anchor and up to two of the
+    anchor's neighbors), as a burst of deltas sharing one timestamp. Only
+    nodes whose removal leaves the rest connected are moved, so the graph
+    is connected after each burst. Fewer than [moves] bursts are returned
+    when no movable node is found.
+    @raise Invalid_argument if [moves < 0], [start < 0] or [gap < 1]. *)
+val mobility :
+  seed:int ->
+  Amac.Topology.t ->
+  moves:int ->
+  start:int ->
+  gap:int ->
+  (int * Amac.Topology.delta) list

@@ -1,0 +1,166 @@
+type config = {
+  iterations : int;
+  max_fack : int;
+  max_alpha : int;
+  max_crashes : int;
+  max_time : int;
+  faults : Mcheck.Fuzz.fault_profile option;
+}
+
+let default =
+  {
+    iterations = 100;
+    max_fack = 4;
+    max_alpha = 3;
+    max_crashes = 2;
+    max_time = 200_000;
+    faults = Some Mcheck.Fuzz.default_fault_profile;
+  }
+
+type failure = {
+  iteration : int;
+  spec : string;
+  topo_seed : int;
+  n : int;
+  fack : int;
+  alpha : int;
+  cap : int option;
+  deltas : int;
+  crashes : (int * int) list;
+  faults : Fault.plan;
+  violations : Consensus.Checker.violation list;
+}
+
+type outcome = {
+  iterations_run : int;
+  failure : failure option;
+}
+
+let pp_failure fmt f =
+  Format.fprintf fmt
+    "@[<v>iteration %d: %s seed=%d n=%d fack=%d alpha=%d cap=%s deltas=%d@,\
+     crashes=[%s]@,faults=%s@,%a@]"
+    f.iteration f.spec f.topo_seed f.n f.fack f.alpha
+    (match f.cap with Some c -> string_of_int c | None -> "default")
+    f.deltas
+    (String.concat "; "
+       (List.map
+          (fun (node, at) -> Printf.sprintf "%d@%d" node at)
+          f.crashes))
+    (Fault.to_string f.faults)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space
+       Consensus.Checker.pp_violation)
+    f.violations
+
+(* Draws stay CI-sized: the point of this campaign is the interaction of
+   multi-hop routing, contention-stretched acks, churn and fault plans —
+   not raw scale, which bench B14 covers at 1000 nodes. *)
+let gen_spec rng =
+  match Amac.Rng.int rng 3 with
+  | 0 ->
+      Topo_gen.Grid
+        {
+          width = Amac.Rng.int_range rng ~lo:2 ~hi:5;
+          height = Amac.Rng.int_range rng ~lo:2 ~hi:5;
+        }
+  | 1 ->
+      let n = Amac.Rng.int_range rng ~lo:8 ~hi:24 in
+      Topo_gen.Rgg { n; radius = Topo_gen.connectivity_radius ~n }
+  | _ ->
+      Topo_gen.Cluster
+        {
+          clusters = Amac.Rng.int_range rng ~lo:2 ~hi:4;
+          size = Amac.Rng.int_range rng ~lo:3 ~hi:5;
+          extra_bridges = Amac.Rng.int rng 3;
+        }
+
+let run_iteration config ~seed ~iteration =
+  let rng = Mcheck.Fuzz.derive ~seed ~iteration in
+  let spec = gen_spec rng in
+  let topo_seed = Amac.Rng.int rng 1_000_000 in
+  let topology = Topo_gen.generate ~seed:topo_seed spec in
+  let n = Topo_gen.size spec in
+  let fack = Amac.Rng.int_range rng ~lo:1 ~hi:(max 1 config.max_fack) in
+  let alpha = Amac.Rng.int rng (config.max_alpha + 1) in
+  let cap =
+    if Amac.Rng.bool rng then None
+    else Some (Amac.Rng.int_range rng ~lo:1 ~hi:(4 * fack))
+  in
+  (* Churn and mobility start after the first broadcast window so the run
+     is past initialisation, with gaps on the same F_ack scale the fault
+     generator uses. *)
+  let topo_deltas =
+    let start = 2 * fack and gap = max 1 (2 * fack) in
+    match Amac.Rng.int rng 3 with
+    | 0 -> []
+    | 1 ->
+        Topo_gen.churn ~seed:(Amac.Rng.int rng 1_000_000) topology
+          ~events:(1 + Amac.Rng.int rng 4)
+          ~start ~gap
+    | _ ->
+        Topo_gen.mobility ~seed:(Amac.Rng.int rng 1_000_000) topology
+          ~moves:(1 + Amac.Rng.int rng 2)
+          ~start ~gap
+  in
+  (* Early crashes as in Smr_fuzz: times land in the first broadcast
+     windows, where leader election is most delicate. *)
+  let crash_count = Amac.Rng.int rng (config.max_crashes + 1) in
+  let crashes =
+    List.init crash_count (fun _ ->
+        ( Amac.Rng.int rng n,
+          Amac.Rng.int_range rng ~lo:0 ~hi:(((2 * fack) + 1) * 2) ))
+    |> List.sort_uniq compare
+    |> List.fold_left
+         (fun acc (node, time) ->
+           if List.mem_assoc node acc then acc else (node, time) :: acc)
+         []
+    |> List.rev
+  in
+  let faults =
+    match config.faults with
+    | None -> []
+    | Some p -> Mcheck.Fuzz.gen_fault_plan rng ~n ~fack ~crashes p
+  in
+  let crashes = if config.faults = None then crashes else [] in
+  let scheduler =
+    Amac.Scheduler.interference ~alpha ?cap
+      (Amac.Scheduler.random (Amac.Rng.split rng) ~fack)
+  in
+  let inputs = Consensus.Runner.inputs_random rng ~n in
+  let result =
+    Consensus.Runner.run
+      (Consensus.Wpaxos.make ())
+      ~topology ~scheduler ~inputs ~crashes ~faults ~topo_deltas
+      ~max_time:config.max_time
+  in
+  match Consensus.Checker.safety_violations result.Consensus.Runner.report with
+  | [] -> None
+  | violations ->
+      Some
+        {
+          iteration;
+          spec = Topo_gen.name spec;
+          topo_seed;
+          n;
+          fack;
+          alpha;
+          cap;
+          deltas = List.length topo_deltas;
+          crashes;
+          faults;
+          violations;
+        }
+
+let run ?(progress = fun _ -> ()) config ~seed =
+  let rec go i =
+    if i >= config.iterations then { iterations_run = i; failure = None }
+    else
+      match run_iteration config ~seed ~iteration:i with
+      | None ->
+          progress i;
+          go (i + 1)
+      | Some f ->
+          progress i;
+          { iterations_run = i + 1; failure = Some f }
+  in
+  go 0

@@ -20,6 +20,7 @@ let outcome ?(extra = []) ?(crashed = [||]) decisions : Amac.Engine.outcome =
     events_processed = 0;
     unreliable_deliveries = 0;
     injected = 0;
+    topo_changes = 0;
     hit_max_time = false;
     causal = None;
     provenance = None;

@@ -21,12 +21,12 @@ let render ~n (outcome : Amac.Engine.outcome) reg =
   Buffer.add_string b (Obs.Metrics.render (Obs.Metrics.snapshot reg));
   Buffer.contents b
 
-let scenario_two_phase () =
+let scenario_two_phase ?(wrap = Fun.id) () =
   let reg = Obs.Metrics.create () in
   let result =
     Consensus.Runner.run Consensus.Two_phase.algorithm
       ~topology:(Amac.Topology.clique 3)
-      ~scheduler:Amac.Scheduler.synchronous ~inputs:[| 0; 1; 1 |]
+      ~scheduler:(wrap Amac.Scheduler.synchronous) ~inputs:[| 0; 1; 1 |]
       ~record_trace:true ~obs:reg
   in
   render ~n:3 result.Consensus.Runner.outcome reg
@@ -34,13 +34,13 @@ let scenario_two_phase () =
 (* The wPAXOS scenario also pins the causal provenance DAG: the exact
    vertex/cause structure under crash-recovery (Boot roots for both
    incarnations of node 1) is part of the golden contract. *)
-let scenario_wpaxos_crash_recovery () =
+let scenario_wpaxos_crash_recovery ?(wrap = Fun.id) () =
   let reg = Obs.Metrics.create () in
   let prov = Obs.Provenance.create () in
   let result =
     Consensus.Runner.run (Consensus.Wpaxos.make ())
       ~topology:(Amac.Topology.line 4)
-      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create 9) ~fack:2)
+      ~scheduler:(wrap (Amac.Scheduler.random (Amac.Rng.create 9) ~fack:2))
       ~inputs:[| 1; 0; 1; 0 |]
       ~faults:
         [ Fault.Crash { node = 1; at = 5 }; Fault.Recover { node = 1; at = 40 } ]
@@ -51,23 +51,23 @@ let scenario_wpaxos_crash_recovery () =
   ^ Obs.Json.to_string (Obs.Provenance.to_json prov)
   ^ "\n"
 
-let scenario_ben_or () =
+let scenario_ben_or ?(wrap = Fun.id) () =
   let reg = Obs.Metrics.create () in
   let result =
     Consensus.Runner.run
       (Consensus.Ben_or.make ~seed:3 ())
       ~topology:(Amac.Topology.clique 3)
-      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create 4) ~fack:1)
+      ~scheduler:(wrap (Amac.Scheduler.random (Amac.Rng.create 4) ~fack:1))
       ~inputs:[| 0; 1; 0 |] ~record_trace:true ~obs:reg
   in
   render ~n:3 result.Consensus.Runner.outcome reg
 
-let scenario_smr_closed_loop () =
+let scenario_smr_closed_loop ?(wrap = Fun.id) () =
   let reg = Obs.Metrics.create () in
   let result =
     Workload.run
       ~topology:(Amac.Topology.clique 3)
-      ~scheduler:Amac.Scheduler.synchronous ~seed:21 ~cmds:6
+      ~scheduler:(wrap Amac.Scheduler.synchronous) ~seed:21 ~cmds:6
       ~mode:(Workload.Closed_loop { clients_per_node = 1 })
       ~record_trace:true ~obs:reg ()
   in
@@ -80,7 +80,7 @@ let scenario_smr_closed_loop () =
    Reconfiguration: a 3-voter cluster (two learners) scales to 5 through
    the joint command mid-traffic; the Change floods, the lease restarts
    and the epoch bump are all pinned. Both tiny enough to review as text. *)
-let scenario_smr_compaction () =
+let scenario_smr_compaction ?(wrap = Fun.id) () =
   let reg = Obs.Metrics.create () in
   let result =
     Workload.run ~compact_every:4
@@ -90,19 +90,19 @@ let scenario_smr_compaction () =
           Fault.Recover { node = 0; at = 160 };
         ]
       ~topology:(Amac.Topology.clique 3)
-      ~scheduler:Amac.Scheduler.synchronous ~seed:15 ~cmds:12
+      ~scheduler:(wrap Amac.Scheduler.synchronous) ~seed:15 ~cmds:12
       ~mode:(Workload.Open_loop { mean_gap = 4 })
       ~record_trace:true ~obs:reg ()
   in
   render ~n:3 result.Workload.outcome reg
 
-let scenario_smr_reconfig () =
+let scenario_smr_reconfig ?(wrap = Fun.id) () =
   let reg = Obs.Metrics.create () in
   let result =
     Workload.run ~members:[ 0; 1; 2 ]
       ~reconfigs:[ (0, 40, [ 0; 1; 2; 3; 4 ]) ]
       ~topology:(Amac.Topology.clique 5)
-      ~scheduler:Amac.Scheduler.synchronous ~seed:27 ~cmds:8
+      ~scheduler:(wrap Amac.Scheduler.synchronous) ~seed:27 ~cmds:8
       ~mode:(Workload.Open_loop { mean_gap = 6 })
       ~record_trace:true ~obs:reg ()
   in
@@ -111,34 +111,34 @@ let scenario_smr_reconfig () =
 (* Sharded golden: two groups multiplexed over one 3-node MAC run with
    batch = 2 — group-tagged bundle broadcasts, the shared wire slot and
    the batch flush/expansion cycle are all visible in the timeline. *)
-let scenario_smr_sharded () =
+let scenario_smr_sharded ?(wrap = Fun.id) () =
   let reg = Obs.Metrics.create () in
   let result =
     Shard_workload.run
       ~topology:(Amac.Topology.clique 3)
-      ~scheduler:Amac.Scheduler.synchronous ~seed:33 ~cmds:8 ~groups:2
+      ~scheduler:(wrap Amac.Scheduler.synchronous) ~seed:33 ~cmds:8 ~groups:2
       ~batch:2 ~mean_gap:4 ~key_space:16 ~record_trace:true ~obs:reg ()
   in
   render ~n:3 result.Shard_workload.outcome reg
 
-let scenario_counter_race () =
+let scenario_counter_race ?(wrap = Fun.id) () =
   let reg = Obs.Metrics.create () in
   let result =
     Consensus.Runner.run
       (Consensus.Counter_race.make ())
       ~topology:(Amac.Topology.clique 3)
-      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create 6) ~fack:2)
+      ~scheduler:(wrap (Amac.Scheduler.random (Amac.Rng.create 6) ~fack:2))
       ~inputs:[| 0; 1; 1 |] ~record_trace:true ~obs:reg
   in
   render ~n:3 result.Consensus.Runner.outcome reg
 
-let scenario_byz_consensus () =
+let scenario_byz_consensus ?(wrap = Fun.id) () =
   let reg = Obs.Metrics.create () in
   let result =
     Consensus.Runner.run
       (Consensus.Byz_consensus.make ~seed:2 ())
       ~topology:(Amac.Topology.clique 4)
-      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create 13) ~fack:2)
+      ~scheduler:(wrap (Amac.Scheduler.random (Amac.Rng.create 13) ~fack:2))
       ~inputs:[| 0; 1; 1; 0 |] ~record_trace:true ~obs:reg
   in
   render ~n:4 result.Consensus.Runner.outcome reg
@@ -147,7 +147,7 @@ let scenario_byz_consensus () =
    behaviors and an early equivocation window against the low half — the
    adversary's suppressions ('#') and substitutions ('*') land in the
    timeline, pinning the engine's substitute-hook event ordering. *)
-let byz_scenario algorithm adapter ~n ~seed ~inputs () =
+let byz_scenario algorithm adapter ~n ~seed ~inputs ?(wrap = Fun.id) () =
   let reg = Obs.Metrics.create () in
   let strategy =
     {
@@ -170,7 +170,7 @@ let byz_scenario algorithm adapter ~n ~seed ~inputs () =
   let result =
     Consensus.Runner.run wrapped.Byz.Model.algorithm
       ~topology:(Amac.Topology.clique n)
-      ~scheduler:(Amac.Scheduler.random (Amac.Rng.create seed) ~fack:2)
+      ~scheduler:(wrap (Amac.Scheduler.random (Amac.Rng.create seed) ~fack:2))
       ~inputs ~substitute:wrapped.Byz.Model.substitute
       ~honest:wrapped.Byz.Model.honest ~record_trace:true ~obs:reg
   in
@@ -186,7 +186,30 @@ let scenario_byz_consensus_byz =
     (Consensus.Byz_consensus.make ~seed:2 ())
     Byz.Adapters.byz_consensus ~n:4 ~seed:19 ~inputs:[| 0; 1; 1; 0 |]
 
-let scenarios =
+(* Multi-hop golden: wPAXOS on a seeded 3x3 grid under the interference
+   scheduler (alpha = 1) with two churn deltas mid-run. The contention
+   metric families, the per-node ack-stretch histograms and the Topo
+   bookkeeping are all part of this golden's contract. *)
+let scenario_wpaxos_multihop_grid ?(wrap = Fun.id) () =
+  let reg = Obs.Metrics.create () in
+  let topology =
+    Topo_gen.generate ~seed:5 (Topo_gen.Grid { width = 3; height = 3 })
+  in
+  let topo_deltas = Topo_gen.churn ~seed:5 topology ~events:2 ~start:6 ~gap:8 in
+  let result =
+    Consensus.Runner.run (Consensus.Wpaxos.make ()) ~topology
+      ~scheduler:
+        (wrap
+           (Amac.Scheduler.interference ~alpha:1
+              (Amac.Scheduler.random (Amac.Rng.create 12) ~fack:2)))
+      ~inputs:(Consensus.Runner.inputs_alternating ~n:9)
+      ~topo_deltas ~record_trace:true ~obs:reg
+  in
+  render ~n:9 result.Consensus.Runner.outcome reg
+
+let scenarios :
+    (string * (?wrap:(Amac.Scheduler.t -> Amac.Scheduler.t) -> unit -> string))
+    list =
   [
     ("two_phase_sync", scenario_two_phase);
     ("wpaxos_crash_recovery", scenario_wpaxos_crash_recovery);
@@ -199,6 +222,7 @@ let scenarios =
     ("byz_consensus_random", scenario_byz_consensus);
     ("counter_race_1byz", scenario_counter_race_byz);
     ("byz_consensus_1byz", scenario_byz_consensus_byz);
+    ("wpaxos_multihop_grid", scenario_wpaxos_multihop_grid);
   ]
 
 let read_file path =
@@ -213,7 +237,10 @@ let write_file path contents =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc contents)
 
-let test_scenario (name, produce) () =
+let test_scenario
+    ( name,
+      (produce :
+        ?wrap:(Amac.Scheduler.t -> Amac.Scheduler.t) -> unit -> string) ) () =
   let actual = produce () in
   match Sys.getenv_opt "UPDATE_GOLDEN" with
   | Some dir ->
@@ -250,11 +277,52 @@ let test_scenario (name, produce) () =
           (String.length actual) (context expected) (context actual)
       end
 
+(* Degenerate interference: wrapping every base scenario's scheduler with
+   the alpha = 0 stretch (keeping the display name) runs the engine's
+   contention-tracking paths on the whole corpus and must reproduce it
+   byte-for-byte — modulo the contention metric families the hook itself
+   registers, which are stripped before comparing. Scenarios that are
+   already interference-aware are left unwrapped (the identity check). *)
+let test_degenerate_interference () =
+  let degenerate s =
+    match s.Amac.Scheduler.contention_stretch with
+    | Some _ -> s
+    | None ->
+        Amac.Scheduler.interference ~name:s.Amac.Scheduler.name ~alpha:0 s
+  in
+  let starts_with ~prefix line =
+    String.length line >= String.length prefix
+    && String.sub line 0 (String.length prefix) = prefix
+  in
+  let strip text =
+    String.split_on_char '\n' text
+    |> List.filter (fun line ->
+           not
+             (starts_with ~prefix:"engine_contention" line
+             || starts_with ~prefix:"engine_ack_stretch" line))
+    |> String.concat "\n"
+  in
+  List.iter
+    (fun
+      ( name,
+        (produce :
+          ?wrap:(Amac.Scheduler.t -> Amac.Scheduler.t) -> unit -> string) )
+    ->
+      let base = produce () and wrapped = produce ~wrap:degenerate () in
+      Alcotest.(check string)
+        (name ^ ": alpha=0 interference is event-identical")
+        (strip base) (strip wrapped))
+    scenarios
+
 (* The corpus must also be self-consistent: producing a scenario twice in
    one process yields identical bytes (no hidden global state). *)
 let test_reproducible () =
   List.iter
-    (fun (name, produce) ->
+    (fun
+      ( name,
+        (produce :
+          ?wrap:(Amac.Scheduler.t -> Amac.Scheduler.t) -> unit -> string) )
+    ->
       let a = produce () and b = produce () in
       Alcotest.(check bool)
         (name ^ ": render is reproducible in-process")
@@ -269,6 +337,10 @@ let () =
           (fun ((name, _) as s) ->
             Alcotest.test_case name `Quick (test_scenario s))
           scenarios
-        @ [ Alcotest.test_case "in-process reproducibility" `Quick
-              test_reproducible ] );
+        @ [
+            Alcotest.test_case "degenerate interference reproduces corpus"
+              `Quick test_degenerate_interference;
+            Alcotest.test_case "in-process reproducibility" `Quick
+              test_reproducible;
+          ] );
     ]

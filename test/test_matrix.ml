@@ -372,6 +372,89 @@ let test_shard_regime () =
     (fun env -> List.iter (fun seed -> run_shard_cell env seed) lifecycle_seeds)
     lifecycle_envs
 
+(* ------------------------------------------------------------------ *)
+(* The multi-hop axis: consensus and the SMR stack leave the clique.
+   Generated grid and RGG topologies (Topo_gen, seeded) under the
+   interference scheduler — each sender's ack stretches with its local
+   contention — with Safe_and_live pinned: wPAXOS decides at every node
+   and SMR commits everything submitted, multi-hop relaying and all. One
+   crash-faulted cell loses a mid-grid relay during the first broadcast
+   wave and recovers it, pinning recovery across a multi-hop diameter. *)
+
+let multihop_topologies =
+  [
+    ("grid:4x4", Topo_gen.Grid { width = 4; height = 4 });
+    ( "rgg:24",
+      Topo_gen.Rgg { n = 24; radius = Topo_gen.connectivity_radius ~n:24 } );
+  ]
+
+let interference_scheduler seed =
+  Amac.Scheduler.interference ~alpha:1
+    (Amac.Scheduler.random (Amac.Rng.create seed) ~fack:2)
+
+let run_multihop_wpaxos_cell (tname, spec) =
+  let topology = Topo_gen.generate ~seed:7 spec in
+  let n = Amac.Topology.size topology in
+  let cell = Printf.sprintf "wpaxos/interference/%s" tname in
+  let seed = Hashtbl.hash cell land 0xFFFF in
+  let result =
+    Consensus.Runner.run (Consensus.Wpaxos.make ()) ~topology
+      ~scheduler:(interference_scheduler seed)
+      ~inputs:(Consensus.Runner.inputs_alternating ~n)
+      ~max_time:60_000
+  in
+  let d = result.Consensus.Runner.degradation in
+  Alcotest.(check bool) (cell ^ ": safe") true d.Consensus.Checker.safe;
+  Alcotest.(check (float 0.0))
+    (cell ^ ": all nodes decided")
+    1.0 d.Consensus.Checker.decided_fraction
+
+let run_multihop_smr_cell (tname, spec) =
+  let topology = Topo_gen.generate ~seed:7 spec in
+  let cell = Printf.sprintf "smr/interference/%s" tname in
+  let seed = Hashtbl.hash cell land 0xFFFF in
+  let r =
+    Workload.run ~topology
+      ~scheduler:(interference_scheduler seed)
+      ~seed:(seed land 0xFF) ~cmds:8
+      ~mode:(Workload.Open_loop { mean_gap = 6 })
+      ()
+  in
+  Alcotest.(check (list string))
+    (cell ^ ": no safety violations")
+    []
+    (List.map Smr_checker.to_string r.Workload.violations);
+  Alcotest.(check bool)
+    (cell ^ ": commands actually flowed")
+    true (r.Workload.submitted > 0);
+  Alcotest.(check int)
+    (cell ^ ": every submitted command committed")
+    r.Workload.submitted r.Workload.committed
+
+let run_multihop_crash_cell () =
+  let topology =
+    Topo_gen.generate ~seed:7 (Topo_gen.Grid { width = 4; height = 4 })
+  in
+  let result =
+    Consensus.Runner.run (Consensus.Wpaxos.make ()) ~topology
+      ~scheduler:(interference_scheduler 5)
+      ~inputs:(Consensus.Runner.inputs_alternating ~n:16)
+      ~faults:
+        [ Fault.Crash { node = 5; at = 4 }; Fault.Recover { node = 5; at = 80 } ]
+      ~max_time:60_000
+  in
+  let d = result.Consensus.Runner.degradation in
+  let cell = "wpaxos/interference/grid:4x4/crash_recovery" in
+  Alcotest.(check bool) (cell ^ ": safe") true d.Consensus.Checker.safe;
+  Alcotest.(check (float 0.0))
+    (cell ^ ": recovered relay rejoins and everyone decides")
+    1.0 d.Consensus.Checker.decided_fraction
+
+let test_multihop_wpaxos () =
+  List.iter run_multihop_wpaxos_cell multihop_topologies
+
+let test_multihop_smr () = List.iter run_multihop_smr_cell multihop_topologies
+
 let () =
   Alcotest.run "matrix"
     [
@@ -402,5 +485,14 @@ let () =
         [
           Alcotest.test_case "all environments [sharded-smr, crash]" `Quick
             test_shard_regime;
+        ] );
+      ( "multi-hop",
+        [
+          Alcotest.test_case "wpaxos x generated topologies [interference]"
+            `Quick test_multihop_wpaxos;
+          Alcotest.test_case "smr x generated topologies [interference]"
+            `Quick test_multihop_smr;
+          Alcotest.test_case "crash-faulted grid cell" `Quick
+            run_multihop_crash_cell;
         ] );
     ]
